@@ -1,0 +1,46 @@
+//! Analytical electrical model of QDI asynchronous circuits.
+//!
+//! This crate is the workspace's substitute for the Eldo + HCMOS9 0.13 µm
+//! electrical simulations of the paper's Section V. It turns the digital
+//! transition log produced by `qdi-sim` into supply-current traces:
+//!
+//! * every transition of a gate with total output capacitance
+//!   `C = Cl + Cpar + Csc` contributes a current pulse of charge
+//!   `Q = C·Vdd` spread over the transition time `Δt ∝ R·C`
+//!   ([`Pulse`], [`PulseShape`]),
+//! * pulses are superposed on a uniform sampling grid ([`Trace`]),
+//! * optional Gaussian noise models the paper's `Pdn` dynamic noise term
+//!   and measurement noise,
+//! * the closed-form power equations (1)–(3) of Section III are provided
+//!   by [`power`].
+//!
+//! The paper's formal result — equation (12), the DPA bias of two
+//! logically balanced paths reduces to per-gate `C/Δt` differences — only
+//! involves per-transition charge and timing, which is exactly what this
+//! model captures. Absolute ampere values are not calibrated to any real
+//! process; all experiments compare *shapes* and *relative* magnitudes.
+//!
+//! # Example
+//!
+//! ```
+//! use qdi_analog::{Trace, Pulse, PulseShape};
+//!
+//! let mut trace = Trace::zeros(0, 10, 100); // 100 samples, 10 ps apart
+//! // 19.2 fC (16 fF × 1.2 V) delivered over 80 ps starting at 200 ps:
+//! let pulse = Pulse { t0_ps: 200, charge_fc: 19.2, dur_ps: 80 };
+//! trace.add_pulse(pulse, PulseShape::RcExponential);
+//! let total: f64 = trace.samples().iter().sum::<f64>() * trace.dt_ps() as f64;
+//! assert!((total - 19.2).abs() < 0.2); // charge is conserved
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod power;
+pub mod pulse;
+pub mod synth;
+pub mod trace;
+
+pub use pulse::{Pulse, PulseShape};
+pub use synth::{SynthConfig, TraceSynthesizer};
+pub use trace::Trace;

@@ -1,0 +1,76 @@
+//! Closed-form power equations of the paper's Section III.
+
+use qdi_netlist::Netlist;
+
+/// Equation (1)/(2): dynamic power of one gate,
+/// `Pd = η · f · C · Vdd²`, with `η` the switching-activity ratio, `f` the
+/// switching frequency in Hz (for QDI logic, the acknowledge frequency
+/// `fa`), `C` in farads and `Vdd` in volts. Result in watts.
+pub fn dynamic_power_w(eta: f64, f_hz: f64, c_f: f64, vdd_v: f64) -> f64 {
+    eta * f_hz * c_f * vdd_v * vdd_v
+}
+
+/// Equation (3): dynamic power of a QDI block with a fixed transition count
+/// — the sum of the per-gate contributions over all `Nt` switching gates.
+/// `caps_ff` are the switched capacitances (`Cl + Cpar + Csc`) of those
+/// gates, in fF. Result in watts.
+pub fn block_power_w(eta: f64, fa_hz: f64, caps_ff: &[f64], vdd_v: f64) -> f64 {
+    caps_ff.iter().map(|&c_ff| dynamic_power_w(eta, fa_hz, c_ff * 1e-15, vdd_v)).sum()
+}
+
+/// Energy of one full-swing transition of capacitance `c_ff`, in fJ:
+/// `E = C·Vdd²`.
+pub fn transition_energy_fj(c_ff: f64, vdd_v: f64) -> f64 {
+    c_ff * vdd_v * vdd_v
+}
+
+/// Block power computed directly from a netlist: all gates assumed to
+/// switch once per acknowledge cycle (the balanced QDI case of eq. (3)).
+pub fn netlist_power_w(netlist: &Netlist, eta: f64, fa_hz: f64, vdd_v: f64) -> f64 {
+    let caps: Vec<f64> = netlist.gates().map(|g| netlist.switched_cap_ff(g.id)).collect();
+    block_power_w(eta, fa_hz, &caps, vdd_v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdi_netlist::{GateKind, NetlistBuilder};
+
+    #[test]
+    fn gate_power_formula() {
+        // 10 fF at 1.2 V switching at 100 MHz with eta = 1:
+        // P = 1e8 * 10e-15 * 1.44 = 1.44 µW.
+        let p = dynamic_power_w(1.0, 1e8, 10e-15, 1.2);
+        assert!((p - 1.44e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_power_sums_gates() {
+        let single = dynamic_power_w(1.0, 1e8, 10e-15, 1.2);
+        let block = block_power_w(1.0, 1e8, &[10.0, 10.0, 10.0], 1.2);
+        assert!((block - 3.0 * single).abs() < 1e-15);
+    }
+
+    #[test]
+    fn transition_energy() {
+        assert!((transition_energy_fj(10.0, 1.2) - 14.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn netlist_power_counts_every_gate() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input_net("a");
+        let c = b.input_net("b");
+        let m = b.gate(GateKind::Muller, "m", &[a, c]);
+        let o = b.gate(GateKind::Or, "o", &[m, a]);
+        b.mark_output(o);
+        let nl = b.finish().expect("valid");
+        let p = netlist_power_w(&nl, 1.0, 1e8, 1.2);
+        let manual: f64 = nl
+            .gates()
+            .map(|g| dynamic_power_w(1.0, 1e8, nl.switched_cap_ff(g.id) * 1e-15, 1.2))
+            .sum();
+        assert!((p - manual).abs() < 1e-18);
+        assert!(p > 0.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Fig. 2 — the four-phase handshaking protocol.
+//!
+//! Simulates two communications through a WCHB buffer and prints the
+//! reconstructed waveforms of the data rails and the acknowledge, with the
+//! four phases annotated.
+
+use qdi_bench::banner;
+use qdi_netlist::{cells, NetId, NetlistBuilder};
+use qdi_sim::{protocol, Testbench, TestbenchConfig, Transition};
+
+fn waveform(transitions: &[Transition], net: NetId, end_ps: u64, cols: usize, init: bool) -> String {
+    let mut level = init;
+    let mut idx = 0;
+    let edges: Vec<&Transition> = transitions.iter().filter(|t| t.net == net).collect();
+    (0..cols)
+        .map(|c| {
+            let t = (c as u64 * end_ps) / cols as u64;
+            while idx < edges.len() && edges[idx].time_ps <= t {
+                level = edges[idx].rising;
+                idx += 1;
+            }
+            if level {
+                '▔'
+            } else {
+                '▁'
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    banner("Fig. 2 — four-phase handshaking protocol (WCHB buffer, 2 communications)");
+    let mut b = NetlistBuilder::new("hb");
+    let a = b.input_channel("a", 2);
+    let ack = b.input_net("ack");
+    let cell = cells::wchb_buffer(&mut b, "hb", &a, ack);
+    b.connect_input_acks(&[a.id], cell.ack_to_senders);
+    let out = b.output_channel("co", &cell.out.rails.clone(), ack);
+    let netlist = b.finish().expect("valid");
+
+    let mut tb = Testbench::new(&netlist, TestbenchConfig::default()).expect("tb");
+    tb.source(a.id, vec![1, 0]).expect("source");
+    tb.sink(out.id).expect("sink");
+    let run = tb.run().expect("completes");
+    let end = run.end_time_ps + 50;
+    let cols = 72;
+
+    println!("two communications: value 1, then value 0 ({} ps total)\n", run.end_time_ps);
+    let rows: &[(&str, NetId, bool)] = &[
+        ("a.r0 (data 0)", a.rail(0), false),
+        ("a.r1 (data 1)", a.rail(1), false),
+        ("ack to sender", netlist.channel(a.id).ack.expect("ack"), true),
+        ("co.r0", out.rail(0), false),
+        ("co.r1", out.rail(1), false),
+        ("ack from recv", ack, true),
+    ];
+    for (label, net, init) in rows {
+        println!("{label:<14} {}", waveform(&run.transitions, *net, end, cols, *init));
+    }
+    println!(
+        "\nphases per communication: (1) valid data, (2) acknowledge capture\n\
+         (falling edge of the NOR-style ready/acknowledge net), (3) return\n\
+         to zero, (4) acknowledge release — as in the paper's Fig. 2."
+    );
+
+    // Conformance evidence.
+    let reports = protocol::check_all(&netlist, &run.transitions);
+    for r in &reports {
+        println!(
+            "protocol check {:<8} communications = {}  violations = {}",
+            r.channel_name,
+            r.communications,
+            r.violations.len()
+        );
+        assert!(r.conformant(), "{:?}", r.violations);
+        assert_eq!(r.communications, 2);
+    }
+    println!("\nRESULT: all channels conform to the four-phase protocol.");
+}

@@ -1,0 +1,115 @@
+//! E2 — the formal model (eq. 12) against the event-driven simulation,
+//! plus the ablations DESIGN.md calls out:
+//!
+//! * pulse shape (RC exponential vs triangular) must not change the
+//!   signature ordering — the analysis is shape insensitive;
+//! * a capacitance-independent (constant) delay model must *hide* the
+//!   time-shift leakage of Fig. 7b — demonstrating why the paper's model
+//!   keeps `Δt = Δt(C)`.
+
+#![allow(clippy::needless_range_loop)] // index loops run over parallel channel/ack arrays
+use qdi_analog::{PulseShape, SynthConfig, Trace, TraceSynthesizer};
+use qdi_bench::{banner, XorFixture};
+use qdi_core::model::CurrentModel;
+use qdi_sim::ConstantDelay;
+
+const SCENARIOS: &[(&str, &[(&str, f64)])] = &[
+    ("balanced", &[]),
+    ("fig7a x.h1=16", &[("x.h1", 16.0)]),
+    ("fig7b x.o1=16", &[("x.o1", 16.0)]),
+    ("fig7c m1,m2=16", &[("x.m1", 16.0), ("x.m2", 16.0)]),
+    ("fig7d m1,m2=32", &[("x.m1", 32.0), ("x.m2", 32.0)]),
+];
+
+fn areas_with(cfg: SynthConfig) -> Vec<f64> {
+    SCENARIOS
+        .iter()
+        .map(|(_, caps)| {
+            let mut fx = XorFixture::new();
+            fx.set_caps(caps);
+            fx.signature(cfg).abs_area_fc()
+        })
+        .collect()
+}
+
+fn rank_order(areas: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..areas.len()).collect();
+    idx.sort_by(|&a, &b| areas[a].total_cmp(&areas[b]));
+    idx
+}
+
+fn main() {
+    banner("E2 — formal model (eq. 12) vs simulation, with ablations");
+
+    // 1. Model vs simulation on the Fig. 7 scenarios.
+    println!("signature area (fC) per scenario:");
+    println!("{:<20} {:>12} {:>12}", "scenario", "simulated", "analytic");
+    let mut sim_areas = Vec::new();
+    let mut model_areas = Vec::new();
+    for (label, caps) in SCENARIOS {
+        let mut fx = XorFixture::new();
+        fx.set_caps(caps);
+        let sim = fx.signature(SynthConfig::default()).abs_area_fc();
+        let model = CurrentModel::new(&fx.netlist)
+            .expect("acyclic")
+            .xor_gate_signature("x")
+            .expect("cell")
+            .abs_area_fc();
+        println!("{label:<20} {sim:>12.1} {model:>12.1}");
+        sim_areas.push(sim);
+        model_areas.push(model);
+    }
+    assert_eq!(
+        rank_order(&sim_areas[..2]),
+        rank_order(&model_areas[..2]),
+        "model and simulation must agree that balanced << unbalanced"
+    );
+    assert!(model_areas[4] > model_areas[3], "model: 7d > 7c");
+    assert!(sim_areas[4] > sim_areas[3], "sim: 7d > 7c");
+
+    // 2. Ablation: pulse shape.
+    let rc = areas_with(SynthConfig::default());
+    let tri = areas_with(SynthConfig { shape: PulseShape::Triangular, ..SynthConfig::default() });
+    println!("\nablation — pulse shape (area ordering must match):");
+    println!("  RC exponential: {:?}", rank_order(&rc));
+    println!("  triangular:     {:?}", rank_order(&tri));
+    assert_eq!(rank_order(&rc)[0], rank_order(&tri)[0], "balanced stays smallest");
+    assert_eq!(
+        *rank_order(&rc).last().expect("nonempty"),
+        *rank_order(&tri).last().expect("nonempty"),
+        "worst scenario is shape independent"
+    );
+
+    // 3. Ablation: constant delay hides the Δt(C) time-shift leakage.
+    let shift_caps: &[(&str, f64)] = &[("x.o1", 16.0)];
+    let mut fx = XorFixture::new();
+    fx.set_caps(shift_caps);
+    let with_dt_c = fx.signature(SynthConfig::default()).abs_area_fc();
+
+    // Same netlist, constant-delay simulation, charge-only pulses of fixed
+    // duration (duration differences removed by using the same dur for
+    // every edge via a huge dt_k ceiling is not possible; instead compare
+    // transition *timing*): under ConstantDelay the two classes' schedules
+    // are identical, so the bias comes from charge alone.
+    let synth = TraceSynthesizer::new(&fx.netlist, SynthConfig::default());
+    let avg = |pairs: &[(usize, usize)]| {
+        let traces: Vec<Trace> = pairs
+            .iter()
+            .map(|&(av, bv)| {
+                synth.synthesize(&fx.run_pair_with_delay(av, bv, ConstantDelay::new(60)))
+            })
+            .collect();
+        Trace::average(&traces)
+    };
+    let const_sig = Trace::difference(&avg(&[(0, 0), (1, 1)]), &avg(&[(0, 1), (1, 0)]));
+    let const_area = const_sig.abs_area_fc();
+    println!("\nablation — delay model on the Fig. 7b scenario (x.o1 = 16 fF):");
+    println!("  Δt = Δt(C) (paper's model): area = {with_dt_c:>8.1} fC");
+    println!("  Δt = const (ablation):      area = {const_area:>8.1} fC");
+    assert!(
+        const_area < 0.6 * with_dt_c,
+        "constant delay must hide most of the time-shift leakage: {const_area} vs {with_dt_c}"
+    );
+    println!("\nRESULT: the analytic model tracks simulation; the Δt(C) dependence is");
+    println!("what exposes mid-path imbalances (the paper's eq. 12 in action).");
+}

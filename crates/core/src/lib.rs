@@ -1,0 +1,59 @@
+//! The paper's primary contribution: a formal electrical model of secured
+//! QDI asynchronous circuits, DPA applied to that model, and the secure
+//! design flow that minimises the identified leakage.
+//!
+//! Reproduces *"DPA on Quasi Delay Insensitive Asynchronous Circuits:
+//! Formalization and Improvement"* (Bouesse, Renaudin, Dumont, Germain —
+//! DATE 2005):
+//!
+//! * [`model`] — the formal current model of Section III: the annotated
+//!   directed graph yields, per computation, the set of firing gates, an
+//!   analytic firing schedule with `Δt = Δt(C)`, and a predicted current
+//!   profile (eq. 5). Applying the DPA partition to the model (Section IV)
+//!   gives the closed-form bias signature of eq. 12 **without any event
+//!   simulation**.
+//! * [`leakage`] — per-channel leakage estimation: ranking channels by the
+//!   `V·(C/Δt − C'/Δt')` magnitude of eq. 12, and the dissymmetry
+//!   criterion `dA` of Section VI.
+//! * [`flow`] — the complete secure design flow: balance verification →
+//!   place and route (flat or hierarchical) → parasitic extraction →
+//!   criterion evaluation → electrical simulation → DPA evaluation →
+//!   report. The hierarchical strategy is the paper's countermeasure; the
+//!   flat strategy is its reference (AES_v2).
+//!
+//! # Example: predict the Fig. 7 signature analytically
+//!
+//! ```
+//! use qdi_core::model::CurrentModel;
+//! use qdi_netlist::{cells, NetlistBuilder};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = NetlistBuilder::new("xor");
+//! let a = b.input_channel("a", 2);
+//! let bb = b.input_channel("b", 2);
+//! let ack = b.input_net("ack");
+//! let cell = cells::dual_rail_xor(&mut b, "x", &a, &bb, ack);
+//! b.connect_input_acks(&[a.id, bb.id], cell.ack_to_senders);
+//! let out = b.output_channel("co", &cell.out.rails.clone(), ack);
+//! # let _ = out;
+//! let mut netlist = b.finish()?;
+//! // Unbalance one net as in Fig. 7a and predict the DPA signature:
+//! let h1 = netlist.find_net("x.h1").expect("net");
+//! netlist.set_routing_cap(h1, 16.0);
+//! let model = CurrentModel::new(&netlist)?;
+//! let signature = model.xor_gate_signature("x")?;
+//! assert!(signature.abs_peak().expect("peak").1.abs() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flow;
+pub mod leakage;
+pub mod model;
+
+pub use flow::{run_slice_flow, run_static_flow, FillStep, FlowConfig, SliceFlowReport, StaticFlowReport};
+pub use leakage::{rank_channel_leakage, ChannelLeakage};
+pub use model::CurrentModel;

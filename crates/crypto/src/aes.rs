@@ -1,0 +1,312 @@
+//! AES-128 (FIPS-197) reference implementation with round-level access.
+//!
+//! The state is a flat `[u8; 16]` in FIPS column-major order:
+//! `state[r + 4c]` is row `r`, column `c`; block bytes load in index order.
+//!
+//! Besides whole-block encryption this module exposes every round
+//! transformation individually — the DPA machinery predicts intermediate
+//! values such as `SBOX(p ⊕ k)` and the gate-level generators are verified
+//! transformation by transformation.
+
+#![allow(clippy::needless_range_loop)] // index loops run over parallel channel/ack arrays
+/// The AES S-box (forward substitution table).
+pub const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+/// The inverse AES S-box.
+pub const INV_SBOX: [u8; 256] = {
+    let mut inv = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        inv[SBOX[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+};
+
+/// Round constants for AES-128 key expansion.
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// Round keys for AES-128: 11 keys of 16 bytes.
+pub type RoundKeys = [[u8; 16]; 11];
+
+/// Multiplication by `x` in GF(2⁸) modulo the AES polynomial `x⁸+x⁴+x³+x+1`.
+pub fn xtime(a: u8) -> u8 {
+    let shifted = a << 1;
+    if a & 0x80 != 0 {
+        shifted ^ 0x1b
+    } else {
+        shifted
+    }
+}
+
+/// General GF(2⁸) multiplication (Russian-peasant).
+pub fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    acc
+}
+
+/// Expands a 128-bit key into the 11 round keys of AES-128.
+pub fn expand_key(key: &[u8; 16]) -> RoundKeys {
+    let mut w = [[0u8; 4]; 44];
+    for (i, chunk) in key.chunks_exact(4).enumerate() {
+        w[i].copy_from_slice(chunk);
+    }
+    for i in 4..44 {
+        let mut temp = w[i - 1];
+        if i % 4 == 0 {
+            temp.rotate_left(1);
+            for byte in &mut temp {
+                *byte = SBOX[*byte as usize];
+            }
+            temp[0] ^= RCON[i / 4 - 1];
+        }
+        for j in 0..4 {
+            w[i][j] = w[i - 4][j] ^ temp[j];
+        }
+    }
+    let mut keys = [[0u8; 16]; 11];
+    for (r, key) in keys.iter_mut().enumerate() {
+        for c in 0..4 {
+            key[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+        }
+    }
+    keys
+}
+
+/// XORs a round key into the state (AddRoundKey).
+pub fn add_round_key(state: &mut [u8; 16], round_key: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(round_key) {
+        *s ^= k;
+    }
+}
+
+/// Applies the S-box to every byte (SubBytes / the paper's ByteSub).
+pub fn sub_bytes(state: &mut [u8; 16]) {
+    for s in state.iter_mut() {
+        *s = SBOX[*s as usize];
+    }
+}
+
+/// Inverse SubBytes.
+pub fn inv_sub_bytes(state: &mut [u8; 16]) {
+    for s in state.iter_mut() {
+        *s = INV_SBOX[*s as usize];
+    }
+}
+
+/// Rotates row `r` of the state left by `r` positions (ShiftRows).
+pub fn shift_rows(state: &mut [u8; 16]) {
+    let old = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[r + 4 * c] = old[r + 4 * ((c + r) % 4)];
+        }
+    }
+}
+
+/// Inverse ShiftRows.
+pub fn inv_shift_rows(state: &mut [u8; 16]) {
+    let old = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[r + 4 * ((c + r) % 4)] = old[r + 4 * c];
+        }
+    }
+}
+
+/// Mixes one 4-byte column (MixColumns on a single column).
+pub fn mix_single_column(col: &mut [u8; 4]) {
+    let [a0, a1, a2, a3] = *col;
+    col[0] = gf_mul(a0, 2) ^ gf_mul(a1, 3) ^ a2 ^ a3;
+    col[1] = a0 ^ gf_mul(a1, 2) ^ gf_mul(a2, 3) ^ a3;
+    col[2] = a0 ^ a1 ^ gf_mul(a2, 2) ^ gf_mul(a3, 3);
+    col[3] = gf_mul(a0, 3) ^ a1 ^ a2 ^ gf_mul(a3, 2);
+}
+
+/// MixColumns over the full state.
+pub fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let mut col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        mix_single_column(&mut col);
+        state[4 * c..4 * c + 4].copy_from_slice(&col);
+    }
+}
+
+/// Inverse MixColumns.
+pub fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let [a0, a1, a2, a3] =
+            [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = gf_mul(a0, 14) ^ gf_mul(a1, 11) ^ gf_mul(a2, 13) ^ gf_mul(a3, 9);
+        state[4 * c + 1] = gf_mul(a0, 9) ^ gf_mul(a1, 14) ^ gf_mul(a2, 11) ^ gf_mul(a3, 13);
+        state[4 * c + 2] = gf_mul(a0, 13) ^ gf_mul(a1, 9) ^ gf_mul(a2, 14) ^ gf_mul(a3, 11);
+        state[4 * c + 3] = gf_mul(a0, 11) ^ gf_mul(a1, 13) ^ gf_mul(a2, 9) ^ gf_mul(a3, 14);
+    }
+}
+
+/// Encrypts one block with pre-expanded round keys.
+pub fn encrypt_block(keys: &RoundKeys, plaintext: &[u8; 16]) -> [u8; 16] {
+    let mut state = *plaintext;
+    add_round_key(&mut state, &keys[0]);
+    for round in 1..10 {
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        mix_columns(&mut state);
+        add_round_key(&mut state, &keys[round]);
+    }
+    sub_bytes(&mut state);
+    shift_rows(&mut state);
+    add_round_key(&mut state, &keys[10]);
+    state
+}
+
+/// Decrypts one block with pre-expanded round keys.
+pub fn decrypt_block(keys: &RoundKeys, ciphertext: &[u8; 16]) -> [u8; 16] {
+    let mut state = *ciphertext;
+    add_round_key(&mut state, &keys[10]);
+    inv_shift_rows(&mut state);
+    inv_sub_bytes(&mut state);
+    for round in (1..10).rev() {
+        add_round_key(&mut state, &keys[round]);
+        inv_mix_columns(&mut state);
+        inv_shift_rows(&mut state);
+        inv_sub_bytes(&mut state);
+    }
+    add_round_key(&mut state, &keys[0]);
+    state
+}
+
+/// The first-round intermediate the paper's AES selection function targets:
+/// `XOR(P8, K8)` for one byte position.
+pub fn first_round_xor(plaintext_byte: u8, key_byte: u8) -> u8 {
+    plaintext_byte ^ key_byte
+}
+
+/// The classic DPA intermediate `SBOX(p ⊕ k)` for one byte position.
+pub fn first_round_sbox(plaintext_byte: u8, key_byte: u8) -> u8 {
+    SBOX[(plaintext_byte ^ key_byte) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex16(s: &str) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        for i in 0..16 {
+            out[i] = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).expect("hex");
+        }
+        out
+    }
+
+    #[test]
+    fn fips197_appendix_c1_vector() {
+        let key = hex16("000102030405060708090a0b0c0d0e0f");
+        let pt = hex16("00112233445566778899aabbccddeeff");
+        let ct = encrypt_block(&expand_key(&key), &pt);
+        assert_eq!(ct, hex16("69c4e0d86a7b0430d8cdb78070b4c55a"));
+    }
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        let key = hex16("2b7e151628aed2a6abf7158809cf4f3c");
+        let pt = hex16("3243f6a8885a308d313198a2e0370734");
+        let ct = encrypt_block(&expand_key(&key), &pt);
+        assert_eq!(ct, hex16("3925841d02dc09fbdc118597196a0b32"));
+    }
+
+    #[test]
+    fn decrypt_inverts_encrypt() {
+        let key = hex16("2b7e151628aed2a6abf7158809cf4f3c");
+        let keys = expand_key(&key);
+        for seed in 0u8..16 {
+            let pt: [u8; 16] = std::array::from_fn(|i| seed.wrapping_mul(31).wrapping_add(i as u8));
+            let ct = encrypt_block(&keys, &pt);
+            assert_eq!(decrypt_block(&keys, &ct), pt);
+        }
+    }
+
+    #[test]
+    fn key_expansion_last_word() {
+        // FIPS-197 Appendix A.1: w[43] = b6630ca6 for the 2b7e... key.
+        let key = hex16("2b7e151628aed2a6abf7158809cf4f3c");
+        let keys = expand_key(&key);
+        assert_eq!(&keys[10][12..16], &[0xb6, 0x63, 0x0c, 0xa6]);
+    }
+
+    #[test]
+    fn sbox_inverse_roundtrips() {
+        for v in 0..=255u8 {
+            assert_eq!(INV_SBOX[SBOX[v as usize] as usize], v);
+        }
+    }
+
+    #[test]
+    fn shift_rows_roundtrips() {
+        let mut state: [u8; 16] = std::array::from_fn(|i| i as u8);
+        let orig = state;
+        shift_rows(&mut state);
+        assert_ne!(state, orig);
+        inv_shift_rows(&mut state);
+        assert_eq!(state, orig);
+    }
+
+    #[test]
+    fn mix_columns_roundtrips() {
+        let mut state: [u8; 16] = std::array::from_fn(|i| (i * 17) as u8);
+        let orig = state;
+        mix_columns(&mut state);
+        inv_mix_columns(&mut state);
+        assert_eq!(state, orig);
+    }
+
+    #[test]
+    fn mix_single_column_known_vector() {
+        // FIPS-197 / Rijndael test column: db 13 53 45 -> 8e 4d a1 bc.
+        let mut col = [0xdb, 0x13, 0x53, 0x45];
+        mix_single_column(&mut col);
+        assert_eq!(col, [0x8e, 0x4d, 0xa1, 0xbc]);
+    }
+
+    #[test]
+    fn gf_mul_matches_xtime() {
+        for v in 0..=255u8 {
+            assert_eq!(gf_mul(v, 2), xtime(v));
+            assert_eq!(gf_mul(v, 1), v);
+            assert_eq!(gf_mul(v, 3), xtime(v) ^ v);
+        }
+    }
+
+    #[test]
+    fn first_round_helpers() {
+        assert_eq!(first_round_xor(0xAB, 0xCD), 0xAB ^ 0xCD);
+        assert_eq!(first_round_sbox(0x00, 0x00), SBOX[0]);
+        assert_eq!(first_round_sbox(0x53, 0x00), 0xed);
+    }
+}

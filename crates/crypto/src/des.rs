@@ -1,0 +1,253 @@
+//! DES (FIPS 46-3) reference implementation.
+//!
+//! The paper's DES selection function — `D(C1, P6, K0) = SBOX1(P6 ⊕ K0)(C1)`
+//! — needs direct access to the S-boxes, which [`sbox`] provides; the full
+//! cipher is implemented so DES trace campaigns can be generated end to
+//! end, as in the companion study the paper builds on ("DPA on Quasi Delay
+//! Insensitive Asynchronous circuits: Concrete Results").
+//!
+//! Bit conventions follow FIPS 46-3: tables are 1-based with bit 1 the most
+//! significant bit of the 64-bit block.
+
+/// Initial permutation.
+const IP: [u8; 64] = [
+    58, 50, 42, 34, 26, 18, 10, 2, 60, 52, 44, 36, 28, 20, 12, 4, 62, 54, 46, 38, 30, 22, 14, 6,
+    64, 56, 48, 40, 32, 24, 16, 8, 57, 49, 41, 33, 25, 17, 9, 1, 59, 51, 43, 35, 27, 19, 11, 3,
+    61, 53, 45, 37, 29, 21, 13, 5, 63, 55, 47, 39, 31, 23, 15, 7,
+];
+
+/// Final permutation (inverse of IP).
+const FP: [u8; 64] = [
+    40, 8, 48, 16, 56, 24, 64, 32, 39, 7, 47, 15, 55, 23, 63, 31, 38, 6, 46, 14, 54, 22, 62, 30,
+    37, 5, 45, 13, 53, 21, 61, 29, 36, 4, 44, 12, 52, 20, 60, 28, 35, 3, 43, 11, 51, 19, 59, 27,
+    34, 2, 42, 10, 50, 18, 58, 26, 33, 1, 41, 9, 49, 17, 57, 25,
+];
+
+/// Expansion E: 32 -> 48 bits.
+const E: [u8; 48] = [
+    32, 1, 2, 3, 4, 5, 4, 5, 6, 7, 8, 9, 8, 9, 10, 11, 12, 13, 12, 13, 14, 15, 16, 17, 16, 17,
+    18, 19, 20, 21, 20, 21, 22, 23, 24, 25, 24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1,
+];
+
+/// Permutation P: 32 -> 32 bits.
+const P: [u8; 32] = [
+    16, 7, 20, 21, 29, 12, 28, 17, 1, 15, 23, 26, 5, 18, 31, 10, 2, 8, 24, 14, 32, 27, 3, 9, 19,
+    13, 30, 6, 22, 11, 4, 25,
+];
+
+/// Permuted choice 1: 64 -> 56 bits (drops parity).
+const PC1: [u8; 56] = [
+    57, 49, 41, 33, 25, 17, 9, 1, 58, 50, 42, 34, 26, 18, 10, 2, 59, 51, 43, 35, 27, 19, 11, 3,
+    60, 52, 44, 36, 63, 55, 47, 39, 31, 23, 15, 7, 62, 54, 46, 38, 30, 22, 14, 6, 61, 53, 45,
+    37, 29, 21, 13, 5, 28, 20, 12, 4,
+];
+
+/// Permuted choice 2: 56 -> 48 bits.
+const PC2: [u8; 48] = [
+    14, 17, 11, 24, 1, 5, 3, 28, 15, 6, 21, 10, 23, 19, 12, 4, 26, 8, 16, 7, 27, 20, 13, 2, 41,
+    52, 31, 37, 47, 55, 30, 40, 51, 45, 33, 48, 44, 49, 39, 56, 34, 53, 46, 42, 50, 36, 29, 32,
+];
+
+/// Left-shift schedule per round.
+const SHIFTS: [u8; 16] = [1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1];
+
+/// The eight DES S-boxes: `SBOXES[i][row][col]`.
+pub const SBOXES: [[[u8; 16]; 4]; 8] = [
+    [
+        [14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7],
+        [0, 15, 7, 4, 14, 2, 13, 1, 10, 6, 12, 11, 9, 5, 3, 8],
+        [4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0],
+        [15, 12, 8, 2, 4, 9, 1, 7, 5, 11, 3, 14, 10, 0, 6, 13],
+    ],
+    [
+        [15, 1, 8, 14, 6, 11, 3, 4, 9, 7, 2, 13, 12, 0, 5, 10],
+        [3, 13, 4, 7, 15, 2, 8, 14, 12, 0, 1, 10, 6, 9, 11, 5],
+        [0, 14, 7, 11, 10, 4, 13, 1, 5, 8, 12, 6, 9, 3, 2, 15],
+        [13, 8, 10, 1, 3, 15, 4, 2, 11, 6, 7, 12, 0, 5, 14, 9],
+    ],
+    [
+        [10, 0, 9, 14, 6, 3, 15, 5, 1, 13, 12, 7, 11, 4, 2, 8],
+        [13, 7, 0, 9, 3, 4, 6, 10, 2, 8, 5, 14, 12, 11, 15, 1],
+        [13, 6, 4, 9, 8, 15, 3, 0, 11, 1, 2, 12, 5, 10, 14, 7],
+        [1, 10, 13, 0, 6, 9, 8, 7, 4, 15, 14, 3, 11, 5, 2, 12],
+    ],
+    [
+        [7, 13, 14, 3, 0, 6, 9, 10, 1, 2, 8, 5, 11, 12, 4, 15],
+        [13, 8, 11, 5, 6, 15, 0, 3, 4, 7, 2, 12, 1, 10, 14, 9],
+        [10, 6, 9, 0, 12, 11, 7, 13, 15, 1, 3, 14, 5, 2, 8, 4],
+        [3, 15, 0, 6, 10, 1, 13, 8, 9, 4, 5, 11, 12, 7, 2, 14],
+    ],
+    [
+        [2, 12, 4, 1, 7, 10, 11, 6, 8, 5, 3, 15, 13, 0, 14, 9],
+        [14, 11, 2, 12, 4, 7, 13, 1, 5, 0, 15, 10, 3, 9, 8, 6],
+        [4, 2, 1, 11, 10, 13, 7, 8, 15, 9, 12, 5, 6, 3, 0, 14],
+        [11, 8, 12, 7, 1, 14, 2, 13, 6, 15, 0, 9, 10, 4, 5, 3],
+    ],
+    [
+        [12, 1, 10, 15, 9, 2, 6, 8, 0, 13, 3, 4, 14, 7, 5, 11],
+        [10, 15, 4, 2, 7, 12, 9, 5, 6, 1, 13, 14, 0, 11, 3, 8],
+        [9, 14, 15, 5, 2, 8, 12, 3, 7, 0, 4, 10, 1, 13, 11, 6],
+        [4, 3, 2, 12, 9, 5, 15, 10, 11, 14, 1, 7, 6, 0, 8, 13],
+    ],
+    [
+        [4, 11, 2, 14, 15, 0, 8, 13, 3, 12, 9, 7, 5, 10, 6, 1],
+        [13, 0, 11, 7, 4, 9, 1, 10, 14, 3, 5, 12, 2, 15, 8, 6],
+        [1, 4, 11, 13, 12, 3, 7, 14, 10, 15, 6, 8, 0, 5, 9, 2],
+        [6, 11, 13, 8, 1, 4, 10, 7, 9, 5, 0, 15, 14, 2, 3, 12],
+    ],
+    [
+        [13, 2, 8, 4, 6, 15, 11, 1, 10, 9, 3, 14, 5, 0, 12, 7],
+        [1, 15, 13, 8, 10, 3, 7, 4, 12, 5, 6, 11, 0, 14, 9, 2],
+        [7, 11, 4, 1, 9, 12, 14, 2, 0, 6, 10, 13, 15, 3, 5, 8],
+        [2, 1, 14, 7, 4, 10, 8, 13, 15, 12, 9, 0, 3, 5, 6, 11],
+    ],
+];
+
+/// Permutes the `in_width` most significant semantics of `input` according
+/// to a 1-based FIPS table; the result has `table.len()` bits, MSB first.
+fn permute(input: u64, in_width: u32, table: &[u8]) -> u64 {
+    let mut out = 0u64;
+    for &pos in table {
+        let bit = (input >> (in_width - pos as u32)) & 1;
+        out = (out << 1) | bit;
+    }
+    out
+}
+
+/// S-box lookup `i ∈ 0..8` on a 6-bit input: row from the outer bits, column
+/// from the middle four, per FIPS 46-3. Returns the 4-bit output.
+///
+/// This is the `SBOX1` of the paper's DES selection function (for `i = 0`).
+///
+/// # Panics
+///
+/// Panics if `i >= 8` or `six_bits >= 64`.
+pub fn sbox(i: usize, six_bits: u8) -> u8 {
+    assert!(i < 8, "DES has 8 S-boxes");
+    assert!(six_bits < 64, "S-box input is 6 bits");
+    let row = (((six_bits >> 5) & 1) << 1 | (six_bits & 1)) as usize;
+    let col = ((six_bits >> 1) & 0xf) as usize;
+    SBOXES[i][row][col]
+}
+
+/// The 16 round subkeys (48 bits each, right-aligned in the `u64`).
+pub fn key_schedule(key: u64) -> [u64; 16] {
+    let pc1 = permute(key, 64, &PC1);
+    let mut c = (pc1 >> 28) & 0x0fff_ffff;
+    let mut d = pc1 & 0x0fff_ffff;
+    let mut subkeys = [0u64; 16];
+    for (round, &shift) in SHIFTS.iter().enumerate() {
+        c = ((c << shift) | (c >> (28 - shift))) & 0x0fff_ffff;
+        d = ((d << shift) | (d >> (28 - shift))) & 0x0fff_ffff;
+        subkeys[round] = permute((c << 28) | d, 56, &PC2);
+    }
+    subkeys
+}
+
+/// The Feistel function `f(R, K)`.
+pub fn feistel(r: u32, subkey: u64) -> u32 {
+    let expanded = permute(r as u64, 32, &E) ^ subkey;
+    let mut out = 0u32;
+    for i in 0..8 {
+        let six = ((expanded >> (42 - 6 * i)) & 0x3f) as u8;
+        out = (out << 4) | u32::from(sbox(i, six));
+    }
+    permute(out as u64, 32, &P) as u32
+}
+
+/// Encrypts one 64-bit block.
+pub fn encrypt_block(key: u64, plaintext: u64) -> u64 {
+    crypt(key, plaintext, false)
+}
+
+/// Decrypts one 64-bit block.
+pub fn decrypt_block(key: u64, ciphertext: u64) -> u64 {
+    crypt(key, ciphertext, true)
+}
+
+fn crypt(key: u64, block: u64, decrypt: bool) -> u64 {
+    let subkeys = key_schedule(key);
+    let ip = permute(block, 64, &IP);
+    let mut l = (ip >> 32) as u32;
+    let mut r = ip as u32;
+    for round in 0..16 {
+        let k = if decrypt { subkeys[15 - round] } else { subkeys[round] };
+        let next_r = l ^ feistel(r, k);
+        l = r;
+        r = next_r;
+    }
+    // Swap halves before the final permutation.
+    let preoutput = ((r as u64) << 32) | l as u64;
+    permute(preoutput, 64, &FP)
+}
+
+/// The intermediate the paper's DES selection function targets:
+/// `SBOX1(P6 ⊕ K0)` — S-box `sbox_index` applied to the XOR of a 6-bit
+/// plaintext-derived value and a 6-bit subkey chunk.
+pub fn first_round_sbox(sbox_index: usize, p6: u8, k6: u8) -> u8 {
+    sbox(sbox_index, (p6 ^ k6) & 0x3f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_test_vector() {
+        // The canonical worked example (used in countless DES tutorials).
+        let key = 0x1334_5779_9BBC_DFF1;
+        let pt = 0x0123_4567_89AB_CDEF;
+        let ct = encrypt_block(key, pt);
+        assert_eq!(ct, 0x85E8_1354_0F0A_B405);
+        assert_eq!(decrypt_block(key, ct), pt);
+    }
+
+    #[test]
+    fn nist_weak_key_vector() {
+        // All-zero key, all-zero plaintext.
+        let ct = encrypt_block(0, 0);
+        assert_eq!(ct, 0x8CA6_4DE9_C1B1_23A7);
+    }
+
+    #[test]
+    fn decrypt_inverts_encrypt_random_blocks() {
+        let key = 0x0E32_9232_EA6D_0D73;
+        for i in 0..16u64 {
+            let pt = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            assert_eq!(decrypt_block(key, encrypt_block(key, pt)), pt);
+        }
+    }
+
+    #[test]
+    fn sbox1_spot_values() {
+        // SBOX1 row 0 col 0 = 14; row 3 col 15 = 13.
+        assert_eq!(sbox(0, 0b000000), 14);
+        assert_eq!(sbox(0, 0b111111), 13);
+        // Row bits are the outer two: input 0b100001 -> row 3, col 0 -> 15.
+        assert_eq!(sbox(0, 0b100001), 15);
+    }
+
+    #[test]
+    fn sbox_outputs_are_4bit() {
+        for i in 0..8 {
+            for v in 0..64u8 {
+                assert!(sbox(i, v) < 16);
+            }
+        }
+    }
+
+    #[test]
+    fn key_schedule_produces_48bit_subkeys() {
+        let keys = key_schedule(0x1334_5779_9BBC_DFF1);
+        for k in keys {
+            assert!(k < (1u64 << 48));
+        }
+        // First subkey of the classic example.
+        assert_eq!(keys[0], 0b000110_110000_001011_101111_111111_000111_000001_110010);
+    }
+
+    #[test]
+    fn first_round_sbox_matches_manual_xor() {
+        assert_eq!(first_round_sbox(0, 0b101010, 0b010101), sbox(0, 0b111111));
+    }
+}

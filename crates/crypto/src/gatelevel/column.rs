@@ -1,0 +1,215 @@
+//! The 32-bit AES column datapath of the paper's Fig. 8.
+//!
+//! The TIMA AES crypto-processor is an iterative 32-bit architecture: one
+//! column of the state flows through AddKey0, four ByteSub S-boxes, a
+//! half-buffer row, MixColumn and AddRoundKey per iteration. This
+//! generator reproduces that column slice as one flat netlist whose gates
+//! are tagged with the corresponding block names — the input the
+//! hierarchical place-and-route flow (and Table 2 of the paper) operates
+//! on.
+
+#![allow(clippy::needless_range_loop)] // index loops run over parallel channel/ack arrays
+use qdi_netlist::{cells, ChannelId, NetId, Netlist, NetlistBuilder, NetlistError};
+
+use crate::aes;
+
+use super::mixcolumns::mix_column_cell;
+use super::sbox::aes_sbox_byte;
+use super::xor_bank::xor_byte;
+use super::{bridge_ack, DualRailByte};
+
+/// A generated AES column datapath.
+#[derive(Debug, Clone)]
+pub struct AesColumn {
+    /// The finished netlist (~6-7 k gates).
+    pub netlist: Netlist,
+    /// Plaintext column inputs: 32 channels, `byte·8 + bit`, LSB first.
+    pub pt: Vec<ChannelId>,
+    /// First round-key column inputs (consumed by AddKey0).
+    pub key0: Vec<ChannelId>,
+    /// Second round-key column inputs (consumed by AddRoundKey).
+    pub key1: Vec<ChannelId>,
+    /// Output channels, same indexing.
+    pub out: Vec<ChannelId>,
+}
+
+/// Reference model of the column: `MixColumn(ByteSub(pt ⊕ k0)) ⊕ k1`.
+pub fn reference_column(pt: [u8; 4], k0: [u8; 4], k1: [u8; 4]) -> [u8; 4] {
+    let mut col: [u8; 4] = std::array::from_fn(|i| aes::SBOX[(pt[i] ^ k0[i]) as usize]);
+    aes::mix_single_column(&mut col);
+    std::array::from_fn(|i| col[i] ^ k1[i])
+}
+
+/// Builds the column datapath with hierarchical block tags
+/// (`addkey0`, `bytesub0..3`, `hb0..3`, `mixcolumn`, `addroundkey`).
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from construction.
+pub fn aes_column_datapath(name: &str) -> Result<AesColumn, NetlistError> {
+    let mut b = NetlistBuilder::new(name);
+    let pt: Vec<DualRailByte> =
+        (0..4).map(|i| DualRailByte::inputs(&mut b, &format!("pt{i}"))).collect();
+    let key0: Vec<DualRailByte> =
+        (0..4).map(|i| DualRailByte::inputs(&mut b, &format!("k0_{i}"))).collect();
+    let key1: Vec<DualRailByte> =
+        (0..4).map(|i| DualRailByte::inputs(&mut b, &format!("k1_{i}"))).collect();
+    let out_acks: Vec<NetId> = (0..32).map(|i| b.input_net(format!("out.ack{i}"))).collect();
+
+    // Placeholders for acknowledges flowing backwards through the pipeline.
+    let sbox_acks: Vec<NetId> = (0..4).map(|s| b.net(format!("ph.sb{s}.ack"))).collect();
+    let hb_acks: Vec<NetId> = (0..32).map(|i| b.net(format!("ph.hb{i}.ack"))).collect();
+    let mix_acks: Vec<NetId> = (0..32).map(|i| b.net(format!("ph.mx{i}.ack"))).collect();
+    let ark_acks: Vec<NetId> = (0..32).map(|i| b.net(format!("ph.ak{i}.ack"))).collect();
+
+    // Stage 1: AddKey0 — four byte-wide XOR banks.
+    b.push_block("addkey0");
+    let addkey0: Vec<_> = (0..4)
+        .map(|s| {
+            xor_byte(&mut b, &format!("ak0_{s}"), &pt[s], &key0[s], &[sbox_acks[s]; 8])
+        })
+        .collect();
+    b.pop_block();
+    for s in 0..4 {
+        for i in 0..8 {
+            b.connect_input_acks(
+                &[pt[s].bits[i].id, key0[s].bits[i].id],
+                addkey0[s].acks_to_senders[i],
+            );
+        }
+    }
+
+    // Stage 2: ByteSub — four S-boxes.
+    let mut sboxes = Vec::with_capacity(4);
+    for s in 0..4 {
+        b.push_block(format!("bytesub{s}"));
+        let acks: Vec<NetId> = (0..8).map(|i| hb_acks[s * 8 + i]).collect();
+        let cell = aes_sbox_byte(&mut b, &format!("sb{s}"), &addkey0[s].out, &acks);
+        b.pop_block();
+        bridge_ack(&mut b, &format!("sb{s}"), cell.ack_to_senders, sbox_acks[s]);
+        sboxes.push(cell);
+    }
+
+    // Stage 3: half-buffer row (the HB blocks of Fig. 9).
+    let mut hb_out = Vec::with_capacity(4);
+    for s in 0..4 {
+        b.push_block(format!("hb{s}"));
+        let mut byte = Vec::with_capacity(8);
+        for i in 0..8 {
+            let idx = s * 8 + i;
+            let cell =
+                cells::wchb_buffer(&mut b, &format!("hb{idx}"), &sboxes[s].out[i], mix_acks[idx]);
+            bridge_ack(&mut b, &format!("hb{idx}"), cell.ack_to_senders, hb_acks[idx]);
+            byte.push(cell.out);
+        }
+        b.pop_block();
+        hb_out.push(DualRailByte::from_channels(byte));
+    }
+
+    // Stage 4: MixColumn.
+    b.push_block("mixcolumn");
+    let mix = mix_column_cell(&mut b, "mc", &hb_out, &ark_acks);
+    b.pop_block();
+    for i in 0..32 {
+        bridge_ack(&mut b, &format!("mx{i}"), mix.input_acks[i], mix_acks[i]);
+    }
+    let mix_bytes: Vec<DualRailByte> = (0..4)
+        .map(|s| DualRailByte::from_channels(mix.out[s * 8..s * 8 + 8].to_vec()))
+        .collect();
+
+    // Stage 5: AddRoundKey.
+    b.push_block("addroundkey");
+    let ark: Vec<_> = (0..4)
+        .map(|s| {
+            let acks: Vec<NetId> = (0..8).map(|i| out_acks[s * 8 + i]).collect();
+            xor_byte(&mut b, &format!("ark{s}"), &mix_bytes[s], &key1[s], &acks)
+        })
+        .collect();
+    b.pop_block();
+    for s in 0..4 {
+        for i in 0..8 {
+            let idx = s * 8 + i;
+            bridge_ack(&mut b, &format!("ak{idx}"), ark[s].acks_to_senders[i], ark_acks[idx]);
+            b.connect_input_acks(&[key1[s].bits[i].id], ark[s].acks_to_senders[i]);
+        }
+    }
+
+    // Boundary outputs.
+    let mut out = Vec::with_capacity(32);
+    for s in 0..4 {
+        for i in 0..8 {
+            let idx = s * 8 + i;
+            let ch = b.output_channel(
+                format!("out.b{idx}"),
+                &ark[s].out.bits[i].rails.clone(),
+                out_acks[idx],
+            );
+            out.push(ch.id);
+        }
+    }
+
+    let flatten = |bytes: &[DualRailByte]| -> Vec<ChannelId> {
+        bytes.iter().flat_map(DualRailByte::channel_ids).collect()
+    };
+    Ok(AesColumn {
+        pt: flatten(&pt),
+        key0: flatten(&key0),
+        key1: flatten(&key1),
+        out,
+        netlist: b.finish()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gatelevel::{bit_values, byte_from_bits};
+    use qdi_sim::{Testbench, TestbenchConfig};
+
+    #[test]
+    fn column_has_expected_blocks_and_scale() {
+        let col = aes_column_datapath("aes_col").expect("builds");
+        let blocks = col.netlist.block_names();
+        for expect in
+            ["addkey0", "bytesub0", "bytesub3", "hb0", "hb3", "mixcolumn", "addroundkey"]
+        {
+            assert!(
+                blocks.iter().any(|b| b.starts_with(expect)),
+                "missing {expect}: {blocks:?}"
+            );
+        }
+        assert!(col.netlist.gate_count() > 4_000, "got {}", col.netlist.gate_count());
+        assert!(col.netlist.channel_count() > 150, "got {}", col.netlist.channel_count());
+    }
+
+    #[test]
+    fn column_computes_reference_function() {
+        let col = aes_column_datapath("aes_col").expect("builds");
+        let pt = [0x32, 0x43, 0xf6, 0xa8];
+        let k0 = [0x2b, 0x7e, 0x15, 0x16];
+        let k1 = [0xa0, 0xfa, 0xfe, 0x17];
+        let expect = reference_column(pt, k0, k1);
+        let mut tb = Testbench::new(&col.netlist, TestbenchConfig::default()).expect("tb");
+        for s in 0..4 {
+            let p = bit_values(pt[s]);
+            let a = bit_values(k0[s]);
+            let c = bit_values(k1[s]);
+            for i in 0..8 {
+                tb.source(col.pt[s * 8 + i], vec![p[i]]).expect("src pt");
+                tb.source(col.key0[s * 8 + i], vec![a[i]]).expect("src k0");
+                tb.source(col.key1[s * 8 + i], vec![c[i]]).expect("src k1");
+            }
+        }
+        for &o in &col.out {
+            tb.sink(o).expect("sink");
+        }
+        let run = tb.run().expect("completes");
+        let mut got = [0u8; 4];
+        for s in 0..4 {
+            let bits: Vec<usize> =
+                (0..8).map(|i| run.received(col.out[s * 8 + i])[0]).collect();
+            got[s] = byte_from_bits(&bits);
+        }
+        assert_eq!(got, expect);
+    }
+}

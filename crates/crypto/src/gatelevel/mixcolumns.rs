@@ -1,0 +1,244 @@
+//! Gate-level MixColumns: GF(2)-linear XOR networks.
+//!
+//! MixColumns multiplies each state column by a fixed matrix over GF(2⁸);
+//! since that map is linear over GF(2), every output *bit* is the XOR of a
+//! fixed set of input bits. The generator derives the 32×32 bit matrix
+//! from the reference implementation and instantiates one balanced
+//! dual-rail XOR tree per output bit.
+
+use qdi_netlist::{cells, Channel, NetId, NetlistBuilder};
+
+use crate::aes;
+
+use super::{bridge_ack, DualRailByte};
+
+/// The 32×32 GF(2) matrix of MixColumns on one column:
+/// `matrix[i][j]` is `true` when output bit `i` depends on input bit `j`.
+/// Bit index `= byte·8 + bit`, bytes in column order, bits LSB first.
+pub fn mix_column_matrix() -> [[bool; 32]; 32] {
+    let mut matrix = [[false; 32]; 32];
+    for j in 0..32 {
+        let mut col = [0u8; 4];
+        col[j / 8] = 1 << (j % 8);
+        aes::mix_single_column(&mut col);
+        for (i, row) in matrix.iter_mut().enumerate() {
+            row[j] = (col[i / 8] >> (i % 8)) & 1 != 0;
+        }
+    }
+    matrix
+}
+
+/// Result of [`xor_reduce`]: the reduced output channel plus, aligned with
+/// the input slice, the acknowledge each input channel's sender must obey.
+#[derive(Debug, Clone)]
+pub struct XorReduce {
+    /// The XOR of all inputs.
+    pub out: Channel,
+    /// `input_acks[i]` acknowledges `inputs[i]`.
+    pub input_acks: Vec<NetId>,
+}
+
+/// Builds a balanced tree of dual-rail XOR cells reducing `inputs` to one
+/// channel; a single input degenerates to a WCHB buffer so the cell always
+/// presents a latch stage to `out_ack`.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty.
+pub fn xor_reduce(
+    b: &mut NetlistBuilder,
+    name: &str,
+    inputs: &[Channel],
+    out_ack: NetId,
+) -> XorReduce {
+    assert!(!inputs.is_empty(), "xor_reduce needs at least one input");
+    match inputs.len() {
+        1 => {
+            let cell = cells::wchb_buffer(b, name, &inputs[0], out_ack);
+            XorReduce { out: cell.out, input_acks: vec![cell.ack_to_senders] }
+        }
+        2 => {
+            let cell = cells::dual_rail_xor(b, name, &inputs[0], &inputs[1], out_ack);
+            XorReduce { out: cell.out, input_acks: vec![cell.ack_to_senders; 2] }
+        }
+        n => {
+            let mid = n.div_ceil(2);
+            let child_ack = b.net(format!("{name}.ca"));
+            let left = xor_reduce(b, &format!("{name}.l"), &inputs[..mid], child_ack);
+            let right = xor_reduce(b, &format!("{name}.r"), &inputs[mid..], child_ack);
+            let node =
+                cells::dual_rail_xor(b, &format!("{name}.t"), &left.out, &right.out, out_ack);
+            bridge_ack(b, name, node.ack_to_senders, child_ack);
+            let mut input_acks = left.input_acks;
+            input_acks.extend(right.input_acks);
+            XorReduce { out: node.out, input_acks }
+        }
+    }
+}
+
+/// A generated MixColumns cell over one column.
+#[derive(Debug, Clone)]
+pub struct MixColumnCell {
+    /// 32 output channels, bit index `byte·8 + bit`, LSB first per byte.
+    pub out: Vec<Channel>,
+    /// Per input bit (same indexing), the acknowledge its sender must obey
+    /// — a C-tree join over every XOR tree consuming that bit (the
+    /// "Duplicate" completion of the paper's Fig. 8).
+    pub input_acks: Vec<NetId>,
+}
+
+/// Builds MixColumns on one column of four bytes. Output bit `i` is latched
+/// on `out_acks[i]`.
+///
+/// # Panics
+///
+/// Panics if `column.len() != 4` or `out_acks.len() != 32`.
+pub fn mix_column_cell(
+    b: &mut NetlistBuilder,
+    name: &str,
+    column: &[DualRailByte],
+    out_acks: &[NetId],
+) -> MixColumnCell {
+    assert_eq!(column.len(), 4, "a column is 4 bytes");
+    assert_eq!(out_acks.len(), 32, "one output acknowledge per bit");
+    let matrix = mix_column_matrix();
+    let input_channels: Vec<&Channel> =
+        column.iter().flat_map(|byte| byte.bits.iter()).collect();
+    let mut consumer_acks: Vec<Vec<NetId>> = vec![Vec::new(); 32];
+    let mut out = Vec::with_capacity(32);
+    for (i, row) in matrix.iter().enumerate() {
+        let taps: Vec<Channel> = row
+            .iter()
+            .enumerate()
+            .filter(|&(_, &m)| m)
+            .map(|(j, _)| input_channels[j].clone())
+            .collect();
+        let tap_indices: Vec<usize> =
+            row.iter().enumerate().filter(|&(_, &m)| m).map(|(j, _)| j).collect();
+        // Each XOR tree is its own sub-block: the paper's methodology
+        // gathers "the cells that implement a given function" into a small
+        // dedicated physical area, which is what bounds the rail-to-rail
+        // capacitance spread of the tree's internal channels.
+        b.push_block(format!("o{i}"));
+        let tree = xor_reduce(b, &format!("{name}.o{i}"), &taps, out_acks[i]);
+        b.pop_block();
+        for (slot, &j) in tap_indices.iter().enumerate() {
+            consumer_acks[j].push(tree.input_acks[slot]);
+        }
+        out.push(tree.out);
+    }
+    let input_acks = consumer_acks
+        .into_iter()
+        .enumerate()
+        .map(|(j, acks)| cells::c_tree(b, &format!("{name}.ja{j}"), &acks))
+        .collect();
+    MixColumnCell { out, input_acks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gatelevel::{bit_values, byte_from_bits};
+    use qdi_sim::{Testbench, TestbenchConfig};
+
+    #[test]
+    fn matrix_matches_reference_on_random_columns() {
+        let matrix = mix_column_matrix();
+        for seed in 0..8u8 {
+            let input: [u8; 4] = std::array::from_fn(|i| seed.wrapping_mul(57).wrapping_add(i as u8 * 19));
+            let mut expect = input;
+            aes::mix_single_column(&mut expect);
+            let mut got = [0u8; 4];
+            for (i, row) in matrix.iter().enumerate() {
+                let mut bit = 0u8;
+                for (j, &m) in row.iter().enumerate() {
+                    if m {
+                        bit ^= (input[j / 8] >> (j % 8)) & 1;
+                    }
+                }
+                got[i / 8] |= bit << (i % 8);
+            }
+            assert_eq!(got, expect, "input {input:02x?}");
+        }
+    }
+
+    #[test]
+    fn matrix_rows_have_plausible_weight() {
+        // Every output bit of MixColumns depends on at least 4 input bits.
+        for row in mix_column_matrix() {
+            let weight = row.iter().filter(|&&m| m).count();
+            assert!((4..=16).contains(&weight), "weight {weight}");
+        }
+    }
+
+    #[test]
+    fn xor_reduce_computes_parity() {
+        for n in 1..=5usize {
+            let mut b = NetlistBuilder::new("xr");
+            let chans: Vec<Channel> =
+                (0..n).map(|i| b.input_channel(format!("i{i}"), 2)).collect();
+            let out_ack = b.input_net("oack");
+            let tree = xor_reduce(&mut b, "x", &chans, out_ack);
+            for (ch, &ack) in chans.iter().zip(&tree.input_acks) {
+                b.connect_input_acks(&[ch.id], ack);
+            }
+            let out = b.output_channel("out", &tree.out.rails.clone(), out_ack);
+            let nl = b.finish().expect("valid xor tree");
+            // Try a couple of bit patterns per width.
+            for pattern in [0usize, (1 << n) - 1, 0b10101 & ((1 << n) - 1)] {
+                let mut tb = Testbench::new(&nl, TestbenchConfig::default()).expect("tb");
+                let mut parity = 0usize;
+                for (i, ch) in chans.iter().enumerate() {
+                    let bit = (pattern >> i) & 1;
+                    parity ^= bit;
+                    tb.source(ch.id, vec![bit]).expect("src");
+                }
+                tb.sink(out.id).expect("sink");
+                let run = tb.run().expect("completes");
+                assert_eq!(run.received(out.id), &[parity], "n={n} pattern={pattern:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mix_column_cell_matches_reference() {
+        let mut b = NetlistBuilder::new("mc");
+        let column: Vec<DualRailByte> =
+            (0..4).map(|i| DualRailByte::inputs(&mut b, &format!("a{i}"))).collect();
+        let out_acks: Vec<NetId> = (0..32).map(|i| b.input_net(format!("oack{i}"))).collect();
+        let cell = mix_column_cell(&mut b, "mc", &column, &out_acks);
+        for (j, byte) in column.iter().enumerate() {
+            for (k, ch) in byte.bits.iter().enumerate() {
+                b.connect_input_acks(&[ch.id], cell.input_acks[j * 8 + k]);
+            }
+        }
+        let outs: Vec<Channel> = cell
+            .out
+            .iter()
+            .enumerate()
+            .map(|(i, ch)| b.output_channel(format!("out{i}"), &ch.rails.clone(), out_acks[i]))
+            .collect();
+        let nl = b.finish().expect("valid mixcolumn");
+        let input = [0xdb, 0x13, 0x53, 0x45];
+        let mut expect = input;
+        aes::mix_single_column(&mut expect);
+        let mut tb = Testbench::new(&nl, TestbenchConfig::default()).expect("tb");
+        for (j, byte) in column.iter().enumerate() {
+            let bits = bit_values(input[j]);
+            for (k, ch) in byte.bits.iter().enumerate() {
+                tb.source(ch.id, vec![bits[k]]).expect("src");
+            }
+        }
+        for o in &outs {
+            tb.sink(o.id).expect("sink");
+        }
+        let run = tb.run().expect("completes");
+        let mut got = [0u8; 4];
+        for byte in 0..4 {
+            let bits: Vec<usize> =
+                (0..8).map(|bit| run.received(outs[byte * 8 + bit].id)[0]).collect();
+            got[byte] = byte_from_bits(&bits);
+        }
+        assert_eq!(got, expect);
+    }
+}

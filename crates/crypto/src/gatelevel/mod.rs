@@ -1,0 +1,109 @@
+//! Dual-rail QDI gate-level generators for cipher datapath blocks.
+//!
+//! Generators emit netlists through [`qdi_netlist::NetlistBuilder`],
+//! following the composition rule of WCHB pipelines: a cell's output-latch
+//! acknowledge is the downstream cell's `ack_to_senders` (bridged through a
+//! buffer when the downstream cell is constructed later), and a channel
+//! fanning out to several consumers joins their acknowledges with a Muller
+//! C-tree — the "Duplicate" blocks of the paper's Fig. 8.
+//!
+//! Bytes travel as eight dual-rail channels, least-significant bit first
+//! ([`DualRailByte`]).
+
+pub mod column;
+pub mod keysched;
+pub mod round;
+pub mod mixcolumns;
+pub mod sbox;
+pub mod slice;
+pub mod xor_bank;
+
+use qdi_netlist::{Channel, ChannelId, NetId, NetlistBuilder};
+
+pub use column::{aes_column_datapath, AesColumn};
+pub use keysched::{aes_key_round, reference_key_round, AesKeyRound};
+pub use round::{aes_round_netlist, reference_round, AesRound};
+pub use mixcolumns::{mix_column_cell, mix_column_matrix, xor_reduce, MixColumnCell};
+pub use sbox::{des_sbox_cell, sbox_byte, SboxCell};
+pub use slice::{aes_first_round_slice, AesByteSlice, SliceStage};
+pub use xor_bank::{xor_byte, XorByteCell};
+
+/// A byte as eight dual-rail channels, `bits[0]` the least significant.
+#[derive(Debug, Clone)]
+pub struct DualRailByte {
+    /// Per-bit channels, LSB first.
+    pub bits: Vec<Channel>,
+}
+
+impl DualRailByte {
+    /// Creates eight primary-input channels named `{name}.b0 .. {name}.b7`.
+    pub fn inputs(b: &mut NetlistBuilder, name: &str) -> Self {
+        let bits = (0..8).map(|i| b.input_channel(format!("{name}.b{i}"), 2)).collect();
+        DualRailByte { bits }
+    }
+
+    /// Wraps existing channels (LSB first).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly 8 dual-rail channels are supplied.
+    pub fn from_channels(bits: Vec<Channel>) -> Self {
+        assert_eq!(bits.len(), 8, "a byte needs 8 channels");
+        assert!(bits.iter().all(Channel::is_dual_rail), "byte channels must be dual-rail");
+        DualRailByte { bits }
+    }
+
+    /// Channel ids, LSB first.
+    pub fn channel_ids(&self) -> Vec<ChannelId> {
+        self.bits.iter().map(|c| c.id).collect()
+    }
+}
+
+/// Splits a byte into the per-bit values a testbench feeds into a
+/// [`DualRailByte`]'s channels: `bit_values(v)[i]` is 0 or 1 for bit `i`.
+pub fn bit_values(v: u8) -> [usize; 8] {
+    std::array::from_fn(|i| ((v >> i) & 1) as usize)
+}
+
+/// Reassembles a byte from per-bit sink outputs.
+pub fn byte_from_bits(bits: &[usize]) -> u8 {
+    assert_eq!(bits.len(), 8, "a byte needs 8 bits");
+    bits.iter().enumerate().fold(0u8, |acc, (i, &b)| acc | ((b as u8 & 1) << i))
+}
+
+/// Bridges a later-constructed acknowledge source onto a placeholder net
+/// created before its driver existed (see module docs): instantiates a
+/// buffer driving `placeholder` from `source`.
+pub fn bridge_ack(b: &mut NetlistBuilder, name: &str, source: NetId, placeholder: NetId) {
+    b.gate_into(qdi_netlist::GateKind::Buf, format!("{name}.ackbr"), &[source], placeholder);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_values_round_trip() {
+        for v in [0u8, 1, 0x55, 0xAA, 0xFF, 0x3C] {
+            let bits = bit_values(v);
+            let vals: Vec<usize> = bits.to_vec();
+            assert_eq!(byte_from_bits(&vals), v);
+        }
+    }
+
+    #[test]
+    fn inputs_create_eight_channels() {
+        let mut b = NetlistBuilder::new("t");
+        let byte = DualRailByte::inputs(&mut b, "p");
+        assert_eq!(byte.bits.len(), 8);
+        assert_eq!(byte.bits[0].name, "p.b0");
+        assert_eq!(byte.bits[7].name, "p.b7");
+        assert_eq!(byte.channel_ids().len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "8 channels")]
+    fn from_channels_rejects_wrong_width() {
+        DualRailByte::from_channels(Vec::new());
+    }
+}

@@ -1,0 +1,175 @@
+//! Gate-level dual-rail S-boxes: the AES ByteSub of the paper's Fig. 8 and
+//! the DES S-boxes.
+//!
+//! Both are generated as balanced dual-rail lookup structures
+//! ([`qdi_netlist::cells::dual_rail_lut`]): a shared minterm plane of
+//! Muller C-elements decodes the 1-of-2ⁿ input value, depth-matched OR
+//! trees recombine minterms per output rail, and a `Cr` latch stage plus a
+//! completion detector close the handshake.
+
+use qdi_netlist::{cells, NetId, NetlistBuilder};
+
+use crate::aes;
+use crate::des;
+
+use super::DualRailByte;
+
+/// A generated S-box cell.
+#[derive(Debug, Clone)]
+pub struct SboxCell {
+    /// Output channels, LSB first (8 for AES, 4 for DES).
+    pub out: Vec<qdi_netlist::Channel>,
+    /// Single acknowledge towards the senders of all input bits.
+    pub ack_to_senders: NetId,
+}
+
+/// Builds an 8-bit-to-8-bit dual-rail S-box from an arbitrary byte table.
+/// Output bit `i` is latched on `out_acks[i]`.
+///
+/// # Panics
+///
+/// Panics if `out_acks.len() != 8`.
+pub fn sbox_byte(
+    b: &mut NetlistBuilder,
+    name: &str,
+    input: &DualRailByte,
+    out_acks: &[NetId],
+    table: &[u8; 256],
+) -> SboxCell {
+    assert_eq!(out_acks.len(), 8, "one output acknowledge per bit");
+    let table64: Vec<u64> = table.iter().map(|&v| u64::from(v)).collect();
+    // The minterm plane treats its first channel as the most significant
+    // position of the decoded value; bytes are LSB-first, so reverse.
+    let inputs: Vec<&qdi_netlist::Channel> = input.bits.iter().rev().collect();
+    let lut = cells::dual_rail_lut(b, name, &inputs, out_acks, &table64, 8);
+    let ack = lut[0].ack_to_senders;
+    SboxCell { out: lut.into_iter().map(|c| c.out).collect(), ack_to_senders: ack }
+}
+
+/// Builds the AES S-box (the paper's ByteSub block).
+pub fn aes_sbox_byte(
+    b: &mut NetlistBuilder,
+    name: &str,
+    input: &DualRailByte,
+    out_acks: &[NetId],
+) -> SboxCell {
+    sbox_byte(b, name, input, out_acks, &aes::SBOX)
+}
+
+/// Builds one DES S-box: six dual-rail input channels to four output
+/// channels, per FIPS 46-3 addressing.
+///
+/// # Panics
+///
+/// Panics if `sbox_index >= 8`, `inputs.len() != 6` or
+/// `out_acks.len() != 4`. Input channel 0 carries the least significant of
+/// the six address bits.
+pub fn des_sbox_cell(
+    b: &mut NetlistBuilder,
+    name: &str,
+    sbox_index: usize,
+    inputs: &[&qdi_netlist::Channel],
+    out_acks: &[NetId],
+) -> SboxCell {
+    assert!(sbox_index < 8, "DES has 8 S-boxes");
+    assert_eq!(inputs.len(), 6, "DES S-boxes take 6 bits");
+    assert_eq!(out_acks.len(), 4, "DES S-boxes produce 4 bits");
+    // With the channel order reversed below (callers pass LSB-first, the
+    // minterm plane wants MSB-first), the minterm index equals the FIPS
+    // six-bit address directly.
+    let table: Vec<u64> =
+        (0..64u8).map(|v| u64::from(des::sbox(sbox_index, v))).collect();
+    let reversed: Vec<&qdi_netlist::Channel> = inputs.iter().rev().copied().collect();
+    let lut = cells::dual_rail_lut(b, name, &reversed, out_acks, &table, 4);
+    let ack = lut[0].ack_to_senders;
+    SboxCell { out: lut.into_iter().map(|c| c.out).collect(), ack_to_senders: ack }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gatelevel::{bit_values, byte_from_bits};
+    use qdi_sim::{Testbench, TestbenchConfig};
+
+    /// The AES S-box table is big; use a small synthetic table for the
+    /// cheap structural test and the real one for the functional test.
+    #[test]
+    fn aes_sbox_structure() {
+        let mut b = NetlistBuilder::new("sbox");
+        let input = DualRailByte::inputs(&mut b, "i");
+        let out_acks: Vec<NetId> = (0..8).map(|i| b.input_net(format!("oack{i}"))).collect();
+        let cell = aes_sbox_byte(&mut b, "s", &input, &out_acks);
+        for i in 0..8 {
+            b.connect_input_acks(&[input.bits[i].id], cell.ack_to_senders);
+        }
+        let mut outs = Vec::new();
+        for (i, ch) in cell.out.iter().enumerate() {
+            outs.push(b.output_channel(format!("o{i}"), &ch.rails.clone(), out_acks[i]));
+        }
+        let nl = b.finish().expect("valid sbox");
+        // Minterm plane alone is ~300 C-elements.
+        assert!(nl.gate_count() > 500, "got {}", nl.gate_count());
+        assert!(qdi_netlist::graph::levelize(&nl).is_ok());
+    }
+
+    fn run_sbox_value(v: u8) -> u8 {
+        let mut b = NetlistBuilder::new("sbox");
+        let input = DualRailByte::inputs(&mut b, "i");
+        let out_acks: Vec<NetId> = (0..8).map(|i| b.input_net(format!("oack{i}"))).collect();
+        let cell = aes_sbox_byte(&mut b, "s", &input, &out_acks);
+        for i in 0..8 {
+            b.connect_input_acks(&[input.bits[i].id], cell.ack_to_senders);
+        }
+        let mut outs = Vec::new();
+        for (i, ch) in cell.out.iter().enumerate() {
+            outs.push(b.output_channel(format!("o{i}"), &ch.rails.clone(), out_acks[i]));
+        }
+        let nl = b.finish().expect("valid sbox");
+        let mut tb = Testbench::new(&nl, TestbenchConfig::default()).expect("tb");
+        let bits = bit_values(v);
+        for i in 0..8 {
+            tb.source(input.bits[i].id, vec![bits[i]]).expect("src");
+            tb.sink(outs[i].id).expect("sink");
+        }
+        let run = tb.run().expect("completes");
+        let got: Vec<usize> = (0..8).map(|i| run.received(outs[i].id)[0]).collect();
+        byte_from_bits(&got)
+    }
+
+    #[test]
+    fn aes_sbox_matches_reference_on_sample_inputs() {
+        for v in [0x00u8, 0x01, 0x53, 0xFF, 0xA7] {
+            assert_eq!(run_sbox_value(v), aes::SBOX[v as usize], "SBOX({v:02x})");
+        }
+    }
+
+    #[test]
+    fn des_sbox_matches_reference_on_all_inputs() {
+        let mut b = NetlistBuilder::new("dsbox");
+        let inputs: Vec<qdi_netlist::Channel> =
+            (0..6).map(|i| b.input_channel(format!("i{i}"), 2)).collect();
+        let out_acks: Vec<NetId> = (0..4).map(|i| b.input_net(format!("oack{i}"))).collect();
+        let refs: Vec<&qdi_netlist::Channel> = inputs.iter().collect();
+        let cell = des_sbox_cell(&mut b, "s1", 0, &refs, &out_acks);
+        for ch in &inputs {
+            b.connect_input_acks(&[ch.id], cell.ack_to_senders);
+        }
+        let mut outs = Vec::new();
+        for (i, ch) in cell.out.iter().enumerate() {
+            outs.push(b.output_channel(format!("o{i}"), &ch.rails.clone(), out_acks[i]));
+        }
+        let nl = b.finish().expect("valid des sbox");
+        for six in [0u8, 1, 0b101010, 0b111111, 0b100001] {
+            let mut tb = Testbench::new(&nl, TestbenchConfig::default()).expect("tb");
+            for (i, ch) in inputs.iter().enumerate() {
+                tb.source(ch.id, vec![((six >> i) & 1) as usize]).expect("src");
+            }
+            for o in &outs {
+                tb.sink(o.id).expect("sink");
+            }
+            let run = tb.run().expect("completes");
+            let got = (0..4).fold(0u8, |acc, i| acc | ((run.received(outs[i].id)[0] as u8) << i));
+            assert_eq!(got, des::sbox(0, six), "SBOX1({six:06b})");
+        }
+    }
+}

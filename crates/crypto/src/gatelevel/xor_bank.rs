@@ -1,0 +1,121 @@
+//! Byte-wide dual-rail XOR bank — the AddRoundKey slice of the paper's
+//! AES (and the direct target of its AES selection function
+//! `D(C1, P8, K8) = XOR(P8, K8)(C1)`).
+
+#![allow(clippy::needless_range_loop)] // index loops run over parallel channel/ack arrays
+use qdi_netlist::{cells, NetId, NetlistBuilder};
+
+use super::DualRailByte;
+
+/// A byte-wide XOR: eight independent dual-rail XOR cells of the paper's
+/// Fig. 4, one per bit.
+#[derive(Debug, Clone)]
+pub struct XorByteCell {
+    /// Output byte.
+    pub out: DualRailByte,
+    /// Per-bit acknowledge towards the senders of both operand bytes
+    /// (`acks_to_senders[i]` acknowledges bit `i` of each operand).
+    pub acks_to_senders: Vec<NetId>,
+}
+
+/// Builds a byte-wide XOR over operands `a` and `k`. Bit `i`'s output latch
+/// is gated by `out_acks[i]`.
+///
+/// # Panics
+///
+/// Panics if `out_acks.len() != 8`.
+pub fn xor_byte(
+    b: &mut NetlistBuilder,
+    name: &str,
+    a: &DualRailByte,
+    k: &DualRailByte,
+    out_acks: &[NetId],
+) -> XorByteCell {
+    assert_eq!(out_acks.len(), 8, "one output acknowledge per bit");
+    let mut out_bits = Vec::with_capacity(8);
+    let mut acks = Vec::with_capacity(8);
+    for i in 0..8 {
+        // One sub-block per bit cell: the hierarchical flow then places
+        // each XOR's rail pair in the same small region.
+        b.push_block(format!("x{i}"));
+        let cell = cells::dual_rail_xor(
+            b,
+            &format!("{name}.x{i}"),
+            &a.bits[i],
+            &k.bits[i],
+            out_acks[i],
+        );
+        b.pop_block();
+        out_bits.push(cell.out);
+        acks.push(cell.ack_to_senders);
+    }
+    XorByteCell { out: DualRailByte::from_channels(out_bits), acks_to_senders: acks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gatelevel::{bit_values, byte_from_bits};
+    use qdi_sim::{Testbench, TestbenchConfig};
+
+    fn build() -> (qdi_netlist::Netlist, DualRailByte, DualRailByte, Vec<qdi_netlist::Channel>) {
+        let mut b = NetlistBuilder::new("xorbank");
+        let a = DualRailByte::inputs(&mut b, "a");
+        let k = DualRailByte::inputs(&mut b, "k");
+        let out_acks: Vec<NetId> = (0..8).map(|i| b.input_net(format!("oack{i}"))).collect();
+        let cell = xor_byte(&mut b, "xb", &a, &k, &out_acks);
+        let mut outs = Vec::new();
+        for i in 0..8 {
+            b.connect_input_acks(&[a.bits[i].id, k.bits[i].id], cell.acks_to_senders[i]);
+            outs.push(b.output_channel(
+                format!("out{i}"),
+                &cell.out.bits[i].rails.clone(),
+                out_acks[i],
+            ));
+        }
+        let nl = b.finish().expect("valid xor bank");
+        (nl, a, k, outs)
+    }
+
+    #[test]
+    fn computes_byte_xor() {
+        let (nl, a, k, outs) = build();
+        for (av, kv) in [(0x00u8, 0x00u8), (0xFF, 0x0F), (0x53, 0xCA), (0xAA, 0x55)] {
+            let mut tb = Testbench::new(&nl, TestbenchConfig::default()).expect("tb");
+            let abits = bit_values(av);
+            let kbits = bit_values(kv);
+            for i in 0..8 {
+                tb.source(a.bits[i].id, vec![abits[i]]).expect("src a");
+                tb.source(k.bits[i].id, vec![kbits[i]]).expect("src k");
+                tb.sink(outs[i].id).expect("sink");
+            }
+            let run = tb.run().expect("completes");
+            let got: Vec<usize> = (0..8).map(|i| run.received(outs[i].id)[0]).collect();
+            assert_eq!(byte_from_bits(&got), av ^ kv, "{av:02x} ^ {kv:02x}");
+        }
+    }
+
+    #[test]
+    fn transition_count_independent_of_data() {
+        let (nl, a, k, outs) = build();
+        let mut counts = Vec::new();
+        for (av, kv) in [(0x00u8, 0x00u8), (0xFF, 0xFF), (0x0F, 0xF0), (0x37, 0x91)] {
+            let mut tb = Testbench::new(&nl, TestbenchConfig::default()).expect("tb");
+            let abits = bit_values(av);
+            let kbits = bit_values(kv);
+            for i in 0..8 {
+                tb.source(a.bits[i].id, vec![abits[i]]).expect("src");
+                tb.source(k.bits[i].id, vec![kbits[i]]).expect("src");
+                tb.sink(outs[i].id).expect("sink");
+            }
+            counts.push(tb.run().expect("completes").transitions.len());
+        }
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn gate_count_is_eight_xor_cells() {
+        let (nl, _, _, _) = build();
+        assert_eq!(nl.gate_count(), 8 * 9);
+    }
+}

@@ -1,0 +1,37 @@
+//! Reference cipher implementations and dual-rail QDI gate-level
+//! generators for their datapath blocks.
+//!
+//! The DATE 2005 paper evaluates its design flow on a QDI asynchronous AES
+//! crypto-processor, and its DPA formalisation uses selection functions
+//! over AES (first-round key XOR) and DES (SBOX1 output). This crate
+//! provides:
+//!
+//! * [`aes`] — a bit-exact AES-128 (FIPS-197) with round-level access to
+//!   every transformation, used both to verify the gate-level netlists and
+//!   to compute DPA intermediate-value predictions;
+//! * [`des`] — a bit-exact DES (FIPS 46-3) with S-box access for the
+//!   paper's DES selection function `D(C1, P6, K0) = SBOX1(P6 ⊕ K0)(C1)`;
+//! * [`gatelevel`] — structural generators emitting balanced dual-rail QDI
+//!   netlists (via [`qdi_netlist`]) for the AES datapath blocks of the
+//!   paper's Fig. 8: AddRoundKey XOR banks, ByteSub S-boxes, ShiftRows
+//!   wiring, MixColumns XOR networks, and full first-round byte slices —
+//!   the workloads every power-analysis experiment in this workspace runs
+//!   on.
+//!
+//! # Example
+//!
+//! ```
+//! use qdi_crypto::aes;
+//!
+//! let key = [0u8; 16];
+//! let pt = [0u8; 16];
+//! let ct = aes::encrypt_block(&aes::expand_key(&key), &pt);
+//! assert_eq!(aes::decrypt_block(&aes::expand_key(&key), &ct), pt);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod des;
+pub mod gatelevel;

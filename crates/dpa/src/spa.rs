@@ -1,0 +1,178 @@
+//! Simple power analysis (SPA): single-trace inspection.
+//!
+//! Where DPA needs statistics over many traces, SPA reads structure off
+//! one: activity bursts reveal the handshake phases, their energies the
+//! amount of logic involved. For four-phase QDI logic a single
+//! communication shows exactly two bursts — evaluation and return to zero
+//! — of data-independent energy; anything else (burst count varying with
+//! data, unequal burst energies between runs) is an SPA leak.
+
+use qdi_analog::Trace;
+use serde::{Deserialize, Serialize};
+
+/// One activity burst in a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Burst {
+    /// Burst start, ps.
+    pub start_ps: u64,
+    /// Burst end (exclusive), ps.
+    pub end_ps: u64,
+    /// Charge delivered during the burst, fC.
+    pub charge_fc: f64,
+    /// Peak current within the burst.
+    pub peak: f64,
+}
+
+impl Burst {
+    /// Burst duration, ps.
+    pub fn duration_ps(&self) -> u64 {
+        self.end_ps - self.start_ps
+    }
+}
+
+/// Segments a trace into activity bursts: maximal runs where the current
+/// exceeds `threshold`, merging runs separated by gaps shorter than
+/// `min_gap_ps`.
+///
+/// # Panics
+///
+/// Panics if `threshold` is negative.
+pub fn segment_bursts(trace: &Trace, threshold: f64, min_gap_ps: u64) -> Vec<Burst> {
+    assert!(threshold >= 0.0, "threshold must be non-negative");
+    let dt = trace.dt_ps();
+    let mut bursts: Vec<Burst> = Vec::new();
+    let mut current: Option<Burst> = None;
+    for (i, &v) in trace.samples().iter().enumerate() {
+        let t = trace.time_of(i);
+        if v.abs() > threshold {
+            match &mut current {
+                Some(b) => {
+                    b.end_ps = t + dt;
+                    b.charge_fc += v * dt as f64;
+                    b.peak = b.peak.max(v.abs());
+                }
+                None => {
+                    // Merge with the previous burst if the gap is short.
+                    if let Some(last) = bursts.last_mut() {
+                        if t.saturating_sub(last.end_ps) < min_gap_ps {
+                            let mut b = bursts.pop().expect("just peeked");
+                            b.end_ps = t + dt;
+                            b.charge_fc += v * dt as f64;
+                            b.peak = b.peak.max(v.abs());
+                            current = Some(b);
+                            continue;
+                        }
+                    }
+                    current = Some(Burst {
+                        start_ps: t,
+                        end_ps: t + dt,
+                        charge_fc: v * dt as f64,
+                        peak: v.abs(),
+                    });
+                }
+            }
+        } else if let Some(b) = current.take() {
+            bursts.push(b);
+        }
+    }
+    if let Some(b) = current {
+        bursts.push(b);
+    }
+    bursts
+}
+
+/// SPA verdict over a set of single traces of the same operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpaReport {
+    /// Burst counts observed per trace.
+    pub burst_counts: Vec<usize>,
+    /// Relative spread of total burst charge across traces
+    /// (`(max − min) / min`), the SPA analogue of the paper's `dA`.
+    pub charge_spread: f64,
+    /// `true` when every trace shows the same burst count and the charge
+    /// spread stays below 1 %.
+    pub uniform: bool,
+}
+
+/// Compares single traces of the same operation under different data:
+/// data-independent burst structure and energy = SPA resistant.
+///
+/// # Panics
+///
+/// Panics if `traces` is empty.
+pub fn compare_single_traces(traces: &[Trace], threshold: f64, min_gap_ps: u64) -> SpaReport {
+    assert!(!traces.is_empty(), "spa needs at least one trace");
+    let mut burst_counts = Vec::with_capacity(traces.len());
+    let mut charges = Vec::with_capacity(traces.len());
+    for t in traces {
+        let bursts = segment_bursts(t, threshold, min_gap_ps);
+        charges.push(bursts.iter().map(|b| b.charge_fc).sum::<f64>());
+        burst_counts.push(bursts.len());
+    }
+    let min = charges.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = charges.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let charge_spread = if min > 0.0 { (max - min) / min } else { f64::INFINITY };
+    let uniform =
+        burst_counts.windows(2).all(|w| w[0] == w[1]) && charge_spread < 0.01;
+    SpaReport { burst_counts, charge_spread, uniform }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdi_analog::{Pulse, PulseShape};
+
+    fn two_burst_trace(second_charge: f64) -> Trace {
+        let mut t = Trace::zeros(0, 10, 100);
+        t.add_pulse(Pulse { t0_ps: 100, charge_fc: 10.0, dur_ps: 60 }, PulseShape::Triangular);
+        t.add_pulse(
+            Pulse { t0_ps: 600, charge_fc: second_charge, dur_ps: 60 },
+            PulseShape::Triangular,
+        );
+        t
+    }
+
+    #[test]
+    fn segments_two_bursts() {
+        let t = two_burst_trace(10.0);
+        let bursts = segment_bursts(&t, 0.01, 50);
+        assert_eq!(bursts.len(), 2, "{bursts:?}");
+        assert!(bursts[0].start_ps >= 90 && bursts[0].start_ps <= 110);
+        assert!((bursts[0].charge_fc - 10.0).abs() < 0.5);
+        assert!(bursts[1].start_ps >= 590);
+        assert!(bursts[0].duration_ps() > 0);
+    }
+
+    #[test]
+    fn close_bursts_merge() {
+        let mut t = Trace::zeros(0, 10, 100);
+        t.add_pulse(Pulse { t0_ps: 100, charge_fc: 5.0, dur_ps: 40 }, PulseShape::Triangular);
+        t.add_pulse(Pulse { t0_ps: 170, charge_fc: 5.0, dur_ps: 40 }, PulseShape::Triangular);
+        let merged = segment_bursts(&t, 0.01, 100);
+        assert_eq!(merged.len(), 1, "{merged:?}");
+        let split = segment_bursts(&t, 0.01, 5);
+        assert_eq!(split.len(), 2, "{split:?}");
+    }
+
+    #[test]
+    fn uniform_traces_pass_spa() {
+        let traces: Vec<Trace> = (0..4).map(|_| two_burst_trace(10.0)).collect();
+        let report = compare_single_traces(&traces, 0.01, 50);
+        assert!(report.uniform, "{report:?}");
+        assert!(report.burst_counts.iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn unequal_energy_fails_spa() {
+        let traces = vec![two_burst_trace(10.0), two_burst_trace(14.0)];
+        let report = compare_single_traces(&traces, 0.01, 50);
+        assert!(!report.uniform);
+        assert!(report.charge_spread > 0.05);
+    }
+
+    #[test]
+    fn empty_trace_has_no_bursts() {
+        let t = Trace::zeros(0, 10, 50);
+        assert!(segment_bursts(&t, 0.01, 50).is_empty());
+    }
+}

@@ -1,0 +1,100 @@
+//! Trace collections with their associated inputs.
+
+use qdi_analog::Trace;
+use serde::{Deserialize, Serialize};
+
+/// A set of power traces `S_ij` with the plaintext inputs `PTI_i` that
+/// produced them (paper, Section IV).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TraceSet {
+    inputs: Vec<Vec<u8>>,
+    traces: Vec<Trace>,
+}
+
+impl TraceSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        TraceSet::default()
+    }
+
+    /// Appends one acquisition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace grid (origin and sample period) differs from the
+    /// traces already in the set.
+    pub fn push(&mut self, input: Vec<u8>, trace: Trace) {
+        if let Some(first) = self.traces.first() {
+            assert_eq!(first.t0_ps(), trace.t0_ps(), "trace origin mismatch");
+            assert_eq!(first.dt_ps(), trace.dt_ps(), "sample period mismatch");
+        }
+        self.inputs.push(input);
+        self.traces.push(trace);
+    }
+
+    /// Number of acquisitions.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// `true` when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Input of acquisition `i`.
+    pub fn input(&self, i: usize) -> &[u8] {
+        &self.inputs[i]
+    }
+
+    /// Trace of acquisition `i`.
+    pub fn trace(&self, i: usize) -> &Trace {
+        &self.traces[i]
+    }
+
+    /// Iterates over `(input, trace)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], &Trace)> {
+        self.inputs.iter().map(Vec::as_slice).zip(self.traces.iter())
+    }
+
+    /// A new set containing only the first `n` acquisitions (used by
+    /// measurements-to-disclosure sweeps).
+    pub fn prefix(&self, n: usize) -> TraceSet {
+        let n = n.min(self.len());
+        TraceSet { inputs: self.inputs[..n].to_vec(), traces: self.traces[..n].to_vec() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_iterate() {
+        let mut set = TraceSet::new();
+        set.push(vec![1], Trace::zeros(0, 10, 4));
+        set.push(vec![2], Trace::zeros(0, 10, 8));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.input(1), &[2]);
+        assert_eq!(set.iter().count(), 2);
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn prefix_truncates() {
+        let mut set = TraceSet::new();
+        for i in 0..5u8 {
+            set.push(vec![i], Trace::zeros(0, 10, 4));
+        }
+        assert_eq!(set.prefix(3).len(), 3);
+        assert_eq!(set.prefix(99).len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample period mismatch")]
+    fn rejects_mixed_grids() {
+        let mut set = TraceSet::new();
+        set.push(vec![1], Trace::zeros(0, 10, 4));
+        set.push(vec![2], Trace::zeros(0, 20, 4));
+    }
+}

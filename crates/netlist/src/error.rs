@@ -1,0 +1,115 @@
+//! Error type shared by netlist construction and analysis.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{GateId, NetId};
+
+/// Errors raised while building or validating a netlist, or while running a
+/// structural analysis on it.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A net has two gates driving it.
+    MultipleDrivers {
+        /// The doubly driven net.
+        net: NetId,
+        /// The driver registered first.
+        first: GateId,
+        /// The driver whose registration failed.
+        second: GateId,
+    },
+    /// An internal net has no driver and is not a primary input.
+    UndrivenNet {
+        /// The floating net.
+        net: NetId,
+        /// Human-readable net name.
+        name: String,
+    },
+    /// A gate was declared with an arity its kind does not support.
+    BadArity {
+        /// Offending gate.
+        gate: GateId,
+        /// Gate kind as a string (avoids borrowing the netlist).
+        kind: String,
+        /// Number of inputs declared.
+        arity: usize,
+    },
+    /// A channel refers to a net that does not exist or lists a rail twice.
+    MalformedChannel {
+        /// Channel name.
+        name: String,
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// The data-path portion of the netlist contains a combinational cycle,
+    /// so no levelization (the paper's `Nc`) exists.
+    CombinationalCycle {
+        /// A gate participating in the cycle.
+        gate: GateId,
+    },
+    /// A name was reused for two different nets or gates.
+    DuplicateName {
+        /// The clashing name.
+        name: String,
+    },
+    /// A lookup by name failed.
+    NotFound {
+        /// The name that was looked up.
+        name: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::MultipleDrivers { net, first, second } => write!(
+                f,
+                "net {net} driven by both {first} and {second}"
+            ),
+            NetlistError::UndrivenNet { net, name } => {
+                write!(f, "net {net} ({name}) has no driver and is not a primary input")
+            }
+            NetlistError::BadArity { gate, kind, arity } => {
+                write!(f, "gate {gate} of kind {kind} declared with unsupported arity {arity}")
+            }
+            NetlistError::MalformedChannel { name, reason } => {
+                write!(f, "channel {name} is malformed: {reason}")
+            }
+            NetlistError::CombinationalCycle { gate } => {
+                write!(f, "combinational cycle in data path through gate {gate}")
+            }
+            NetlistError::DuplicateName { name } => {
+                write!(f, "name {name} is already in use")
+            }
+            NetlistError::NotFound { name } => write!(f, "no object named {name}"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = NetlistError::MultipleDrivers {
+            net: NetId::from_raw(3),
+            first: GateId::from_raw(1),
+            second: GateId::from_raw(2),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("n3"));
+        assert!(msg.contains("g1"));
+        assert!(msg.contains("g2"));
+        assert!(msg.chars().next().is_some_and(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

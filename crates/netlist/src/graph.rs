@@ -1,0 +1,353 @@
+//! The annotated directed graph `G(V,E)` of the paper's Section III.
+//!
+//! Gates are vertices, net connections are directed edges. Levelizing the
+//! data-path portion of the graph yields the paper's quantities:
+//!
+//! * `Nc` — the number of logical levels (maximum gates in series),
+//! * `N_ij` — the number of gates switching at each level during one
+//!   computation,
+//! * `Nt` — the total number of transitions of one computation phase.
+//!
+//! Acknowledge nets close handshake loops, so they are cut before
+//! levelization: the analysis runs on the acyclic data path, exactly as the
+//! paper's Fig. 5 does for the dual-rail XOR (where the acknowledge inputs
+//! are drawn as dotted boundary edges).
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GateId, NetId, Netlist, NetlistError};
+
+/// Result of levelizing a netlist's data path.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelAnalysis {
+    levels: Vec<Vec<GateId>>,
+    level_of: Vec<u32>,
+}
+
+impl LevelAnalysis {
+    /// The paper's `Nc`: the number of logical levels (longest gate chain).
+    pub fn nc(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Gates at `level` (1-based, as in the paper's Fig. 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is 0 or exceeds [`LevelAnalysis::nc`].
+    pub fn gates_at(&self, level: usize) -> &[GateId] {
+        assert!(level >= 1 && level <= self.levels.len(), "level out of range");
+        &self.levels[level - 1]
+    }
+
+    /// The 1-based level of `gate`.
+    pub fn level_of(&self, gate: GateId) -> usize {
+        self.level_of[gate.index()] as usize
+    }
+
+    /// Iterates over `(level, gates)` pairs, 1-based.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[GateId])> {
+        self.levels.iter().enumerate().map(|(i, g)| (i + 1, g.as_slice()))
+    }
+
+    /// Total number of gates placed on levels.
+    pub fn gate_count(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+}
+
+/// Levelizes the data path of `netlist`, cutting edges through channel
+/// acknowledge nets (see module docs).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] if the data path is cyclic
+/// even after cutting acknowledge nets.
+pub fn levelize(netlist: &Netlist) -> Result<LevelAnalysis, NetlistError> {
+    levelize_with_cuts(netlist, &[])
+}
+
+/// Like [`levelize`], with additional nets whose edges are cut (useful for
+/// analysing sub-blocks of a larger design).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] if a cycle remains.
+pub fn levelize_with_cuts(
+    netlist: &Netlist,
+    extra_cuts: &[NetId],
+) -> Result<LevelAnalysis, NetlistError> {
+    let cuts = cut_net_set(netlist, extra_cuts);
+    let n = netlist.gate_count();
+    // In-degree counting only data edges: input nets that are driven,
+    // not primary inputs, and not cut.
+    let mut indeg = vec![0usize; n];
+    for gate in netlist.gates() {
+        for &input in &gate.inputs {
+            if data_edge(netlist, input, &cuts) {
+                indeg[gate.id.index()] += 1;
+            }
+        }
+    }
+    let mut level_of = vec![0u32; n];
+    let mut queue: Vec<GateId> =
+        netlist.gates().filter(|g| indeg[g.id.index()] == 0).map(|g| g.id).collect();
+    for &g in &queue {
+        level_of[g.index()] = 1;
+    }
+    let mut placed = 0usize;
+    while let Some(g) = queue.pop() {
+        placed += 1;
+        let out = netlist.gate(g).output;
+        if cuts.contains(&out) {
+            continue;
+        }
+        let my_level = level_of[g.index()];
+        for &load in &netlist.net(out).loads {
+            let li = load.index();
+            level_of[li] = level_of[li].max(my_level + 1);
+            indeg[li] -= 1;
+            if indeg[li] == 0 {
+                queue.push(load);
+            }
+        }
+    }
+    if placed != n {
+        let culprit = netlist
+            .gates()
+            .find(|g| indeg[g.id.index()] > 0)
+            .map(|g| g.id)
+            .unwrap_or(GateId::from_raw(0));
+        return Err(NetlistError::CombinationalCycle { gate: culprit });
+    }
+    let nc = level_of.iter().copied().max().unwrap_or(0) as usize;
+    let mut levels: Vec<Vec<GateId>> = vec![Vec::new(); nc];
+    for gate in netlist.gates() {
+        levels[level_of[gate.id.index()] as usize - 1].push(gate.id);
+    }
+    Ok(LevelAnalysis { levels, level_of })
+}
+
+fn cut_net_set(netlist: &Netlist, extra: &[NetId]) -> HashSet<NetId> {
+    let mut cuts: HashSet<NetId> =
+        netlist.channels().filter_map(|c| c.ack).collect();
+    cuts.extend(extra.iter().copied());
+    cuts
+}
+
+fn data_edge(netlist: &Netlist, input: NetId, cuts: &HashSet<NetId>) -> bool {
+    let net = netlist.net(input);
+    net.driver.is_some() && !net.is_primary_input && !cuts.contains(&input)
+}
+
+/// Per-level switching activity of one computation: the paper's `N_ij`
+/// (per level) and `Nt` (total).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwitchingProfile {
+    per_level: Vec<usize>,
+}
+
+impl SwitchingProfile {
+    /// Builds the profile from the set of gates that switched during one
+    /// phase (as recorded by the simulator's transition log).
+    pub fn from_switching_gates(analysis: &LevelAnalysis, switched: &[GateId]) -> Self {
+        let mut per_level = vec![0usize; analysis.nc()];
+        for &g in switched {
+            let level = analysis.level_of(g);
+            if level >= 1 {
+                per_level[level - 1] += 1;
+            }
+        }
+        SwitchingProfile { per_level }
+    }
+
+    /// `N_ij` for 1-based `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn n_ij(&self, level: usize) -> usize {
+        self.per_level[level - 1]
+    }
+
+    /// The per-level counts, level 1 first.
+    pub fn per_level(&self) -> &[usize] {
+        &self.per_level
+    }
+
+    /// The paper's `Nt`: total transitions in the phase.
+    pub fn nt(&self) -> usize {
+        self.per_level.iter().sum()
+    }
+}
+
+/// Renders the annotated graph in Graphviz DOT form: one subgraph rank per
+/// logical level, vertices labelled with gate kind and the switched
+/// capacitance annotation.
+pub fn to_dot(netlist: &Netlist, analysis: &LevelAnalysis) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", netlist.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    for (level, gates) in analysis.iter() {
+        let _ = writeln!(out, "  {{ rank=same; /* level {level} */");
+        for &g in gates {
+            let gate = netlist.gate(g);
+            let cap = netlist.switched_cap_ff(g);
+            let _ = writeln!(
+                out,
+                "    {} [label=\"{}\\n{} {:.1}fF\"];",
+                gate.name,
+                gate.name,
+                gate.kind.mnemonic(),
+                cap
+            );
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    for gate in netlist.gates() {
+        let out_net = netlist.net(gate.output);
+        for &load in &out_net.loads {
+            let _ = writeln!(
+                out,
+                "  {} -> {} [label=\"{}\"];",
+                gate.name,
+                netlist.gate(load).name,
+                out_net.name
+            );
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Returns the transitive fan-in cone of `net`: all gates reachable
+/// backwards through data edges, stopping at primary inputs and cut nets.
+pub fn fanin_cone(netlist: &Netlist, net: NetId, extra_cuts: &[NetId]) -> Vec<GateId> {
+    let cuts = cut_net_set(netlist, extra_cuts);
+    let mut seen: HashSet<GateId> = HashSet::new();
+    let mut stack: Vec<NetId> = vec![net];
+    while let Some(n) = stack.pop() {
+        if cuts.contains(&n) {
+            continue;
+        }
+        let Some(driver) = netlist.net(n).driver else { continue };
+        if seen.insert(driver) {
+            for &input in &netlist.gate(driver).inputs {
+                stack.push(input);
+            }
+        }
+    }
+    let mut cone: Vec<GateId> = seen.into_iter().collect();
+    cone.sort();
+    cone
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GateKind, NetlistBuilder};
+
+    /// Chain of three gates: levels 1..3.
+    fn chain() -> Netlist {
+        let mut b = NetlistBuilder::new("chain");
+        let a = b.input_net("a");
+        let c = b.input_net("b");
+        let g1 = b.gate(GateKind::Muller, "g1", &[a, c]);
+        let g2 = b.gate(GateKind::Or, "g2", &[g1, a]);
+        let g3 = b.gate(GateKind::Inv, "g3", &[g2]);
+        b.mark_output(g3);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn levelizes_chain() {
+        let nl = chain();
+        let lv = levelize(&nl).expect("acyclic");
+        assert_eq!(lv.nc(), 3);
+        assert_eq!(lv.gates_at(1).len(), 1);
+        assert_eq!(lv.level_of(nl.find_gate("g2").expect("g2")), 2);
+        assert_eq!(lv.gate_count(), 3);
+    }
+
+    #[test]
+    fn detects_cycle() {
+        let mut b = NetlistBuilder::new("cyc");
+        let a = b.input_net("a");
+        let fb = b.net("fb");
+        let g1 = b.gate(GateKind::Or, "g1", &[a, fb]);
+        b.gate_into(GateKind::Buf, "g2", &[g1], fb);
+        b.mark_output(g1);
+        let nl = b.finish().expect("structurally valid");
+        let err = levelize(&nl).expect_err("cycle");
+        assert!(matches!(err, NetlistError::CombinationalCycle { .. }));
+    }
+
+    #[test]
+    fn ack_nets_are_cut() {
+        // Same feedback structure, but the feedback net is a channel ack:
+        // levelization must succeed.
+        let mut b = NetlistBuilder::new("cyc_ack");
+        let a = b.input_net("a");
+        let fb = b.net("fb");
+        let g1 = b.gate(GateKind::Or, "g1", &[a, fb]);
+        b.gate_into(GateKind::Buf, "g2", &[g1], fb);
+        b.internal_channel("loop", &[g1], Some(fb));
+        b.mark_output(g1);
+        let nl = b.finish().expect("valid");
+        let lv = levelize(&nl).expect("ack cut");
+        assert_eq!(lv.nc(), 2);
+    }
+
+    #[test]
+    fn extra_cuts_are_honoured() {
+        let mut b = NetlistBuilder::new("cyc2");
+        let a = b.input_net("a");
+        let fb = b.net("fb");
+        let g1 = b.gate(GateKind::Or, "g1", &[a, fb]);
+        b.gate_into(GateKind::Buf, "g2", &[g1], fb);
+        b.mark_output(g1);
+        let nl = b.finish().expect("valid");
+        assert!(levelize(&nl).is_err());
+        assert!(levelize_with_cuts(&nl, &[fb]).is_ok());
+    }
+
+    #[test]
+    fn switching_profile_counts_per_level() {
+        let nl = chain();
+        let lv = levelize(&nl).expect("acyclic");
+        let switched = vec![
+            nl.find_gate("g1").expect("g1"),
+            nl.find_gate("g3").expect("g3"),
+        ];
+        let prof = SwitchingProfile::from_switching_gates(&lv, &switched);
+        assert_eq!(prof.per_level(), &[1, 0, 1]);
+        assert_eq!(prof.nt(), 2);
+        assert_eq!(prof.n_ij(1), 1);
+        assert_eq!(prof.n_ij(2), 0);
+    }
+
+    #[test]
+    fn dot_export_names_all_gates() {
+        let nl = chain();
+        let lv = levelize(&nl).expect("acyclic");
+        let dot = to_dot(&nl, &lv);
+        for name in ["g1", "g2", "g3"] {
+            assert!(dot.contains(name), "missing {name} in dot output");
+        }
+        assert!(dot.contains("digraph"));
+    }
+
+    #[test]
+    fn fanin_cone_stops_at_primary_inputs() {
+        let nl = chain();
+        let g3_out = nl.gate(nl.find_gate("g3").expect("g3")).output;
+        let cone = fanin_cone(&nl, g3_out, &[]);
+        assert_eq!(cone.len(), 3);
+        let g2_out = nl.gate(nl.find_gate("g2").expect("g2")).output;
+        let cone2 = fanin_cone(&nl, g2_out, &[]);
+        assert_eq!(cone2.len(), 2);
+    }
+}

@@ -1,0 +1,91 @@
+//! Strongly typed indices into a [`crate::Netlist`].
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a gate (a vertex of the paper's directed graph `G(V,E)`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GateId(pub(crate) u32);
+
+/// Index of a net (an edge bundle of the paper's directed graph `G(V,E)`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NetId(pub(crate) u32);
+
+impl GateId {
+    /// Creates a gate id from a raw index.
+    ///
+    /// Indices are only meaningful relative to the netlist that produced
+    /// them; this constructor exists for deserialization and test fixtures.
+    pub fn from_raw(index: u32) -> Self {
+        GateId(index)
+    }
+
+    /// Returns the raw index, suitable for indexing parallel arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl NetId {
+    /// Creates a net id from a raw index.
+    ///
+    /// Indices are only meaningful relative to the netlist that produced
+    /// them; this constructor exists for deserialization and test fixtures.
+    pub fn from_raw(index: u32) -> Self {
+        NetId(index)
+    }
+
+    /// Returns the raw index, suitable for indexing parallel arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+impl fmt::Debug for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_raw_index() {
+        assert_eq!(GateId::from_raw(7).index(), 7);
+        assert_eq!(NetId::from_raw(42).index(), 42);
+    }
+
+    #[test]
+    fn ids_format_compactly() {
+        assert_eq!(format!("{}", GateId::from_raw(3)), "g3");
+        assert_eq!(format!("{:?}", NetId::from_raw(9)), "n9");
+        assert_eq!(format!("{}", NetId::from_raw(9)), "n9");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(GateId::from_raw(1) < GateId::from_raw(2));
+        assert!(NetId::from_raw(0) < NetId::from_raw(10));
+    }
+}

@@ -1,0 +1,72 @@
+//! Gate-level netlist infrastructure for quasi delay insensitive (QDI)
+//! asynchronous circuits.
+//!
+//! This crate provides the structural substrate of the DATE 2005 paper
+//! *"DPA on Quasi Delay Insensitive Asynchronous Circuits: Formalization and
+//! Improvement"* (Bouesse, Renaudin, Dumont, Germain):
+//!
+//! * a gate library centred on the **Muller C-element** ([`GateKind`]),
+//! * **nets** annotated with interconnect capacitance (`Cl` in the paper),
+//! * **1-of-N channels** implementing the delay-insensitive data encoding of
+//!   Table 1 ([`channel`]),
+//! * a [`Netlist`] container with a fluent [`NetlistBuilder`],
+//! * the **annotated directed graph** `G(V,E)` of Section III together with
+//!   levelization and the extraction of the quantities `Nt`, `Nc` and
+//!   `N_ij` ([`graph`]),
+//! * a **symmetry checker** that formally verifies that the two rails of a
+//!   dual-rail channel see logically balanced data paths ([`symmetry`]),
+//! * a library of **composite QDI cells** — the dual-rail XOR of Fig. 4,
+//!   balanced dual-rail functions, WCHB half-buffers, completion trees —
+//!   ([`cells`]).
+//!
+//! # Handshake conventions
+//!
+//! All cells in this crate use the four-phase protocol with 1-of-N return-to-
+//! zero data encoding. Acknowledge nets follow the NOR-completion convention
+//! of the paper's Fig. 4: an acknowledge net carries **1 when the consumer is
+//! empty/ready** and **0 once it has captured valid data**. The logical
+//! "acknowledgement" waveform of the paper's Fig. 2 is the complement of this
+//! net.
+//!
+//! # Example
+//!
+//! Build the dual-rail XOR gate of the paper's Fig. 4 and inspect its graph:
+//!
+//! ```
+//! use qdi_netlist::{NetlistBuilder, cells, graph};
+//!
+//! # fn main() -> Result<(), qdi_netlist::NetlistError> {
+//! let mut b = NetlistBuilder::new("xor");
+//! let a = b.input_channel("a", 2);
+//! let bb = b.input_channel("b", 2);
+//! let out_ack = b.input_net("co_ack");
+//! let xor = cells::dual_rail_xor(&mut b, "x", &a, &bb, out_ack);
+//! b.connect_input_acks(&[a.id, bb.id], xor.ack_to_senders);
+//! let netlist = b.finish()?;
+//! let levels = graph::levelize(&netlist)?;
+//! assert_eq!(levels.nc(), 4); // Nc = 4, as in the paper's Fig. 5
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cells;
+pub mod channel;
+pub mod gate;
+pub mod graph;
+pub mod io;
+pub mod net;
+pub mod netlist;
+pub mod symmetry;
+
+mod error;
+mod id;
+
+pub use channel::{Channel, ChannelId, ChannelRole, ChannelState};
+pub use error::NetlistError;
+pub use gate::{Gate, GateKind, GateParams};
+pub use id::{GateId, NetId};
+pub use net::Net;
+pub use netlist::{Netlist, NetlistBuilder, NetlistStats};

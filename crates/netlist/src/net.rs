@@ -1,0 +1,84 @@
+//! Nets: the annotated edges of the paper's directed graph.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GateId, NetId};
+
+/// A net connecting one driver to any number of loads.
+///
+/// The `routing_cap_ff` field is the interconnect part of the paper's load
+/// capacitance `Cl`; it is what place-and-route determines and what the
+/// dissymmetry criterion `dA` compares between the two rails of a dual-rail
+/// channel. Pin loads are added on top of it when computing the total
+/// switched capacitance (see [`crate::Netlist::total_load_ff`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Net {
+    /// Identifier within the owning netlist.
+    pub id: NetId,
+    /// Net name (unique within the netlist).
+    pub name: String,
+    /// Driving gate, or `None` for primary inputs.
+    pub driver: Option<GateId>,
+    /// Gates that read this net (a gate appears once per pin it connects).
+    pub loads: Vec<GateId>,
+    /// Interconnect capacitance in fF (the routed part of `Cl`).
+    ///
+    /// Defaults to [`Net::DEFAULT_ROUTING_CAP_FF`], the paper's `Cd = 8 fF`
+    /// pre-layout estimate; extraction after place-and-route overwrites it.
+    pub routing_cap_ff: f64,
+    /// Marks a primary input (driven by the environment).
+    pub is_primary_input: bool,
+    /// Marks a primary output (observed by the environment).
+    pub is_primary_output: bool,
+}
+
+impl Net {
+    /// Pre-layout default interconnect capacitance, the paper's default net
+    /// capacitance `Cd = 8 fF`.
+    pub const DEFAULT_ROUTING_CAP_FF: f64 = 8.0;
+
+    /// Fanout (number of load pins).
+    pub fn fanout(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// `true` if no gate drives the net.
+    pub fn is_undriven(&self) -> bool {
+        self.driver.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_net() -> Net {
+        Net {
+            id: NetId::from_raw(0),
+            name: "x".to_owned(),
+            driver: None,
+            loads: vec![GateId::from_raw(1), GateId::from_raw(2)],
+            routing_cap_ff: Net::DEFAULT_ROUTING_CAP_FF,
+            is_primary_input: true,
+            is_primary_output: false,
+        }
+    }
+
+    #[test]
+    fn fanout_counts_load_pins() {
+        assert_eq!(sample_net().fanout(), 2);
+    }
+
+    #[test]
+    fn default_cap_matches_paper_cd() {
+        assert_eq!(Net::DEFAULT_ROUTING_CAP_FF, 8.0);
+    }
+
+    #[test]
+    fn undriven_detection() {
+        let mut n = sample_net();
+        assert!(n.is_undriven());
+        n.driver = Some(GateId::from_raw(0));
+        assert!(!n.is_undriven());
+    }
+}

@@ -1,0 +1,68 @@
+//! Plain geometry types.
+
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned rectangle in µm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Left edge.
+    pub x0: f64,
+    /// Bottom edge.
+    pub y0: f64,
+    /// Right edge.
+    pub x1: f64,
+    /// Top edge.
+    pub y1: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle; coordinates are normalised so `x0 <= x1` and
+    /// `y0 <= y1`.
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Rect { x0: x0.min(x1), y0: y0.min(y1), x1: x0.max(x1), y1: y0.max(y1) }
+    }
+
+    /// Width in µm.
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// Height in µm.
+    pub fn height(&self) -> f64 {
+        self.y1 - self.y0
+    }
+
+    /// Area in µm².
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// `true` if `(x, y)` lies inside (inclusive).
+    pub fn contains(&self, x: f64, y: f64) -> bool {
+        x >= self.x0 && x <= self.x1 && y >= self.y0 && y <= self.y1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_normalises_corners() {
+        let r = Rect::new(5.0, 7.0, 1.0, 2.0);
+        assert_eq!(r.x0, 1.0);
+        assert_eq!(r.y1, 7.0);
+        assert_eq!(r.width(), 4.0);
+        assert_eq!(r.height(), 5.0);
+        assert_eq!(r.area(), 20.0);
+    }
+
+    #[test]
+    fn contains_is_inclusive() {
+        let r = Rect::new(0.0, 0.0, 2.0, 2.0);
+        assert!(r.contains(0.0, 0.0));
+        assert!(r.contains(2.0, 2.0));
+        assert!(r.contains(1.0, 1.5));
+        assert!(!r.contains(2.1, 1.0));
+    }
+}

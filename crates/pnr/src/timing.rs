@@ -1,0 +1,178 @@
+//! Static timing analysis over the extracted netlist.
+//!
+//! QDI circuits have no clock to close timing against, but the cycle time
+//! of a four-phase pipeline is still set by the longest
+//! capacitance-dependent gate chain (`Δt = t0 + k·R·C` per gate). This
+//! report is the designer-facing view of the same `Δt(C)` dependence the
+//! security analysis exploits: the hierarchical flow trades a little area
+//! for both lower dissymmetry *and* more predictable path delays.
+
+use qdi_netlist::graph::{self, LevelAnalysis};
+use qdi_netlist::{GateId, Netlist, NetlistError};
+use serde::{Deserialize, Serialize};
+
+/// Delay parameters mirroring the simulator's `LinearDelay` calibration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingConfig {
+    /// Intrinsic per-gate delay, ps.
+    pub t0_ps: f64,
+    /// `R·C` slope factor.
+    pub k: f64,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig { t0_ps: 10.0, k: 0.6 }
+    }
+}
+
+/// One gate on the critical path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathElement {
+    /// The gate.
+    pub gate: GateId,
+    /// Gate name.
+    pub name: String,
+    /// Arrival time at the gate's output, ps.
+    pub arrival_ps: f64,
+    /// The gate's own delay contribution, ps.
+    pub delay_ps: f64,
+}
+
+/// Result of the timing analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingReport {
+    /// Worst data-path arrival time, ps.
+    pub critical_delay_ps: f64,
+    /// The critical path, inputs first.
+    pub critical_path: Vec<PathElement>,
+    /// Arrival time per gate output, ps, indexed by gate.
+    pub arrival_ps: Vec<f64>,
+}
+
+impl TimingReport {
+    /// Renders a human-readable path report.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("critical path: {:.0} ps\n", self.critical_delay_ps);
+        for el in &self.critical_path {
+            out.push_str(&format!(
+                "  {:<32} +{:>6.1} ps  @ {:>7.1} ps\n",
+                el.name, el.delay_ps, el.arrival_ps
+            ));
+        }
+        out
+    }
+}
+
+fn gate_delay(netlist: &Netlist, gate: GateId, cfg: &TimingConfig) -> f64 {
+    let c = netlist.switched_cap_ff(gate);
+    let r = netlist.gate(gate).params.drive_res_kohm;
+    cfg.t0_ps + cfg.k * r * c
+}
+
+/// Runs the analysis on the acyclic data path (acknowledge nets cut, as in
+/// [`graph::levelize`]).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] if the data path is
+/// cyclic.
+pub fn analyze(netlist: &Netlist, cfg: &TimingConfig) -> Result<TimingReport, NetlistError> {
+    let levels: LevelAnalysis = graph::levelize(netlist)?;
+    let n = netlist.gate_count();
+    let mut arrival = vec![0.0f64; n];
+    let mut pred: Vec<Option<GateId>> = vec![None; n];
+    for (_, gates) in levels.iter() {
+        for &g in gates {
+            let gate = netlist.gate(g);
+            let mut start = 0.0f64;
+            let mut from = None;
+            for &input in &gate.inputs {
+                if let Some(driver) = netlist.net(input).driver {
+                    let t = arrival[driver.index()];
+                    if t > start {
+                        start = t;
+                        from = Some(driver);
+                    }
+                }
+            }
+            arrival[g.index()] = start + gate_delay(netlist, g, cfg);
+            pred[g.index()] = from;
+        }
+    }
+    let end = (0..n)
+        .max_by(|&a, &b| arrival[a].total_cmp(&arrival[b]))
+        .map(|i| GateId::from_raw(i as u32));
+    let mut critical_path = Vec::new();
+    let mut cursor = end;
+    while let Some(g) = cursor {
+        critical_path.push(PathElement {
+            gate: g,
+            name: netlist.gate(g).name.clone(),
+            arrival_ps: arrival[g.index()],
+            delay_ps: gate_delay(netlist, g, cfg),
+        });
+        cursor = pred[g.index()];
+    }
+    critical_path.reverse();
+    let critical_delay_ps = critical_path.last().map_or(0.0, |e| e.arrival_ps);
+    Ok(TimingReport { critical_delay_ps, critical_path, arrival_ps: arrival })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdi_netlist::{cells, GateKind, NetlistBuilder};
+
+    fn xor_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("xor");
+        let a = b.input_channel("a", 2);
+        let bb = b.input_channel("b", 2);
+        let ack = b.input_net("ack");
+        let cell = cells::dual_rail_xor(&mut b, "x", &a, &bb, ack);
+        b.connect_input_acks(&[a.id, bb.id], cell.ack_to_senders);
+        let _ = b.output_channel("co", &cell.out.rails.clone(), ack);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn critical_path_spans_all_levels() {
+        let nl = xor_netlist();
+        let report = analyze(&nl, &TimingConfig::default()).expect("acyclic");
+        // m -> o -> h -> n: four gates deep.
+        assert_eq!(report.critical_path.len(), 4);
+        assert!(report.critical_delay_ps > 0.0);
+        let text = report.to_text();
+        assert!(text.contains("critical path"));
+    }
+
+    #[test]
+    fn arrival_times_are_monotone_along_the_path() {
+        let nl = xor_netlist();
+        let report = analyze(&nl, &TimingConfig::default()).expect("acyclic");
+        for pair in report.critical_path.windows(2) {
+            assert!(pair[1].arrival_ps > pair[0].arrival_ps);
+        }
+    }
+
+    #[test]
+    fn heavier_net_slows_the_path() {
+        let mut nl = xor_netlist();
+        let before = analyze(&nl, &TimingConfig::default()).expect("ok").critical_delay_ps;
+        let h1 = nl.find_net("x.h1").expect("net");
+        nl.set_routing_cap(h1, 64.0);
+        let after = analyze(&nl, &TimingConfig::default()).expect("ok").critical_delay_ps;
+        assert!(after > before);
+    }
+
+    #[test]
+    fn single_gate_path() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input_net("a");
+        let y = b.gate(GateKind::Buf, "y", &[a]);
+        b.mark_output(y);
+        let nl = b.finish().expect("valid");
+        let report = analyze(&nl, &TimingConfig::default()).expect("acyclic");
+        assert_eq!(report.critical_path.len(), 1);
+    }
+}

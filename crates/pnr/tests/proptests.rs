@@ -1,0 +1,146 @@
+//! Property-based tests of placement, routing, extraction and fill.
+
+use proptest::prelude::*;
+
+use qdi_netlist::{GateId, GateKind, Netlist, NetlistBuilder};
+use qdi_pnr::{
+    criterion, fill, place, place_and_route, route, timing, PnrConfig, Strategy,
+};
+
+/// A random tree of gates: gate i (>0) reads from a random earlier gate
+/// plus the primary input.
+fn random_tree(n: usize, seed: u64, blocks: usize) -> Netlist {
+    let mut b = NetlistBuilder::new("tree");
+    let a = b.input_net("a");
+    let mut outs = vec![b.gate(GateKind::Buf, "g0", &[a])];
+    let mut state = seed | 1;
+    for i in 1..n.max(2) {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let src = outs[(state as usize) % outs.len()];
+        if blocks > 0 {
+            b.push_block(format!("blk{}", i % blocks));
+        }
+        let out = b.gate(GateKind::Or, format!("g{i}"), &[src, a]);
+        if blocks > 0 {
+            b.pop_block();
+        }
+        outs.push(out);
+    }
+    let last = *outs.last().expect("nonempty");
+    b.mark_output(last);
+    b.finish().expect("valid tree")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// After annealing, every gate still occupies a unique slot inside the
+    /// die, for both strategies.
+    #[test]
+    fn placement_remains_a_bijection(n in 5usize..60, seed in any::<u64>(),
+                                     hierarchical in any::<bool>()) {
+        let mut nl = random_tree(n, seed, if hierarchical { 3 } else { 0 });
+        let strategy = if hierarchical { Strategy::Hierarchical } else { Strategy::Flat };
+        let mut cfg = PnrConfig::fast();
+        cfg.anneal.seed = seed;
+        let report = place_and_route(&mut nl, strategy, &cfg);
+        let mut positions: Vec<(u64, u64)> = (0..nl.gate_count())
+            .map(|g| {
+                let (x, y) = report.placement.position(GateId::from_raw(g as u32));
+                prop_assert!(report.placement.die.contains(x, y),
+                             "gate {g} at ({x},{y}) outside die");
+                Ok(((x * 1000.0) as u64, (y * 1000.0) as u64))
+            })
+            .collect::<Result<_, _>>()?;
+        positions.sort_unstable();
+        let before = positions.len();
+        positions.dedup();
+        prop_assert_eq!(positions.len(), before, "two gates share a slot");
+    }
+
+    /// Estimated lengths are non-negative and the extracted caps are
+    /// affine in them.
+    #[test]
+    fn extraction_is_affine_in_length(n in 5usize..40, seed in any::<u64>()) {
+        let mut nl = random_tree(n, seed, 0);
+        let cfg = PnrConfig::fast();
+        let report = place_and_route(&mut nl, Strategy::Flat, &cfg);
+        let lengths = route::estimate_lengths(&nl, &report.placement);
+        for (net, &len) in nl.nets().zip(&lengths) {
+            prop_assert!(len > 0.0);
+            let expect = cfg.cap_fixed_ff + cfg.cap_per_um_ff * len;
+            prop_assert!((net.routing_cap_ff - expect).abs() < 1e-9,
+                         "{}: {} vs {}", net.name, net.routing_cap_ff, expect);
+        }
+    }
+
+    /// Channel fill never increases any rail capacitance difference and
+    /// always lands within tolerance.
+    #[test]
+    fn fill_respects_tolerance(tol in 0.0f64..0.5, seed in any::<u64>()) {
+        let mut b = NetlistBuilder::new("chans");
+        let chans: Vec<_> = (0..4).map(|i| b.input_channel(format!("c{i}"), 2)).collect();
+        let rails: Vec<_> = chans.iter().flat_map(|c| c.rails.clone()).collect();
+        let o = b.gate(GateKind::Or, "o", &rails);
+        b.mark_output(o);
+        let mut nl = b.finish().expect("valid");
+        // Random-ish caps from the seed.
+        let mut state = seed | 1;
+        for &r in &rails {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            nl.set_routing_cap(r, 1.0 + (state % 100) as f64);
+        }
+        let report = fill::balance_channels(&mut nl, tol);
+        prop_assert!(report.max_criterion_after <= tol + 1e-9,
+                     "residual {} over tolerance {tol}", report.max_criterion_after);
+        prop_assert!(report.added_cap_ff >= 0.0);
+    }
+
+    /// The timing arrival of every gate is at least its own delay and at
+    /// least its predecessors' arrivals.
+    #[test]
+    fn timing_arrivals_are_monotone(n in 5usize..40, seed in any::<u64>()) {
+        let nl = random_tree(n, seed, 0);
+        let report = timing::analyze(&nl, &timing::TimingConfig::default()).expect("acyclic");
+        for gate in nl.gates() {
+            let t = report.arrival_ps[gate.id.index()];
+            prop_assert!(t > 0.0);
+            for &input in &gate.inputs {
+                if let Some(driver) = nl.net(input).driver {
+                    prop_assert!(t > report.arrival_ps[driver.index()]);
+                }
+            }
+        }
+    }
+
+    /// The criterion table is a permutation-invariant function of the
+    /// netlist: recomputing it yields identical rows.
+    #[test]
+    fn criterion_table_is_deterministic(seed in any::<u64>()) {
+        let mut nl = random_tree(20, seed, 0);
+        let mut cfg = PnrConfig::fast();
+        cfg.anneal.seed = seed;
+        place_and_route(&mut nl, Strategy::Flat, &cfg);
+        prop_assert_eq!(criterion::criterion_table(&nl), criterion::criterion_table(&nl));
+    }
+
+    /// Anneal with zero effort is a no-op on cost bookkeeping: the
+    /// returned cost matches a from-scratch recomputation.
+    #[test]
+    fn anneal_cost_bookkeeping_is_exact(n in 5usize..50, seed in any::<u64>(),
+                                        effort in 1usize..40) {
+        let nl = random_tree(n, seed, 0);
+        let mut cfg = PnrConfig::fast();
+        cfg.anneal.seed = seed;
+        cfg.anneal.moves_per_gate = effort;
+        let mut p = place::Placement::random_flat(&nl, &cfg);
+        let tracked = place::anneal(&nl, &mut p, &cfg.anneal);
+        let actual = place::total_cost(&nl, &p);
+        prop_assert!((tracked - actual).abs() < 1e-6 * actual.max(1.0),
+                     "tracked {tracked} vs actual {actual}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Gate delay models.
+//!
+//! The paper's leakage mechanism (Section IV, eq. 12) requires that a
+//! gate's transition time depends on the capacitance it drives:
+//! `Δt` "represents the physical time taken by the gate to charge/discharge
+//! its output node. This time depends on the value of C." The default
+//! [`LinearDelay`] implements exactly that; [`ConstantDelay`] exists as an
+//! ablation showing that a capacitance-independent delay model hides the
+//! time-shift component of the leakage.
+
+use qdi_netlist::{GateId, Netlist};
+
+use crate::simulator::TimePs;
+
+/// Maps a switching gate to its propagation delay.
+pub trait DelayModel: Send + Sync {
+    /// Delay, in picoseconds, for `gate` to propagate a transition, given
+    /// the netlist (from which the switched capacitance is read).
+    fn delay_ps(&self, netlist: &Netlist, gate: GateId) -> TimePs;
+}
+
+/// `Δt = t0 + k·C`: an RC-style delay proportional to the total switched
+/// capacitance `C = Cl + Cpar + Csc`, scaled by the gate's drive
+/// resistance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearDelay {
+    /// Intrinsic delay added to every transition, in ps.
+    pub t0_ps: f64,
+    /// Slope factor multiplying `R·C` (dimensionless); the physical delay
+    /// contribution is `k · R[kΩ] · C[fF]` ps (1 kΩ · 1 fF = 1 ps).
+    pub k: f64,
+}
+
+impl LinearDelay {
+    /// A default calibration giving tens-of-ps gate delays for the default
+    /// 8 fF nets, comparable to a 0.13 µm library.
+    pub fn new() -> Self {
+        LinearDelay { t0_ps: 10.0, k: 0.6 }
+    }
+}
+
+impl Default for LinearDelay {
+    fn default() -> Self {
+        LinearDelay::new()
+    }
+}
+
+impl DelayModel for LinearDelay {
+    fn delay_ps(&self, netlist: &Netlist, gate: GateId) -> TimePs {
+        let c_ff = netlist.switched_cap_ff(gate);
+        let r_kohm = netlist.gate(gate).params.drive_res_kohm;
+        let d = self.t0_ps + self.k * r_kohm * c_ff;
+        d.max(1.0).round() as TimePs
+    }
+}
+
+/// Capacitance-independent delay: every gate takes the same time.
+///
+/// Used by the ablation benches: under this model the capacitance sweeps of
+/// the paper's Fig. 7b/7c lose their time-shift signature, demonstrating
+/// why the formal model must keep `Δt = Δt(C)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConstantDelay {
+    /// The fixed per-gate delay in ps.
+    pub delay_ps: TimePs,
+}
+
+impl ConstantDelay {
+    /// Creates a constant-delay model.
+    pub fn new(delay_ps: TimePs) -> Self {
+        ConstantDelay { delay_ps }
+    }
+}
+
+impl DelayModel for ConstantDelay {
+    fn delay_ps(&self, _netlist: &Netlist, _gate: GateId) -> TimePs {
+        self.delay_ps.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdi_netlist::{GateKind, NetlistBuilder};
+
+    fn one_gate() -> (Netlist, GateId) {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input_net("a");
+        let c = b.input_net("b");
+        let y = b.gate(GateKind::Muller, "y", &[a, c]);
+        b.mark_output(y);
+        let nl = b.finish().expect("valid");
+        let g = nl.find_gate("y").expect("y");
+        (nl, g)
+    }
+
+    #[test]
+    fn linear_delay_grows_with_capacitance() {
+        let (mut nl, g) = one_gate();
+        let model = LinearDelay::new();
+        let d_small = model.delay_ps(&nl, g);
+        let out = nl.gate(g).output;
+        nl.set_routing_cap(out, 64.0);
+        let d_large = model.delay_ps(&nl, g);
+        assert!(d_large > d_small, "{d_large} should exceed {d_small}");
+    }
+
+    #[test]
+    fn linear_delay_is_at_least_one_ps() {
+        let (nl, g) = one_gate();
+        let model = LinearDelay { t0_ps: 0.0, k: 0.0 };
+        assert_eq!(model.delay_ps(&nl, g), 1);
+    }
+
+    #[test]
+    fn constant_delay_ignores_capacitance() {
+        let (mut nl, g) = one_gate();
+        let model = ConstantDelay::new(42);
+        let before = model.delay_ps(&nl, g);
+        let out = nl.gate(g).output;
+        nl.set_routing_cap(out, 500.0);
+        assert_eq!(model.delay_ps(&nl, g), before);
+        assert_eq!(before, 42);
+    }
+}

@@ -1,0 +1,71 @@
+//! Simulation error type.
+
+use std::error::Error;
+use std::fmt;
+
+use qdi_netlist::ChannelId;
+
+/// Errors raised while simulating a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The event budget was exhausted — the circuit oscillates or the
+    /// budget is too small for the workload.
+    EventLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// No environment can make progress but tokens remain undelivered:
+    /// the handshake is stuck.
+    Deadlock {
+        /// Simulation time at which progress stopped, in ps.
+        time_ps: u64,
+        /// Channels still holding undelivered source tokens.
+        pending_channels: Vec<ChannelId>,
+    },
+    /// An environment was attached to a channel that does not fit it
+    /// (missing acknowledge net, wrong role, unknown id).
+    BadEnvironment {
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::EventLimit { limit } => {
+                write!(f, "event limit of {limit} exceeded (oscillation or budget too small)")
+            }
+            SimError::Deadlock { time_ps, pending_channels } => write!(
+                f,
+                "handshake deadlock at {time_ps} ps with pending tokens on {} channel(s)",
+                pending_channels.len()
+            ),
+            SimError::BadEnvironment { reason } => {
+                write!(f, "environment cannot be attached: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::EventLimit { limit: 10 };
+        assert!(e.to_string().contains("10"));
+        let d = SimError::Deadlock { time_ps: 5, pending_channels: vec![] };
+        assert!(d.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,126 @@
+//! Glitch detection.
+//!
+//! QDI circuits are hazard free by construction (paper Fig. 3): during one
+//! four-phase cycle each net makes at most one rising and one falling
+//! transition. A net exceeding `2 × cycles` edges over a run has glitched —
+//! typically the signature of a non-monotone gate smuggled into a data path
+//! or of a timing assumption violated by extreme capacitance skew.
+
+use std::collections::HashMap;
+
+use qdi_netlist::{NetId, Netlist};
+
+use crate::simulator::Transition;
+
+/// One glitching net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Glitch {
+    /// The offending net.
+    pub net: NetId,
+    /// Net name.
+    pub net_name: String,
+    /// Observed edge count.
+    pub edges: usize,
+    /// Maximum edges allowed for the run (`2 × cycles`).
+    pub allowed: usize,
+}
+
+/// Hazard-freedom report over a full run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HazardReport {
+    /// Nets that exceeded their edge budget, worst first.
+    pub glitches: Vec<Glitch>,
+    /// Number of handshake cycles the budget was computed for.
+    pub cycles: usize,
+}
+
+impl HazardReport {
+    /// `true` when no net glitched.
+    pub fn hazard_free(&self) -> bool {
+        self.glitches.is_empty()
+    }
+}
+
+/// Counts edges per net.
+pub fn edge_counts(transitions: &[Transition]) -> HashMap<NetId, usize> {
+    let mut counts = HashMap::new();
+    for t in transitions {
+        *counts.entry(t.net).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Checks that every net stayed within `2 × cycles` edges.
+pub fn check(netlist: &Netlist, transitions: &[Transition], cycles: usize) -> HazardReport {
+    let allowed = 2 * cycles;
+    let mut glitches: Vec<Glitch> = edge_counts(transitions)
+        .into_iter()
+        .filter(|&(_, edges)| edges > allowed)
+        .map(|(net, edges)| Glitch {
+            net,
+            net_name: netlist.net(net).name.clone(),
+            edges,
+            allowed,
+        })
+        .collect();
+    glitches.sort_by(|a, b| b.edges.cmp(&a.edges).then(a.net.cmp(&b.net)));
+    HazardReport { glitches, cycles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{Testbench, TestbenchConfig};
+    use qdi_netlist::{cells, GateKind, NetlistBuilder};
+
+    #[test]
+    fn xor_cell_run_is_hazard_free() {
+        let mut b = NetlistBuilder::new("xor");
+        let a = b.input_channel("a", 2);
+        let bb = b.input_channel("b", 2);
+        let ack = b.input_net("ack");
+        let cell = cells::dual_rail_xor(&mut b, "x", &a, &bb, ack);
+        b.connect_input_acks(&[a.id, bb.id], cell.ack_to_senders);
+        let out = b.output_channel("co", &cell.out.rails.clone(), ack);
+        let nl = b.finish().expect("valid");
+        let mut tb = Testbench::new(&nl, TestbenchConfig::default()).expect("tb");
+        tb.source(a.id, vec![0, 1, 1]).expect("src");
+        tb.source(bb.id, vec![1, 0, 1]).expect("src");
+        tb.sink(out.id).expect("sink");
+        let run = tb.run().expect("completes");
+        let report = check(&nl, &run.transitions, run.cycles);
+        assert!(report.hazard_free(), "glitches: {:?}", report.glitches);
+        assert_eq!(report.cycles, 3);
+    }
+
+    #[test]
+    fn edge_counts_are_per_net() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input_net("a");
+        let y = b.gate(GateKind::Buf, "y", &[a]);
+        b.mark_output(y);
+        let nl = b.finish().expect("valid");
+        let a = nl.find_net("a").expect("a");
+        let log = vec![
+            Transition { time_ps: 1, net: a, rising: true },
+            Transition { time_ps: 2, net: a, rising: false },
+            Transition { time_ps: 3, net: a, rising: true },
+        ];
+        let counts = edge_counts(&log);
+        assert_eq!(counts[&a], 3);
+        let report = check(&nl, &log, 1);
+        assert!(!report.hazard_free());
+        assert_eq!(report.glitches[0].edges, 3);
+        assert_eq!(report.glitches[0].allowed, 2);
+    }
+
+    #[test]
+    fn empty_log_is_hazard_free() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input_net("a");
+        let y = b.gate(GateKind::Buf, "y", &[a]);
+        b.mark_output(y);
+        let nl = b.finish().expect("valid");
+        assert!(check(&nl, &[], 0).hazard_free());
+    }
+}

@@ -1,0 +1,487 @@
+//! The inertial-delay event-driven simulation engine.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use qdi_netlist::{ChannelId, ChannelState, GateId, NetId, Netlist};
+
+use crate::delay::DelayModel;
+use crate::error::SimError;
+
+/// Simulation time in picoseconds.
+pub type TimePs = u64;
+
+/// One logged net edge. The driving gate (if any) can be recovered through
+/// [`Netlist::net`]; the electrical model uses it to derive the pulse
+/// charge and duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Time of the edge.
+    pub time_ps: TimePs,
+    /// The net that toggled.
+    pub net: NetId,
+    /// `true` for a rising edge.
+    pub rising: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    time: TimePs,
+    seq: u64,
+    net: NetId,
+    value: bool,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Event-driven simulator over a borrowed netlist.
+///
+/// All nets start low (the QDI reset state: every channel invalid, every
+/// C-element cleared); [`Simulator::settle`] then lets gates with non-zero
+/// all-low output (completion NORs, inverters) reach their idle levels
+/// before any stimulus is applied.
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    delay: Box<dyn DelayModel>,
+    levels: Vec<bool>,
+    /// Per net: sequence number of the authoritative pending event, if any.
+    pending_seq: Vec<u64>,
+    pending_value: Vec<bool>,
+    has_pending: Vec<bool>,
+    queue: BinaryHeap<Reverse<Event>>,
+    now: TimePs,
+    seq: u64,
+    events_processed: u64,
+    log: Vec<Transition>,
+}
+
+impl std::fmt::Debug for Simulator<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("netlist", &self.netlist.name())
+            .field("now_ps", &self.now)
+            .field("queued", &self.queue.len())
+            .field("logged", &self.log.len())
+            .finish()
+    }
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator with the given delay model. All nets start low;
+    /// call [`Simulator::settle`] before applying stimulus.
+    pub fn new(netlist: &'a Netlist, delay: impl DelayModel + 'static) -> Self {
+        let n = netlist.net_count();
+        Simulator {
+            netlist,
+            delay: Box::new(delay),
+            levels: vec![false; n],
+            pending_seq: vec![0; n],
+            pending_value: vec![false; n],
+            has_pending: vec![false; n],
+            queue: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            events_processed: 0,
+            log: Vec::new(),
+        }
+    }
+
+    /// The netlist under simulation.
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> TimePs {
+        self.now
+    }
+
+    /// Current level of `net`.
+    pub fn level(&self, net: NetId) -> bool {
+        self.levels[net.index()]
+    }
+
+    /// Decoded state of `channel`.
+    pub fn channel_state(&self, channel: ChannelId) -> ChannelState {
+        self.netlist.channel(channel).state(|n| self.level(n))
+    }
+
+    /// The transition log accumulated so far.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.log
+    }
+
+    /// Takes ownership of the log, leaving it empty.
+    pub fn take_transitions(&mut self) -> Vec<Transition> {
+        std::mem::take(&mut self.log)
+    }
+
+    /// Clears the transition log.
+    pub fn clear_log(&mut self) {
+        self.log.clear();
+    }
+
+    /// Total events processed since construction.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// `true` when no event is scheduled.
+    pub fn is_quiescent(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    fn schedule(&mut self, net: NetId, value: bool, at: TimePs) {
+        self.seq += 1;
+        let i = net.index();
+        self.pending_seq[i] = self.seq;
+        self.pending_value[i] = value;
+        self.has_pending[i] = true;
+        self.queue.push(Reverse(Event { time: at, seq: self.seq, net, value }));
+    }
+
+    fn cancel_pending(&mut self, net: NetId) {
+        let i = net.index();
+        self.has_pending[i] = false;
+        // Bump the seq so the queued event is recognised as stale.
+        self.seq += 1;
+        self.pending_seq[i] = self.seq;
+    }
+
+    /// Effective future value of a net: pending target if any, else the
+    /// committed level.
+    fn effective(&self, net: NetId) -> bool {
+        let i = net.index();
+        if self.has_pending[i] {
+            self.pending_value[i]
+        } else {
+            self.levels[i]
+        }
+    }
+
+    fn evaluate_gate(&mut self, gate: GateId) {
+        let g = self.netlist.gate(gate);
+        let inputs: Vec<bool> = g.inputs.iter().map(|&n| self.level(n)).collect();
+        let prev = self.level(g.output);
+        let newv = g.kind.eval(&inputs, prev);
+        let out = g.output;
+        if newv == self.effective(out) {
+            return;
+        }
+        if self.has_pending[out.index()] {
+            // The pending change is contradicted by the new evaluation:
+            // inertial behaviour cancels it.
+            self.cancel_pending(out);
+            if newv == self.level(out) {
+                return;
+            }
+        }
+        let d = self.delay.delay_ps(self.netlist, gate);
+        self.schedule(out, newv, self.now + d);
+    }
+
+    /// Drives a primary-input net to `value` after `delay_ps`, as an
+    /// environment would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not a primary input.
+    pub fn drive(&mut self, net: NetId, value: bool, delay_ps: TimePs) {
+        assert!(
+            self.netlist.net(net).is_primary_input,
+            "only primary inputs may be driven (net {net})"
+        );
+        if self.effective(net) == value {
+            return;
+        }
+        if self.has_pending[net.index()] {
+            self.cancel_pending(net);
+            if self.level(net) == value {
+                return;
+            }
+        }
+        self.schedule(net, value, self.now + delay_ps.max(1));
+    }
+
+    /// Processes events until the queue drains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventLimit`] if more than `limit` events fire —
+    /// the signature of an oscillating circuit.
+    pub fn run_until_quiescent(&mut self, limit: u64) -> Result<(), SimError> {
+        let mut budget = limit;
+        while let Some(Reverse(ev)) = self.queue.pop() {
+            let i = ev.net.index();
+            if !self.has_pending[i] || self.pending_seq[i] != ev.seq {
+                continue; // stale (cancelled or superseded)
+            }
+            if budget == 0 {
+                return Err(SimError::EventLimit { limit });
+            }
+            budget -= 1;
+            self.events_processed += 1;
+            self.has_pending[i] = false;
+            self.now = self.now.max(ev.time);
+            if self.levels[i] == ev.value {
+                continue;
+            }
+            self.levels[i] = ev.value;
+            self.log.push(Transition { time_ps: ev.time, net: ev.net, rising: ev.value });
+            let loads = self.netlist.net(ev.net).loads.clone();
+            for load in loads {
+                self.evaluate_gate(load);
+            }
+        }
+        Ok(())
+    }
+
+    /// Processes events with timestamps up to and including `t_end`, then
+    /// advances the clock to `t_end`. Later events stay queued.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventLimit`] if more than `limit` events fire.
+    pub fn run_until(&mut self, t_end: TimePs, limit: u64) -> Result<(), SimError> {
+        let mut budget = limit;
+        while let Some(Reverse(ev)) = self.queue.peek().copied() {
+            if ev.time > t_end {
+                break;
+            }
+            self.queue.pop();
+            let i = ev.net.index();
+            if !self.has_pending[i] || self.pending_seq[i] != ev.seq {
+                continue;
+            }
+            if budget == 0 {
+                return Err(SimError::EventLimit { limit });
+            }
+            budget -= 1;
+            self.events_processed += 1;
+            self.has_pending[i] = false;
+            self.now = self.now.max(ev.time);
+            if self.levels[i] == ev.value {
+                continue;
+            }
+            self.levels[i] = ev.value;
+            self.log.push(Transition { time_ps: ev.time, net: ev.net, rising: ev.value });
+            let loads = self.netlist.net(ev.net).loads.clone();
+            for load in loads {
+                self.evaluate_gate(load);
+            }
+        }
+        self.now = self.now.max(t_end);
+        Ok(())
+    }
+
+    /// Evaluates every gate once and runs to quiescence, then clears the
+    /// log: brings completion detectors and inverters to their idle levels
+    /// without polluting the trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::EventLimit`] from the settling run.
+    pub fn settle(&mut self, limit: u64) -> Result<(), SimError> {
+        for gate in self.netlist.gates() {
+            self.evaluate_gate(gate.id);
+        }
+        self.run_until_quiescent(limit)?;
+        self.clear_log();
+        Ok(())
+    }
+
+    /// Gates whose output toggled in the half-open window `[t0, t1)`,
+    /// deduplicated, for feeding
+    /// [`qdi_netlist::graph::SwitchingProfile::from_switching_gates`].
+    pub fn switched_gates(&self, t0: TimePs, t1: TimePs) -> Vec<GateId> {
+        let mut gates: Vec<GateId> = self
+            .log
+            .iter()
+            .filter(|t| t.time_ps >= t0 && t.time_ps < t1)
+            .filter_map(|t| self.netlist.net(t.net).driver)
+            .collect();
+        gates.sort();
+        gates.dedup();
+        gates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::{ConstantDelay, LinearDelay};
+    use qdi_netlist::{GateKind, NetlistBuilder};
+
+    fn and_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("and");
+        let a = b.input_net("a");
+        let c = b.input_net("b");
+        let y = b.gate(GateKind::And, "y", &[a, c]);
+        b.mark_output(y);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn and_gate_simulates() {
+        let nl = and_netlist();
+        let a = nl.find_net("a").expect("a");
+        let c = nl.find_net("b").expect("b");
+        let y = nl.find_net("y").expect("y");
+        let mut sim = Simulator::new(&nl, ConstantDelay::new(10));
+        sim.settle(1000).expect("settle");
+        assert!(!sim.level(y));
+        sim.drive(a, true, 1);
+        sim.drive(c, true, 1);
+        sim.run_until_quiescent(1000).expect("run");
+        assert!(sim.level(y));
+        sim.drive(a, false, 1);
+        sim.run_until_quiescent(1000).expect("run");
+        assert!(!sim.level(y));
+        assert_eq!(sim.transitions().len(), 2 + 1 + 1 + 1); // a↑ b↑ y↑ a↓ y↓
+    }
+
+    #[test]
+    fn muller_holds_state() {
+        let mut b = NetlistBuilder::new("c");
+        let a = b.input_net("a");
+        let c = b.input_net("b");
+        let y = b.gate(GateKind::Muller, "y", &[a, c]);
+        b.mark_output(y);
+        let nl = b.finish().expect("valid");
+        let a = nl.find_net("a").expect("a");
+        let cn = nl.find_net("b").expect("b");
+        let y = nl.find_net("y").expect("y");
+        let mut sim = Simulator::new(&nl, ConstantDelay::new(5));
+        sim.settle(100).expect("settle");
+        sim.drive(a, true, 1);
+        sim.run_until_quiescent(100).expect("run");
+        assert!(!sim.level(y), "C must wait for both inputs");
+        sim.drive(cn, true, 1);
+        sim.run_until_quiescent(100).expect("run");
+        assert!(sim.level(y));
+        sim.drive(a, false, 1);
+        sim.run_until_quiescent(100).expect("run");
+        assert!(sim.level(y), "C holds until both inputs fall");
+        sim.drive(cn, false, 1);
+        sim.run_until_quiescent(100).expect("run");
+        assert!(!sim.level(y));
+    }
+
+    #[test]
+    fn settle_raises_nor_outputs() {
+        let mut b = NetlistBuilder::new("nor");
+        let a = b.input_net("a");
+        let c = b.input_net("b");
+        let y = b.gate(GateKind::Nor, "y", &[a, c]);
+        b.mark_output(y);
+        let nl = b.finish().expect("valid");
+        let y = nl.find_net("y").expect("y");
+        let mut sim = Simulator::new(&nl, ConstantDelay::new(5));
+        sim.settle(100).expect("settle");
+        assert!(sim.level(y), "NOR of all-low inputs idles high");
+        assert!(sim.transitions().is_empty(), "settling must not pollute the log");
+    }
+
+    #[test]
+    fn inertial_cancellation_swallows_short_pulse() {
+        // A slow AND gate sees a 1-pulse shorter than its delay: the output
+        // must not glitch.
+        let nl = and_netlist();
+        let a = nl.find_net("a").expect("a");
+        let c = nl.find_net("b").expect("b");
+        let y = nl.find_net("y").expect("y");
+        let mut sim = Simulator::new(&nl, ConstantDelay::new(100));
+        sim.settle(100).expect("settle");
+        sim.drive(c, true, 1);
+        sim.run_until_quiescent(100).expect("run");
+        // Pulse on a: up at t+1, down ~10 ps later — shorter than the gate
+        // delay, so the AND's scheduled rise must be cancelled.
+        sim.drive(a, true, 1);
+        sim.run_until(sim.now() + 5, 100).expect("run");
+        assert!(sim.level(a));
+        sim.drive(a, false, 5);
+        sim.run_until_quiescent(100).expect("run");
+        assert!(!sim.level(a));
+        assert!(!sim.level(y));
+        let y_edges = sim.transitions().iter().filter(|t| t.net == y).count();
+        assert_eq!(y_edges, 0, "short pulse must be filtered (inertial delay)");
+    }
+
+    #[test]
+    fn oscillator_hits_event_limit() {
+        let mut b = NetlistBuilder::new("osc");
+        let en = b.input_net("en");
+        let fb = b.net("fb");
+        let y = b.gate(GateKind::Nand, "y", &[en, fb]);
+        b.gate_into(GateKind::Buf, "loop", &[y], fb);
+        b.mark_output(y);
+        let nl = b.finish().expect("valid");
+        let en = nl.find_net("en").expect("en");
+        let mut sim = Simulator::new(&nl, ConstantDelay::new(5));
+        sim.settle(10_000).expect("settles with en low");
+        sim.drive(en, true, 1);
+        let err = sim.run_until_quiescent(200).expect_err("oscillates");
+        assert!(matches!(err, SimError::EventLimit { .. }));
+    }
+
+    #[test]
+    fn linear_delay_orders_transitions_by_capacitance() {
+        // Two buffers from the same input; the heavily loaded one must
+        // switch later.
+        let mut b = NetlistBuilder::new("race");
+        let a = b.input_net("a");
+        let fast = b.gate(GateKind::Buf, "fast", &[a]);
+        let slow = b.gate(GateKind::Buf, "slow", &[a]);
+        b.mark_output(fast);
+        b.mark_output(slow);
+        let mut nl = b.finish().expect("valid");
+        nl.set_routing_cap(nl.find_net("slow").expect("slow"), 64.0);
+        let fast = nl.find_net("fast").expect("fast");
+        let slow = nl.find_net("slow").expect("slow");
+        let mut sim = Simulator::new(&nl, LinearDelay::new());
+        sim.settle(100).expect("settle");
+        sim.drive(a, true, 1);
+        sim.run_until_quiescent(100).expect("run");
+        let t = |net| {
+            sim.transitions()
+                .iter()
+                .find(|tr| tr.net == net)
+                .expect("edge logged")
+                .time_ps
+        };
+        assert!(t(slow) > t(fast), "heavier net must switch later");
+    }
+
+    #[test]
+    #[should_panic(expected = "primary inputs")]
+    fn drive_rejects_internal_net() {
+        let nl = and_netlist();
+        let y = nl.find_net("y").expect("y");
+        let mut sim = Simulator::new(&nl, ConstantDelay::new(5));
+        sim.drive(y, true, 1);
+    }
+
+    #[test]
+    fn switched_gates_window() {
+        let nl = and_netlist();
+        let a = nl.find_net("a").expect("a");
+        let c = nl.find_net("b").expect("b");
+        let mut sim = Simulator::new(&nl, ConstantDelay::new(10));
+        sim.settle(100).expect("settle");
+        sim.drive(a, true, 1);
+        sim.drive(c, true, 1);
+        sim.run_until_quiescent(100).expect("run");
+        let gates = sim.switched_gates(0, sim.now() + 1);
+        assert_eq!(gates.len(), 1); // only the AND gate drives a net
+    }
+}

@@ -1,0 +1,105 @@
+//! Value-change-dump (VCD) export of transition logs.
+//!
+//! Lets runs be inspected in standard waveform viewers (GTKWave etc.) —
+//! handy when debugging handshake composition in generated netlists.
+
+use std::fmt::Write as _;
+
+use qdi_netlist::Netlist;
+
+use crate::simulator::Transition;
+
+/// Renders a transition log as a VCD document. All nets of the netlist
+/// are declared (initial value 0, matching the simulator's reset state);
+/// time unit is 1 ps.
+///
+/// The log must be time-ordered, which [`crate::Simulator`] guarantees.
+pub fn to_vcd(netlist: &Netlist, transitions: &[Transition]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "$timescale 1ps $end");
+    let _ = writeln!(out, "$scope module {} $end", sanitize(netlist.name()));
+    for net in netlist.nets() {
+        let _ = writeln!(out, "$var wire 1 {} {} $end", code(net.id.index()), sanitize(&net.name));
+    }
+    let _ = writeln!(out, "$upscope $end");
+    let _ = writeln!(out, "$enddefinitions $end");
+    let _ = writeln!(out, "$dumpvars");
+    for net in netlist.nets() {
+        let _ = writeln!(out, "0{}", code(net.id.index()));
+    }
+    let _ = writeln!(out, "$end");
+    let mut current_time: Option<u64> = None;
+    for t in transitions {
+        if current_time != Some(t.time_ps) {
+            let _ = writeln!(out, "#{}", t.time_ps);
+            current_time = Some(t.time_ps);
+        }
+        let _ = writeln!(out, "{}{}", u8::from(t.rising), code(t.net.index()));
+    }
+    out
+}
+
+/// Compact printable-ASCII identifier codes, as the VCD grammar expects.
+fn code(mut index: usize) -> String {
+    const ALPHABET: &[u8] = b"!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`abcdefghijklmnopqrstuvwxyz{|}~";
+    let mut out = String::new();
+    loop {
+        out.push(ALPHABET[index % ALPHABET.len()] as char);
+        index /= ALPHABET.len();
+        if index == 0 {
+            return out;
+        }
+        index -= 1;
+    }
+}
+
+/// VCD identifiers may not contain whitespace; net names use dots freely,
+/// which viewers accept, but spaces are replaced defensively.
+fn sanitize(name: &str) -> String {
+    name.replace([' ', '\t'], "_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::ConstantDelay;
+    use crate::simulator::Simulator;
+    use qdi_netlist::{GateKind, NetlistBuilder};
+
+    #[test]
+    fn vcd_contains_declarations_and_changes() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input_net("a");
+        let y = b.gate(GateKind::Buf, "y", &[a]);
+        b.mark_output(y);
+        let nl = b.finish().expect("valid");
+        let a = nl.find_net("a").expect("a");
+        let mut sim = Simulator::new(&nl, ConstantDelay::new(10));
+        sim.settle(100).expect("settle");
+        sim.drive(a, true, 1);
+        sim.run_until_quiescent(100).expect("run");
+        let vcd = to_vcd(&nl, sim.transitions());
+        assert!(vcd.contains("$timescale 1ps $end"));
+        assert!(vcd.contains("$var wire 1"));
+        assert!(vcd.contains("$dumpvars"));
+        assert!(vcd.contains("#1"), "time marker for the first edge");
+        // Two rising edges: a then y.
+        assert_eq!(vcd.matches("\n1").count(), 2, "{vcd}");
+    }
+
+    #[test]
+    fn codes_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..500 {
+            let c = code(i);
+            assert!(c.chars().all(|ch| ('!'..='~').contains(&ch)), "{c:?}");
+            assert!(seen.insert(c), "duplicate code for {i}");
+        }
+    }
+
+    #[test]
+    fn sanitize_replaces_whitespace() {
+        assert_eq!(sanitize("a b\tc"), "a_b_c");
+        assert_eq!(sanitize("x.m1"), "x.m1");
+    }
+}

@@ -1,0 +1,32 @@
+//! `qdi` — DPA on quasi delay insensitive asynchronous circuits.
+//!
+//! Umbrella crate re-exporting the whole workspace, a reproduction of
+//! *"DPA on Quasi Delay Insensitive Asynchronous Circuits: Formalization
+//! and Improvement"* (Bouesse, Renaudin, Dumont, Germain — DATE 2005):
+//!
+//! * [`netlist`] — QDI gate-level netlists, 1-of-N channels, the annotated
+//!   directed graph and the dual-rail symmetry checker;
+//! * [`sim`] — event-driven simulation with four-phase environments;
+//! * [`analog`] — the electrical current model (traces, pulses, noise);
+//! * [`crypto`] — reference AES/DES plus dual-rail gate-level generators;
+//! * [`pnr`] — flat and hierarchical place and route, extraction, and the
+//!   dissymmetry criterion `dA`;
+//! * [`dpa`] — selection functions, bias signals, key ranking, metrics;
+//! * [`core`] — the paper's formal current model and the secure design
+//!   flow.
+//!
+//! See the `examples/` directory for end-to-end walkthroughs: a
+//! quickstart on the paper's dual-rail XOR, the Fig. 6/7 signature
+//! studies, a full DPA key recovery, the secure flow comparison, and the
+//! DES selection function.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use qdi_analog as analog;
+pub use qdi_core as core;
+pub use qdi_crypto as crypto;
+pub use qdi_dpa as dpa;
+pub use qdi_netlist as netlist;
+pub use qdi_pnr as pnr;
+pub use qdi_sim as sim;

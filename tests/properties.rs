@@ -1,0 +1,165 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use qdi::analog::{Pulse, PulseShape, Trace};
+use qdi::crypto::{aes, des};
+use qdi::netlist::{cells, channel, Channel, ChannelState, NetlistBuilder};
+use qdi::sim::{Testbench, TestbenchConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// 1-of-N encoding round-trips through state decoding.
+    #[test]
+    fn one_hot_encoding_round_trips(n in 2usize..9, value_seed in 0usize..1000) {
+        let value = value_seed % n;
+        let rails = channel::encode_one_hot(value, n);
+        prop_assert_eq!(ChannelState::from_rails(&rails), ChannelState::Valid(value));
+    }
+
+    /// AES encrypt/decrypt are inverse for arbitrary keys and blocks.
+    #[test]
+    fn aes_round_trips(key in prop::array::uniform16(any::<u8>()),
+                       pt in prop::array::uniform16(any::<u8>())) {
+        let keys = aes::expand_key(&key);
+        let ct = aes::encrypt_block(&keys, &pt);
+        prop_assert_eq!(aes::decrypt_block(&keys, &ct), pt);
+    }
+
+    /// AES MixColumns is invertible column-wise.
+    #[test]
+    fn mix_columns_round_trips(state in prop::array::uniform16(any::<u8>())) {
+        let mut s = state;
+        aes::mix_columns(&mut s);
+        aes::inv_mix_columns(&mut s);
+        prop_assert_eq!(s, state);
+    }
+
+    /// DES encrypt/decrypt are inverse for arbitrary keys and blocks.
+    #[test]
+    fn des_round_trips(key in any::<u64>(), pt in any::<u64>()) {
+        prop_assert_eq!(des::decrypt_block(key, des::encrypt_block(key, pt)), pt);
+    }
+
+    /// Pulses conserve charge whatever the duration, start time and
+    /// sampling period.
+    #[test]
+    fn pulses_conserve_charge(charge in 0.1f64..100.0,
+                              dur in 1u64..500,
+                              t0 in 0u64..2000,
+                              dt in 1u64..50) {
+        for shape in [PulseShape::RcExponential, PulseShape::Triangular] {
+            let mut trace = Trace::zeros(0, dt, 4);
+            trace.add_pulse(Pulse { t0_ps: t0, charge_fc: charge, dur_ps: dur }, shape);
+            let got = trace.charge_fc();
+            // The RC tail beyond the support carries e^-6 of the charge.
+            prop_assert!((got - charge).abs() < 0.01 * charge + 1e-9,
+                         "{shape:?}: {got} vs {charge}");
+        }
+    }
+
+    /// Trace averaging is bounded by the inputs (no overshoot).
+    #[test]
+    fn average_is_within_bounds(charges in prop::collection::vec(0.0f64..50.0, 1..6)) {
+        let traces: Vec<Trace> = charges.iter().map(|&q| {
+            let mut t = Trace::zeros(0, 10, 32);
+            t.add_pulse(Pulse { t0_ps: 50, charge_fc: q, dur_ps: 40 },
+                        PulseShape::Triangular);
+            t
+        }).collect();
+        let avg = Trace::average(&traces);
+        let max_q = charges.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(avg.charge_fc() <= max_q + 1e-6);
+    }
+}
+
+proptest! {
+    // Simulation-backed properties are slower; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any two-input boolean function cell computes its truth table and
+    /// switches a data-independent number of nets.
+    #[test]
+    fn fn2_cells_compute_their_truth_table(truth_bits in 1u8..15) {
+        let truth = [
+            truth_bits & 1 != 0,
+            truth_bits & 2 != 0,
+            truth_bits & 4 != 0,
+            truth_bits & 8 != 0,
+        ];
+        // Skip constant functions (rejected by the builder).
+        prop_assume!(truth.iter().any(|&t| t) && truth.iter().any(|&t| !t));
+        let mut b = NetlistBuilder::new("fn2");
+        let a = b.input_channel("a", 2);
+        let bb = b.input_channel("b", 2);
+        let ack = b.input_net("ack");
+        let cell = cells::dual_rail_fn2(&mut b, "g", &a, &bb, ack, truth);
+        b.connect_input_acks(&[a.id, bb.id], cell.ack_to_senders);
+        let out = b.output_channel("co", &cell.out.rails.clone(), ack);
+        let nl = b.finish().expect("valid");
+        let mut counts = Vec::new();
+        for (av, bv) in [(0usize, 0usize), (0, 1), (1, 0), (1, 1)] {
+            let mut tb = Testbench::new(&nl, TestbenchConfig::default()).expect("tb");
+            tb.source(a.id, vec![av]).expect("src");
+            tb.source(bb.id, vec![bv]).expect("src");
+            tb.sink(out.id).expect("sink");
+            let run = tb.run().expect("completes");
+            let expect = truth[(av << 1) | bv] as usize;
+            prop_assert_eq!(run.received(out.id), &[expect]);
+            counts.push(run.transitions.len());
+        }
+        prop_assert!(counts.windows(2).all(|w| w[0] == w[1]),
+                     "transition counts vary: {:?}", counts);
+    }
+
+    /// Gate-level AES S-box matches the reference table on random bytes.
+    #[test]
+    fn gate_level_sbox_matches_reference(v in any::<u8>()) {
+        use qdi::crypto::gatelevel::{bit_values, byte_from_bits, sbox::aes_sbox_byte,
+                                      DualRailByte};
+        let mut b = NetlistBuilder::new("sbox");
+        let input = DualRailByte::inputs(&mut b, "i");
+        let out_acks: Vec<_> = (0..8).map(|i| b.input_net(format!("oack{i}"))).collect();
+        let cell = aes_sbox_byte(&mut b, "s", &input, &out_acks);
+        for i in 0..8 {
+            b.connect_input_acks(&[input.bits[i].id], cell.ack_to_senders);
+        }
+        let outs: Vec<Channel> = cell
+            .out
+            .iter()
+            .enumerate()
+            .map(|(i, ch)| b.output_channel(format!("o{i}"), &ch.rails.clone(), out_acks[i]))
+            .collect();
+        let nl = b.finish().expect("valid");
+        let mut tb = Testbench::new(&nl, TestbenchConfig::default()).expect("tb");
+        let bits = bit_values(v);
+        for i in 0..8 {
+            tb.source(input.bits[i].id, vec![bits[i]]).expect("src");
+            tb.sink(outs[i].id).expect("sink");
+        }
+        let run = tb.run().expect("completes");
+        let got: Vec<usize> = (0..8).map(|i| run.received(outs[i].id)[0]).collect();
+        prop_assert_eq!(byte_from_bits(&got), aes::SBOX[v as usize]);
+    }
+
+    /// The slice's expected-output model matches the netlist simulation
+    /// for random plaintext/key pairs.
+    #[test]
+    fn slice_matches_model(p in any::<u8>(), k in any::<u8>()) {
+        use qdi::crypto::gatelevel::{bit_values, byte_from_bits,
+            slice::{aes_first_round_slice, SliceStage}};
+        let slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+        let mut tb = Testbench::new(&slice.netlist, TestbenchConfig::default()).expect("tb");
+        let pb = bit_values(p);
+        let kb = bit_values(k);
+        for i in 0..8 {
+            tb.source(slice.pt[i], vec![pb[i]]).expect("src");
+            tb.source(slice.key[i], vec![kb[i]]).expect("src");
+            tb.sink(slice.out[i]).expect("sink");
+        }
+        let run = tb.run().expect("completes");
+        let got: Vec<usize> = (0..8).map(|i| run.received(slice.out[i])[0]).collect();
+        prop_assert_eq!(byte_from_bits(&got), slice.expected_output(p, k));
+    }
+}
