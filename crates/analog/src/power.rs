@@ -15,7 +15,10 @@ pub fn dynamic_power_w(eta: f64, f_hz: f64, c_f: f64, vdd_v: f64) -> f64 {
 /// `caps_ff` are the switched capacitances (`Cl + Cpar + Csc`) of those
 /// gates, in fF. Result in watts.
 pub fn block_power_w(eta: f64, fa_hz: f64, caps_ff: &[f64], vdd_v: f64) -> f64 {
-    caps_ff.iter().map(|&c_ff| dynamic_power_w(eta, fa_hz, c_ff * 1e-15, vdd_v)).sum()
+    caps_ff
+        .iter()
+        .map(|&c_ff| dynamic_power_w(eta, fa_hz, c_ff * 1e-15, vdd_v))
+        .sum()
 }
 
 /// Energy of one full-swing transition of capacitance `c_ff`, in fJ:
@@ -27,7 +30,10 @@ pub fn transition_energy_fj(c_ff: f64, vdd_v: f64) -> f64 {
 /// Block power computed directly from a netlist: all gates assumed to
 /// switch once per acknowledge cycle (the balanced QDI case of eq. (3)).
 pub fn netlist_power_w(netlist: &Netlist, eta: f64, fa_hz: f64, vdd_v: f64) -> f64 {
-    let caps: Vec<f64> = netlist.gates().map(|g| netlist.switched_cap_ff(g.id)).collect();
+    let caps: Vec<f64> = netlist
+        .gates()
+        .map(|g| netlist.switched_cap_ff(g.id))
+        .collect();
     block_power_w(eta, fa_hz, &caps, vdd_v)
 }
 

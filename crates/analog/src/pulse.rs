@@ -17,8 +17,7 @@ pub struct Pulse {
 }
 
 /// The analytic shape used to spread a pulse's charge over time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum PulseShape {
     /// `i(t) = (Q/τ)·e^(−t/τ)` with `τ = Δt/3` — the first-order RC
     /// response of a CMOS output charging its load. Default.
@@ -97,7 +96,6 @@ impl PulseShape {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -60,12 +60,20 @@ impl Default for SynthConfig {
 pub struct TraceSynthesizer<'a> {
     netlist: &'a Netlist,
     cfg: SynthConfig,
+    /// Metric handles resolved once per synthesizer, not per trace.
+    pulses_metric: qdi_obs::metrics::Counter,
+    samples_metric: qdi_obs::metrics::Counter,
 }
 
 impl<'a> TraceSynthesizer<'a> {
     /// Creates a synthesizer for `netlist`.
     pub fn new(netlist: &'a Netlist, cfg: SynthConfig) -> Self {
-        TraceSynthesizer { netlist, cfg }
+        TraceSynthesizer {
+            netlist,
+            cfg,
+            pulses_metric: qdi_obs::metrics::counter("analog.pulses"),
+            samples_metric: qdi_obs::metrics::counter("analog.samples"),
+        }
     }
 
     /// The configuration in use.
@@ -93,8 +101,22 @@ impl<'a> TraceSynthesizer<'a> {
         let mut trace = Trace::zeros(0, self.cfg.dt_ps, 1);
         for t in transitions {
             let (charge_fc, dur_ps) = self.pulse_params(t);
-            trace.add_pulse(Pulse { t0_ps: t.time_ps, charge_fc, dur_ps }, self.cfg.shape);
+            trace.add_pulse(
+                Pulse {
+                    t0_ps: t.time_ps,
+                    charge_fc,
+                    dur_ps,
+                },
+                self.cfg.shape,
+            );
         }
+        self.pulses_metric.add(transitions.len() as u64);
+        self.samples_metric.add(trace.len() as u64);
+        qdi_obs::trace!(target: "qdi_analog::synth",
+            pulses = transitions.len(),
+            samples = trace.len(),
+            charge_fc = trace.charge_fc(),
+            "synthesized trace");
         trace
     }
 
@@ -115,8 +137,12 @@ mod tests {
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
-    fn xor_netlist() -> (Netlist, qdi_netlist::Channel, qdi_netlist::Channel, qdi_netlist::Channel)
-    {
+    fn xor_netlist() -> (
+        Netlist,
+        qdi_netlist::Channel,
+        qdi_netlist::Channel,
+        qdi_netlist::Channel,
+    ) {
         let mut b = NetlistBuilder::new("xor");
         let a = b.input_channel("a", 2);
         let bb = b.input_channel("b", 2);
@@ -127,8 +153,14 @@ mod tests {
         (b.finish().expect("valid"), a, bb, out)
     }
 
-    fn run_xor(nl: &Netlist, a: &qdi_netlist::Channel, bb: &qdi_netlist::Channel,
-               out: &qdi_netlist::Channel, av: usize, bv: usize) -> Vec<Transition> {
+    fn run_xor(
+        nl: &Netlist,
+        a: &qdi_netlist::Channel,
+        bb: &qdi_netlist::Channel,
+        out: &qdi_netlist::Channel,
+        av: usize,
+        bv: usize,
+    ) -> Vec<Transition> {
         let mut tb = Testbench::new(nl, TestbenchConfig::default()).expect("tb");
         tb.source(a.id, vec![av]).expect("src");
         tb.source(bb.id, vec![bv]).expect("src");
@@ -142,7 +174,11 @@ mod tests {
         let synth = TraceSynthesizer::new(&nl, SynthConfig::default());
         let charges: Vec<f64> = [(0, 0), (0, 1), (1, 0), (1, 1)]
             .into_iter()
-            .map(|(av, bv)| synth.synthesize(&run_xor(&nl, &a, &bb, &out, av, bv)).charge_fc())
+            .map(|(av, bv)| {
+                synth
+                    .synthesize(&run_xor(&nl, &a, &bb, &out, av, bv))
+                    .charge_fc()
+            })
             .collect();
         for w in charges.windows(2) {
             assert!(
@@ -163,13 +199,21 @@ mod tests {
         let base_11;
         {
             let synth = TraceSynthesizer::new(&nl, SynthConfig::default());
-            base_00 = synth.synthesize(&run_xor(&nl, &a, &bb, &out, 0, 0)).charge_fc();
-            base_11 = synth.synthesize(&run_xor(&nl, &a, &bb, &out, 1, 1)).charge_fc();
+            base_00 = synth
+                .synthesize(&run_xor(&nl, &a, &bb, &out, 0, 0))
+                .charge_fc();
+            base_11 = synth
+                .synthesize(&run_xor(&nl, &a, &bb, &out, 1, 1))
+                .charge_fc();
         }
         nl.set_routing_cap(m1, 32.0);
         let synth = TraceSynthesizer::new(&nl, SynthConfig::default());
-        let new_00 = synth.synthesize(&run_xor(&nl, &a, &bb, &out, 0, 0)).charge_fc();
-        let new_11 = synth.synthesize(&run_xor(&nl, &a, &bb, &out, 1, 1)).charge_fc();
+        let new_00 = synth
+            .synthesize(&run_xor(&nl, &a, &bb, &out, 0, 0))
+            .charge_fc();
+        let new_11 = synth
+            .synthesize(&run_xor(&nl, &a, &bb, &out, 1, 1))
+            .charge_fc();
         assert!(new_00 > base_00 + 1.0, "m1 fires for (0,0)");
         assert!((new_11 - base_11).abs() < 1e-6, "m1 idle for (1,1)");
     }
@@ -177,7 +221,10 @@ mod tests {
     #[test]
     fn noise_changes_trace_but_not_mean_much() {
         let (nl, a, bb, out) = xor_netlist();
-        let cfg = SynthConfig { noise_sigma: 0.05, ..SynthConfig::default() };
+        let cfg = SynthConfig {
+            noise_sigma: 0.05,
+            ..SynthConfig::default()
+        };
         let synth = TraceSynthesizer::new(&nl, cfg);
         let log = run_xor(&nl, &a, &bb, &out, 0, 1);
         let clean = synth.synthesize(&log);
@@ -196,7 +243,11 @@ mod tests {
         let nl = b.finish().expect("valid");
         let a = nl.find_net("a").expect("a");
         let synth = TraceSynthesizer::new(&nl, SynthConfig::default());
-        let log = vec![Transition { time_ps: 100, net: a, rising: true }];
+        let log = vec![Transition {
+            time_ps: 100,
+            net: a,
+            rising: true,
+        }];
         let trace = synth.synthesize(&log);
         let expected = nl.total_load_ff(a) * 1.2;
         assert!((trace.charge_fc() - expected).abs() < 0.3);

@@ -27,7 +27,11 @@ impl Trace {
     /// Panics if `dt_ps` is zero.
     pub fn zeros(t0_ps: u64, dt_ps: u64, len: usize) -> Self {
         assert!(dt_ps > 0, "sample period must be positive");
-        Trace { t0_ps, dt_ps, samples: vec![0.0; len] }
+        Trace {
+            t0_ps,
+            dt_ps,
+            samples: vec![0.0; len],
+        }
     }
 
     /// Start time in ps.
@@ -258,13 +262,19 @@ impl Trace {
         if self.samples.is_empty() || cols == 0 || rows == 0 {
             return String::new();
         }
-        let max = self.samples.iter().fold(0.0f64, |m, s| m.max(s.abs())).max(1e-12);
+        let max = self
+            .samples
+            .iter()
+            .fold(0.0f64, |m, s| m.max(s.abs()))
+            .max(1e-12);
         let bucket = self.samples.len().div_ceil(cols);
         let col_vals: Vec<f64> = self
             .samples
             .chunks(bucket)
             .map(|c| {
-                let peak = c.iter().fold(0.0f64, |m, &s| if s.abs() > m.abs() { s } else { m });
+                let peak = c
+                    .iter()
+                    .fold(0.0f64, |m, &s| if s.abs() > m.abs() { s } else { m });
                 peak
             })
             .collect();
@@ -274,9 +284,15 @@ impl Trace {
             let scaled = (v / max * mid as f64).round() as isize;
             let row = (mid as isize - scaled).clamp(0, rows as isize - 1) as usize;
             grid[row][c] = '*';
-            grid[mid][c] = if grid[mid][c] == ' ' { '-' } else { grid[mid][c] };
+            grid[mid][c] = if grid[mid][c] == ' ' {
+                '-'
+            } else {
+                grid[mid][c]
+            };
         }
-        grid.into_iter().map(|r| r.into_iter().collect::<String>() + "\n").collect()
+        grid.into_iter()
+            .map(|r| r.into_iter().collect::<String>() + "\n")
+            .collect()
     }
 }
 
@@ -290,7 +306,14 @@ mod tests {
     fn pulse_conserves_charge() {
         for shape in [PulseShape::RcExponential, PulseShape::Triangular] {
             let mut t = Trace::zeros(0, 5, 10);
-            t.add_pulse(Pulse { t0_ps: 100, charge_fc: 12.0, dur_ps: 60 }, shape);
+            t.add_pulse(
+                Pulse {
+                    t0_ps: 100,
+                    charge_fc: 12.0,
+                    dur_ps: 60,
+                },
+                shape,
+            );
             assert!(
                 (t.charge_fc() - 12.0).abs() < 0.5,
                 "{shape:?}: got {}",
@@ -302,7 +325,14 @@ mod tests {
     #[test]
     fn add_and_sub_are_inverse() {
         let mut a = Trace::zeros(0, 10, 50);
-        a.add_pulse(Pulse { t0_ps: 50, charge_fc: 5.0, dur_ps: 40 }, PulseShape::Triangular);
+        a.add_pulse(
+            Pulse {
+                t0_ps: 50,
+                charge_fc: 5.0,
+                dur_ps: 40,
+            },
+            PulseShape::Triangular,
+        );
         let b = a.clone();
         a.add_assign(&b);
         a.sub_assign(&b);
@@ -314,7 +344,14 @@ mod tests {
     #[test]
     fn average_of_identical_traces_is_identity() {
         let mut a = Trace::zeros(0, 10, 20);
-        a.add_pulse(Pulse { t0_ps: 30, charge_fc: 3.0, dur_ps: 30 }, PulseShape::RcExponential);
+        a.add_pulse(
+            Pulse {
+                t0_ps: 30,
+                charge_fc: 3.0,
+                dur_ps: 30,
+            },
+            PulseShape::RcExponential,
+        );
         let avg = Trace::average([&a, &a, &a]);
         for (x, y) in avg.samples().iter().zip(a.samples()) {
             assert!((x - y).abs() < 1e-12);
@@ -324,7 +361,14 @@ mod tests {
     #[test]
     fn difference_of_equal_traces_is_zero() {
         let mut a = Trace::zeros(0, 10, 20);
-        a.add_pulse(Pulse { t0_ps: 30, charge_fc: 3.0, dur_ps: 30 }, PulseShape::Triangular);
+        a.add_pulse(
+            Pulse {
+                t0_ps: 30,
+                charge_fc: 3.0,
+                dur_ps: 30,
+            },
+            PulseShape::Triangular,
+        );
         let d = Trace::difference(&a, &a);
         assert!(d.abs_peak().expect("nonempty").1.abs() < 1e-12);
         assert!(d.abs_area_fc() < 1e-9);
@@ -333,8 +377,22 @@ mod tests {
     #[test]
     fn abs_peak_finds_largest_magnitude() {
         let mut a = Trace::zeros(0, 10, 10);
-        a.add_pulse(Pulse { t0_ps: 20, charge_fc: -8.0, dur_ps: 20 }, PulseShape::Triangular);
-        a.add_pulse(Pulse { t0_ps: 70, charge_fc: 2.0, dur_ps: 20 }, PulseShape::Triangular);
+        a.add_pulse(
+            Pulse {
+                t0_ps: 20,
+                charge_fc: -8.0,
+                dur_ps: 20,
+            },
+            PulseShape::Triangular,
+        );
+        a.add_pulse(
+            Pulse {
+                t0_ps: 70,
+                charge_fc: 2.0,
+                dur_ps: 20,
+            },
+            PulseShape::Triangular,
+        );
         let (_, v) = a.abs_peak().expect("nonempty");
         assert!(v < 0.0, "negative pulse dominates");
     }
@@ -343,7 +401,14 @@ mod tests {
     fn different_lengths_zero_pad() {
         let mut a = Trace::zeros(0, 10, 5);
         let mut b = Trace::zeros(0, 10, 15);
-        b.add_pulse(Pulse { t0_ps: 100, charge_fc: 4.0, dur_ps: 30 }, PulseShape::Triangular);
+        b.add_pulse(
+            Pulse {
+                t0_ps: 100,
+                charge_fc: 4.0,
+                dur_ps: 30,
+            },
+            PulseShape::Triangular,
+        );
         a.add_assign(&b);
         assert_eq!(a.len(), b.len());
         assert!((a.charge_fc() - 4.0).abs() < 0.3);
@@ -377,7 +442,14 @@ mod tests {
     #[test]
     fn ascii_plot_has_requested_rows() {
         let mut t = Trace::zeros(0, 10, 100);
-        t.add_pulse(Pulse { t0_ps: 200, charge_fc: 10.0, dur_ps: 100 }, PulseShape::Triangular);
+        t.add_pulse(
+            Pulse {
+                t0_ps: 200,
+                charge_fc: 10.0,
+                dur_ps: 100,
+            },
+            PulseShape::Triangular,
+        );
         let plot = t.ascii_plot(40, 7);
         assert_eq!(plot.lines().count(), 7);
         assert!(plot.contains('*'));

@@ -31,7 +31,11 @@ fn cmos_style_traces(key: u8) -> TraceSet {
         let mut t = Trace::zeros(0, 10, 64);
         // Clocked register load: charge scales with switched bits.
         t.add_pulse(
-            Pulse { t0_ps: 200, charge_fc: 3.0 * hw, dur_ps: 60 },
+            Pulse {
+                t0_ps: 200,
+                charge_fc: 3.0 * hw,
+                dur_ps: 60,
+            },
             PulseShape::RcExponential,
         );
         t.add_gaussian_noise(&mut rng, 0.05);
@@ -53,12 +57,15 @@ fn main() {
         cmos_result.best().max_corr,
         cmos_result.rank_of(KEY as u16).map_or(0, |r| r + 1)
     );
-    assert_eq!(cmos_result.best().guess, KEY as u16, "HW-CPA must break plain CMOS");
+    assert_eq!(
+        cmos_result.best().guess,
+        KEY as u16,
+        "HW-CPA must break plain CMOS"
+    );
     assert!(cmos_result.best().max_corr > 0.8);
 
     // Balanced dual-rail QDI traces of the same computation.
-    let slice =
-        aes_first_round_slice("slice", SliceStage::XorSbox).expect("generator is correct");
+    let slice = aes_first_round_slice("slice", SliceStage::XorSbox).expect("generator is correct");
     let mut cfg = CampaignConfig::new(KEY);
     cfg.traces = TRACES;
     cfg.plaintexts = PlaintextSource::Random;

@@ -69,9 +69,8 @@ fn run(strategy: Strategy, seed: u64) -> Outcome {
     // and N traces is sigma*dt*sqrt(2W/(N/2)); a nearest-template call on
     // a margin m succeeds with probability Phi(m / sigma_bias).
     let w_samples = ((window.1 - window.0) / atk.synth.dt_ps).max(1) as f64;
-    let sigma_bias = NOISE_SIGMA
-        * atk.synth.dt_ps as f64
-        * (2.0 * w_samples / (atk.traces as f64 / 2.0)).sqrt();
+    let sigma_bias =
+        NOISE_SIGMA * atk.synth.dt_ps as f64 * (2.0 * w_samples / (atk.traces as f64 / 2.0)).sqrt();
     let margins = templates.margins();
     let expected_bits: f64 = margins.iter().map(|&m| phi(m / sigma_bias)).sum();
     Outcome {
@@ -119,7 +118,10 @@ fn main() {
         "\naverages: dA flat {flat_d:.3} vs hier {hier_d:.3} | margin flat {flat_m:.2} vs \
          hier {hier_m:.2} fC | E[bits] flat {flat_bits:.2} vs hier {hier_bits:.2}"
     );
-    assert!(hier_d < flat_d, "hierarchical flow must bound the criterion");
+    assert!(
+        hier_d < flat_d,
+        "hierarchical flow must bound the criterion"
+    );
     assert!(
         hier_m < flat_m,
         "hierarchical flow must shrink the exploitable bias margins"
@@ -128,7 +130,10 @@ fn main() {
         flat_bits > hier_bits,
         "the flat layout must leak more expected key bits"
     );
-    assert!(flat_trial >= 6.0, "the flat layout should essentially disclose the key byte");
+    assert!(
+        flat_trial >= 6.0,
+        "the flat layout should essentially disclose the key byte"
+    );
     println!("\nRESULT: the flat layout's channel dissymmetry leaks the key byte through");
     println!("noise; the hierarchical methodology shrinks the eq.-12 margins and the");
     println!("recovered bits drop accordingly — Section VI's improvement demonstrated.");

@@ -8,7 +8,13 @@ use qdi_bench::banner;
 use qdi_netlist::{cells, NetId, NetlistBuilder};
 use qdi_sim::{protocol, Testbench, TestbenchConfig, Transition};
 
-fn waveform(transitions: &[Transition], net: NetId, end_ps: u64, cols: usize, init: bool) -> String {
+fn waveform(
+    transitions: &[Transition],
+    net: NetId,
+    end_ps: u64,
+    cols: usize,
+    init: bool,
+) -> String {
     let mut level = init;
     let mut idx = 0;
     let edges: Vec<&Transition> = transitions.iter().filter(|t| t.net == net).collect();
@@ -45,17 +51,27 @@ fn main() {
     let end = run.end_time_ps + 50;
     let cols = 72;
 
-    println!("two communications: value 1, then value 0 ({} ps total)\n", run.end_time_ps);
+    println!(
+        "two communications: value 1, then value 0 ({} ps total)\n",
+        run.end_time_ps
+    );
     let rows: &[(&str, NetId, bool)] = &[
         ("a.r0 (data 0)", a.rail(0), false),
         ("a.r1 (data 1)", a.rail(1), false),
-        ("ack to sender", netlist.channel(a.id).ack.expect("ack"), true),
+        (
+            "ack to sender",
+            netlist.channel(a.id).ack.expect("ack"),
+            true,
+        ),
         ("co.r0", out.rail(0), false),
         ("co.r1", out.rail(1), false),
         ("ack from recv", ack, true),
     ];
     for (label, net, init) in rows {
-        println!("{label:<14} {}", waveform(&run.transitions, *net, end, cols, *init));
+        println!(
+            "{label:<14} {}",
+            waveform(&run.transitions, *net, end, cols, *init)
+        );
     }
     println!(
         "\nphases per communication: (1) valid data, (2) acknowledge capture\n\

@@ -9,7 +9,11 @@ fn main() {
     let fx = XorFixture::new();
     let levels = graph::levelize(&fx.netlist).expect("acyclic data path");
 
-    println!("gates: {}   nets: {}", fx.netlist.gate_count(), fx.netlist.net_count());
+    println!(
+        "gates: {}   nets: {}",
+        fx.netlist.gate_count(),
+        fx.netlist.net_count()
+    );
     println!("\nlevelization (paper: Nc = 4):");
     for (level, gates) in levels.iter() {
         let entries: Vec<String> = gates

@@ -22,7 +22,10 @@ fn main() {
     println!("hazard check: all four computations glitch free (Fig. 3 property)\n");
 
     let sig = fx.signature(SynthConfig::default());
-    println!("{}", trace_summary("balanced signature S(t), nominal gates", &sig));
+    println!(
+        "{}",
+        trace_summary("balanced signature S(t), nominal gates", &sig)
+    );
     println!("\n{}", sig.ascii_plot(72, 9));
 
     // The paper's Fig. 6 still shows "a few peaks due to internal gate
@@ -55,5 +58,7 @@ process-mismatch residual area"
         ratio > 3.0,
         "process residual should be far below a routed imbalance (got {ratio:.2}x)"
     );
-    println!("\nRESULT: balanced layout leaves only residual (Cpar/Csc-scale) peaks, as in Fig. 6.");
+    println!(
+        "\nRESULT: balanced layout leaves only residual (Cpar/Csc-scale) peaks, as in Fig. 6."
+    );
 }

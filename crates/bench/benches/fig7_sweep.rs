@@ -22,23 +22,39 @@ fn main() {
     let cases: &[(&str, &[(&str, f64)])] = &[
         ("7a: Cl31 = 16 fF (level-3 net x.h1)", &[("x.h1", 16.0)]),
         ("7b: Cl21 = 16 fF (level-2 net x.o1)", &[("x.o1", 16.0)]),
-        ("7c: Cl11 = Cl12 = 16 fF (x.m1, x.m2)", &[("x.m1", 16.0), ("x.m2", 16.0)]),
-        ("7d: Cl11 = Cl12 = 32 fF (x.m1, x.m2)", &[("x.m1", 32.0), ("x.m2", 32.0)]),
+        (
+            "7c: Cl11 = Cl12 = 16 fF (x.m1, x.m2)",
+            &[("x.m1", 16.0), ("x.m2", 16.0)],
+        ),
+        (
+            "7d: Cl11 = Cl12 = 32 fF (x.m1, x.m2)",
+            &[("x.m1", 32.0), ("x.m2", 32.0)],
+        ),
     ];
     let balanced = scenario(&[]);
-    println!("{}\n", trace_summary("baseline (balanced, Fig. 6)", &balanced));
+    println!(
+        "{}\n",
+        trace_summary("baseline (balanced, Fig. 6)", &balanced)
+    );
 
     let mut areas = Vec::new();
     for (label, caps) in cases {
         let sig = scenario(caps);
         println!("{}", trace_summary(label, &sig));
         println!("{}", sig.ascii_plot(72, 7));
-        areas.push((label, sig.abs_area_fc(), sig.abs_peak().expect("nonempty").0));
+        areas.push((
+            label,
+            sig.abs_area_fc(),
+            sig.abs_peak().expect("nonempty").0,
+        ));
     }
 
     // Shape assertions mirroring the paper's reading of Fig. 7.
     let area = |i: usize| areas[i].1;
-    assert!(area(0) > 3.0 * balanced.abs_area_fc(), "7a must dominate the baseline");
+    assert!(
+        area(0) > 3.0 * balanced.abs_area_fc(),
+        "7a must dominate the baseline"
+    );
     assert!(
         area(3) > area(2),
         "7d (32 fF) must exceed 7c (16 fF): {} vs {}",

@@ -25,7 +25,10 @@ fn main() {
 
     let cfg = PnrConfig::default();
     let fp = floorplan::build_floorplan(&column.netlist, &cfg);
-    println!("\nconstrained floorplan (Fig. 9 stand-in):\n{}", fp.to_table());
+    println!(
+        "\nconstrained floorplan (Fig. 9 stand-in):\n{}",
+        fp.to_table()
+    );
 
     // Area comparison between the two flows.
     let mut quick = cfg;

@@ -47,14 +47,20 @@ fn main() {
     let energy = fill::fill_energy_cost_fj(&cone_report, 1.2);
 
     println!("capacitive fill on the flat-routed XOR slice:");
-    println!("  worst channel dA:  {before_d:.3}  ->  {:.3}", cone_report.max_criterion_after);
+    println!(
+        "  worst channel dA:  {before_d:.3}  ->  {:.3}",
+        cone_report.max_criterion_after
+    );
     println!("  avg bias margin:   {before_avg:.2} fC  -> {ch_avg:.2} fC (channel fill) -> {after_avg:.2} fC (cone fill)");
     println!("  min bias margin:   {before_min:.2} fC  -> {ch_min:.2} fC (channel fill) -> {after_min:.2} fC (cone fill)");
     println!(
         "  cone-fill cost: {:.0} fF dummy capacitance = {energy:.0} fJ extra per cycle",
         cone_report.added_cap_ff
     );
-    assert!(ch_report.max_criterion_after < 1e-9, "channel fill must zero the criterion");
+    assert!(
+        ch_report.max_criterion_after < 1e-9,
+        "channel fill must zero the criterion"
+    );
     assert!(
         ch_avg < before_avg,
         "channel fill must reduce the margins: {before_avg} -> {ch_avg}"

@@ -69,11 +69,18 @@ fn main() {
 
     // 2. Ablation: pulse shape.
     let rc = areas_with(SynthConfig::default());
-    let tri = areas_with(SynthConfig { shape: PulseShape::Triangular, ..SynthConfig::default() });
+    let tri = areas_with(SynthConfig {
+        shape: PulseShape::Triangular,
+        ..SynthConfig::default()
+    });
     println!("\nablation — pulse shape (area ordering must match):");
     println!("  RC exponential: {:?}", rank_order(&rc));
     println!("  triangular:     {:?}", rank_order(&tri));
-    assert_eq!(rank_order(&rc)[0], rank_order(&tri)[0], "balanced stays smallest");
+    assert_eq!(
+        rank_order(&rc)[0],
+        rank_order(&tri)[0],
+        "balanced stays smallest"
+    );
     assert_eq!(
         *rank_order(&rc).last().expect("nonempty"),
         *rank_order(&tri).last().expect("nonempty"),

@@ -24,9 +24,10 @@ fn main() {
     cfg.anneal.moves_per_gate = 50;
 
     let mut max_d = Vec::new();
-    for (version, strategy) in
-        [("AES_v1 - hierarchical", Strategy::Hierarchical), ("AES_v2 - flatten", Strategy::Flat)]
-    {
+    for (version, strategy) in [
+        ("AES_v1 - hierarchical", Strategy::Hierarchical),
+        ("AES_v2 - flatten", Strategy::Flat),
+    ] {
         let mut nl = column.netlist.clone();
         let report = place_and_route(&mut nl, strategy, &cfg);
         let mut worst = criterion::internal_criterion_table(&nl);
@@ -54,7 +55,10 @@ fn main() {
     let outcomes =
         criterion::stability_study(&column.netlist, Strategy::Flat, &fast, &[1, 2, 3, 4]);
     for o in &outcomes {
-        println!("  seed {:>2}: {:<36} dA = {:.3}", o.seed, o.worst_channel, o.worst_d);
+        println!(
+            "  seed {:>2}: {:<36} dA = {:.3}",
+            o.seed, o.worst_channel, o.worst_d
+        );
     }
     let distinct: std::collections::HashSet<&str> =
         outcomes.iter().map(|o| o.worst_channel.as_str()).collect();

@@ -32,14 +32,22 @@ impl XorFixture {
         let cell = cells::dual_rail_xor(&mut b, "x", &a, &bb, ack);
         b.connect_input_acks(&[a.id, bb.id], cell.ack_to_senders);
         let out = b.output_channel("co", &cell.out.rails.clone(), ack);
-        XorFixture { netlist: b.finish().expect("valid xor fixture"), a, b: bb, out }
+        XorFixture {
+            netlist: b.finish().expect("valid xor fixture"),
+            a,
+            b: bb,
+            out,
+        }
     }
 
     /// Overrides the routing capacitance of named internal nets
     /// (e.g. `("x.h1", 16.0)` for the paper's `Cl31 = 16 fF`).
     pub fn set_caps(&mut self, caps: &[(&str, f64)]) {
         for (name, cap) in caps {
-            let id = self.netlist.find_net(name).unwrap_or_else(|| panic!("no net {name}"));
+            let id = self
+                .netlist
+                .find_net(name)
+                .unwrap_or_else(|| panic!("no net {name}"));
             self.netlist.set_routing_cap(id, *cap);
         }
     }
@@ -47,8 +55,7 @@ impl XorFixture {
     /// Runs one communication with the given operand values and returns
     /// the transition log.
     pub fn run_pair(&self, av: usize, bv: usize) -> Vec<qdi_sim::Transition> {
-        let mut tb =
-            Testbench::new(&self.netlist, TestbenchConfig::default()).expect("testbench");
+        let mut tb = Testbench::new(&self.netlist, TestbenchConfig::default()).expect("testbench");
         tb.source(self.a.id, vec![av]).expect("source a");
         tb.source(self.b.id, vec![bv]).expect("source b");
         tb.sink(self.out.id).expect("sink");
@@ -62,8 +69,7 @@ impl XorFixture {
         bv: usize,
         delay: impl DelayModel + 'static,
     ) -> Vec<qdi_sim::Transition> {
-        let mut tb =
-            Testbench::with_delay(&self.netlist, TestbenchConfig::default(), delay);
+        let mut tb = Testbench::with_delay(&self.netlist, TestbenchConfig::default(), delay);
         tb.source(self.a.id, vec![av]).expect("source a");
         tb.source(self.b.id, vec![bv]).expect("source b");
         tb.sink(self.out.id).expect("sink");

@@ -99,6 +99,8 @@ pub struct StaticFlowReport {
     pub leakage_ranking: Vec<ChannelLeakage>,
     /// Fill report, when a fill step ran.
     pub fill: Option<qdi_pnr::fill::FillReport>,
+    /// Per-step wall time and metric deltas for the run.
+    pub telemetry: qdi_obs::Telemetry,
 }
 
 impl StaticFlowReport {
@@ -135,28 +137,53 @@ impl StaticFlowReport {
 /// Runs the static flow; the netlist's net capacitances are overwritten by
 /// extraction.
 pub fn run_static_flow(netlist: &mut Netlist, cfg: &FlowConfig) -> StaticFlowReport {
-    let unbalanced: Vec<String> = symmetry::check_all(netlist)
-        .into_iter()
-        .filter(|r| !r.balanced)
-        .map(|r| r.channel_name)
-        .collect();
-    let pnr = place_and_route(netlist, cfg.strategy, &cfg.pnr);
-    let fill_report = match cfg.fill {
+    qdi_obs::init_from_env();
+    let mut flow_span = qdi_obs::span("qdi_core::flow", "static_flow")
+        .field("netlist", netlist.name())
+        .field("strategy", format!("{:?}", cfg.strategy))
+        .field("gates", netlist.gate_count())
+        .enter();
+    let mut telemetry = qdi_obs::Telemetry::new();
+    let unbalanced: Vec<String> = telemetry.step("qdi_core::flow", "symmetry_check", || {
+        symmetry::check_all(netlist)
+            .into_iter()
+            .filter(|r| !r.balanced)
+            .map(|r| r.channel_name)
+            .collect()
+    });
+    let pnr = telemetry.step("qdi_core::flow", "place_and_route", || {
+        place_and_route(netlist, cfg.strategy, &cfg.pnr)
+    });
+    let fill_report = telemetry.step("qdi_core::flow", "fill", || match cfg.fill {
         FillStep::None => None,
         FillStep::Channels { tolerance } => {
             Some(qdi_pnr::fill::balance_channels(netlist, tolerance))
         }
         FillStep::Cones => Some(qdi_pnr::fill::balance_cones(netlist)),
-    };
-    let table = criterion::criterion_table(netlist);
+    });
+    let table = telemetry.step("qdi_core::flow", "criterion_table", || {
+        criterion::criterion_table(netlist)
+    });
     let max_criterion = table.first().map_or(0.0, |c| c.d);
-    let flagged = table
+    let flagged: Vec<String> = table
         .iter()
         .take_while(|c| c.d > cfg.criterion_alert)
         .map(|c| c.name.clone())
         .collect();
-    let mut leakage = rank_channel_leakage(netlist);
+    for c in table.iter().take_while(|c| c.d > cfg.criterion_alert) {
+        qdi_obs::warn!(target: "qdi_core::flow",
+            channel = c.name.as_str(),
+            d_a = c.d,
+            alert = cfg.criterion_alert,
+            "dissymmetry criterion above alert threshold");
+    }
+    let mut leakage = telemetry.step("qdi_core::flow", "leakage_ranking", || {
+        rank_channel_leakage(netlist)
+    });
     leakage.truncate(cfg.worst_k);
+    flow_span.record("max_criterion", max_criterion);
+    flow_span.record("flagged_channels", flagged.len());
+    flow_span.record("wall_ms", telemetry.total_wall_ms);
     StaticFlowReport {
         netlist: netlist.name().to_owned(),
         strategy: cfg.strategy,
@@ -169,6 +196,7 @@ pub fn run_static_flow(netlist: &mut Netlist, cfg: &FlowConfig) -> StaticFlowRep
         flagged_channels: flagged,
         leakage_ranking: leakage,
         fill: fill_report,
+        telemetry,
     }
 }
 
@@ -199,7 +227,8 @@ impl SliceFlowReport {
             self.attack.best().guess,
             self.best_peak,
             self.ghost_ratio,
-            self.correct_key_rank.map_or("unranked".to_owned(), |r| (r + 1).to_string()),
+            self.correct_key_rank
+                .map_or("unranked".to_owned(), |r| (r + 1).to_string()),
         ));
         out
     }
@@ -216,13 +245,23 @@ pub fn run_slice_flow(
     sel: &dyn SelectionFunction,
     cfg: &FlowConfig,
 ) -> Result<SliceFlowReport, SimError> {
-    let layout = run_static_flow(&mut slice.netlist, cfg);
-    let set = campaign::run_slice_campaign(slice, &cfg.campaign)?;
-    let result = attack(&set, sel);
+    let mut layout = run_static_flow(&mut slice.netlist, cfg);
+    let set = layout.telemetry.step("qdi_core::flow", "campaign", || {
+        campaign::run_slice_campaign(slice, &cfg.campaign)
+    })?;
+    let result = layout
+        .telemetry
+        .step("qdi_core::flow", "attack", || attack(&set, sel));
     let correct_key_rank = result.rank_of(cfg.campaign.key as u16);
     let best_peak = result.best().peak_abs;
     let ghost_ratio = result.ghost_ratio();
-    Ok(SliceFlowReport { layout, attack: result, correct_key_rank, best_peak, ghost_ratio })
+    Ok(SliceFlowReport {
+        layout,
+        attack: result,
+        correct_key_rank,
+        best_peak,
+        ghost_ratio,
+    })
 }
 
 #[cfg(test)]
@@ -259,6 +298,67 @@ mod tests {
     }
 
     #[test]
+    fn static_flow_report_serializes_populated_telemetry() {
+        let mut slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+        let report = run_static_flow(&mut slice.netlist, &fast_cfg(Strategy::Flat, 0));
+        let step_names: Vec<&str> = report
+            .telemetry
+            .steps
+            .iter()
+            .map(|s| s.step.as_str())
+            .collect();
+        assert_eq!(
+            step_names,
+            vec![
+                "symmetry_check",
+                "place_and_route",
+                "fill",
+                "criterion_table",
+                "leakage_ranking"
+            ]
+        );
+        assert!(report.telemetry.total_wall_ms > 0.0);
+        let pnr_step = report
+            .telemetry
+            .step_named("place_and_route")
+            .expect("step recorded");
+        assert!(
+            pnr_step
+                .counters
+                .iter()
+                .any(|c| c.name == "pnr.moves_attempted"),
+            "place_and_route step must carry annealing counter deltas: {:?}",
+            pnr_step.counters
+        );
+        let json = serde_json::to_string(&report).expect("report serializes");
+        assert!(
+            json.contains("\"telemetry\""),
+            "report JSON must embed the telemetry block"
+        );
+        assert!(json.contains("place_and_route"));
+    }
+
+    #[test]
+    fn slice_flow_telemetry_includes_dpa_steps() {
+        let mut slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+        let sel = AesXorSelect { byte: 0, bit: 0 };
+        let report =
+            run_slice_flow(&mut slice, &sel, &fast_cfg(Strategy::Flat, 0)).expect("flow completes");
+        let telemetry = &report.layout.telemetry;
+        assert!(telemetry.step_named("campaign").is_some());
+        assert!(telemetry.step_named("attack").is_some());
+        let campaign = telemetry.step_named("campaign").expect("campaign step");
+        assert!(
+            campaign
+                .counters
+                .iter()
+                .any(|c| c.name == "dpa.traces" && c.value > 0.0),
+            "campaign step must record trace counters: {:?}",
+            campaign.counters
+        );
+    }
+
+    #[test]
     fn slice_flow_runs_end_to_end() {
         let mut slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
         let sel = AesXorSelect { byte: 0, bit: 0 };
@@ -279,9 +379,10 @@ mod tests {
         let mut max_flat: f64 = 0.0;
         let mut max_hier: f64 = 0.0;
         for seed in [11u64, 12] {
-            for (strategy, acc) in
-                [(Strategy::Flat, &mut max_flat), (Strategy::Hierarchical, &mut max_hier)]
-            {
+            for (strategy, acc) in [
+                (Strategy::Flat, &mut max_flat),
+                (Strategy::Hierarchical, &mut max_hier),
+            ] {
                 let mut nl = base.netlist.clone();
                 let mut cfg = fast_cfg(strategy, 0);
                 cfg.pnr.anneal.seed = seed;
@@ -303,7 +404,11 @@ mod tests {
         let report = run_static_flow(&mut slice.netlist, &cfg);
         let fill = report.fill.expect("fill ran");
         assert!(fill.max_criterion_before > 0.0);
-        assert!(report.max_criterion < 1e-9, "criterion after fill: {}", report.max_criterion);
+        assert!(
+            report.max_criterion < 1e-9,
+            "criterion after fill: {}",
+            report.max_criterion
+        );
     }
 
     #[test]

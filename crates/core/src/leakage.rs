@@ -37,13 +37,20 @@ fn rail_pulse(
 ) -> qdi_analog::Trace {
     let net = channel.rail(rail);
     let (c_ff, r_kohm) = match netlist.net(net).driver {
-        Some(g) => (netlist.switched_cap_ff(g), netlist.gate(g).params.drive_res_kohm),
+        Some(g) => (
+            netlist.switched_cap_ff(g),
+            netlist.gate(g).params.drive_res_kohm,
+        ),
         None => (netlist.total_load_ff(net), cfg.input_drive_kohm),
     };
     let dur = (DT0_PS + cfg.dt_k * r_kohm * c_ff).max(1.0).round() as u64;
     let mut t = qdi_analog::Trace::zeros(0, cfg.dt_ps, 1);
     t.add_pulse(
-        qdi_analog::Pulse { t0_ps: 0, charge_fc: c_ff * cfg.vdd_v, dur_ps: dur },
+        qdi_analog::Pulse {
+            t0_ps: 0,
+            charge_fc: c_ff * cfg.vdd_v,
+            dur_ps: dur,
+        },
         cfg.shape,
     );
     t
@@ -61,8 +68,9 @@ pub fn channel_leakage(
     if channel.rails.len() < 2 {
         return None;
     }
-    let pulses: Vec<qdi_analog::Trace> =
-        (0..channel.rails.len()).map(|r| rail_pulse(netlist, channel, r, cfg)).collect();
+    let pulses: Vec<qdi_analog::Trace> = (0..channel.rails.len())
+        .map(|r| rail_pulse(netlist, channel, r, cfg))
+        .collect();
     let mut worst = 0.0f64;
     for (i, a) in pulses.iter().enumerate() {
         for b in &pulses[i + 1..] {
@@ -83,9 +91,15 @@ pub fn channel_leakage(
 /// Ranks every multi-rail channel by predicted bias, worst first.
 pub fn rank_channel_leakage(netlist: &Netlist) -> Vec<ChannelLeakage> {
     let cfg = SynthConfig::new();
-    let mut rows: Vec<ChannelLeakage> =
-        netlist.channels().filter_map(|c| channel_leakage(netlist, c, &cfg)).collect();
-    rows.sort_by(|a, b| b.bias_estimate.total_cmp(&a.bias_estimate).then(a.name.cmp(&b.name)));
+    let mut rows: Vec<ChannelLeakage> = netlist
+        .channels()
+        .filter_map(|c| channel_leakage(netlist, c, &cfg))
+        .collect();
+    rows.sort_by(|a, b| {
+        b.bias_estimate
+            .total_cmp(&a.bias_estimate)
+            .then(a.name.cmp(&b.name))
+    });
     rows
 }
 
@@ -109,7 +123,12 @@ mod tests {
     fn balanced_channels_estimate_zero() {
         let nl = xor_netlist();
         for row in rank_channel_leakage(&nl) {
-            assert!(row.bias_estimate.abs() < 1e-9, "{}: {}", row.name, row.bias_estimate);
+            assert!(
+                row.bias_estimate.abs() < 1e-9,
+                "{}: {}",
+                row.name,
+                row.bias_estimate
+            );
         }
     }
 

@@ -54,6 +54,8 @@ pub mod flow;
 pub mod leakage;
 pub mod model;
 
-pub use flow::{run_slice_flow, run_static_flow, FillStep, FlowConfig, SliceFlowReport, StaticFlowReport};
+pub use flow::{
+    run_slice_flow, run_static_flow, FillStep, FlowConfig, SliceFlowReport, StaticFlowReport,
+};
 pub use leakage::{rank_channel_leakage, ChannelLeakage};
 pub use model::CurrentModel;

@@ -33,7 +33,11 @@ impl<'a> CurrentModel<'a> {
     /// Returns [`NetlistError::CombinationalCycle`] if the data path is
     /// cyclic.
     pub fn new(netlist: &'a Netlist) -> Result<Self, NetlistError> {
-        Ok(CurrentModel { netlist, levels: graph::levelize(netlist)?, cfg: SynthConfig::new() })
+        Ok(CurrentModel {
+            netlist,
+            levels: graph::levelize(netlist)?,
+            cfg: SynthConfig::new(),
+        })
     }
 
     /// Replaces the electrical configuration (defaults to
@@ -74,8 +78,7 @@ impl<'a> CurrentModel<'a> {
         for (_, gates) in self.levels.iter() {
             for &g in gates {
                 let gate = self.netlist.gate(g);
-                let inputs: Vec<bool> =
-                    gate.inputs.iter().map(|&n| values[n.index()]).collect();
+                let inputs: Vec<bool> = gate.inputs.iter().map(|&n| values[n.index()]).collect();
                 values[gate.output.index()] = gate.kind.eval(&inputs, false);
             }
         }
@@ -160,7 +163,10 @@ impl<'a> CurrentModel<'a> {
     ///
     /// Panics if either class is empty.
     pub fn predicted_bias(&self, class0: &[Vec<GateId>], class1: &[Vec<GateId>]) -> Trace {
-        assert!(!class0.is_empty() && !class1.is_empty(), "both DPA classes need members");
+        assert!(
+            !class0.is_empty() && !class1.is_empty(),
+            "both DPA classes need members"
+        );
         let avg = |class: &[Vec<GateId>]| {
             let traces: Vec<Trace> = class.iter().map(|f| self.predicted_trace(f)).collect();
             Trace::average(&traces)
@@ -212,9 +218,13 @@ mod tests {
         (b.finish().expect("valid"), a, bb)
     }
 
-    fn xor_assignment(nl: &Netlist, a: &Channel, bb: &Channel, av: usize, bv: usize)
-        -> HashMap<NetId, bool>
-    {
+    fn xor_assignment(
+        nl: &Netlist,
+        a: &Channel,
+        bb: &Channel,
+        av: usize,
+        bv: usize,
+    ) -> HashMap<NetId, bool> {
         let _ = nl;
         let mut m = HashMap::new();
         for v in 0..2 {
@@ -255,7 +265,11 @@ mod tests {
         assert_eq!(schedule.len(), 4);
         let time_of = |suffix: &str| {
             let g = nl.find_gate(&format!("x.{suffix}")).expect("gate");
-            schedule.iter().find(|(id, _)| *id == g).expect("scheduled").1
+            schedule
+                .iter()
+                .find(|(id, _)| *id == g)
+                .expect("scheduled")
+                .1
         };
         assert!(time_of("o2") > time_of("m4"));
         assert!(time_of("h2") > time_of("o2"));

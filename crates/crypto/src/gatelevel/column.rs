@@ -48,13 +48,18 @@ pub fn reference_column(pt: [u8; 4], k0: [u8; 4], k1: [u8; 4]) -> [u8; 4] {
 /// Propagates [`NetlistError`] from construction.
 pub fn aes_column_datapath(name: &str) -> Result<AesColumn, NetlistError> {
     let mut b = NetlistBuilder::new(name);
-    let pt: Vec<DualRailByte> =
-        (0..4).map(|i| DualRailByte::inputs(&mut b, &format!("pt{i}"))).collect();
-    let key0: Vec<DualRailByte> =
-        (0..4).map(|i| DualRailByte::inputs(&mut b, &format!("k0_{i}"))).collect();
-    let key1: Vec<DualRailByte> =
-        (0..4).map(|i| DualRailByte::inputs(&mut b, &format!("k1_{i}"))).collect();
-    let out_acks: Vec<NetId> = (0..32).map(|i| b.input_net(format!("out.ack{i}"))).collect();
+    let pt: Vec<DualRailByte> = (0..4)
+        .map(|i| DualRailByte::inputs(&mut b, &format!("pt{i}")))
+        .collect();
+    let key0: Vec<DualRailByte> = (0..4)
+        .map(|i| DualRailByte::inputs(&mut b, &format!("k0_{i}")))
+        .collect();
+    let key1: Vec<DualRailByte> = (0..4)
+        .map(|i| DualRailByte::inputs(&mut b, &format!("k1_{i}")))
+        .collect();
+    let out_acks: Vec<NetId> = (0..32)
+        .map(|i| b.input_net(format!("out.ack{i}")))
+        .collect();
 
     // Placeholders for acknowledges flowing backwards through the pipeline.
     let sbox_acks: Vec<NetId> = (0..4).map(|s| b.net(format!("ph.sb{s}.ack"))).collect();
@@ -66,7 +71,13 @@ pub fn aes_column_datapath(name: &str) -> Result<AesColumn, NetlistError> {
     b.push_block("addkey0");
     let addkey0: Vec<_> = (0..4)
         .map(|s| {
-            xor_byte(&mut b, &format!("ak0_{s}"), &pt[s], &key0[s], &[sbox_acks[s]; 8])
+            xor_byte(
+                &mut b,
+                &format!("ak0_{s}"),
+                &pt[s],
+                &key0[s],
+                &[sbox_acks[s]; 8],
+            )
         })
         .collect();
     b.pop_block();
@@ -97,9 +108,18 @@ pub fn aes_column_datapath(name: &str) -> Result<AesColumn, NetlistError> {
         let mut byte = Vec::with_capacity(8);
         for i in 0..8 {
             let idx = s * 8 + i;
-            let cell =
-                cells::wchb_buffer(&mut b, &format!("hb{idx}"), &sboxes[s].out[i], mix_acks[idx]);
-            bridge_ack(&mut b, &format!("hb{idx}"), cell.ack_to_senders, hb_acks[idx]);
+            let cell = cells::wchb_buffer(
+                &mut b,
+                &format!("hb{idx}"),
+                &sboxes[s].out[i],
+                mix_acks[idx],
+            );
+            bridge_ack(
+                &mut b,
+                &format!("hb{idx}"),
+                cell.ack_to_senders,
+                hb_acks[idx],
+            );
             byte.push(cell.out);
         }
         b.pop_block();
@@ -129,7 +149,12 @@ pub fn aes_column_datapath(name: &str) -> Result<AesColumn, NetlistError> {
     for s in 0..4 {
         for i in 0..8 {
             let idx = s * 8 + i;
-            bridge_ack(&mut b, &format!("ak{idx}"), ark[s].acks_to_senders[i], ark_acks[idx]);
+            bridge_ack(
+                &mut b,
+                &format!("ak{idx}"),
+                ark[s].acks_to_senders[i],
+                ark_acks[idx],
+            );
             b.connect_input_acks(&[key1[s].bits[i].id], ark[s].acks_to_senders[i]);
         }
     }
@@ -170,16 +195,30 @@ mod tests {
     fn column_has_expected_blocks_and_scale() {
         let col = aes_column_datapath("aes_col").expect("builds");
         let blocks = col.netlist.block_names();
-        for expect in
-            ["addkey0", "bytesub0", "bytesub3", "hb0", "hb3", "mixcolumn", "addroundkey"]
-        {
+        for expect in [
+            "addkey0",
+            "bytesub0",
+            "bytesub3",
+            "hb0",
+            "hb3",
+            "mixcolumn",
+            "addroundkey",
+        ] {
             assert!(
                 blocks.iter().any(|b| b.starts_with(expect)),
                 "missing {expect}: {blocks:?}"
             );
         }
-        assert!(col.netlist.gate_count() > 4_000, "got {}", col.netlist.gate_count());
-        assert!(col.netlist.channel_count() > 150, "got {}", col.netlist.channel_count());
+        assert!(
+            col.netlist.gate_count() > 4_000,
+            "got {}",
+            col.netlist.gate_count()
+        );
+        assert!(
+            col.netlist.channel_count() > 150,
+            "got {}",
+            col.netlist.channel_count()
+        );
     }
 
     #[test]
@@ -206,8 +245,9 @@ mod tests {
         let run = tb.run().expect("completes");
         let mut got = [0u8; 4];
         for s in 0..4 {
-            let bits: Vec<usize> =
-                (0..8).map(|i| run.received(col.out[s * 8 + i])[0]).collect();
+            let bits: Vec<usize> = (0..8)
+                .map(|i| run.received(col.out[s * 8 + i])[0])
+                .collect();
             got[s] = byte_from_bits(&bits);
         }
         assert_eq!(got, expect);

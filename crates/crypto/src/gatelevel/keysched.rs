@@ -99,20 +99,28 @@ pub fn aes_key_round(name: &str, round: usize) -> Result<AesKeyRound, NetlistErr
     let mut b = NetlistBuilder::new(name);
     // Inputs: 4 words x 4 bytes.
     let words: Vec<Vec<DualRailByte>> = (0..4)
-        .map(|w| (0..4).map(|i| DualRailByte::inputs(&mut b, &format!("w{w}b{i}"))).collect())
+        .map(|w| {
+            (0..4)
+                .map(|i| DualRailByte::inputs(&mut b, &format!("w{w}b{i}")))
+                .collect()
+        })
         .collect();
-    let out_acks: Vec<NetId> =
-        (0..128).map(|i| b.input_net(format!("out.ack{i}"))).collect();
+    let out_acks: Vec<NetId> = (0..128)
+        .map(|i| b.input_net(format!("out.ack{i}")))
+        .collect();
 
     // RotWord(w3) = byte rotation (wiring), then SubWord (4 S-boxes).
-    let rot: Vec<&DualRailByte> =
-        (0..4).map(|i| &words[3][(i + 1) % 4]).collect();
+    let rot: Vec<&DualRailByte> = (0..4).map(|i| &words[3][(i + 1) % 4]).collect();
     let sbox_acks: Vec<NetId> = (0..4).map(|s| b.net(format!("ph.sb{s}.ack"))).collect();
     // w3 feeds both the S-boxes (via RotWord) and the w7 XOR; its senders
     // are acknowledged by a join built below.
     let mut temp_bytes: Vec<DualRailByte> = Vec::with_capacity(4);
     let xk_acks: Vec<Vec<NetId>> = (0..4)
-        .map(|w| (0..32).map(|i| b.net(format!("ph.xk{w}.{i}.ack"))).collect())
+        .map(|w| {
+            (0..32)
+                .map(|i| b.net(format!("ph.xk{w}.{i}.ack")))
+                .collect()
+        })
         .collect();
     for s in 0..4 {
         b.push_block(format!("bytesub{s}"));
@@ -139,12 +147,19 @@ pub fn aes_key_round(name: &str, round: usize) -> Result<AesKeyRound, NetlistErr
             let acks: Vec<NetId> = if w + 1 < 4 {
                 // Output consumed by the boundary AND the next XOR bank:
                 // join their acknowledges (the "Duplicate" block).
-                (0..8).map(|i| b.net(format!("ph.dup{w}.{byte}.{i}"))).collect()
+                (0..8)
+                    .map(|i| b.net(format!("ph.dup{w}.{byte}.{i}")))
+                    .collect()
             } else {
                 (0..8).map(|i| out_acks[w * 32 + byte * 8 + i]).collect()
             };
-            let cell =
-                xor_byte(&mut b, &format!("xk{w}_{byte}"), &words[w][byte], &operand, &acks);
+            let cell = xor_byte(
+                &mut b,
+                &format!("xk{w}_{byte}"),
+                &words[w][byte],
+                &operand,
+                &acks,
+            );
             for i in 0..8 {
                 b.connect_input_acks(&[words[w][byte].bits[i].id], cell.acks_to_senders[i]);
                 bridge_ack(
@@ -218,7 +233,12 @@ pub fn aes_key_round(name: &str, round: usize) -> Result<AesKeyRound, NetlistErr
         .iter()
         .flat_map(|word| word.iter().flat_map(DualRailByte::channel_ids))
         .collect();
-    Ok(AesKeyRound { key_in, key_out, round, netlist: b.finish()? })
+    Ok(AesKeyRound {
+        key_in,
+        key_out,
+        round,
+        netlist: b.finish()?,
+    })
 }
 
 /// Looks up the `ph.dup{w}.{byte}.{bit}` placeholder created for a
@@ -252,7 +272,11 @@ mod tests {
     #[test]
     fn key_round_netlist_computes_reference() {
         let unit = aes_key_round("ks", 1).expect("builds");
-        assert!(unit.netlist.gate_count() > 4_000, "got {}", unit.netlist.gate_count());
+        assert!(
+            unit.netlist.gate_count() > 4_000,
+            "got {}",
+            unit.netlist.gate_count()
+        );
         let prev: [u8; 16] = [
             0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
             0x4f, 0x3c,
@@ -262,7 +286,8 @@ mod tests {
         for byte in 0..16usize {
             let bits = bit_values(prev[byte]);
             for bit in 0..8 {
-                tb.source(unit.key_in[byte * 8 + bit], vec![bits[bit]]).expect("src");
+                tb.source(unit.key_in[byte * 8 + bit], vec![bits[bit]])
+                    .expect("src");
             }
         }
         for &o in &unit.key_out {
@@ -271,8 +296,9 @@ mod tests {
         let run = tb.run().expect("key round completes");
         let mut got = [0u8; 16];
         for byte in 0..16usize {
-            let bits: Vec<usize> =
-                (0..8).map(|bit| run.received(unit.key_out[byte * 8 + bit])[0]).collect();
+            let bits: Vec<usize> = (0..8)
+                .map(|bit| run.received(unit.key_out[byte * 8 + bit])[0])
+                .collect();
             got[byte] = byte_from_bits(&bits);
         }
         assert_eq!(got, expect);

@@ -55,11 +55,17 @@ pub fn xor_reduce(
     match inputs.len() {
         1 => {
             let cell = cells::wchb_buffer(b, name, &inputs[0], out_ack);
-            XorReduce { out: cell.out, input_acks: vec![cell.ack_to_senders] }
+            XorReduce {
+                out: cell.out,
+                input_acks: vec![cell.ack_to_senders],
+            }
         }
         2 => {
             let cell = cells::dual_rail_xor(b, name, &inputs[0], &inputs[1], out_ack);
-            XorReduce { out: cell.out, input_acks: vec![cell.ack_to_senders; 2] }
+            XorReduce {
+                out: cell.out,
+                input_acks: vec![cell.ack_to_senders; 2],
+            }
         }
         n => {
             let mid = n.div_ceil(2);
@@ -71,7 +77,10 @@ pub fn xor_reduce(
             bridge_ack(b, name, node.ack_to_senders, child_ack);
             let mut input_acks = left.input_acks;
             input_acks.extend(right.input_acks);
-            XorReduce { out: node.out, input_acks }
+            XorReduce {
+                out: node.out,
+                input_acks,
+            }
         }
     }
 }
@@ -102,8 +111,7 @@ pub fn mix_column_cell(
     assert_eq!(column.len(), 4, "a column is 4 bytes");
     assert_eq!(out_acks.len(), 32, "one output acknowledge per bit");
     let matrix = mix_column_matrix();
-    let input_channels: Vec<&Channel> =
-        column.iter().flat_map(|byte| byte.bits.iter()).collect();
+    let input_channels: Vec<&Channel> = column.iter().flat_map(|byte| byte.bits.iter()).collect();
     let mut consumer_acks: Vec<Vec<NetId>> = vec![Vec::new(); 32];
     let mut out = Vec::with_capacity(32);
     for (i, row) in matrix.iter().enumerate() {
@@ -113,8 +121,12 @@ pub fn mix_column_cell(
             .filter(|&(_, &m)| m)
             .map(|(j, _)| input_channels[j].clone())
             .collect();
-        let tap_indices: Vec<usize> =
-            row.iter().enumerate().filter(|&(_, &m)| m).map(|(j, _)| j).collect();
+        let tap_indices: Vec<usize> = row
+            .iter()
+            .enumerate()
+            .filter(|&(_, &m)| m)
+            .map(|(j, _)| j)
+            .collect();
         // Each XOR tree is its own sub-block: the paper's methodology
         // gathers "the cells that implement a given function" into a small
         // dedicated physical area, which is what bounds the rail-to-rail
@@ -145,7 +157,8 @@ mod tests {
     fn matrix_matches_reference_on_random_columns() {
         let matrix = mix_column_matrix();
         for seed in 0..8u8 {
-            let input: [u8; 4] = std::array::from_fn(|i| seed.wrapping_mul(57).wrapping_add(i as u8 * 19));
+            let input: [u8; 4] =
+                std::array::from_fn(|i| seed.wrapping_mul(57).wrapping_add(i as u8 * 19));
             let mut expect = input;
             aes::mix_single_column(&mut expect);
             let mut got = [0u8; 4];
@@ -175,8 +188,9 @@ mod tests {
     fn xor_reduce_computes_parity() {
         for n in 1..=5usize {
             let mut b = NetlistBuilder::new("xr");
-            let chans: Vec<Channel> =
-                (0..n).map(|i| b.input_channel(format!("i{i}"), 2)).collect();
+            let chans: Vec<Channel> = (0..n)
+                .map(|i| b.input_channel(format!("i{i}"), 2))
+                .collect();
             let out_ack = b.input_net("oack");
             let tree = xor_reduce(&mut b, "x", &chans, out_ack);
             for (ch, &ack) in chans.iter().zip(&tree.input_acks) {
@@ -203,8 +217,9 @@ mod tests {
     #[test]
     fn mix_column_cell_matches_reference() {
         let mut b = NetlistBuilder::new("mc");
-        let column: Vec<DualRailByte> =
-            (0..4).map(|i| DualRailByte::inputs(&mut b, &format!("a{i}"))).collect();
+        let column: Vec<DualRailByte> = (0..4)
+            .map(|i| DualRailByte::inputs(&mut b, &format!("a{i}")))
+            .collect();
         let out_acks: Vec<NetId> = (0..32).map(|i| b.input_net(format!("oack{i}"))).collect();
         let cell = mix_column_cell(&mut b, "mc", &column, &out_acks);
         for (j, byte) in column.iter().enumerate() {
@@ -235,8 +250,9 @@ mod tests {
         let run = tb.run().expect("completes");
         let mut got = [0u8; 4];
         for byte in 0..4 {
-            let bits: Vec<usize> =
-                (0..8).map(|bit| run.received(outs[byte * 8 + bit].id)[0]).collect();
+            let bits: Vec<usize> = (0..8)
+                .map(|bit| run.received(outs[byte * 8 + bit].id)[0])
+                .collect();
             got[byte] = byte_from_bits(&bits);
         }
         assert_eq!(got, expect);

@@ -12,8 +12,8 @@
 
 pub mod column;
 pub mod keysched;
-pub mod round;
 pub mod mixcolumns;
+pub mod round;
 pub mod sbox;
 pub mod slice;
 pub mod xor_bank;
@@ -22,8 +22,8 @@ use qdi_netlist::{Channel, ChannelId, NetId, NetlistBuilder};
 
 pub use column::{aes_column_datapath, AesColumn};
 pub use keysched::{aes_key_round, reference_key_round, AesKeyRound};
-pub use round::{aes_round_netlist, reference_round, AesRound};
 pub use mixcolumns::{mix_column_cell, mix_column_matrix, xor_reduce, MixColumnCell};
+pub use round::{aes_round_netlist, reference_round, AesRound};
 pub use sbox::{des_sbox_cell, sbox_byte, SboxCell};
 pub use slice::{aes_first_round_slice, AesByteSlice, SliceStage};
 pub use xor_bank::{xor_byte, XorByteCell};
@@ -38,7 +38,9 @@ pub struct DualRailByte {
 impl DualRailByte {
     /// Creates eight primary-input channels named `{name}.b0 .. {name}.b7`.
     pub fn inputs(b: &mut NetlistBuilder, name: &str) -> Self {
-        let bits = (0..8).map(|i| b.input_channel(format!("{name}.b{i}"), 2)).collect();
+        let bits = (0..8)
+            .map(|i| b.input_channel(format!("{name}.b{i}"), 2))
+            .collect();
         DualRailByte { bits }
     }
 
@@ -49,7 +51,10 @@ impl DualRailByte {
     /// Panics unless exactly 8 dual-rail channels are supplied.
     pub fn from_channels(bits: Vec<Channel>) -> Self {
         assert_eq!(bits.len(), 8, "a byte needs 8 channels");
-        assert!(bits.iter().all(Channel::is_dual_rail), "byte channels must be dual-rail");
+        assert!(
+            bits.iter().all(Channel::is_dual_rail),
+            "byte channels must be dual-rail"
+        );
         DualRailByte { bits }
     }
 
@@ -68,14 +73,21 @@ pub fn bit_values(v: u8) -> [usize; 8] {
 /// Reassembles a byte from per-bit sink outputs.
 pub fn byte_from_bits(bits: &[usize]) -> u8 {
     assert_eq!(bits.len(), 8, "a byte needs 8 bits");
-    bits.iter().enumerate().fold(0u8, |acc, (i, &b)| acc | ((b as u8 & 1) << i))
+    bits.iter()
+        .enumerate()
+        .fold(0u8, |acc, (i, &b)| acc | ((b as u8 & 1) << i))
 }
 
 /// Bridges a later-constructed acknowledge source onto a placeholder net
 /// created before its driver existed (see module docs): instantiates a
 /// buffer driving `placeholder` from `source`.
 pub fn bridge_ack(b: &mut NetlistBuilder, name: &str, source: NetId, placeholder: NetId) {
-    b.gate_into(qdi_netlist::GateKind::Buf, format!("{name}.ackbr"), &[source], placeholder);
+    b.gate_into(
+        qdi_netlist::GateKind::Buf,
+        format!("{name}.ackbr"),
+        &[source],
+        placeholder,
+    );
 }
 
 #[cfg(test)]

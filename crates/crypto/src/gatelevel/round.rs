@@ -58,14 +58,18 @@ pub fn reference_round(pt: &[u8; 16], k0: &[u8; 16], k1: &[u8; 16]) -> [u8; 16] 
 /// Propagates [`NetlistError`] from construction.
 pub fn aes_round_netlist(name: &str) -> Result<AesRound, NetlistError> {
     let mut b = NetlistBuilder::new(name);
-    let pt: Vec<DualRailByte> =
-        (0..16).map(|i| DualRailByte::inputs(&mut b, &format!("pt{i}"))).collect();
-    let key0: Vec<DualRailByte> =
-        (0..16).map(|i| DualRailByte::inputs(&mut b, &format!("k0_{i}"))).collect();
-    let key1: Vec<DualRailByte> =
-        (0..16).map(|i| DualRailByte::inputs(&mut b, &format!("k1_{i}"))).collect();
-    let out_acks: Vec<NetId> =
-        (0..128).map(|i| b.input_net(format!("out.ack{i}"))).collect();
+    let pt: Vec<DualRailByte> = (0..16)
+        .map(|i| DualRailByte::inputs(&mut b, &format!("pt{i}")))
+        .collect();
+    let key0: Vec<DualRailByte> = (0..16)
+        .map(|i| DualRailByte::inputs(&mut b, &format!("k0_{i}")))
+        .collect();
+    let key1: Vec<DualRailByte> = (0..16)
+        .map(|i| DualRailByte::inputs(&mut b, &format!("k1_{i}")))
+        .collect();
+    let out_acks: Vec<NetId> = (0..128)
+        .map(|i| b.input_net(format!("out.ack{i}")))
+        .collect();
 
     let sbox_acks: Vec<NetId> = (0..16).map(|s| b.net(format!("ph.sb{s}.ack"))).collect();
     let hb_acks: Vec<NetId> = (0..128).map(|i| b.net(format!("ph.hb{i}.ack"))).collect();
@@ -76,8 +80,13 @@ pub fn aes_round_netlist(name: &str) -> Result<AesRound, NetlistError> {
     let mut addkey0 = Vec::with_capacity(16);
     for s in 0..16 {
         b.push_block(format!("addkey0_{s}"));
-        let cell =
-            xor_byte(&mut b, &format!("ak0_{s}"), &pt[s], &key0[s], &[sbox_acks[s]; 8]);
+        let cell = xor_byte(
+            &mut b,
+            &format!("ak0_{s}"),
+            &pt[s],
+            &key0[s],
+            &[sbox_acks[s]; 8],
+        );
         b.pop_block();
         for i in 0..8 {
             b.connect_input_acks(
@@ -112,7 +121,12 @@ pub fn aes_round_netlist(name: &str) -> Result<AesRound, NetlistError> {
                 &sboxes[s].out[i],
                 mix_acks[idx],
             );
-            bridge_ack(&mut b, &format!("hb{idx}"), cell.ack_to_senders, hb_acks[idx]);
+            bridge_ack(
+                &mut b,
+                &format!("hb{idx}"),
+                cell.ack_to_senders,
+                hb_acks[idx],
+            );
             byte.push(cell.out);
         }
         b.pop_block();
@@ -125,8 +139,9 @@ pub fn aes_round_netlist(name: &str) -> Result<AesRound, NetlistError> {
     // the *source* (hb) byte, so route them through the permutation.
     let mut mix_cells = Vec::with_capacity(4);
     for c in 0..4usize {
-        let column: Vec<DualRailByte> =
-            (0..4).map(|r| hb_out[r + 4 * ((c + r) % 4)].clone()).collect();
+        let column: Vec<DualRailByte> = (0..4)
+            .map(|r| hb_out[r + 4 * ((c + r) % 4)].clone())
+            .collect();
         b.push_block(format!("mixcolumn{c}"));
         let acks: Vec<NetId> = (0..32).map(|i| ark_acks[c * 32 + i]).collect();
         let cell = mix_column_cell(&mut b, &format!("mc{c}"), &column, &acks);
@@ -150,16 +165,19 @@ pub fn aes_round_netlist(name: &str) -> Result<AesRound, NetlistError> {
     let mut out = Vec::with_capacity(128);
     for s in 0..16usize {
         let (c, r) = (s / 4, s % 4);
-        let mix_byte = DualRailByte::from_channels(
-            mix_cells[c].out[r * 8..r * 8 + 8].to_vec(),
-        );
+        let mix_byte = DualRailByte::from_channels(mix_cells[c].out[r * 8..r * 8 + 8].to_vec());
         b.push_block(format!("addroundkey{s}"));
         let acks: Vec<NetId> = (0..8).map(|i| out_acks[s * 8 + i]).collect();
         let cell = xor_byte(&mut b, &format!("ark{s}"), &mix_byte, &key1[s], &acks);
         b.pop_block();
         for i in 0..8 {
             let idx = s * 8 + i;
-            bridge_ack(&mut b, &format!("ak{idx}"), cell.acks_to_senders[i], ark_acks[c * 32 + r * 8 + i]);
+            bridge_ack(
+                &mut b,
+                &format!("ak{idx}"),
+                cell.acks_to_senders[i],
+                ark_acks[c * 32 + r * 8 + i],
+            );
             b.connect_input_acks(&[key1[s].bits[i].id], cell.acks_to_senders[i]);
             let ch = b.output_channel(
                 format!("out.b{idx}"),
@@ -191,10 +209,23 @@ mod tests {
     #[test]
     fn round_netlist_scale_and_blocks() {
         let round = aes_round_netlist("aes_round").expect("builds");
-        assert!(round.netlist.gate_count() > 20_000, "got {}", round.netlist.gate_count());
+        assert!(
+            round.netlist.gate_count() > 20_000,
+            "got {}",
+            round.netlist.gate_count()
+        );
         let blocks = round.netlist.block_names();
-        for expect in ["bytesub0", "bytesub15", "mixcolumn0", "mixcolumn3", "addroundkey15"] {
-            assert!(blocks.iter().any(|b| b.starts_with(expect)), "missing {expect}");
+        for expect in [
+            "bytesub0",
+            "bytesub15",
+            "mixcolumn0",
+            "mixcolumn3",
+            "addroundkey15",
+        ] {
+            assert!(
+                blocks.iter().any(|b| b.starts_with(expect)),
+                "missing {expect}"
+            );
         }
         assert!(qdi_netlist::graph::levelize(&round.netlist).is_ok());
     }
@@ -213,8 +244,10 @@ mod tests {
             let c = bit_values(k1[s]);
             for i in 0..8 {
                 tb.source(round.pt[s * 8 + i], vec![p[i]]).expect("src pt");
-                tb.source(round.key0[s * 8 + i], vec![a[i]]).expect("src k0");
-                tb.source(round.key1[s * 8 + i], vec![c[i]]).expect("src k1");
+                tb.source(round.key0[s * 8 + i], vec![a[i]])
+                    .expect("src k0");
+                tb.source(round.key1[s * 8 + i], vec![c[i]])
+                    .expect("src k1");
             }
         }
         for &o in &round.out {
@@ -223,8 +256,9 @@ mod tests {
         let run = tb.run().expect("round completes");
         let mut got = [0u8; 16];
         for s in 0..16 {
-            let bits: Vec<usize> =
-                (0..8).map(|i| run.received(round.out[s * 8 + i])[0]).collect();
+            let bits: Vec<usize> = (0..8)
+                .map(|i| run.received(round.out[s * 8 + i])[0])
+                .collect();
             got[s] = byte_from_bits(&bits);
         }
         assert_eq!(got, expect);

@@ -43,7 +43,10 @@ pub fn sbox_byte(
     let inputs: Vec<&qdi_netlist::Channel> = input.bits.iter().rev().collect();
     let lut = cells::dual_rail_lut(b, name, &inputs, out_acks, &table64, 8);
     let ack = lut[0].ack_to_senders;
-    SboxCell { out: lut.into_iter().map(|c| c.out).collect(), ack_to_senders: ack }
+    SboxCell {
+        out: lut.into_iter().map(|c| c.out).collect(),
+        ack_to_senders: ack,
+    }
 }
 
 /// Builds the AES S-box (the paper's ByteSub block).
@@ -77,12 +80,16 @@ pub fn des_sbox_cell(
     // With the channel order reversed below (callers pass LSB-first, the
     // minterm plane wants MSB-first), the minterm index equals the FIPS
     // six-bit address directly.
-    let table: Vec<u64> =
-        (0..64u8).map(|v| u64::from(des::sbox(sbox_index, v))).collect();
+    let table: Vec<u64> = (0..64u8)
+        .map(|v| u64::from(des::sbox(sbox_index, v)))
+        .collect();
     let reversed: Vec<&qdi_netlist::Channel> = inputs.iter().rev().copied().collect();
     let lut = cells::dual_rail_lut(b, name, &reversed, out_acks, &table, 4);
     let ack = lut[0].ack_to_senders;
-    SboxCell { out: lut.into_iter().map(|c| c.out).collect(), ack_to_senders: ack }
+    SboxCell {
+        out: lut.into_iter().map(|c| c.out).collect(),
+        ack_to_senders: ack,
+    }
 }
 
 #[cfg(test)]
@@ -146,8 +153,9 @@ mod tests {
     #[test]
     fn des_sbox_matches_reference_on_all_inputs() {
         let mut b = NetlistBuilder::new("dsbox");
-        let inputs: Vec<qdi_netlist::Channel> =
-            (0..6).map(|i| b.input_channel(format!("i{i}"), 2)).collect();
+        let inputs: Vec<qdi_netlist::Channel> = (0..6)
+            .map(|i| b.input_channel(format!("i{i}"), 2))
+            .collect();
         let out_acks: Vec<NetId> = (0..4).map(|i| b.input_net(format!("oack{i}"))).collect();
         let refs: Vec<&qdi_netlist::Channel> = inputs.iter().collect();
         let cell = des_sbox_cell(&mut b, "s1", 0, &refs, &out_acks);
@@ -162,13 +170,16 @@ mod tests {
         for six in [0u8, 1, 0b101010, 0b111111, 0b100001] {
             let mut tb = Testbench::new(&nl, TestbenchConfig::default()).expect("tb");
             for (i, ch) in inputs.iter().enumerate() {
-                tb.source(ch.id, vec![((six >> i) & 1) as usize]).expect("src");
+                tb.source(ch.id, vec![((six >> i) & 1) as usize])
+                    .expect("src");
             }
             for o in &outs {
                 tb.sink(o.id).expect("sink");
             }
             let run = tb.run().expect("completes");
-            let got = (0..4).fold(0u8, |acc, i| acc | ((run.received(outs[i].id)[0] as u8) << i));
+            let got = (0..4).fold(0u8, |acc, i| {
+                acc | ((run.received(outs[i].id)[0] as u8) << i)
+            });
             assert_eq!(got, des::sbox(0, six), "SBOX1({six:06b})");
         }
     }

@@ -61,6 +61,10 @@ pub fn expected_output(stage: SliceStage, pt: u8, key: u8) -> u8 {
 /// Propagates [`NetlistError`] from construction (which indicates a bug in
 /// the generator rather than bad input).
 pub fn aes_first_round_slice(name: &str, stage: SliceStage) -> Result<AesByteSlice, NetlistError> {
+    let mut span = qdi_obs::span_at(qdi_obs::Level::Debug, "qdi_crypto::slice", "build_slice")
+        .field("name", name)
+        .field("stage", format!("{stage:?}"))
+        .enter();
     let mut b = NetlistBuilder::new(name);
     let pt = DualRailByte::inputs(&mut b, "pt");
     let key = DualRailByte::inputs(&mut b, "key");
@@ -98,7 +102,10 @@ pub fn aes_first_round_slice(name: &str, stage: SliceStage) -> Result<AesByteSli
         .bits
         .iter()
         .enumerate()
-        .map(|(i, ch)| b.output_channel(format!("out.b{i}"), &ch.rails.clone(), out_acks[i]).id)
+        .map(|(i, ch)| {
+            b.output_channel(format!("out.b{i}"), &ch.rails.clone(), out_acks[i])
+                .id
+        })
         .collect();
     let slice = AesByteSlice {
         pt: pt.channel_ids(),
@@ -107,6 +114,9 @@ pub fn aes_first_round_slice(name: &str, stage: SliceStage) -> Result<AesByteSli
         stage,
         netlist: b.finish()?,
     };
+    span.record("gates", slice.netlist.gate_count());
+    span.record("nets", slice.netlist.net_count());
+    qdi_obs::metrics::counter("crypto.slices_built").inc();
     Ok(slice)
 }
 
@@ -117,8 +127,7 @@ mod tests {
     use qdi_sim::{Testbench, TestbenchConfig};
 
     fn run_slice(slice: &AesByteSlice, pt: u8, key: u8) -> u8 {
-        let mut tb =
-            Testbench::new(&slice.netlist, TestbenchConfig::default()).expect("tb");
+        let mut tb = Testbench::new(&slice.netlist, TestbenchConfig::default()).expect("tb");
         let pbits = bit_values(pt);
         let kbits = bit_values(key);
         for i in 0..8 {
@@ -152,7 +161,10 @@ mod tests {
         let slice = aes_first_round_slice("slice", SliceStage::XorSbox).expect("builds");
         let blocks = slice.netlist.block_names();
         assert!(blocks.iter().any(|b| b.starts_with("addkey")), "{blocks:?}");
-        assert!(blocks.iter().any(|b| b.starts_with("bytesub")), "{blocks:?}");
+        assert!(
+            blocks.iter().any(|b| b.starts_with("bytesub")),
+            "{blocks:?}"
+        );
     }
 
     #[test]
@@ -160,8 +172,7 @@ mod tests {
         let slice = aes_first_round_slice("slice", SliceStage::XorSbox).expect("builds");
         let mut counts = Vec::new();
         for (p, k) in [(0x00u8, 0x00u8), (0xFF, 0x00), (0x12, 0x34)] {
-            let mut tb =
-                Testbench::new(&slice.netlist, TestbenchConfig::default()).expect("tb");
+            let mut tb = Testbench::new(&slice.netlist, TestbenchConfig::default()).expect("tb");
             let pbits = bit_values(p);
             let kbits = bit_values(k);
             for i in 0..8 {
@@ -176,7 +187,13 @@ mod tests {
 
     #[test]
     fn expected_output_matches_reference() {
-        assert_eq!(expected_output(SliceStage::XorOnly, 0xAB, 0x12), 0xAB ^ 0x12);
-        assert_eq!(expected_output(SliceStage::XorSbox, 0xAB, 0x12), aes::SBOX[0xAB ^ 0x12]);
+        assert_eq!(
+            expected_output(SliceStage::XorOnly, 0xAB, 0x12),
+            0xAB ^ 0x12
+        );
+        assert_eq!(
+            expected_output(SliceStage::XorSbox, 0xAB, 0x12),
+            aes::SBOX[0xAB ^ 0x12]
+        );
     }
 }

@@ -49,7 +49,10 @@ pub fn xor_byte(
         out_bits.push(cell.out);
         acks.push(cell.ack_to_senders);
     }
-    XorByteCell { out: DualRailByte::from_channels(out_bits), acks_to_senders: acks }
+    XorByteCell {
+        out: DualRailByte::from_channels(out_bits),
+        acks_to_senders: acks,
+    }
 }
 
 #[cfg(test)]
@@ -58,7 +61,12 @@ mod tests {
     use crate::gatelevel::{bit_values, byte_from_bits};
     use qdi_sim::{Testbench, TestbenchConfig};
 
-    fn build() -> (qdi_netlist::Netlist, DualRailByte, DualRailByte, Vec<qdi_netlist::Channel>) {
+    fn build() -> (
+        qdi_netlist::Netlist,
+        DualRailByte,
+        DualRailByte,
+        Vec<qdi_netlist::Channel>,
+    ) {
         let mut b = NetlistBuilder::new("xorbank");
         let a = DualRailByte::inputs(&mut b, "a");
         let k = DualRailByte::inputs(&mut b, "k");

@@ -28,7 +28,9 @@ fn run_column(col: &AesColumn, pt: [u8; 4], k0: [u8; 4], k1: [u8; 4]) -> [u8; 4]
     }
     let run = tb.run().expect("column completes");
     std::array::from_fn(|s| {
-        let bits: Vec<usize> = (0..8).map(|i| run.received(col.out[s * 8 + i])[0]).collect();
+        let bits: Vec<usize> = (0..8)
+            .map(|i| run.received(col.out[s * 8 + i])[0])
+            .collect();
         byte_from_bits(&bits)
     })
 }
@@ -38,7 +40,8 @@ fn run_key_round(unit: &AesKeyRound, prev: [u8; 16]) -> [u8; 16] {
     for byte in 0..16usize {
         let bits = bit_values(prev[byte]);
         for bit in 0..8 {
-            tb.source(unit.key_in[byte * 8 + bit], vec![bits[bit]]).expect("src");
+            tb.source(unit.key_in[byte * 8 + bit], vec![bits[bit]])
+                .expect("src");
         }
     }
     for &o in &unit.key_out {
@@ -46,8 +49,9 @@ fn run_key_round(unit: &AesKeyRound, prev: [u8; 16]) -> [u8; 16] {
     }
     let run = tb.run().expect("key round completes");
     std::array::from_fn(|byte| {
-        let bits: Vec<usize> =
-            (0..8).map(|bit| run.received(unit.key_out[byte * 8 + bit])[0]).collect();
+        let bits: Vec<usize> = (0..8)
+            .map(|bit| run.received(unit.key_out[byte * 8 + bit])[0])
+            .collect();
         byte_from_bits(&bits)
     })
 }
@@ -89,8 +93,10 @@ fn column_transitions_are_data_independent() {
             let p = bit_values(v[s]);
             for i in 0..8 {
                 tb.source(col.pt[s * 8 + i], vec![p[i]]).expect("src");
-                tb.source(col.key0[s * 8 + i], vec![p[(i + 3) % 8]]).expect("src");
-                tb.source(col.key1[s * 8 + i], vec![p[(i + 5) % 8]]).expect("src");
+                tb.source(col.key0[s * 8 + i], vec![p[(i + 3) % 8]])
+                    .expect("src");
+                tb.source(col.key1[s * 8 + i], vec![p[(i + 5) % 8]])
+                    .expect("src");
             }
         }
         for &o in &col.out {

@@ -23,8 +23,14 @@ pub fn bias_signal(set: &TraceSet, sel: &dyn SelectionFunction, guess: u16) -> O
         }
     }
     if s0.is_empty() || s1.is_empty() {
+        qdi_obs::debug!(target: "qdi_dpa::attack",
+            guess = guess, s0 = s0.len(), s1 = s1.len(),
+            "degenerate partition — guess cannot be scored");
         return None;
     }
+    qdi_obs::trace!(target: "qdi_dpa::attack",
+        guess = guess, s0 = s0.len(), s1 = s1.len(),
+        "partitioned traces for guess");
     let a0 = Trace::average(s0);
     let a1 = Trace::average(s1);
     Some(Trace::difference(&a0, &a1))
@@ -108,6 +114,12 @@ pub fn attack_windowed(
     guesses: &[u16],
     window: Option<(u64, u64)>,
 ) -> AttackResult {
+    let mut span = qdi_obs::span("qdi_dpa::attack", "attack")
+        .field("selection", sel.name())
+        .field("guesses", guesses.len())
+        .field("traces", set.len())
+        .enter();
+    let ranking_start = std::time::Instant::now();
     let mut scores: Vec<GuessScore> = guesses
         .iter()
         .filter_map(|&guess| {
@@ -125,8 +137,29 @@ pub fn attack_windowed(
             })
         })
         .collect();
-    scores.sort_by(|a, b| b.peak_abs.total_cmp(&a.peak_abs).then(a.guess.cmp(&b.guess)));
-    AttackResult { selection: sel.name(), scores, traces: set.len() }
+    scores.sort_by(|a, b| {
+        b.peak_abs
+            .total_cmp(&a.peak_abs)
+            .then(a.guess.cmp(&b.guess))
+    });
+    let ranking_ms = ranking_start.elapsed().as_secs_f64() * 1e3;
+    qdi_obs::metrics::counter("dpa.guesses_scored").add(scores.len() as u64);
+    qdi_obs::metrics::histogram(
+        "dpa.guess_ranking_ms",
+        &[1.0, 10.0, 100.0, 1_000.0, 10_000.0],
+    )
+    .observe(ranking_ms);
+    span.record("scored", scores.len());
+    span.record("ranking_ms", ranking_ms);
+    if let Some(best) = scores.first() {
+        span.record("best_guess", best.guess);
+        span.record("best_peak", best.peak_abs);
+    }
+    AttackResult {
+        selection: sel.name(),
+        scores,
+        traces: set.len(),
+    }
 }
 
 /// Multi-bit DPA in the spirit of Bevan–Knudsen: runs one single-bit attack
@@ -143,7 +176,10 @@ pub fn multibit_attack_windowed(
     sels: &[&dyn SelectionFunction],
     window: Option<(u64, u64)>,
 ) -> AttackResult {
-    assert!(!sels.is_empty(), "multibit attack needs at least one selection");
+    assert!(
+        !sels.is_empty(),
+        "multibit attack needs at least one selection"
+    );
     let guess_count = sels[0].guess_count();
     assert!(
         sels.iter().all(|s| s.guess_count() == guess_count),
@@ -171,7 +207,11 @@ pub fn multibit_attack_windowed(
             }
         }
     }
-    combined.sort_by(|a, b| b.peak_abs.total_cmp(&a.peak_abs).then(a.guess.cmp(&b.guess)));
+    combined.sort_by(|a, b| {
+        b.peak_abs
+            .total_cmp(&a.peak_abs)
+            .then(a.guess.cmp(&b.guess))
+    });
     let names: Vec<String> = sels.iter().map(|s| s.name()).collect();
     AttackResult {
         selection: format!("multibit[{}]", names.join(", ")),
@@ -195,12 +235,20 @@ mod tests {
             let p = (i as u8).wrapping_mul(151).wrapping_add(43);
             let mut t = Trace::zeros(0, 10, 32);
             t.add_pulse(
-                Pulse { t0_ps: 40, charge_fc: 10.0, dur_ps: 40 },
+                Pulse {
+                    t0_ps: 40,
+                    charge_fc: 10.0,
+                    dur_ps: 40,
+                },
                 PulseShape::Triangular,
             );
             if ((p ^ key) >> bit) & 1 == 1 {
                 t.add_pulse(
-                    Pulse { t0_ps: 120, charge_fc: 6.0, dur_ps: 40 },
+                    Pulse {
+                        t0_ps: 120,
+                        charge_fc: 6.0,
+                        dur_ps: 40,
+                    },
                     PulseShape::Triangular,
                 );
             }
@@ -237,17 +285,30 @@ mod tests {
             let mut t = Trace::zeros(0, 10, 32);
             if sbox_like(p, key) {
                 t.add_pulse(
-                    Pulse { t0_ps: 100, charge_fc: 5.0, dur_ps: 40 },
+                    Pulse {
+                        t0_ps: 100,
+                        charge_fc: 5.0,
+                        dur_ps: 40,
+                    },
                     PulseShape::Triangular,
                 );
             }
             set.push(vec![p], t);
         }
-        let sel =
-            ClosureSelect::new("sbox-bit0", 256, |input: &[u8], g| sbox_like(input[0], g as u8));
+        let sel = ClosureSelect::new("sbox-bit0", 256, |input: &[u8], g| {
+            sbox_like(input[0], g as u8)
+        });
         let result = attack(&set, &sel);
-        assert_eq!(result.best().guess, key as u16, "correct key must rank first");
-        assert!(result.ghost_ratio() > 1.2, "ghost ratio {}", result.ghost_ratio());
+        assert_eq!(
+            result.best().guess,
+            key as u16,
+            "correct key must rank first"
+        );
+        assert!(
+            result.ghost_ratio() > 1.2,
+            "ghost ratio {}",
+            result.ghost_ratio()
+        );
     }
 
     #[test]
@@ -256,13 +317,25 @@ mod tests {
         let mut set = TraceSet::new();
         for i in 0..32u8 {
             let mut t = Trace::zeros(0, 10, 16);
-            t.add_pulse(Pulse { t0_ps: 40, charge_fc: 8.0, dur_ps: 40 }, PulseShape::Triangular);
+            t.add_pulse(
+                Pulse {
+                    t0_ps: 40,
+                    charge_fc: 8.0,
+                    dur_ps: 40,
+                },
+                PulseShape::Triangular,
+            );
             set.push(vec![i], t);
         }
         let sel = ClosureSelect::new("bit0", 2, |input: &[u8], g| (input[0] ^ g as u8) & 1 == 1);
         let result = attack(&set, &sel);
         for s in &result.scores {
-            assert!(s.peak_abs < 1e-9, "guess {} peaked at {}", s.guess, s.peak_abs);
+            assert!(
+                s.peak_abs < 1e-9,
+                "guess {} peaked at {}",
+                s.guess,
+                s.peak_abs
+            );
         }
     }
 
@@ -297,15 +370,20 @@ mod tests {
             for bit in 0..4u8 {
                 if (v >> bit) & 1 == 1 {
                     t.add_pulse(
-                        Pulse { t0_ps: 60 + 40 * bit as u64, charge_fc: 3.0, dur_ps: 30 },
+                        Pulse {
+                            t0_ps: 60 + 40 * bit as u64,
+                            charge_fc: 3.0,
+                            dur_ps: 30,
+                        },
                         PulseShape::Triangular,
                     );
                 }
             }
             set.push(vec![p], t);
         }
-        let sels: Vec<crate::selection::AesSboxSelect> =
-            (0..4).map(|bit| crate::selection::AesSboxSelect { byte: 0, bit }).collect();
+        let sels: Vec<crate::selection::AesSboxSelect> = (0..4)
+            .map(|bit| crate::selection::AesSboxSelect { byte: 0, bit })
+            .collect();
         let refs: Vec<&dyn SelectionFunction> =
             sels.iter().map(|s| s as &dyn SelectionFunction).collect();
         let result = multibit_attack(&set, &refs);

@@ -73,6 +73,12 @@ pub fn run_slice_campaign(
     slice: &AesByteSlice,
     cfg: &CampaignConfig,
 ) -> Result<TraceSet, SimError> {
+    let mut span = qdi_obs::span("qdi_dpa::campaign", "run_slice_campaign")
+        .field("traces", cfg.traces)
+        .field("noise_sigma", cfg.synth.noise_sigma)
+        .enter();
+    let start = std::time::Instant::now();
+    let traces_metric = qdi_obs::metrics::counter("dpa.traces");
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let synth = TraceSynthesizer::new(&slice.netlist, cfg.synth);
     let mut codebook: Vec<u8> = (0..=255).collect();
@@ -102,6 +108,12 @@ pub fn run_slice_campaign(
         let run = tb.run()?;
         let trace = synth.synthesize_noisy(&run.transitions, &mut rng);
         set.push(vec![pt], trace);
+        traces_metric.inc();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    span.record("wall_s", elapsed);
+    if elapsed > 0.0 {
+        span.record("traces_per_s", cfg.traces as f64 / elapsed);
     }
     Ok(set)
 }
@@ -166,9 +178,12 @@ pub fn xor_stage_window(
     for i in 0..8 {
         for rail in ["h1", "h2"] {
             let name = format!("ak.x{i}.{rail}");
-            let net = slice.netlist.find_net(&name).ok_or_else(|| SimError::BadEnvironment {
-                reason: format!("slice has no net {name}; not a generated first-round slice"),
-            })?;
+            let net = slice
+                .netlist
+                .find_net(&name)
+                .ok_or_else(|| SimError::BadEnvironment {
+                    reason: format!("slice has no net {name}; not a generated first-round slice"),
+                })?;
             rails.push(net);
         }
     }
@@ -277,6 +292,11 @@ mod tests {
         // lives in the benches).
         let guesses: Vec<u16> = (0..16).map(|i| (key as u16 + i * 13) & 0xFF).collect();
         let result = attack_with_guesses(&set, &sel, &guesses);
-        assert_eq!(result.best().guess, key as u16, "scores: {:?}", &result.scores[..3]);
+        assert_eq!(
+            result.best().guess,
+            key as u16,
+            "scores: {:?}",
+            &result.scores[..3]
+        );
     }
 }

@@ -126,15 +126,24 @@ pub fn cpa(set: &TraceSet, model: &dyn LeakageModel) -> CpaResult {
         }
     }
     let nf = n as f64;
-    let var_s: Vec<f64> = (0..samples).map(|j| sum_sq[j] / nf - (sum[j] / nf).powi(2)).collect();
+    let var_s: Vec<f64> = (0..samples)
+        .map(|j| sum_sq[j] / nf - (sum[j] / nf).powi(2))
+        .collect();
 
     let mut scores: Vec<CpaScore> = (0..model.guess_count())
         .map(|guess| {
-            let h: Vec<f64> = set.iter().map(|(input, _)| model.hypothesis(input, guess)).collect();
+            let h: Vec<f64> = set
+                .iter()
+                .map(|(input, _)| model.hypothesis(input, guess))
+                .collect();
             let h_mean = h.iter().sum::<f64>() / nf;
             let h_var = h.iter().map(|v| (v - h_mean).powi(2)).sum::<f64>() / nf;
             if h_var <= 1e-18 {
-                return CpaScore { guess, max_corr: 0.0, peak_time_ps: 0 };
+                return CpaScore {
+                    guess,
+                    max_corr: 0.0,
+                    peak_time_ps: 0,
+                };
             }
             let mut cov = vec![0.0f64; samples];
             for ((_, trace), &hv) in set.iter().zip(&h) {
@@ -153,11 +162,23 @@ pub fn cpa(set: &TraceSet, model: &dyn LeakageModel) -> CpaResult {
                     }
                 }
             }
-            CpaScore { guess, max_corr: best.1, peak_time_ps: best.0 as u64 * dt }
+            CpaScore {
+                guess,
+                max_corr: best.1,
+                peak_time_ps: best.0 as u64 * dt,
+            }
         })
         .collect();
-    scores.sort_by(|a, b| b.max_corr.total_cmp(&a.max_corr).then(a.guess.cmp(&b.guess)));
-    CpaResult { model: model.name(), scores, traces: n }
+    scores.sort_by(|a, b| {
+        b.max_corr
+            .total_cmp(&a.max_corr)
+            .then(a.guess.cmp(&b.guess))
+    });
+    CpaResult {
+        model: model.name(),
+        scores,
+        traces: n,
+    }
 }
 
 #[cfg(test)]
@@ -172,7 +193,11 @@ mod tests {
             let hw = qdi_crypto::aes::first_round_sbox(p, key).count_ones() as f64;
             let mut t = Trace::zeros(0, 10, 32);
             t.add_pulse(
-                Pulse { t0_ps: 100, charge_fc: 2.0 * hw, dur_ps: 40 },
+                Pulse {
+                    t0_ps: 100,
+                    charge_fc: 2.0 * hw,
+                    dur_ps: 40,
+                },
                 PulseShape::Triangular,
             );
             set.push(vec![p], t);
@@ -186,7 +211,10 @@ mod tests {
         let set = hw_leaky_set(key, 200);
         let result = cpa(&set, &HammingWeightSbox { byte: 0 });
         assert_eq!(result.best().guess, key as u16);
-        assert!(result.best().max_corr > 0.95, "clean HW leak correlates strongly");
+        assert!(
+            result.best().max_corr > 0.95,
+            "clean HW leak correlates strongly"
+        );
     }
 
     #[test]
@@ -212,7 +240,11 @@ mod tests {
             let mut t = Trace::zeros(0, 10, 32);
             if bit == 1 {
                 t.add_pulse(
-                    Pulse { t0_ps: 100, charge_fc: 4.0, dur_ps: 40 },
+                    Pulse {
+                        t0_ps: 100,
+                        charge_fc: 4.0,
+                        dur_ps: 40,
+                    },
                     PulseShape::Triangular,
                 );
             }

@@ -59,8 +59,8 @@ pub mod template;
 mod traceset;
 
 pub use attack::{attack, bias_signal, AttackResult, GuessScore};
-pub use cpa::{cpa, CpaResult, HammingWeightSbox, LeakageModel};
 pub use campaign::{run_slice_campaign, CampaignConfig, PlaintextSource};
-pub use template::{profile_bit_templates, template_attack, BitTemplates};
+pub use cpa::{cpa, CpaResult, HammingWeightSbox, LeakageModel};
 pub use selection::SelectionFunction;
+pub use template::{profile_bit_templates, template_attack, BitTemplates};
 pub use traceset::TraceSet;

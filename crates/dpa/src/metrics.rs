@@ -32,7 +32,10 @@ pub fn measurements_to_disclosure(
     step: usize,
 ) -> MtdResult {
     assert!(step > 0, "step must be positive");
-    assert!(guesses.contains(&correct), "guess list must include the correct key");
+    assert!(
+        guesses.contains(&correct),
+        "guess list must include the correct key"
+    );
     let mut sweep = Vec::new();
     let mut n = step;
     while n <= set.len() {
@@ -50,13 +53,18 @@ pub fn measurements_to_disclosure(
         Some(i) if i + 1 < sweep.len() => Some(sweep[i + 1].0),
         Some(_) => None,
     };
-    MtdResult { traces_to_disclosure, sweep }
+    MtdResult {
+        traces_to_disclosure,
+        sweep,
+    }
 }
 
 /// Signal-to-noise of a bias trace: peak magnitude over the RMS of the
 /// rest of the trace. Large values mean an exploitable DPA peak.
 pub fn peak_to_rms(trace: &qdi_analog::Trace) -> f64 {
-    let Some((_, peak)) = trace.abs_peak() else { return 0.0 };
+    let Some((_, peak)) = trace.abs_peak() else {
+        return 0.0;
+    };
     let rms = trace.rms();
     if rms <= f64::EPSILON {
         return 0.0;
@@ -80,7 +88,11 @@ mod tests {
             let mut t = Trace::zeros(0, 10, 32);
             if qdi_crypto::aes::first_round_sbox(p, key) & 1 == 1 {
                 t.add_pulse(
-                    Pulse { t0_ps: 100, charge_fc: 4.0, dur_ps: 40 },
+                    Pulse {
+                        t0_ps: 100,
+                        charge_fc: 4.0,
+                        dur_ps: 40,
+                    },
                     PulseShape::Triangular,
                 );
             }
@@ -130,7 +142,14 @@ mod tests {
     #[test]
     fn peak_to_rms_detects_isolated_peak() {
         let mut peaked = Trace::zeros(0, 10, 100);
-        peaked.add_pulse(Pulse { t0_ps: 500, charge_fc: 5.0, dur_ps: 20 }, PulseShape::Triangular);
+        peaked.add_pulse(
+            Pulse {
+                t0_ps: 500,
+                charge_fc: 5.0,
+                dur_ps: 20,
+            },
+            PulseShape::Triangular,
+        );
         let flat = Trace::zeros(0, 10, 100);
         assert!(peak_to_rms(&peaked) > 1.0);
         assert_eq!(peak_to_rms(&flat), 0.0);

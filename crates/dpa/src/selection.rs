@@ -97,7 +97,12 @@ impl SelectionFunction for DesSboxSelect {
     }
 
     fn name(&self) -> String {
-        format!("des-sbox{}[b{} bit{}]", self.sbox_index + 1, self.byte, self.bit)
+        format!(
+            "des-sbox{}[b{} bit{}]",
+            self.sbox_index + 1,
+            self.byte,
+            self.bit
+        )
     }
 }
 
@@ -113,7 +118,11 @@ pub struct ClosureSelect<F> {
 impl<F: Fn(&[u8], u16) -> bool> ClosureSelect<F> {
     /// Wraps `f` as a selection function enumerating `guesses` candidates.
     pub fn new(name: impl Into<String>, guesses: u16, f: F) -> Self {
-        ClosureSelect { name: name.into(), guesses, f }
+        ClosureSelect {
+            name: name.into(),
+            guesses,
+            f,
+        }
     }
 }
 
@@ -171,7 +180,11 @@ mod tests {
 
     #[test]
     fn des_select_uses_six_bit_guesses() {
-        let sel = DesSboxSelect { sbox_index: 0, byte: 0, bit: 0 };
+        let sel = DesSboxSelect {
+            sbox_index: 0,
+            byte: 0,
+            bit: 0,
+        };
         assert_eq!(sel.guess_count(), 64);
         let v = des::first_round_sbox(0, 0b101010, 0b010101);
         assert_eq!(sel.select(&[0b101010], 0b010101), v & 1 == 1);
@@ -179,7 +192,9 @@ mod tests {
 
     #[test]
     fn closure_select_delegates() {
-        let sel = ClosureSelect::new("parity", 2, |input: &[u8], _| input[0].count_ones() % 2 == 1);
+        let sel = ClosureSelect::new("parity", 2, |input: &[u8], _| {
+            input[0].count_ones() % 2 == 1
+        });
         assert!(sel.select(&[0b0111], 0));
         assert!(!sel.select(&[0b0011], 1));
         assert_eq!(sel.name(), "parity");

@@ -111,10 +111,17 @@ pub fn compare_single_traces(traces: &[Trace], threshold: f64, min_gap_ps: u64) 
     }
     let min = charges.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = charges.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let charge_spread = if min > 0.0 { (max - min) / min } else { f64::INFINITY };
-    let uniform =
-        burst_counts.windows(2).all(|w| w[0] == w[1]) && charge_spread < 0.01;
-    SpaReport { burst_counts, charge_spread, uniform }
+    let charge_spread = if min > 0.0 {
+        (max - min) / min
+    } else {
+        f64::INFINITY
+    };
+    let uniform = burst_counts.windows(2).all(|w| w[0] == w[1]) && charge_spread < 0.01;
+    SpaReport {
+        burst_counts,
+        charge_spread,
+        uniform,
+    }
 }
 
 #[cfg(test)]
@@ -124,9 +131,20 @@ mod tests {
 
     fn two_burst_trace(second_charge: f64) -> Trace {
         let mut t = Trace::zeros(0, 10, 100);
-        t.add_pulse(Pulse { t0_ps: 100, charge_fc: 10.0, dur_ps: 60 }, PulseShape::Triangular);
         t.add_pulse(
-            Pulse { t0_ps: 600, charge_fc: second_charge, dur_ps: 60 },
+            Pulse {
+                t0_ps: 100,
+                charge_fc: 10.0,
+                dur_ps: 60,
+            },
+            PulseShape::Triangular,
+        );
+        t.add_pulse(
+            Pulse {
+                t0_ps: 600,
+                charge_fc: second_charge,
+                dur_ps: 60,
+            },
             PulseShape::Triangular,
         );
         t
@@ -146,8 +164,22 @@ mod tests {
     #[test]
     fn close_bursts_merge() {
         let mut t = Trace::zeros(0, 10, 100);
-        t.add_pulse(Pulse { t0_ps: 100, charge_fc: 5.0, dur_ps: 40 }, PulseShape::Triangular);
-        t.add_pulse(Pulse { t0_ps: 170, charge_fc: 5.0, dur_ps: 40 }, PulseShape::Triangular);
+        t.add_pulse(
+            Pulse {
+                t0_ps: 100,
+                charge_fc: 5.0,
+                dur_ps: 40,
+            },
+            PulseShape::Triangular,
+        );
+        t.add_pulse(
+            Pulse {
+                t0_ps: 170,
+                charge_fc: 5.0,
+                dur_ps: 40,
+            },
+            PulseShape::Triangular,
+        );
         let merged = segment_bursts(&t, 0.01, 100);
         assert_eq!(merged.len(), 1, "{merged:?}");
         let split = segment_bursts(&t, 0.01, 5);

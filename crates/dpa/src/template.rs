@@ -51,7 +51,10 @@ impl BitTemplates {
 /// (the XOR selection with guess 0).
 pub fn bit_bias_charges(set: &TraceSet, window: (u64, u64)) -> [f64; 8] {
     std::array::from_fn(|bit| {
-        let sel = AesXorSelect { byte: 0, bit: bit as u8 };
+        let sel = AesXorSelect {
+            byte: 0,
+            bit: bit as u8,
+        };
         bias_signal(set, &sel, 0)
             .map(|b| b.charge_in_fc(window.0, window.1))
             .unwrap_or(0.0)
@@ -116,7 +119,10 @@ mod tests {
         // Give every bit's output rail-1 a distinct extra load, as a
         // sloppy router would.
         for i in 0..8 {
-            let net = slice.netlist.find_net(&format!("ak.x{i}.h2")).expect("rail");
+            let net = slice
+                .netlist
+                .find_net(&format!("ak.x{i}.h2"))
+                .expect("rail");
             slice.netlist.set_routing_cap(net, 14.0 + 3.0 * i as f64);
         }
         slice

@@ -54,14 +54,20 @@ impl TraceSet {
 
     /// Iterates over `(input, trace)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&[u8], &Trace)> {
-        self.inputs.iter().map(Vec::as_slice).zip(self.traces.iter())
+        self.inputs
+            .iter()
+            .map(Vec::as_slice)
+            .zip(self.traces.iter())
     }
 
     /// A new set containing only the first `n` acquisitions (used by
     /// measurements-to-disclosure sweeps).
     pub fn prefix(&self, n: usize) -> TraceSet {
         let n = n.min(self.len());
-        TraceSet { inputs: self.inputs[..n].to_vec(), traces: self.traces[..n].to_vec() }
+        TraceSet {
+            inputs: self.inputs[..n].to_vec(),
+            traces: self.traces[..n].to_vec(),
+        }
     }
 }
 

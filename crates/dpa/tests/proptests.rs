@@ -14,7 +14,14 @@ fn xor_leaky_set(key: u8, bit: u8, n: usize) -> TraceSet {
         let p = (i as u8).wrapping_mul(151).wrapping_add(43);
         let mut t = Trace::zeros(0, 10, 32);
         if ((p ^ key) >> bit) & 1 == 1 {
-            t.add_pulse(Pulse { t0_ps: 100, charge_fc: 5.0, dur_ps: 40 }, PulseShape::Triangular);
+            t.add_pulse(
+                Pulse {
+                    t0_ps: 100,
+                    charge_fc: 5.0,
+                    dur_ps: 40,
+                },
+                PulseShape::Triangular,
+            );
         }
         set.push(vec![p], t);
     }

@@ -57,18 +57,40 @@ pub fn dual_rail_xor(
     bb: &Channel,
     out_ack: NetId,
 ) -> QdiCell {
-    assert!(a.is_dual_rail() && bb.is_dual_rail(), "dual_rail_xor needs dual-rail inputs");
-    let m1 = b.gate(GateKind::Muller, format!("{name}.m1"), &[a.rail(0), bb.rail(0)]);
-    let m2 = b.gate(GateKind::Muller, format!("{name}.m2"), &[a.rail(1), bb.rail(1)]);
-    let m3 = b.gate(GateKind::Muller, format!("{name}.m3"), &[a.rail(1), bb.rail(0)]);
-    let m4 = b.gate(GateKind::Muller, format!("{name}.m4"), &[a.rail(0), bb.rail(1)]);
+    assert!(
+        a.is_dual_rail() && bb.is_dual_rail(),
+        "dual_rail_xor needs dual-rail inputs"
+    );
+    let m1 = b.gate(
+        GateKind::Muller,
+        format!("{name}.m1"),
+        &[a.rail(0), bb.rail(0)],
+    );
+    let m2 = b.gate(
+        GateKind::Muller,
+        format!("{name}.m2"),
+        &[a.rail(1), bb.rail(1)],
+    );
+    let m3 = b.gate(
+        GateKind::Muller,
+        format!("{name}.m3"),
+        &[a.rail(1), bb.rail(0)],
+    );
+    let m4 = b.gate(
+        GateKind::Muller,
+        format!("{name}.m4"),
+        &[a.rail(0), bb.rail(1)],
+    );
     let o1 = b.gate(GateKind::Or, format!("{name}.o1"), &[m1, m2]);
     let o2 = b.gate(GateKind::Or, format!("{name}.o2"), &[m3, m4]);
     let h1 = b.gate(GateKind::MullerReset, format!("{name}.h1"), &[o1, out_ack]);
     let h2 = b.gate(GateKind::MullerReset, format!("{name}.h2"), &[o2, out_ack]);
     let n1 = b.gate(GateKind::Nor, format!("{name}.n1"), &[h1, h2]);
     let out = b.internal_channel(format!("{name}.co"), &[h1, h2], Some(out_ack));
-    QdiCell { out, ack_to_senders: n1 }
+    QdiCell {
+        out,
+        ack_to_senders: n1,
+    }
 }
 
 /// Builds a balanced dual-rail cell computing an arbitrary two-input
@@ -91,7 +113,10 @@ pub fn dual_rail_fn2(
     out_ack: NetId,
     truth: [bool; 4],
 ) -> QdiCell {
-    assert!(a.is_dual_rail() && bb.is_dual_rail(), "dual_rail_fn2 needs dual-rail inputs");
+    assert!(
+        a.is_dual_rail() && bb.is_dual_rail(),
+        "dual_rail_fn2 needs dual-rail inputs"
+    );
     let mut groups: [Vec<NetId>; 2] = [Vec::new(), Vec::new()];
     for av in 0..2usize {
         for bv in 0..2usize {
@@ -114,7 +139,10 @@ pub fn dual_rail_fn2(
     let h1 = b.gate(GateKind::MullerReset, format!("{name}.h1"), &[o1, out_ack]);
     let n = b.gate(GateKind::Nor, format!("{name}.nc"), &[h0, h1]);
     let out = b.internal_channel(format!("{name}.co"), &[h0, h1], Some(out_ack));
-    QdiCell { out, ack_to_senders: n }
+    QdiCell {
+        out,
+        ack_to_senders: n,
+    }
 }
 
 /// Balanced dual-rail AND (see [`dual_rail_fn2`]).
@@ -153,12 +181,7 @@ pub fn dual_rail_xnor(
 /// Weak-conditioned half buffer (WCHB): one `Cr` latch per rail plus a NOR
 /// completion. The basic pipeline stage of QDI design; the paper's AES
 /// floorplan instantiates rows of them (`HB`/`BU` blocks).
-pub fn wchb_buffer(
-    b: &mut NetlistBuilder,
-    name: &str,
-    input: &Channel,
-    out_ack: NetId,
-) -> QdiCell {
+pub fn wchb_buffer(b: &mut NetlistBuilder, name: &str, input: &Channel, out_ack: NetId) -> QdiCell {
     let rails: Vec<NetId> = input
         .rails
         .iter()
@@ -167,7 +190,10 @@ pub fn wchb_buffer(
         .collect();
     let n = b.gate(GateKind::Nor, format!("{name}.nc"), &rails);
     let out = b.internal_channel(format!("{name}.co"), &rails, Some(out_ack));
-    QdiCell { out, ack_to_senders: n }
+    QdiCell {
+        out,
+        ack_to_senders: n,
+    }
 }
 
 /// Builds an OR tree over `nets` with fan-in at most `max_arity`,
@@ -231,7 +257,10 @@ pub fn pad_depth(b: &mut NetlistBuilder, name: &str, net: NetId, levels: usize) 
 ///
 /// Panics if `inputs` is empty.
 pub fn minterm_plane(b: &mut NetlistBuilder, name: &str, inputs: &[&Channel]) -> Vec<NetId> {
-    assert!(!inputs.is_empty(), "minterm_plane needs at least one input channel");
+    assert!(
+        !inputs.is_empty(),
+        "minterm_plane needs at least one input channel"
+    );
     build_minterms(b, name, inputs, 0)
 }
 
@@ -250,7 +279,11 @@ fn build_minterms(
     let mut out = Vec::with_capacity(hi.len() * lo.len());
     for (i, &h) in hi.iter().enumerate() {
         for (j, &l) in lo.iter().enumerate() {
-            out.push(b.gate(GateKind::Muller, format!("{name}.p{depth}_{i}_{j}"), &[h, l]));
+            out.push(b.gate(
+                GateKind::Muller,
+                format!("{name}.p{depth}_{i}_{j}"),
+                &[h, l],
+            ));
         }
     }
     out
@@ -266,7 +299,10 @@ fn build_minterms(
 ///
 /// Panics if `channels` is empty.
 pub fn multi_completion(b: &mut NetlistBuilder, name: &str, channels: &[&Channel]) -> NetId {
-    assert!(!channels.is_empty(), "multi_completion needs at least one channel");
+    assert!(
+        !channels.is_empty(),
+        "multi_completion needs at least one channel"
+    );
     if channels.len() == 1 {
         // Single channel: plain NOR, as in Fig. 4.
         return b.gate(GateKind::Nor, format!("{name}.nc"), &channels[0].rails);
@@ -330,9 +366,20 @@ pub fn dual_rail_lut(
     out_bits: usize,
 ) -> Vec<QdiCell> {
     assert!(!inputs.is_empty(), "dual_rail_lut needs inputs");
-    assert!(inputs.iter().all(|c| c.is_dual_rail()), "dual_rail_lut needs dual-rail inputs");
-    assert_eq!(table.len(), 1 << inputs.len(), "table size must be 2^inputs");
-    assert_eq!(out_acks.len(), out_bits, "one acknowledge net per output bit");
+    assert!(
+        inputs.iter().all(|c| c.is_dual_rail()),
+        "dual_rail_lut needs dual-rail inputs"
+    );
+    assert_eq!(
+        table.len(),
+        1 << inputs.len(),
+        "table size must be 2^inputs"
+    );
+    assert_eq!(
+        out_acks.len(),
+        out_bits,
+        "one acknowledge net per output bit"
+    );
     let minterms = minterm_plane(b, &format!("{name}.mt"), inputs);
     let max_arity = 4;
     // All OR trees padded to the depth of the widest possible group so the
@@ -364,11 +411,22 @@ pub fn dual_rail_lut(
             );
         }
         let ack = out_acks[bit];
-        let h0 = b.gate(GateKind::MullerReset, format!("{name}.b{bit}.h0"), &[rails[0], ack]);
-        let h1 = b.gate(GateKind::MullerReset, format!("{name}.b{bit}.h1"), &[rails[1], ack]);
+        let h0 = b.gate(
+            GateKind::MullerReset,
+            format!("{name}.b{bit}.h0"),
+            &[rails[0], ack],
+        );
+        let h1 = b.gate(
+            GateKind::MullerReset,
+            format!("{name}.b{bit}.h1"),
+            &[rails[1], ack],
+        );
         let out = b.internal_channel(format!("{name}.b{bit}.co"), &[h0, h1], Some(ack));
         b.pop_block();
-        cells.push(QdiCell { out, ack_to_senders: NetId::from_raw(0) });
+        cells.push(QdiCell {
+            out,
+            ack_to_senders: NetId::from_raw(0),
+        });
     }
     // One shared completion over all latched output channels.
     let outs: Vec<&Channel> = cells.iter().map(|c| &c.out).collect();
@@ -436,7 +494,12 @@ pub fn dual_rail_mux2(
     let ack_b = b.gate(GateKind::Inv, format!("{name}.ackb"), &[got_b]);
     let ack_sel = b.gate(GateKind::Nor, format!("{name}.nc"), &rails);
     let out = b.internal_channel(format!("{name}.co"), &rails, Some(out_ack));
-    MuxCell { out, ack_sel, ack_a, ack_b }
+    MuxCell {
+        out,
+        ack_sel,
+        ack_a,
+        ack_b,
+    }
 }
 
 /// Builds a dual-rail 1-to-2 demultiplexer: the input token is steered to
@@ -450,7 +513,10 @@ pub fn dual_rail_demux2(
     a: &Channel,
     out_acks: [NetId; 2],
 ) -> [QdiCell; 2] {
-    assert!(sel.is_dual_rail() && a.is_dual_rail(), "dual_rail_demux2 needs dual-rail channels");
+    assert!(
+        sel.is_dual_rail() && a.is_dual_rail(),
+        "dual_rail_demux2 needs dual-rail channels"
+    );
     let mut cells: Vec<QdiCell> = Vec::with_capacity(2);
     let mut all_rails = Vec::with_capacity(4);
     for way in 0..2usize {
@@ -469,9 +535,11 @@ pub fn dual_rail_demux2(
             rails.push(h);
             all_rails.push(h);
         }
-        let out =
-            b.internal_channel(format!("{name}.co{way}"), &rails, Some(out_acks[way]));
-        cells.push(QdiCell { out, ack_to_senders: NetId::from_raw(0) });
+        let out = b.internal_channel(format!("{name}.co{way}"), &rails, Some(out_acks[way]));
+        cells.push(QdiCell {
+            out,
+            ack_to_senders: NetId::from_raw(0),
+        });
     }
     // One token appears on exactly one way: completion senses all rails.
     let n = b.gate(GateKind::Nor, format!("{name}.nc"), &all_rails);
@@ -494,7 +562,10 @@ pub fn to_one_of_four(
     lo: &Channel,
     out_ack: NetId,
 ) -> QdiCell {
-    assert!(hi.is_dual_rail() && lo.is_dual_rail(), "to_one_of_four needs dual-rail inputs");
+    assert!(
+        hi.is_dual_rail() && lo.is_dual_rail(),
+        "to_one_of_four needs dual-rail inputs"
+    );
     let mut rails = Vec::with_capacity(4);
     for h in 0..2usize {
         for l in 0..2usize {
@@ -512,7 +583,10 @@ pub fn to_one_of_four(
     }
     let n = b.gate(GateKind::Nor, format!("{name}.nc"), &rails);
     let out = b.internal_channel(format!("{name}.co"), &rails, Some(out_ack));
-    QdiCell { out, ack_to_senders: n }
+    QdiCell {
+        out,
+        ack_to_senders: n,
+    }
 }
 
 /// Splits a 1-of-4 channel back into two dual-rail channels (`hi`, `lo`).
@@ -539,11 +613,21 @@ pub fn from_one_of_four(
     let lo_out = b.internal_channel(format!("{name}.lo"), &[lh0, lh1], Some(lo_ack));
     let hi_valid = b.gate(GateKind::Or, format!("{name}.hv"), &[hh0, hh1]);
     let lo_valid = b.gate(GateKind::Or, format!("{name}.lv"), &[lh0, lh1]);
-    let done = b.gate(GateKind::Muller, format!("{name}.dn"), &[hi_valid, lo_valid]);
+    let done = b.gate(
+        GateKind::Muller,
+        format!("{name}.dn"),
+        &[hi_valid, lo_valid],
+    );
     let ack = b.gate(GateKind::Inv, format!("{name}.ack"), &[done]);
     (
-        QdiCell { out: hi_out, ack_to_senders: ack },
-        QdiCell { out: lo_out, ack_to_senders: ack },
+        QdiCell {
+            out: hi_out,
+            ack_to_senders: ack,
+        },
+        QdiCell {
+            out: lo_out,
+            ack_to_senders: ack,
+        },
     )
 }
 
@@ -578,11 +662,18 @@ pub fn one_of_four_xor(
     let mut rails = Vec::with_capacity(4);
     for (v, group) in groups.iter().enumerate() {
         let or = b.gate(GateKind::Or, format!("{name}.o{v}"), group);
-        rails.push(b.gate(GateKind::MullerReset, format!("{name}.h{v}"), &[or, out_ack]));
+        rails.push(b.gate(
+            GateKind::MullerReset,
+            format!("{name}.h{v}"),
+            &[or, out_ack],
+        ));
     }
     let n = b.gate(GateKind::Nor, format!("{name}.nc"), &rails);
     let out = b.internal_channel(format!("{name}.co"), &rails, Some(out_ack));
-    QdiCell { out, ack_to_senders: n }
+    QdiCell {
+        out,
+        ack_to_senders: n,
+    }
 }
 
 #[cfg(test)]
@@ -687,8 +778,9 @@ mod tests {
     #[test]
     fn minterm_plane_sizes() {
         let mut b = NetlistBuilder::new("mt");
-        let chans: Vec<Channel> =
-            (0..3).map(|i| b.input_channel(format!("i{i}"), 2)).collect();
+        let chans: Vec<Channel> = (0..3)
+            .map(|i| b.input_channel(format!("i{i}"), 2))
+            .collect();
         let refs: Vec<&Channel> = chans.iter().collect();
         let minterms = minterm_plane(&mut b, "m", &refs);
         assert_eq!(minterms.len(), 8);
@@ -712,8 +804,9 @@ mod tests {
     fn lut_identity_2bit() {
         // 2-bit identity LUT: out = in.
         let mut b = NetlistBuilder::new("lut");
-        let chans: Vec<Channel> =
-            (0..2).map(|i| b.input_channel(format!("i{i}"), 2)).collect();
+        let chans: Vec<Channel> = (0..2)
+            .map(|i| b.input_channel(format!("i{i}"), 2))
+            .collect();
         let refs: Vec<&Channel> = chans.iter().collect();
         let out_ack = b.input_net("ack");
         let cells = dual_rail_lut(&mut b, "l", &refs, &[out_ack, out_ack], &[0, 1, 2, 3], 2);
@@ -735,8 +828,9 @@ mod tests {
         // 3-input LUT with skewed group sizes (7 vs 1 minterms): the two
         // rails of the output must still sit at the same level.
         let mut b = NetlistBuilder::new("lut3");
-        let chans: Vec<Channel> =
-            (0..3).map(|i| b.input_channel(format!("i{i}"), 2)).collect();
+        let chans: Vec<Channel> = (0..3)
+            .map(|i| b.input_channel(format!("i{i}"), 2))
+            .collect();
         let refs: Vec<&Channel> = chans.iter().collect();
         let out_ack = b.input_net("ack");
         let table: Vec<u64> = (0..8).map(|v| u64::from(v == 5)).collect();

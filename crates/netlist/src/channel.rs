@@ -81,7 +81,10 @@ impl ChannelState {
 ///
 /// Panics if `value >= n`.
 pub fn encode_one_hot(value: usize, n: usize) -> Vec<bool> {
-    assert!(value < n, "value {value} not representable in 1-of-{n} code");
+    assert!(
+        value < n,
+        "value {value} not representable in 1-of-{n} code"
+    );
     let mut rails = vec![false; n];
     rails[value] = true;
     rails
@@ -209,16 +212,31 @@ mod tests {
         // invalid -> (0, 0); (1, 1) is unused/illegal.
         assert_eq!(encode_one_hot(0, 2), vec![true, false]);
         assert_eq!(encode_one_hot(1, 2), vec![false, true]);
-        assert_eq!(ChannelState::from_rails(&[false, false]), ChannelState::Invalid);
-        assert_eq!(ChannelState::from_rails(&[true, false]), ChannelState::Valid(0));
-        assert_eq!(ChannelState::from_rails(&[false, true]), ChannelState::Valid(1));
-        assert_eq!(ChannelState::from_rails(&[true, true]), ChannelState::Illegal);
+        assert_eq!(
+            ChannelState::from_rails(&[false, false]),
+            ChannelState::Invalid
+        );
+        assert_eq!(
+            ChannelState::from_rails(&[true, false]),
+            ChannelState::Valid(0)
+        );
+        assert_eq!(
+            ChannelState::from_rails(&[false, true]),
+            ChannelState::Valid(1)
+        );
+        assert_eq!(
+            ChannelState::from_rails(&[true, true]),
+            ChannelState::Illegal
+        );
     }
 
     #[test]
     fn one_of_four_encoding() {
         assert_eq!(encode_one_hot(2, 4), vec![false, false, true, false]);
-        assert_eq!(ChannelState::from_rails(&[false, false, true, false]), ChannelState::Valid(2));
+        assert_eq!(
+            ChannelState::from_rails(&[false, false, true, false]),
+            ChannelState::Valid(2)
+        );
     }
 
     #[test]

@@ -63,15 +63,20 @@ pub enum NetlistError {
 impl fmt::Display for NetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NetlistError::MultipleDrivers { net, first, second } => write!(
-                f,
-                "net {net} driven by both {first} and {second}"
-            ),
+            NetlistError::MultipleDrivers { net, first, second } => {
+                write!(f, "net {net} driven by both {first} and {second}")
+            }
             NetlistError::UndrivenNet { net, name } => {
-                write!(f, "net {net} ({name}) has no driver and is not a primary input")
+                write!(
+                    f,
+                    "net {net} ({name}) has no driver and is not a primary input"
+                )
             }
             NetlistError::BadArity { gate, kind, arity } => {
-                write!(f, "gate {gate} of kind {kind} declared with unsupported arity {arity}")
+                write!(
+                    f,
+                    "gate {gate} of kind {kind} declared with unsupported arity {arity}"
+                )
             }
             NetlistError::MalformedChannel { name, reason } => {
                 write!(f, "channel {name} is malformed: {reason}")

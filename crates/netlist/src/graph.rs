@@ -39,7 +39,10 @@ impl LevelAnalysis {
     ///
     /// Panics if `level` is 0 or exceeds [`LevelAnalysis::nc`].
     pub fn gates_at(&self, level: usize) -> &[GateId] {
-        assert!(level >= 1 && level <= self.levels.len(), "level out of range");
+        assert!(
+            level >= 1 && level <= self.levels.len(),
+            "level out of range"
+        );
         &self.levels[level - 1]
     }
 
@@ -50,7 +53,10 @@ impl LevelAnalysis {
 
     /// Iterates over `(level, gates)` pairs, 1-based.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &[GateId])> {
-        self.levels.iter().enumerate().map(|(i, g)| (i + 1, g.as_slice()))
+        self.levels
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (i + 1, g.as_slice()))
     }
 
     /// Total number of gates placed on levels.
@@ -93,8 +99,11 @@ pub fn levelize_with_cuts(
         }
     }
     let mut level_of = vec![0u32; n];
-    let mut queue: Vec<GateId> =
-        netlist.gates().filter(|g| indeg[g.id.index()] == 0).map(|g| g.id).collect();
+    let mut queue: Vec<GateId> = netlist
+        .gates()
+        .filter(|g| indeg[g.id.index()] == 0)
+        .map(|g| g.id)
+        .collect();
     for &g in &queue {
         level_of[g.index()] = 1;
     }
@@ -132,8 +141,7 @@ pub fn levelize_with_cuts(
 }
 
 fn cut_net_set(netlist: &Netlist, extra: &[NetId]) -> HashSet<NetId> {
-    let mut cuts: HashSet<NetId> =
-        netlist.channels().filter_map(|c| c.ack).collect();
+    let mut cuts: HashSet<NetId> = netlist.channels().filter_map(|c| c.ack).collect();
     cuts.extend(extra.iter().copied());
     cuts
 }
@@ -233,7 +241,9 @@ pub fn fanin_cone(netlist: &Netlist, net: NetId, extra_cuts: &[NetId]) -> Vec<Ga
         if cuts.contains(&n) {
             continue;
         }
-        let Some(driver) = netlist.net(n).driver else { continue };
+        let Some(driver) = netlist.net(n).driver else {
+            continue;
+        };
         if seen.insert(driver) {
             for &input in &netlist.gate(driver).inputs {
                 stack.push(input);

@@ -37,7 +37,11 @@ pub struct ParseNetlistError {
 
 impl fmt::Display for ParseNetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "netlist parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "netlist parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -45,7 +49,10 @@ impl Error for ParseNetlistError {}
 
 impl From<NetlistError> for ParseNetlistError {
     fn from(err: NetlistError) -> Self {
-        ParseNetlistError { line: 0, message: err.to_string() }
+        ParseNetlistError {
+            line: 0,
+            message: err.to_string(),
+        }
     }
 }
 
@@ -89,8 +96,11 @@ pub fn to_text(netlist: &Netlist) -> String {
         let _ = writeln!(out, "{line}");
     }
     for gate in netlist.gates() {
-        let inputs: Vec<&str> =
-            gate.inputs.iter().map(|&n| netlist.net(n).name.as_str()).collect();
+        let inputs: Vec<&str> = gate
+            .inputs
+            .iter()
+            .map(|&n| netlist.net(n).name.as_str())
+            .collect();
         let mut line = format!(
             "gate {} {} in={} out={}",
             gate.name,
@@ -110,8 +120,11 @@ pub fn to_text(netlist: &Netlist) -> String {
         let _ = writeln!(out, "{line}");
     }
     for channel in netlist.channels() {
-        let rails: Vec<&str> =
-            channel.rails.iter().map(|&n| netlist.net(n).name.as_str()).collect();
+        let rails: Vec<&str> = channel
+            .rails
+            .iter()
+            .map(|&n| netlist.net(n).name.as_str())
+            .collect();
         let mut line = format!(
             "channel {} {} rails={}",
             channel.name,
@@ -157,7 +170,9 @@ pub fn from_text(text: &str) -> Result<Netlist, ParseNetlistError> {
                 let b = builder
                     .as_mut()
                     .ok_or_else(|| err(line_no, "net before netlist header".into()))?;
-                let name = words.next().ok_or_else(|| err(line_no, "net needs a name".into()))?;
+                let name = words
+                    .next()
+                    .ok_or_else(|| err(line_no, "net needs a name".into()))?;
                 let mut is_input = false;
                 let mut is_output = false;
                 let mut cap: Option<f64> = None;
@@ -167,14 +182,19 @@ pub fn from_text(text: &str) -> Result<Netlist, ParseNetlistError> {
                     } else if word == "output" {
                         is_output = true;
                     } else if let Some(v) = word.strip_prefix("cap=") {
-                        cap = Some(v.parse().map_err(|_| {
-                            err(line_no, format!("bad capacitance {v:?}"))
-                        })?);
+                        cap = Some(
+                            v.parse()
+                                .map_err(|_| err(line_no, format!("bad capacitance {v:?}")))?,
+                        );
                     } else {
                         return Err(err(line_no, format!("unknown net attribute {word:?}")));
                     }
                 }
-                let id = if is_input { b.input_net(name) } else { b.net(name) };
+                let id = if is_input {
+                    b.input_net(name)
+                } else {
+                    b.net(name)
+                };
                 if is_output {
                     outputs.push(id);
                 }
@@ -190,8 +210,7 @@ pub fn from_text(text: &str) -> Result<Netlist, ParseNetlistError> {
             other => return Err(err(line_no, format!("unknown keyword {other:?}"))),
         }
     }
-    let mut b =
-        builder.ok_or_else(|| err(0, "missing netlist header".into()))?;
+    let mut b = builder.ok_or_else(|| err(0, "missing netlist header".into()))?;
 
     // Second pass: gates and channels (now every net name resolves).
     let resolve = |nets: &HashMap<String, NetId>, name: &str, line_no: usize| {
@@ -238,25 +257,28 @@ pub fn from_text(text: &str) -> Result<Netlist, ParseNetlistError> {
                     } else if let Some(n) = word.strip_prefix("out=") {
                         output = Some(resolve(&nets, n, line_no)?);
                     } else if let Some(v) = word.strip_prefix("cpar=") {
-                        p.cpar_ff =
-                            v.parse().map_err(|_| err(line_no, format!("bad cpar {v:?}")))?;
+                        p.cpar_ff = v
+                            .parse()
+                            .map_err(|_| err(line_no, format!("bad cpar {v:?}")))?;
                     } else if let Some(v) = word.strip_prefix("csc=") {
-                        p.csc_ff =
-                            v.parse().map_err(|_| err(line_no, format!("bad csc {v:?}")))?;
+                        p.csc_ff = v
+                            .parse()
+                            .map_err(|_| err(line_no, format!("bad csc {v:?}")))?;
                     } else if let Some(v) = word.strip_prefix("pin=") {
-                        p.pin_cap_ff =
-                            v.parse().map_err(|_| err(line_no, format!("bad pin {v:?}")))?;
+                        p.pin_cap_ff = v
+                            .parse()
+                            .map_err(|_| err(line_no, format!("bad pin {v:?}")))?;
                     } else if let Some(v) = word.strip_prefix("rdrv=") {
-                        p.drive_res_kohm =
-                            v.parse().map_err(|_| err(line_no, format!("bad rdrv {v:?}")))?;
+                        p.drive_res_kohm = v
+                            .parse()
+                            .map_err(|_| err(line_no, format!("bad rdrv {v:?}")))?;
                     } else if let Some(v) = word.strip_prefix("block=") {
                         block = Some(v.to_owned());
                     } else {
                         return Err(err(line_no, format!("unknown gate attribute {word:?}")));
                     }
                 }
-                let output =
-                    output.ok_or_else(|| err(line_no, "gate needs out=".into()))?;
+                let output = output.ok_or_else(|| err(line_no, "gate needs out=".into()))?;
                 if let Some(block) = &block {
                     b.push_block(block);
                 }
@@ -277,9 +299,7 @@ pub fn from_text(text: &str) -> Result<Netlist, ParseNetlistError> {
                     "input" => ChannelRole::Input,
                     "output" => ChannelRole::Output,
                     "internal" => ChannelRole::Internal,
-                    other => {
-                        return Err(err(line_no, format!("unknown channel role {other:?}")))
-                    }
+                    other => return Err(err(line_no, format!("unknown channel role {other:?}"))),
                 };
                 let mut rails: Vec<NetId> = Vec::new();
                 let mut ack: Option<NetId> = None;

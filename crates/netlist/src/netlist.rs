@@ -138,7 +138,11 @@ impl Netlist {
     /// load capacitance `Cl`.
     pub fn total_load_ff(&self, net: NetId) -> f64 {
         let n = self.net(net);
-        let pin_sum: f64 = n.loads.iter().map(|&g| self.gate(g).params.pin_cap_ff).sum();
+        let pin_sum: f64 = n
+            .loads
+            .iter()
+            .map(|&g| self.gate(g).params.pin_cap_ff)
+            .sum();
         n.routing_cap_ff + pin_sum
     }
 
@@ -158,7 +162,10 @@ impl Netlist {
     ///
     /// Panics if `cap_ff` is negative or not finite.
     pub fn set_routing_cap(&mut self, net: NetId, cap_ff: f64) {
-        assert!(cap_ff.is_finite() && cap_ff >= 0.0, "capacitance must be finite and >= 0");
+        assert!(
+            cap_ff.is_finite() && cap_ff >= 0.0,
+            "capacitance must be finite and >= 0"
+        );
         self.nets[net.index()].routing_cap_ff = cap_ff;
     }
 
@@ -223,8 +230,10 @@ impl Netlist {
         for g in &self.gates {
             *by_kind.entry(g.kind.mnemonic()).or_default() += 1;
         }
-        let mut by_kind: Vec<(String, usize)> =
-            by_kind.into_iter().map(|(k, v)| (k.to_owned(), v)).collect();
+        let mut by_kind: Vec<(String, usize)> = by_kind
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect();
         by_kind.sort();
         NetlistStats {
             gates: self.gates.len(),
@@ -236,8 +245,7 @@ impl Netlist {
 
     /// Distinct hierarchical block names appearing on gates, sorted.
     pub fn block_names(&self) -> Vec<String> {
-        let mut names: Vec<String> =
-            self.gates.iter().filter_map(|g| g.block.clone()).collect();
+        let mut names: Vec<String> = self.gates.iter().filter_map(|g| g.block.clone()).collect();
         names.sort();
         names.dedup();
         names
@@ -262,7 +270,10 @@ impl Netlist {
         }
         for n in &self.nets {
             if n.is_undriven() && !n.is_primary_input {
-                return Err(NetlistError::UndrivenNet { net: n.id, name: n.name.clone() });
+                return Err(NetlistError::UndrivenNet {
+                    net: n.id,
+                    name: n.name.clone(),
+                });
             }
         }
         for c in &self.channels {
@@ -408,7 +419,11 @@ impl NetlistBuilder {
             });
         }
         if let Some(first) = self.nets[output.index()].driver {
-            self.record_error(NetlistError::MultipleDrivers { net: output, first, second: id });
+            self.record_error(NetlistError::MultipleDrivers {
+                net: output,
+                first,
+                second: id,
+            });
         }
         self.nets[output.index()].driver = Some(id);
         for &input in inputs {
@@ -421,7 +436,15 @@ impl NetlistBuilder {
             Some(self.block_stack.join("/"))
         };
         self.gate_names.insert(name.clone(), id);
-        self.gates.push(Gate { id, name, kind, inputs: inputs.to_vec(), output, params, block });
+        self.gates.push(Gate {
+            id,
+            name,
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+            params,
+            block,
+        });
         id
     }
 
@@ -431,8 +454,9 @@ impl NetlistBuilder {
     /// that drives it exists.
     pub fn input_channel(&mut self, name: impl Into<String>, n: usize) -> Channel {
         let name = name.into();
-        let rails: Vec<NetId> =
-            (0..n).map(|i| self.input_net(format!("{name}.r{i}"))).collect();
+        let rails: Vec<NetId> = (0..n)
+            .map(|i| self.input_net(format!("{name}.r{i}")))
+            .collect();
         self.add_channel(name, rails, None, ChannelRole::Input)
     }
 
@@ -475,7 +499,13 @@ impl NetlistBuilder {
             self.record_error(NetlistError::DuplicateName { name: name.clone() });
         }
         self.channel_names.insert(name.clone(), id);
-        let ch = Channel { id, name, rails, ack, role };
+        let ch = Channel {
+            id,
+            name,
+            rails,
+            ack,
+            role,
+        };
         self.channels.push(ch.clone());
         ch
     }
@@ -649,9 +679,15 @@ mod tests {
         b.pop_block();
         b.mark_output(z);
         let nl = b.finish().expect("valid");
-        assert_eq!(nl.gate(GateId::from_raw(0)).block.as_deref(), Some("core/bytesub"));
+        assert_eq!(
+            nl.gate(GateId::from_raw(0)).block.as_deref(),
+            Some("core/bytesub")
+        );
         assert_eq!(nl.gate(GateId::from_raw(1)).block.as_deref(), Some("core"));
-        assert_eq!(nl.block_names(), vec!["core".to_owned(), "core/bytesub".to_owned()]);
+        assert_eq!(
+            nl.block_names(),
+            vec!["core".to_owned(), "core/bytesub".to_owned()]
+        );
     }
 
     #[test]

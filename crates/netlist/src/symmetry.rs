@@ -40,7 +40,9 @@ impl ConeSignature {
             if acks.contains(&n) {
                 continue;
             }
-            let Some(driver) = netlist.net(n).driver else { continue };
+            let Some(driver) = netlist.net(n).driver else {
+                continue;
+            };
             let entry = best_depth.entry(driver).or_insert(usize::MAX);
             if depth < *entry {
                 *entry = depth;
@@ -58,7 +60,10 @@ impl ConeSignature {
         for level in &mut per_depth {
             level.sort();
         }
-        ConeSignature { gate_count: best_depth.len(), per_depth }
+        ConeSignature {
+            gate_count: best_depth.len(),
+            per_depth,
+        }
     }
 
     /// Number of gates in the cone.
@@ -101,8 +106,11 @@ pub struct SymmetryReport {
 /// Checks that every rail of `channel` sees a cone with the same per-depth
 /// gate composition as rail 0.
 pub fn check_channel(netlist: &Netlist, channel: &Channel) -> SymmetryReport {
-    let signatures: Vec<ConeSignature> =
-        channel.rails.iter().map(|&r| ConeSignature::of_net(netlist, r)).collect();
+    let signatures: Vec<ConeSignature> = channel
+        .rails
+        .iter()
+        .map(|&r| ConeSignature::of_net(netlist, r))
+        .collect();
     let mut violations = Vec::new();
     for (rail, sig) in signatures.iter().enumerate().skip(1) {
         let reference = &signatures[0];
@@ -147,11 +155,29 @@ pub fn check_channel(netlist: &Netlist, channel: &Channel) -> SymmetryReport {
 /// Checks every multi-rail channel of the netlist; reports are returned in
 /// channel-id order.
 pub fn check_all(netlist: &Netlist) -> Vec<SymmetryReport> {
-    netlist
+    let mut span = qdi_obs::span_at(qdi_obs::Level::Debug, "qdi_netlist::symmetry", "check_all")
+        .field("channels", netlist.channel_count())
+        .enter();
+    let reports: Vec<SymmetryReport> = netlist
         .channels()
         .filter(|c| c.rails.len() >= 2)
         .map(|c| check_channel(netlist, c))
-        .collect()
+        .collect();
+    let unbalanced = reports.iter().filter(|r| !r.balanced).count();
+    span.record("checked", reports.len());
+    span.record("unbalanced", unbalanced);
+    if unbalanced > 0 {
+        let worst = reports
+            .iter()
+            .find(|r| !r.balanced)
+            .expect("unbalanced > 0");
+        qdi_obs::warn!(target: "qdi_netlist::symmetry",
+            unbalanced = unbalanced,
+            first_channel = worst.channel_name.as_str(),
+            violations = worst.violations.len(),
+            "structural symmetry check found unbalanced channels");
+    }
+    reports
 }
 
 /// Electrical counterpart of the structural check: the relative spread of

@@ -28,7 +28,11 @@ fn random_dag(widths: &[usize], edge_seed: u64) -> Netlist {
                 1 => GateKind::And,
                 _ => GateKind::Muller,
             };
-            let inputs = if a == c { vec![a, prev[(g + 1) % prev.len()]] } else { vec![a, c] };
+            let inputs = if a == c {
+                vec![a, prev[(g + 1) % prev.len()]]
+            } else {
+                vec![a, c]
+            };
             let inputs = if inputs[0] == inputs[1] {
                 vec![inputs[0]]
             } else {

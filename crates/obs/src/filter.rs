@@ -1,0 +1,188 @@
+//! `QDI_LOG` directive parsing.
+//!
+//! The syntax mirrors `env_logger` / `RUST_LOG`:
+//!
+//! ```text
+//! QDI_LOG=info                              # one global level
+//! QDI_LOG=warn,qdi_pnr=debug                # global + per-target override
+//! QDI_LOG=qdi_sim::simulator=trace          # override only, global stays off
+//! QDI_LOG=off                               # explicit off
+//! ```
+//!
+//! Targets are module-path prefixes; the longest matching directive wins.
+
+use crate::level::Level;
+
+/// One `target=level` directive (or a bare global level).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Directive {
+    /// Module-path prefix the directive applies to (empty = global).
+    pub target: String,
+    /// `None` silences the target (`off`).
+    pub level: Option<Level>,
+}
+
+/// A parsed `QDI_LOG` specification.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Filter {
+    directives: Vec<Directive>,
+}
+
+impl Filter {
+    /// A filter that rejects everything (the default when `QDI_LOG` is unset).
+    #[must_use]
+    pub fn off() -> Filter {
+        Filter::default()
+    }
+
+    /// A filter with a single global level.
+    #[must_use]
+    pub fn at(level: Level) -> Filter {
+        Filter {
+            directives: vec![Directive {
+                target: String::new(),
+                level: Some(level),
+            }],
+        }
+    }
+
+    /// Parses a `QDI_LOG`-style specification.
+    ///
+    /// Unknown level names are reported as errors; empty segments are
+    /// ignored so trailing commas are harmless.
+    pub fn parse(spec: &str) -> Result<Filter, String> {
+        let mut directives = Vec::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let directive = match part.split_once('=') {
+                Some((target, level)) => {
+                    let target = target.trim();
+                    if target.is_empty() {
+                        return Err(format!("directive `{part}` has an empty target"));
+                    }
+                    Directive {
+                        target: target.to_string(),
+                        level: Level::parse(level)?,
+                    }
+                }
+                // A bare token is either a global level or a target
+                // enabled at the most verbose level (`RUST_LOG` idiom).
+                None => match Level::parse(part) {
+                    Ok(level) => Directive {
+                        target: String::new(),
+                        level,
+                    },
+                    Err(_) => Directive {
+                        target: part.to_string(),
+                        level: Some(Level::Trace),
+                    },
+                },
+            };
+            directives.push(directive);
+        }
+        Ok(Filter { directives })
+    }
+
+    /// The most verbose level any directive enables — the global
+    /// fast-path ceiling. `None` when everything is off.
+    #[must_use]
+    pub fn max_level(&self) -> Option<Level> {
+        self.directives.iter().filter_map(|d| d.level).max()
+    }
+
+    /// Whether a record at `level` from `target` should be emitted.
+    ///
+    /// The longest directive whose target is a module-path prefix of
+    /// `target` decides; a bare global directive matches everything.
+    #[must_use]
+    pub fn enabled(&self, level: Level, target: &str) -> bool {
+        let mut best: Option<&Directive> = None;
+        for d in &self.directives {
+            if !prefix_matches(&d.target, target) {
+                continue;
+            }
+            if best.is_none_or(|b| d.target.len() >= b.target.len()) {
+                best = Some(d);
+            }
+        }
+        match best {
+            Some(d) => d.level.is_some_and(|max| level <= max),
+            None => false,
+        }
+    }
+
+    /// The directives, for introspection in tests.
+    #[must_use]
+    pub fn directives(&self) -> &[Directive] {
+        &self.directives
+    }
+}
+
+/// `prefix` matches `target` when equal or followed by `::` in `target`.
+fn prefix_matches(prefix: &str, target: &str) -> bool {
+    if prefix.is_empty() {
+        return true;
+    }
+    match target.strip_prefix(prefix) {
+        Some("") => true,
+        Some(rest) => rest.starts_with("::"),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_global_level() {
+        let f = Filter::parse("debug").unwrap();
+        assert_eq!(f.max_level(), Some(Level::Debug));
+        assert!(f.enabled(Level::Debug, "anything"));
+        assert!(!f.enabled(Level::Trace, "anything"));
+    }
+
+    #[test]
+    fn parses_target_overrides() {
+        let f = Filter::parse("warn,qdi_pnr=trace,qdi_sim::simulator=off").unwrap();
+        assert_eq!(f.max_level(), Some(Level::Trace));
+        assert!(f.enabled(Level::Trace, "qdi_pnr::place"));
+        assert!(f.enabled(Level::Warn, "qdi_dpa"));
+        assert!(!f.enabled(Level::Info, "qdi_dpa"));
+        assert!(!f.enabled(Level::Error, "qdi_sim::simulator"));
+        // qdi_sim outside ::simulator falls back to the global `warn`.
+        assert!(f.enabled(Level::Warn, "qdi_sim::hazard"));
+    }
+
+    #[test]
+    fn bare_target_enables_trace() {
+        let f = Filter::parse("qdi_dpa").unwrap();
+        assert!(f.enabled(Level::Trace, "qdi_dpa::attack"));
+        assert!(!f.enabled(Level::Error, "qdi_pnr"));
+    }
+
+    #[test]
+    fn prefix_must_align_on_path_segments() {
+        let f = Filter::parse("qdi_sim=debug").unwrap();
+        assert!(f.enabled(Level::Debug, "qdi_sim"));
+        assert!(f.enabled(Level::Debug, "qdi_sim::simulator"));
+        assert!(!f.enabled(Level::Debug, "qdi_simulator"));
+    }
+
+    #[test]
+    fn off_and_errors() {
+        assert_eq!(Filter::parse("off").unwrap().max_level(), None);
+        assert!(Filter::parse("nonsense=level").is_err());
+        assert!(Filter::parse("=debug").is_err());
+        assert!(Filter::parse("").unwrap().directives().is_empty());
+    }
+
+    #[test]
+    fn later_directive_wins_ties() {
+        let f = Filter::parse("qdi_pnr=off,qdi_pnr=info").unwrap();
+        assert!(f.enabled(Level::Info, "qdi_pnr"));
+    }
+}

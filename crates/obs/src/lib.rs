@@ -1,0 +1,440 @@
+//! `qdi-obs`: structured tracing, metrics and profiling for the QDI
+//! secure design flow.
+//!
+//! The crate provides three cooperating facilities, all dependency-free
+//! beyond `std` and the workspace `serde` data model:
+//!
+//! * **Spans and events** — hierarchical [`span`]s carry a name,
+//!   `key = value` [`FieldValue`] attachments and monotonic wall time;
+//!   leveled [`event!`]s attach to the enclosing span. Both are
+//!   filtered by the `QDI_LOG` environment variable (same syntax as
+//!   `RUST_LOG`; see [`filter::Filter`]).
+//! * **Metrics** — process-wide [`metrics::counter`]s,
+//!   [`metrics::gauge`]s and fixed-bucket [`metrics::histogram`]s with
+//!   cheap `Arc`-backed handles, snapshotted via
+//!   [`metrics::MetricsSnapshot`].
+//! * **Sinks** — pluggable [`Sink`]s consume every enabled record:
+//!   [`MemorySink`] (tests, report post-processing), [`StderrSink`]
+//!   (human-readable tree), [`JsonlSink`] (JSON-Lines export) and
+//!   [`ChromeTraceSink`] (a `chrome://tracing` / Perfetto profile).
+//!
+//! When `QDI_LOG` is unset the whole tracing side collapses to one
+//! relaxed atomic load per check-point, so instrumented hot paths cost
+//! effectively nothing in production runs.
+//!
+//! ```
+//! use qdi_obs::{metrics, Level};
+//!
+//! qdi_obs::set_filter(qdi_obs::filter::Filter::at(Level::Debug));
+//! let traces = metrics::counter("dpa.traces");
+//! {
+//!     let mut span = qdi_obs::span("qdi_dpa::campaign", "acquire").enter();
+//!     traces.add(1000);
+//!     span.record("traces", 1000u64);
+//! }
+//! qdi_obs::event!(Level::Info, target: "qdi_dpa::campaign", "campaign done");
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod filter;
+pub mod json;
+pub mod level;
+pub mod metrics;
+pub mod record;
+pub mod sink;
+pub mod telemetry;
+
+pub use filter::Filter;
+pub use level::Level;
+pub use record::{FieldValue, Fields, Record};
+pub use sink::{ChromeTraceSink, JsonlSink, MemorySink, Sink, StderrSink};
+pub use telemetry::{StepTelemetry, Telemetry};
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Once, OnceLock, RwLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Global filter state
+// ---------------------------------------------------------------------------
+
+/// Fast-path ceiling: 0 = everything off, else `Level::as_u8` of the
+/// most verbose enabled level. One relaxed load decides the common
+/// "tracing disabled" case.
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(0);
+static INIT: Once = Once::new();
+
+fn filter_slot() -> &'static RwLock<Filter> {
+    static FILTER: OnceLock<RwLock<Filter>> = OnceLock::new();
+    FILTER.get_or_init(|| RwLock::new(Filter::off()))
+}
+
+fn install_filter(filter: Filter) {
+    let max = filter.max_level().map_or(0, Level::as_u8);
+    *filter_slot().write().expect("filter lock poisoned") = filter;
+    MAX_LEVEL.store(max, Ordering::Relaxed);
+}
+
+/// Parses `QDI_LOG` on first call; later calls are a no-op. Invoked
+/// automatically by every [`enabled`] check, so instrumented libraries
+/// need no explicit initialization.
+pub fn init_from_env() {
+    INIT.call_once(|| {
+        if let Ok(spec) = std::env::var("QDI_LOG") {
+            match Filter::parse(&spec) {
+                Ok(filter) => install_filter(filter),
+                Err(err) => eprintln!("qdi-obs: ignoring invalid QDI_LOG: {err}"),
+            }
+        }
+    });
+}
+
+/// Replaces the active filter programmatically (tests, embedding
+/// applications), overriding whatever `QDI_LOG` said.
+pub fn set_filter(filter: Filter) {
+    INIT.call_once(|| {});
+    install_filter(filter);
+}
+
+/// Whether a record at `level` from `target` would currently be emitted.
+#[must_use]
+pub fn enabled(level: Level, target: &str) -> bool {
+    init_from_env();
+    if level.as_u8() > MAX_LEVEL.load(Ordering::Relaxed) {
+        return false;
+    }
+    filter_slot()
+        .read()
+        .expect("filter lock poisoned")
+        .enabled(level, target)
+}
+
+// ---------------------------------------------------------------------------
+// Clock and thread identity
+// ---------------------------------------------------------------------------
+
+/// Microseconds elapsed on the process-wide monotonic clock (anchored
+/// at the first observability call in the process).
+#[must_use]
+pub fn now_us() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Dense per-thread id (first observed thread = 0), used as `tid` in
+/// trace profiles.
+#[must_use]
+pub fn thread_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static ID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ID.with(|id| *id)
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+fn sinks() -> &'static RwLock<Vec<Arc<dyn Sink>>> {
+    static SINKS: OnceLock<RwLock<Vec<Arc<dyn Sink>>>> = OnceLock::new();
+    SINKS.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+/// Installs an additional sink.
+pub fn add_sink(sink: Arc<dyn Sink>) {
+    sinks().write().expect("sink lock poisoned").push(sink);
+}
+
+/// Replaces the whole sink set (use `vec![]` to restore the default
+/// stderr fallback).
+pub fn set_sinks(new: Vec<Arc<dyn Sink>>) {
+    *sinks().write().expect("sink lock poisoned") = new;
+}
+
+/// Flushes every installed sink (file buffers, trace profiles).
+pub fn flush() {
+    for sink in sinks().read().expect("sink lock poisoned").iter() {
+        sink.flush();
+    }
+}
+
+fn dispatch(record: &Record) {
+    let installed = sinks().read().expect("sink lock poisoned");
+    if installed.is_empty() {
+        // No sink installed but the filter enabled the record: fall back
+        // to stderr so `QDI_LOG=debug <any binary>` is always visible.
+        static FALLBACK: StderrSink = StderrSink;
+        FALLBACK.record(record);
+        return;
+    }
+    for sink in installed.iter() {
+        sink.record(record);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Ids of the spans currently open on this thread, outermost first.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+fn next_span_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+fn current_span() -> (Option<u64>, usize) {
+    SPAN_STACK.with(|stack| {
+        let stack = stack.borrow();
+        (stack.last().copied(), stack.len())
+    })
+}
+
+struct SpanData {
+    id: u64,
+    target: &'static str,
+    name: String,
+    fields: Fields,
+    depth: usize,
+    start_us: u64,
+    start: Instant,
+}
+
+/// Builder returned by [`span`] / [`span_at`]; attach fields with
+/// [`SpanBuilder::field`], then [`SpanBuilder::enter`].
+#[must_use = "a span builder does nothing until entered"]
+pub struct SpanBuilder {
+    data: Option<Box<SpanData>>,
+}
+
+impl SpanBuilder {
+    /// Attaches a `key = value` field (no-op when the span is disabled).
+    pub fn field(mut self, key: &str, value: impl Into<FieldValue>) -> SpanBuilder {
+        if let Some(data) = self.data.as_mut() {
+            data.fields.push((key.to_string(), value.into()));
+        }
+        self
+    }
+
+    /// Enters the span: pushes it on the thread's span stack, emits
+    /// [`Record::SpanOpen`], and returns the RAII guard that closes it.
+    pub fn enter(mut self) -> SpanGuard {
+        if let Some(data) = self.data.as_mut() {
+            SPAN_STACK.with(|stack| stack.borrow_mut().push(data.id));
+            let (parent, depth) = SPAN_STACK.with(|stack| {
+                let stack = stack.borrow();
+                let n = stack.len();
+                (if n >= 2 { Some(stack[n - 2]) } else { None }, n - 1)
+            });
+            data.depth = depth;
+            dispatch(&Record::SpanOpen {
+                id: data.id,
+                parent,
+                depth,
+                target: data.target.to_string(),
+                name: data.name.clone(),
+                fields: data.fields.clone(),
+                ts_us: data.start_us,
+                thread: thread_id(),
+            });
+        }
+        SpanGuard {
+            data: self.data,
+            _not_send: PhantomData,
+        }
+    }
+}
+
+/// RAII guard for an entered span; dropping it emits
+/// [`Record::SpanClose`] with the measured wall time.
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct SpanGuard {
+    data: Option<Box<SpanData>>,
+    /// Span guards must close on the thread that opened them.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl SpanGuard {
+    /// Adds a field that will appear on the close record (e.g. results
+    /// computed inside the span).
+    pub fn record(&mut self, key: &str, value: impl Into<FieldValue>) {
+        if let Some(data) = self.data.as_mut() {
+            data.fields.push((key.to_string(), value.into()));
+        }
+    }
+
+    /// The span id, when the span is enabled.
+    #[must_use]
+    pub fn id(&self) -> Option<u64> {
+        self.data.as_ref().map(|d| d.id)
+    }
+
+    /// Whether the span is actually being recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.data.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(data) = self.data.take() {
+            SPAN_STACK.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                // Tolerate out-of-order drops instead of corrupting the
+                // stack: remove this id wherever it is.
+                if let Some(pos) = stack.iter().rposition(|&id| id == data.id) {
+                    stack.remove(pos);
+                }
+            });
+            let dur_us = u64::try_from(data.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+            dispatch(&Record::SpanClose {
+                id: data.id,
+                depth: data.depth,
+                target: data.target.to_string(),
+                name: data.name,
+                fields: data.fields,
+                ts_us: data.start_us,
+                dur_us,
+                thread: thread_id(),
+            });
+        }
+    }
+}
+
+/// Starts building a span at the given level; disabled spans cost one
+/// atomic load and allocate nothing.
+pub fn span_at(level: Level, target: &'static str, name: impl Into<String>) -> SpanBuilder {
+    if !enabled(level, target) {
+        return SpanBuilder { data: None };
+    }
+    SpanBuilder {
+        data: Some(Box::new(SpanData {
+            id: next_span_id(),
+            target,
+            name: name.into(),
+            fields: Vec::new(),
+            depth: 0,
+            start_us: now_us(),
+            start: Instant::now(),
+        })),
+    }
+}
+
+/// Starts building an [`Level::Info`] span.
+pub fn span(target: &'static str, name: impl Into<String>) -> SpanBuilder {
+    span_at(Level::Info, target, name)
+}
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// Emits a leveled event. Prefer the [`event!`] / [`warn!`] macros,
+/// which check [`enabled`] before building the message and fields.
+pub fn emit_event(level: Level, target: &str, message: String, fields: Fields) {
+    let (span, depth) = current_span();
+    dispatch(&Record::Event {
+        level,
+        target: target.to_string(),
+        message,
+        fields,
+        span,
+        depth,
+        ts_us: now_us(),
+        thread: thread_id(),
+    });
+}
+
+/// Emits a leveled, structured event when the filter enables it:
+///
+/// ```
+/// use qdi_obs::Level;
+/// qdi_obs::event!(Level::Warn, target: "qdi_sim::hazard",
+///                 glitches = 3usize, "hazard check flagged glitches");
+/// ```
+///
+/// Fields (`key = value,`*) come first, then a format string with
+/// optional arguments, as in `tracing`.
+#[macro_export]
+macro_rules! event {
+    ($level:expr, target: $target:expr, $($key:ident = $value:expr),+ , $fmt:literal $(, $arg:expr)* $(,)?) => {{
+        let __level = $level;
+        let __target = $target;
+        if $crate::enabled(__level, __target) {
+            $crate::emit_event(
+                __level,
+                __target,
+                format!($fmt $(, $arg)*),
+                vec![$((stringify!($key).to_string(), $crate::FieldValue::from($value))),+],
+            );
+        }
+    }};
+    ($level:expr, target: $target:expr, $fmt:literal $(, $arg:expr)* $(,)?) => {{
+        let __level = $level;
+        let __target = $target;
+        if $crate::enabled(__level, __target) {
+            $crate::emit_event(__level, __target, format!($fmt $(, $arg)*), vec![]);
+        }
+    }};
+}
+
+/// [`event!`] at [`Level::Error`].
+#[macro_export]
+macro_rules! error {
+    (target: $target:expr, $($rest:tt)*) => {
+        $crate::event!($crate::Level::Error, target: $target, $($rest)*)
+    };
+}
+
+/// [`event!`] at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    (target: $target:expr, $($rest:tt)*) => {
+        $crate::event!($crate::Level::Warn, target: $target, $($rest)*)
+    };
+}
+
+/// [`event!`] at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    (target: $target:expr, $($rest:tt)*) => {
+        $crate::event!($crate::Level::Info, target: $target, $($rest)*)
+    };
+}
+
+/// [`event!`] at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    (target: $target:expr, $($rest:tt)*) => {
+        $crate::event!($crate::Level::Debug, target: $target, $($rest)*)
+    };
+}
+
+/// [`event!`] at [`Level::Trace`].
+#[macro_export]
+macro_rules! trace {
+    (target: $target:expr, $($rest:tt)*) => {
+        $crate::event!($crate::Level::Trace, target: $target, $($rest)*)
+    };
+}
+
+/// Opens a span with inline fields and enters it:
+///
+/// ```
+/// let _guard = qdi_obs::span!(target: "qdi_pnr::place", "anneal", gates = 128usize);
+/// ```
+#[macro_export]
+macro_rules! span {
+    (target: $target:expr, $name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        $crate::span($target, $name)$(.field(stringify!($key), $value))*.enter()
+    };
+}

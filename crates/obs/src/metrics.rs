@@ -1,0 +1,393 @@
+//! Process-wide metrics: counters, gauges and fixed-bucket histograms.
+//!
+//! Handles are `Arc`-backed and cheap to clone; the registry is only
+//! locked when a handle is first created or a snapshot is taken, never
+//! on the hot update path. Metrics are always live (they are a few
+//! relaxed atomic ops), independent of the `QDI_LOG` filter.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing count.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value; also tracks a high-water mark.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+    high_water: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Sets the value, updating the high-water mark.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.high_water.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Adds a (possibly negative) delta, updating the high-water mark.
+    pub fn add(&self, delta: i64) {
+        let now = self.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.high_water.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Raises the high-water mark to at least `v` without touching the
+    /// current value (for externally tracked maxima).
+    pub fn record_max(&self, v: i64) {
+        self.high_water.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Largest value ever set/added/recorded.
+    #[must_use]
+    pub fn high_water(&self) -> i64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Inclusive upper bounds of each bucket, strictly increasing.
+    bounds: Vec<f64>,
+    /// One count per bound, plus one overflow bucket at the end.
+    counts: Vec<AtomicU64>,
+    /// Sum of observations, stored as `f64` bits.
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket histogram of `f64` observations.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// A histogram with the given inclusive bucket upper bounds; an
+    /// overflow bucket captures everything above the last bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bounds` is empty or not strictly increasing.
+    #[must_use]
+    pub fn with_bounds(bounds: &[f64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramInner {
+            bounds: bounds.to_vec(),
+            counts,
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }))
+    }
+
+    /// Index of the bucket an observation lands in (the overflow bucket
+    /// is `bounds.len()`). The first bucket whose bound is `>= v` wins.
+    #[must_use]
+    pub fn bucket_index(&self, v: f64) -> usize {
+        self.0.bounds.partition_point(|&b| b < v)
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = self.bucket_index(v);
+        self.0.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        // Lock-free f64 accumulation via compare-exchange on the bits.
+        let mut current = self.0.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + v).to_bits();
+            match self.0.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Per-bucket counts (last entry is the overflow bucket).
+    #[must_use]
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The configured bucket upper bounds.
+    #[must_use]
+    pub fn bounds(&self) -> &[f64] {
+        &self.0.bounds
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+fn registry() -> &'static Mutex<BTreeMap<String, Metric>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, Metric>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// A handle to the named counter, creating it on first use.
+///
+/// # Panics
+///
+/// Panics when `name` is already registered as a different metric kind.
+#[must_use]
+pub fn counter(name: &str) -> Counter {
+    let mut reg = registry().lock().expect("metrics registry poisoned");
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Counter(Counter::default()))
+    {
+        Metric::Counter(c) => c.clone(),
+        _ => panic!("metric `{name}` is not a counter"),
+    }
+}
+
+/// A handle to the named gauge, creating it on first use.
+///
+/// # Panics
+///
+/// Panics when `name` is already registered as a different metric kind.
+#[must_use]
+pub fn gauge(name: &str) -> Gauge {
+    let mut reg = registry().lock().expect("metrics registry poisoned");
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Gauge(Gauge::default()))
+    {
+        Metric::Gauge(g) => g.clone(),
+        _ => panic!("metric `{name}` is not a gauge"),
+    }
+}
+
+/// A handle to the named histogram, creating it with `bounds` on first
+/// use (later calls reuse the original bounds).
+///
+/// # Panics
+///
+/// Panics when `name` is already registered as a different metric kind,
+/// or on invalid `bounds` (see [`Histogram::with_bounds`]).
+#[must_use]
+pub fn histogram(name: &str, bounds: &[f64]) -> Histogram {
+    let mut reg = registry().lock().expect("metrics registry poisoned");
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Histogram(Histogram::with_bounds(bounds)))
+    {
+        Metric::Histogram(h) => h.clone(),
+        _ => panic!("metric `{name}` is not a histogram"),
+    }
+}
+
+/// One flattened metric reading inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricSample {
+    /// Metric name; histograms contribute `<name>.count` and
+    /// `<name>.sum`, gauges contribute `<name>` and `<name>.max`.
+    pub name: String,
+    /// The reading, widened to `f64`.
+    pub value: f64,
+}
+
+/// A point-in-time flattened reading of every registered metric.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Samples sorted by name.
+    pub samples: Vec<MetricSample>,
+}
+
+impl MetricsSnapshot {
+    /// Reads every registered metric.
+    #[must_use]
+    pub fn capture() -> MetricsSnapshot {
+        let reg = registry().lock().expect("metrics registry poisoned");
+        let mut samples = Vec::with_capacity(reg.len());
+        for (name, metric) in reg.iter() {
+            match metric {
+                Metric::Counter(c) => samples.push(MetricSample {
+                    name: name.clone(),
+                    value: c.get() as f64,
+                }),
+                Metric::Gauge(g) => {
+                    samples.push(MetricSample {
+                        name: name.clone(),
+                        value: g.get() as f64,
+                    });
+                    samples.push(MetricSample {
+                        name: format!("{name}.max"),
+                        value: g.high_water() as f64,
+                    });
+                }
+                Metric::Histogram(h) => {
+                    samples.push(MetricSample {
+                        name: format!("{name}.count"),
+                        value: h.count() as f64,
+                    });
+                    samples.push(MetricSample {
+                        name: format!("{name}.sum"),
+                        value: h.sum(),
+                    });
+                }
+            }
+        }
+        samples.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot { samples }
+    }
+
+    /// The sample with the given name, if present.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.value)
+    }
+
+    /// Per-name differences `self - earlier`, dropping unchanged
+    /// monotonic readings so step deltas stay small. Gauge-style
+    /// absolute samples (`.max` and bare gauges) are kept as-is.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut samples = Vec::new();
+        for s in &self.samples {
+            let before = earlier.get(&s.name).unwrap_or(0.0);
+            let changed = (s.value - before).abs() > 0.0;
+            let absolute = s.name.ends_with(".max");
+            if absolute {
+                if changed || earlier.get(&s.name).is_none() {
+                    samples.push(s.clone());
+                }
+            } else if changed {
+                samples.push(MetricSample {
+                    name: s.name.clone(),
+                    value: s.value - before,
+                });
+            }
+        }
+        MetricsSnapshot { samples }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucket_math() {
+        let h = Histogram::with_bounds(&[1.0, 10.0, 100.0]);
+        assert_eq!(h.bucket_index(0.5), 0);
+        assert_eq!(h.bucket_index(1.0), 0, "bounds are inclusive");
+        assert_eq!(h.bucket_index(1.1), 1);
+        assert_eq!(h.bucket_index(10.0), 1);
+        assert_eq!(h.bucket_index(99.9), 2);
+        assert_eq!(h.bucket_index(100.1), 3, "overflow bucket");
+        for v in [0.5, 1.0, 5.0, 1000.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.bucket_counts(), vec![2, 1, 0, 1]);
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 1006.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::with_bounds(&[1.0, 1.0]);
+    }
+
+    #[test]
+    fn gauge_tracks_high_water() {
+        let g = Gauge::default();
+        g.set(5);
+        g.add(-2);
+        g.record_max(4);
+        assert_eq!(g.get(), 3);
+        assert_eq!(g.high_water(), 5);
+    }
+
+    #[test]
+    fn concurrent_counters_do_not_lose_updates() {
+        let c = counter("obs.test.concurrent");
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 8000);
+    }
+
+    #[test]
+    fn snapshot_deltas() {
+        let c = counter("obs.test.delta");
+        let before = MetricsSnapshot::capture();
+        c.add(7);
+        let after = MetricsSnapshot::capture();
+        let delta = after.delta_since(&before);
+        assert_eq!(delta.get("obs.test.delta"), Some(7.0));
+        // Unrelated registered-but-unchanged metrics drop out.
+        assert!(delta
+            .samples
+            .iter()
+            .all(|s| !s.name.ends_with("concurrent") || s.value != 0.0));
+    }
+}

@@ -1,0 +1,169 @@
+//! The data model shared by every sink: field values and records.
+
+use serde::{Deserialize, Serialize};
+
+use crate::level::Level;
+
+/// A typed `key = value` attachment on a span or event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FieldValue {
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating point.
+    Float(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Free-form text.
+    Str(String),
+}
+
+impl std::fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldValue::Int(v) => write!(f, "{v}"),
+            FieldValue::UInt(v) => write!(f, "{v}"),
+            FieldValue::Float(v) => write!(f, "{v:.4}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+macro_rules! field_from {
+    ($($ty:ty => $variant:ident as $conv:ty),* $(,)?) => {$(
+        impl From<$ty> for FieldValue {
+            fn from(v: $ty) -> FieldValue {
+                FieldValue::$variant(v as $conv)
+            }
+        }
+    )*};
+}
+
+field_from!(
+    i8 => Int as i64, i16 => Int as i64, i32 => Int as i64, i64 => Int as i64,
+    isize => Int as i64,
+    u8 => UInt as u64, u16 => UInt as u64, u32 => UInt as u64, u64 => UInt as u64,
+    usize => UInt as u64,
+    f32 => Float as f64, f64 => Float as f64,
+);
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> FieldValue {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> FieldValue {
+        FieldValue::Str(v)
+    }
+}
+
+/// Named fields, preserving insertion order.
+pub type Fields = Vec<(String, FieldValue)>;
+
+/// One record delivered to every installed sink.
+///
+/// Timestamps are microseconds on the process-wide monotonic clock
+/// (see [`crate::now_us`]); durations are wall-clock microseconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Record {
+    /// A span was entered.
+    SpanOpen {
+        /// Process-unique span id.
+        id: u64,
+        /// Id of the enclosing span on the same thread, if any.
+        parent: Option<u64>,
+        /// Nesting depth on this thread (root = 0).
+        depth: usize,
+        /// Module-path-style origin, e.g. `qdi_pnr::place`.
+        target: String,
+        /// Human-readable span name, e.g. `anneal`.
+        name: String,
+        /// `key = value` attachments captured at entry.
+        fields: Fields,
+        /// Entry time, µs on the monotonic process clock.
+        ts_us: u64,
+        /// Dense id of the emitting thread (main thread = 0).
+        thread: u64,
+    },
+    /// A span was exited.
+    SpanClose {
+        /// Matches the corresponding [`Record::SpanOpen`] id.
+        id: u64,
+        /// Nesting depth on this thread (root = 0).
+        depth: usize,
+        /// Module-path-style origin.
+        target: String,
+        /// Span name.
+        name: String,
+        /// Fields at close: entry fields plus any recorded during the span.
+        fields: Fields,
+        /// Entry time, µs on the monotonic process clock.
+        ts_us: u64,
+        /// Wall time spent inside the span, µs.
+        dur_us: u64,
+        /// Dense id of the emitting thread.
+        thread: u64,
+    },
+    /// A point-in-time leveled event.
+    Event {
+        /// Severity.
+        level: Level,
+        /// Module-path-style origin.
+        target: String,
+        /// Formatted message.
+        message: String,
+        /// `key = value` attachments.
+        fields: Fields,
+        /// Id of the enclosing span on this thread, if any.
+        span: Option<u64>,
+        /// Nesting depth used for tree-indented output.
+        depth: usize,
+        /// Emission time, µs on the monotonic process clock.
+        ts_us: u64,
+        /// Dense id of the emitting thread.
+        thread: u64,
+    },
+}
+
+impl Record {
+    /// The monotonic timestamp of the record, µs.
+    #[must_use]
+    pub fn ts_us(&self) -> u64 {
+        match self {
+            Record::SpanOpen { ts_us, .. }
+            | Record::SpanClose { ts_us, .. }
+            | Record::Event { ts_us, .. } => *ts_us,
+        }
+    }
+
+    /// The record's target (module-path origin).
+    #[must_use]
+    pub fn target(&self) -> &str {
+        match self {
+            Record::SpanOpen { target, .. }
+            | Record::SpanClose { target, .. }
+            | Record::Event { target, .. } => target,
+        }
+    }
+
+    /// Formats the fields as ` k=v k=v` (empty string when no fields).
+    #[must_use]
+    pub fn fields_pretty(fields: &Fields) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (k, v) in fields {
+            let _ = write!(out, " {k}={v}");
+        }
+        out
+    }
+}

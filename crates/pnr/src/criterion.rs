@@ -79,7 +79,13 @@ pub fn format_table(rows: &[ChannelCriterion]) -> String {
             .map(|c| format!("{c:.1}"))
             .collect::<Vec<_>>()
             .join(" | ");
-        out.push_str(&format!("{:>4}  {:<36} {:<18} {:>5.2}\n", i + 1, row.name, caps, row.d));
+        out.push_str(&format!(
+            "{:>4}  {:<36} {:<18} {:>5.2}\n",
+            i + 1,
+            row.name,
+            caps,
+            row.d
+        ));
     }
     out
 }
@@ -118,7 +124,11 @@ pub fn stability_study(
                 worst = criterion_table(&nl);
             }
             let first = worst.first().expect("netlist has channels");
-            SeedOutcome { seed, worst_channel: first.name.clone(), worst_d: first.d }
+            SeedOutcome {
+                seed,
+                worst_channel: first.name.clone(),
+                worst_d: first.d,
+            }
         })
         .collect()
 }

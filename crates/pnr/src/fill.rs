@@ -35,7 +35,10 @@ pub struct FillReport {
 ///
 /// Panics if `tolerance` is negative or not finite.
 pub fn balance_channels(netlist: &mut Netlist, tolerance: f64) -> FillReport {
-    assert!(tolerance.is_finite() && tolerance >= 0.0, "tolerance must be finite and >= 0");
+    assert!(
+        tolerance.is_finite() && tolerance >= 0.0,
+        "tolerance must be finite and >= 0"
+    );
     let before = worst_criterion(netlist);
     let mut added = 0.0f64;
     let mut padded = 0usize;
@@ -121,7 +124,9 @@ pub fn balance_cones(netlist: &mut Netlist) -> FillReport {
                 if acks.contains(&net) || !seen.insert(net) {
                     continue;
                 }
-                let Some(driver) = netlist.net(net).driver else { continue };
+                let Some(driver) = netlist.net(net).driver else {
+                    continue;
+                };
                 let gate = netlist.gate(driver);
                 groups
                     .entry((depth, gate.kind.mnemonic(), gate.arity()))
@@ -199,7 +204,10 @@ mod tests {
     fn balancing_zeroes_the_criterion() {
         let mut nl = routed_xor();
         let report = balance_channels(&mut nl, 0.0);
-        assert!(report.max_criterion_before > 0.0, "routed layout starts unbalanced");
+        assert!(
+            report.max_criterion_before > 0.0,
+            "routed layout starts unbalanced"
+        );
         assert!(report.max_criterion_after < 1e-9, "exact fill zeroes dA");
         assert!(report.added_cap_ff > 0.0);
         assert!(report.channels_padded > 0);

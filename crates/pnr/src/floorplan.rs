@@ -107,13 +107,23 @@ pub fn build_floorplan(netlist: &Netlist, cfg: &PnrConfig) -> Floorplan {
             let slots = slots.max(1);
             let cols = (slots as f64).sqrt().ceil() as usize;
             let rows = slots.div_ceil(cols);
-            Pending { name: name.clone(), cols, rows, gate_count: gates.len() }
+            Pending {
+                name: name.clone(),
+                cols,
+                rows,
+                gate_count: gates.len(),
+            }
         })
         .collect();
     // First-fit decreasing height: tallest regions first keeps each shelf
     // nearly full-height, minimising the packing waste on top of the
     // per-region margin.
-    pending.sort_by(|a, b| b.rows.cmp(&a.rows).then(b.cols.cmp(&a.cols)).then(a.name.cmp(&b.name)));
+    pending.sort_by(|a, b| {
+        b.rows
+            .cmp(&a.rows)
+            .then(b.cols.cmp(&a.cols))
+            .then(a.name.cmp(&b.name))
+    });
 
     let total_area: f64 = pending
         .iter()
@@ -143,7 +153,11 @@ pub fn build_floorplan(netlist: &Netlist, cfg: &PnrConfig) -> Floorplan {
                 Some(s) => s,
                 None => {
                     let y = shelves.iter().map(|s| s.height).sum();
-                    shelves.push(Shelf { y, height: h, used_width: 0.0 });
+                    shelves.push(Shelf {
+                        y,
+                        height: h,
+                        used_width: 0.0,
+                    });
                     shelves.last_mut().expect("just pushed")
                 }
             };
@@ -204,7 +218,10 @@ mod tests {
         let fp = build_floorplan(&nl, &PnrConfig::default());
         let names: Vec<&str> = fp.regions.iter().map(|r| r.name.as_str()).collect();
         assert_eq!(names, vec!["<top>", "alpha", "beta"]);
-        assert_eq!(fp.regions.iter().map(|r| r.gate_count).sum::<usize>(), nl.gate_count());
+        assert_eq!(
+            fp.regions.iter().map(|r| r.gate_count).sum::<usize>(),
+            nl.gate_count()
+        );
     }
 
     #[test]

@@ -49,8 +49,8 @@
 #![warn(missing_docs)]
 
 pub mod criterion;
-pub mod fill;
 pub mod extract;
+pub mod fill;
 pub mod floorplan;
 pub mod geometry;
 pub mod place;
@@ -147,6 +147,11 @@ pub struct PnrReport {
 /// Runs the complete flow: floorplan (hierarchical only) → placement →
 /// wirelength estimation → extraction into the netlist's net capacitances.
 pub fn place_and_route(netlist: &mut Netlist, strategy: Strategy, cfg: &PnrConfig) -> PnrReport {
+    let mut span = qdi_obs::span("qdi_pnr", "place_and_route")
+        .field("netlist", netlist.name())
+        .field("strategy", format!("{strategy:?}"))
+        .field("gates", netlist.gate_count())
+        .enter();
     let floorplan = match strategy {
         Strategy::Flat => None,
         Strategy::Hierarchical => Some(floorplan::build_floorplan(netlist, cfg)),
@@ -159,6 +164,9 @@ pub fn place_and_route(netlist: &mut Netlist, strategy: Strategy, cfg: &PnrConfi
     let lengths = route::estimate_lengths(netlist, &placement);
     extract::extract(netlist, &lengths, cfg);
     let total_wirelength_um = lengths.iter().sum();
+    span.record("die_area_um2", placement.die.area());
+    span.record("wirelength_um", total_wirelength_um);
+    span.record("final_cost_um", final_cost_um);
     PnrReport {
         strategy,
         die_area_um2: placement.die.area(),

@@ -27,7 +27,12 @@ pub struct AnnealConfig {
 impl AnnealConfig {
     /// A medium-effort default.
     pub fn new() -> Self {
-        AnnealConfig { moves_per_gate: 120, t0_um: 20.0, t_end_um: 0.2, seed: 1 }
+        AnnealConfig {
+            moves_per_gate: 120,
+            t0_um: 20.0,
+            t_end_um: 0.2,
+            seed: 1,
+        }
     }
 }
 
@@ -85,11 +90,24 @@ impl Placement {
                 ));
             }
         }
-        let die = Rect::new(0.0, 0.0, cols as f64 * cfg.pitch_x_um, rows as f64 * cfg.pitch_y_um);
+        let die = Rect::new(
+            0.0,
+            0.0,
+            cols as f64 * cfg.pitch_x_um,
+            rows as f64 * cfg.pitch_y_um,
+        );
         let slot_group = vec![0u32; slots.len()];
         let group_slots = vec![(0..slots.len() as u32).collect()];
         let gate_group = vec![0u32; netlist.gate_count()];
-        Self::assign_random(netlist, die, slots, slot_group, group_slots, gate_group, cfg.anneal.seed)
+        Self::assign_random(
+            netlist,
+            die,
+            slots,
+            slot_group,
+            group_slots,
+            gate_group,
+            cfg.anneal.seed,
+        )
     }
 
     /// Random placement constrained to floorplan regions: every gate is
@@ -123,7 +141,15 @@ impl Placement {
                 gate_group[idx] = g;
             }
         }
-        Self::assign_random(netlist, fp.die, slots, slot_group, group_slots, gate_group, cfg.anneal.seed)
+        Self::assign_random(
+            netlist,
+            fp.die,
+            slots,
+            slot_group,
+            group_slots,
+            gate_group,
+            cfg.anneal.seed,
+        )
     }
 
     fn assign_random(
@@ -149,13 +175,21 @@ impl Placement {
         }
         for gate in netlist.gates() {
             let g = gate_group[gate.id.index()] as usize;
-            let slot = free[g].pop().unwrap_or_else(|| {
-                panic!("region {g} ran out of slots — margin too small")
-            });
+            let slot = free[g]
+                .pop()
+                .unwrap_or_else(|| panic!("region {g} ran out of slots — margin too small"));
             occupant[slot as usize] = Some(gate.id.index() as u32);
             slot_of_gate[gate.id.index()] = slot;
         }
-        Placement { die, slots, slot_group, occupant, slot_of_gate, gate_group, group_slots }
+        Placement {
+            die,
+            slots,
+            slot_group,
+            occupant,
+            slot_of_gate,
+            gate_group,
+            group_slots,
+        }
     }
 }
 
@@ -224,7 +258,21 @@ pub fn anneal(netlist: &Netlist, placement: &mut Placement, cfg: &AnnealConfig) 
     let mut temp = cfg.t0_um;
     let mut affected: Vec<u32> = Vec::with_capacity(16);
 
-    for _ in 0..sweeps {
+    let mut span = qdi_obs::span_at(qdi_obs::Level::Debug, "qdi_pnr::place", "anneal")
+        .field("gates", n)
+        .field("sweeps", sweeps)
+        .field("seed", cfg.seed)
+        .field("initial_cost_um", cost)
+        .enter();
+    // Per-sweep stats are summarized locally and reported at most once
+    // per sweep, so the hot move loop never touches the tracing runtime.
+    let sweep_log = span.is_enabled();
+    let mut attempted_total: u64 = 0;
+    let mut accepted_total: u64 = 0;
+
+    for sweep in 0..sweeps {
+        let mut attempted: u64 = 0;
+        let mut accepted: u64 = 0;
         for _ in 0..n {
             let g1 = rng.gen_range(0..n);
             let group = placement.gate_group[g1] as usize;
@@ -247,20 +295,43 @@ pub fn anneal(netlist: &Netlist, placement: &mut Placement, cfg: &AnnealConfig) 
             affected.sort_unstable();
             affected.dedup();
 
-            let before: f64 = affected.iter().map(|&i| hpwl(placement, &pins[i as usize])).sum();
+            let before: f64 = affected
+                .iter()
+                .map(|&i| hpwl(placement, &pins[i as usize]))
+                .sum();
             apply_move(placement, g1, s1, target_slot, g2);
-            let after: f64 = affected.iter().map(|&i| hpwl(placement, &pins[i as usize])).sum();
+            let after: f64 = affected
+                .iter()
+                .map(|&i| hpwl(placement, &pins[i as usize]))
+                .sum();
             let delta = after - before;
+            attempted += 1;
             let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temp).exp();
             if accept {
                 cost += delta;
+                accepted += 1;
             } else {
                 // Undo.
                 apply_move(placement, g1, target_slot, s1, g2);
             }
         }
+        attempted_total += attempted;
+        accepted_total += accepted;
+        if sweep_log {
+            qdi_obs::debug!(target: "qdi_pnr::place",
+                sweep = sweep,
+                temp_um = temp,
+                cost_um = cost,
+                acceptance = if attempted > 0 { accepted as f64 / attempted as f64 } else { 0.0 },
+                "anneal sweep");
+        }
         temp *= alpha;
     }
+    qdi_obs::metrics::counter("pnr.moves_attempted").add(attempted_total);
+    qdi_obs::metrics::counter("pnr.moves_accepted").add(accepted_total);
+    span.record("final_cost_um", cost);
+    span.record("moves_attempted", attempted_total);
+    span.record("moves_accepted", accepted_total);
     cost
 }
 
@@ -310,7 +381,10 @@ mod tests {
         let mut p = Placement::random_flat(&nl, &cfg);
         let before = total_cost(&nl, &p);
         let after = anneal(&nl, &mut p, &cfg.anneal);
-        assert!(after < before, "annealing should improve {before} -> {after}");
+        assert!(
+            after < before,
+            "annealing should improve {before} -> {after}"
+        );
         let recomputed = total_cost(&nl, &p);
         assert!(
             (after - recomputed).abs() < 1e-6 * recomputed.max(1.0),
@@ -329,8 +403,9 @@ mod tests {
         let mut p2 = Placement::random_flat(&nl, &cfg2);
         anneal(&nl, &mut p1, &cfg1.anneal);
         anneal(&nl, &mut p2, &cfg2.anneal);
-        let same = (0..nl.gate_count())
-            .all(|g| p1.position(GateId::from_raw(g as u32)) == p2.position(GateId::from_raw(g as u32)));
+        let same = (0..nl.gate_count()).all(|g| {
+            p1.position(GateId::from_raw(g as u32)) == p2.position(GateId::from_raw(g as u32))
+        });
         assert!(!same, "different seeds must explore different placements");
     }
 
@@ -399,6 +474,9 @@ mod tests {
         let before = pair_cost(&nl, &p);
         anneal(&nl, &mut p, &cfg.anneal);
         let after = pair_cost(&nl, &p);
-        assert!(after < 0.7 * before, "pairs should compact: {before} -> {after}");
+        assert!(
+            after < 0.7 * before,
+            "pairs should compact: {before} -> {after}"
+        );
     }
 }

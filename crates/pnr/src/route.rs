@@ -29,9 +29,12 @@ pub fn steiner_factor(pins: usize) -> f64 {
 /// drivers, and that distance difference is a first-class source of the
 /// paper's channel dissymmetry.
 pub fn estimate_lengths(netlist: &Netlist, placement: &Placement) -> Vec<f64> {
+    let mut span = qdi_obs::span_at(qdi_obs::Level::Debug, "qdi_pnr::route", "estimate_lengths")
+        .field("nets", netlist.net_count())
+        .enter();
     let min_stub = 2.0; // µm: via stack + local hookup for trivial nets
     let die = placement.die;
-    netlist
+    let lengths: Vec<f64> = netlist
         .nets()
         .map(|net| {
             let mut pins: Vec<u32> = net
@@ -68,7 +71,10 @@ pub fn estimate_lengths(netlist: &Netlist, placement: &Placement) -> Vec<f64> {
             }
             length
         })
-        .collect()
+        .collect();
+    qdi_obs::metrics::counter("pnr.nets_routed").add(lengths.len() as u64);
+    span.record("wirelength_um", lengths.iter().sum::<f64>());
+    lengths
 }
 
 #[cfg(test)]

@@ -22,7 +22,10 @@ pub struct TimingConfig {
 
 impl Default for TimingConfig {
     fn default() -> Self {
-        TimingConfig { t0_ps: 10.0, k: 0.6 }
+        TimingConfig {
+            t0_ps: 10.0,
+            k: 0.6,
+        }
     }
 }
 
@@ -116,7 +119,11 @@ pub fn analyze(netlist: &Netlist, cfg: &TimingConfig) -> Result<TimingReport, Ne
     }
     critical_path.reverse();
     let critical_delay_ps = critical_path.last().map_or(0.0, |e| e.arrival_ps);
-    Ok(TimingReport { critical_delay_ps, critical_path, arrival_ps: arrival })
+    Ok(TimingReport {
+        critical_delay_ps,
+        critical_path,
+        arrival_ps: arrival,
+    })
 }
 
 #[cfg(test)]
@@ -158,10 +165,14 @@ mod tests {
     #[test]
     fn heavier_net_slows_the_path() {
         let mut nl = xor_netlist();
-        let before = analyze(&nl, &TimingConfig::default()).expect("ok").critical_delay_ps;
+        let before = analyze(&nl, &TimingConfig::default())
+            .expect("ok")
+            .critical_delay_ps;
         let h1 = nl.find_net("x.h1").expect("net");
         nl.set_routing_cap(h1, 64.0);
-        let after = analyze(&nl, &TimingConfig::default()).expect("ok").critical_delay_ps;
+        let after = analyze(&nl, &TimingConfig::default())
+            .expect("ok")
+            .critical_delay_ps;
         assert!(after > before);
     }
 

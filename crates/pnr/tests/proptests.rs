@@ -3,9 +3,7 @@
 use proptest::prelude::*;
 
 use qdi_netlist::{GateId, GateKind, Netlist, NetlistBuilder};
-use qdi_pnr::{
-    criterion, fill, place, place_and_route, route, timing, PnrConfig, Strategy,
-};
+use qdi_pnr::{criterion, fill, place, place_and_route, route, timing, PnrConfig, Strategy};
 
 /// A random tree of gates: gate i (>0) reads from a random earlier gate
 /// plus the primary input.

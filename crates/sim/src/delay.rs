@@ -35,7 +35,10 @@ impl LinearDelay {
     /// A default calibration giving tens-of-ps gate delays for the default
     /// 8 fF nets, comparable to a 0.13 µm library.
     pub fn new() -> Self {
-        LinearDelay { t0_ps: 10.0, k: 0.6 }
+        LinearDelay {
+            t0_ps: 10.0,
+            k: 0.6,
+        }
     }
 }
 

@@ -28,7 +28,11 @@ pub struct TestbenchConfig {
 impl TestbenchConfig {
     /// Defaults suitable for cells up to a few tens of thousands of gates.
     pub fn new() -> Self {
-        TestbenchConfig { env_delay_ps: 50, event_limit: 50_000_000, max_rounds: 1_000_000 }
+        TestbenchConfig {
+            env_delay_ps: 50,
+            event_limit: 50_000_000,
+            max_rounds: 1_000_000,
+        }
     }
 }
 
@@ -209,7 +213,12 @@ impl<'a> Testbench<'a> {
         cfg: TestbenchConfig,
         delay: impl DelayModel + 'static,
     ) -> Self {
-        Testbench { sim: Simulator::new(netlist, delay), cfg, sources: Vec::new(), sinks: Vec::new() }
+        Testbench {
+            sim: Simulator::new(netlist, delay),
+            cfg,
+            sources: Vec::new(),
+            sinks: Vec::new(),
+        }
     }
 
     /// The underlying simulator (read access to levels and the log).
@@ -237,7 +246,11 @@ impl<'a> Testbench<'a> {
         }
         if let Some(&v) = values.iter().find(|&&v| v >= ch.arity()) {
             return Err(SimError::BadEnvironment {
-                reason: format!("value {v} does not fit 1-of-{} channel {}", ch.arity(), ch.name),
+                reason: format!(
+                    "value {v} does not fit 1-of-{} channel {}",
+                    ch.arity(),
+                    ch.name
+                ),
             });
         }
         self.sources.push(SourceEnv {
@@ -276,7 +289,11 @@ impl<'a> Testbench<'a> {
                 ),
             });
         }
-        self.sinks.push(SinkEnv { channel, phase: SinkPhase::WaitValid, received: Vec::new() });
+        self.sinks.push(SinkEnv {
+            channel,
+            phase: SinkPhase::WaitValid,
+            received: Vec::new(),
+        });
         Ok(())
     }
 
@@ -321,8 +338,11 @@ impl<'a> Testbench<'a> {
             if done {
                 let cycles = self.sources.iter().map(|s| s.sent).max().unwrap_or(0);
                 let end_time_ps = self.sim.now();
-                let received =
-                    self.sinks.into_iter().map(|s| (s.channel, s.received)).collect();
+                let received = self
+                    .sinks
+                    .into_iter()
+                    .map(|s| (s.channel, s.received))
+                    .collect();
                 return Ok(TestbenchRun {
                     transitions: self.sim.take_transitions(),
                     end_time_ps,
@@ -336,16 +356,21 @@ impl<'a> Testbench<'a> {
                 .filter(|s| !s.is_done())
                 .map(|s| s.channel)
                 .collect();
-            return Err(SimError::Deadlock { time_ps: self.sim.now(), pending_channels: pending });
+            return Err(SimError::Deadlock {
+                time_ps: self.sim.now(),
+                pending_channels: pending,
+            });
         }
-        Err(SimError::EventLimit { limit: self.cfg.max_rounds })
+        Err(SimError::EventLimit {
+            limit: self.cfg.max_rounds,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qdi_netlist::{cells, Channel, NetlistBuilder, Netlist};
+    use qdi_netlist::{cells, Channel, Netlist, NetlistBuilder};
 
     fn xor_netlist() -> (Netlist, Channel, Channel, Channel) {
         let mut b = NetlistBuilder::new("xor");
@@ -413,7 +438,12 @@ mod tests {
         let s1 = cells::wchb_buffer(&mut b, "s1", &a, s2_placeholder);
         let s2 = cells::wchb_buffer(&mut b, "s2", &s1.out, ack);
         // Wire stage-2 completion back as stage-1 output acknowledge.
-        b.gate_into(qdi_netlist::GateKind::Buf, "s2_ack_buf", &[s2.ack_to_senders], s2_placeholder);
+        b.gate_into(
+            qdi_netlist::GateKind::Buf,
+            "s2_ack_buf",
+            &[s2.ack_to_senders],
+            s2_placeholder,
+        );
         b.connect_input_acks(&[a.id], s1.ack_to_senders);
         let out = b.output_channel("co", &s2.out.rails.clone(), ack);
         let nl = b.finish().expect("valid");

@@ -35,9 +35,15 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::EventLimit { limit } => {
-                write!(f, "event limit of {limit} exceeded (oscillation or budget too small)")
+                write!(
+                    f,
+                    "event limit of {limit} exceeded (oscillation or budget too small)"
+                )
             }
-            SimError::Deadlock { time_ps, pending_channels } => write!(
+            SimError::Deadlock {
+                time_ps,
+                pending_channels,
+            } => write!(
                 f,
                 "handshake deadlock at {time_ps} ps with pending tokens on {} channel(s)",
                 pending_channels.len()
@@ -59,7 +65,10 @@ mod tests {
     fn display_messages() {
         let e = SimError::EventLimit { limit: 10 };
         assert!(e.to_string().contains("10"));
-        let d = SimError::Deadlock { time_ps: 5, pending_channels: vec![] };
+        let d = SimError::Deadlock {
+            time_ps: 5,
+            pending_channels: vec![],
+        };
         assert!(d.to_string().contains("deadlock"));
     }
 

@@ -64,6 +64,16 @@ pub fn check(netlist: &Netlist, transitions: &[Transition], cycles: usize) -> Ha
         })
         .collect();
     glitches.sort_by(|a, b| b.edges.cmp(&a.edges).then(a.net.cmp(&b.net)));
+    if !glitches.is_empty() {
+        qdi_obs::metrics::counter("sim.glitches").add(glitches.len() as u64);
+        let worst = &glitches[0];
+        qdi_obs::warn!(target: "qdi_sim::hazard",
+            glitching_nets = glitches.len(),
+            worst_net = worst.net_name.as_str(),
+            edges = worst.edges,
+            allowed = worst.allowed,
+            "hazard check failed: net exceeded its edge budget");
+    }
     HazardReport { glitches, cycles }
 }
 
@@ -102,9 +112,21 @@ mod tests {
         let nl = b.finish().expect("valid");
         let a = nl.find_net("a").expect("a");
         let log = vec![
-            Transition { time_ps: 1, net: a, rising: true },
-            Transition { time_ps: 2, net: a, rising: false },
-            Transition { time_ps: 3, net: a, rising: true },
+            Transition {
+                time_ps: 1,
+                net: a,
+                rising: true,
+            },
+            Transition {
+                time_ps: 2,
+                net: a,
+                rising: false,
+            },
+            Transition {
+                time_ps: 3,
+                net: a,
+                rising: true,
+            },
         ];
         let counts = edge_counts(&log);
         assert_eq!(counts[&a], 3);

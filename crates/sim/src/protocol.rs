@@ -119,7 +119,10 @@ pub fn check_channel(channel: &Channel, transitions: &[Transition]) -> ProtocolR
 
 /// Checks every channel of the netlist against the log.
 pub fn check_all(netlist: &Netlist, transitions: &[Transition]) -> Vec<ProtocolReport> {
-    netlist.channels().map(|c| check_channel(c, transitions)).collect()
+    netlist
+        .channels()
+        .map(|c| check_channel(c, transitions))
+        .collect()
 }
 
 #[cfg(test)]
@@ -168,8 +171,16 @@ mod tests {
         let nl = b.finish().expect("valid");
         let ch = nl.channel(a.id).clone();
         let log = vec![
-            Transition { time_ps: 10, net: ch.rail(0), rising: true },
-            Transition { time_ps: 20, net: ch.rail(1), rising: true },
+            Transition {
+                time_ps: 10,
+                net: ch.rail(0),
+                rising: true,
+            },
+            Transition {
+                time_ps: 20,
+                net: ch.rail(1),
+                rising: true,
+            },
         ];
         let report = check_channel(&ch, &log);
         assert!(!report.conformant());
@@ -189,8 +200,16 @@ mod tests {
         let nl = b.finish().expect("valid");
         let ch = nl.channel(a.id).clone();
         let log = vec![
-            Transition { time_ps: 10, net: ch.rail(0), rising: true },
-            Transition { time_ps: 20, net: ch.rail(0), rising: false },
+            Transition {
+                time_ps: 10,
+                net: ch.rail(0),
+                rising: true,
+            },
+            Transition {
+                time_ps: 20,
+                net: ch.rail(0),
+                rising: false,
+            },
         ];
         let report = check_channel(&ch, &log);
         assert!(!report.conformant());

@@ -62,7 +62,11 @@ pub struct Simulator<'a> {
     now: TimePs,
     seq: u64,
     events_processed: u64,
+    queue_high_water: usize,
     log: Vec<Transition>,
+    /// Metric handles resolved once per simulator, not per run.
+    events_metric: qdi_obs::metrics::Counter,
+    queue_metric: qdi_obs::metrics::Gauge,
 }
 
 impl std::fmt::Debug for Simulator<'_> {
@@ -92,7 +96,10 @@ impl<'a> Simulator<'a> {
             now: 0,
             seq: 0,
             events_processed: 0,
+            queue_high_water: 0,
             log: Vec::new(),
+            events_metric: qdi_obs::metrics::counter("sim.events"),
+            queue_metric: qdi_obs::metrics::gauge("sim.queue_depth"),
         }
     }
 
@@ -136,6 +143,11 @@ impl<'a> Simulator<'a> {
         self.events_processed
     }
 
+    /// Deepest the event queue has ever been since construction.
+    pub fn queue_high_water(&self) -> usize {
+        self.queue_high_water
+    }
+
     /// `true` when no event is scheduled.
     pub fn is_quiescent(&self) -> bool {
         self.queue.is_empty()
@@ -147,7 +159,14 @@ impl<'a> Simulator<'a> {
         self.pending_seq[i] = self.seq;
         self.pending_value[i] = value;
         self.has_pending[i] = true;
-        self.queue.push(Reverse(Event { time: at, seq: self.seq, net, value }));
+        self.queue.push(Reverse(Event {
+            time: at,
+            seq: self.seq,
+            net,
+            value,
+        }));
+        // Cheap max-on-push; reported to the global gauge once per run.
+        self.queue_high_water = self.queue_high_water.max(self.queue.len());
     }
 
     fn cancel_pending(&mut self, net: NetId) {
@@ -220,8 +239,35 @@ impl<'a> Simulator<'a> {
     /// Returns [`SimError::EventLimit`] if more than `limit` events fire —
     /// the signature of an oscillating circuit.
     pub fn run_until_quiescent(&mut self, limit: u64) -> Result<(), SimError> {
+        let start = self.events_processed;
+        let result = self.drain(None, limit);
+        self.finish_run(start, result.is_err());
+        result
+    }
+
+    /// Processes events with timestamps up to and including `t_end`, then
+    /// advances the clock to `t_end`. Later events stay queued.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventLimit`] if more than `limit` events fire.
+    pub fn run_until(&mut self, t_end: TimePs, limit: u64) -> Result<(), SimError> {
+        let start = self.events_processed;
+        let result = self.drain(Some(t_end), limit);
+        self.now = self.now.max(t_end);
+        self.finish_run(start, result.is_err());
+        result
+    }
+
+    /// The shared event loop: pops events (up to `t_end` when bounded),
+    /// commits levels and re-evaluates fanout gates.
+    fn drain(&mut self, t_end: Option<TimePs>, limit: u64) -> Result<(), SimError> {
         let mut budget = limit;
-        while let Some(Reverse(ev)) = self.queue.pop() {
+        while let Some(&Reverse(ev)) = self.queue.peek() {
+            if t_end.is_some_and(|t| ev.time > t) {
+                break;
+            }
+            self.queue.pop();
             let i = ev.net.index();
             if !self.has_pending[i] || self.pending_seq[i] != ev.seq {
                 continue; // stale (cancelled or superseded)
@@ -237,7 +283,11 @@ impl<'a> Simulator<'a> {
                 continue;
             }
             self.levels[i] = ev.value;
-            self.log.push(Transition { time_ps: ev.time, net: ev.net, rising: ev.value });
+            self.log.push(Transition {
+                time_ps: ev.time,
+                net: ev.net,
+                rising: ev.value,
+            });
             let loads = self.netlist.net(ev.net).loads.clone();
             for load in loads {
                 self.evaluate_gate(load);
@@ -246,42 +296,25 @@ impl<'a> Simulator<'a> {
         Ok(())
     }
 
-    /// Processes events with timestamps up to and including `t_end`, then
-    /// advances the clock to `t_end`. Later events stay queued.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError::EventLimit`] if more than `limit` events fire.
-    pub fn run_until(&mut self, t_end: TimePs, limit: u64) -> Result<(), SimError> {
-        let mut budget = limit;
-        while let Some(Reverse(ev)) = self.queue.peek().copied() {
-            if ev.time > t_end {
-                break;
-            }
-            self.queue.pop();
-            let i = ev.net.index();
-            if !self.has_pending[i] || self.pending_seq[i] != ev.seq {
-                continue;
-            }
-            if budget == 0 {
-                return Err(SimError::EventLimit { limit });
-            }
-            budget -= 1;
-            self.events_processed += 1;
-            self.has_pending[i] = false;
-            self.now = self.now.max(ev.time);
-            if self.levels[i] == ev.value {
-                continue;
-            }
-            self.levels[i] = ev.value;
-            self.log.push(Transition { time_ps: ev.time, net: ev.net, rising: ev.value });
-            let loads = self.netlist.net(ev.net).loads.clone();
-            for load in loads {
-                self.evaluate_gate(load);
-            }
+    /// Per-run bookkeeping: global metrics plus one trace event (the
+    /// event loop itself never touches the tracing runtime).
+    fn finish_run(&mut self, start_events: u64, hit_limit: bool) {
+        let processed = self.events_processed - start_events;
+        if processed > 0 {
+            self.events_metric.add(processed);
         }
-        self.now = self.now.max(t_end);
-        Ok(())
+        self.queue_metric.record_max(self.queue_high_water as i64);
+        if hit_limit {
+            qdi_obs::warn!(target: "qdi_sim::simulator",
+                events = processed, now_ps = self.now,
+                "event limit hit — circuit may oscillate");
+        } else {
+            qdi_obs::trace!(target: "qdi_sim::simulator",
+                events = processed,
+                queue_high_water = self.queue_high_water,
+                now_ps = self.now,
+                "run drained");
+        }
     }
 
     /// Evaluates every gate once and runs to quiescence, then clears the
@@ -389,7 +422,10 @@ mod tests {
         let mut sim = Simulator::new(&nl, ConstantDelay::new(5));
         sim.settle(100).expect("settle");
         assert!(sim.level(y), "NOR of all-low inputs idles high");
-        assert!(sim.transitions().is_empty(), "settling must not pollute the log");
+        assert!(
+            sim.transitions().is_empty(),
+            "settling must not pollute the log"
+        );
     }
 
     #[test]

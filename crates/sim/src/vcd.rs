@@ -19,7 +19,12 @@ pub fn to_vcd(netlist: &Netlist, transitions: &[Transition]) -> String {
     let _ = writeln!(out, "$timescale 1ps $end");
     let _ = writeln!(out, "$scope module {} $end", sanitize(netlist.name()));
     for net in netlist.nets() {
-        let _ = writeln!(out, "$var wire 1 {} {} $end", code(net.id.index()), sanitize(&net.name));
+        let _ = writeln!(
+            out,
+            "$var wire 1 {} {} $end",
+            code(net.id.index()),
+            sanitize(&net.name)
+        );
     }
     let _ = writeln!(out, "$upscope $end");
     let _ = writeln!(out, "$enddefinitions $end");

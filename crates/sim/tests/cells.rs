@@ -59,7 +59,9 @@ fn mux_with_unselected_token_still_completes_selected_path() {
     tb.sink(out.id).expect("sink");
     let err = tb.run().expect_err("unselected token stays pending");
     match err {
-        SimError::Deadlock { pending_channels, .. } => {
+        SimError::Deadlock {
+            pending_channels, ..
+        } => {
             assert_eq!(pending_channels, vec![bb.id], "only b's token is stuck");
         }
         other => panic!("expected deadlock, got {other}"),
@@ -87,9 +89,16 @@ fn demux_steers_by_select() {
         tb.sink(out0.id).expect("sink0");
         tb.sink(out1.id).expect("sink1");
         let run = tb.run().expect("demux completes");
-        let (hit, miss) = if s == 0 { (out0.id, out1.id) } else { (out1.id, out0.id) };
+        let (hit, miss) = if s == 0 {
+            (out0.id, out1.id)
+        } else {
+            (out1.id, out0.id)
+        };
         assert_eq!(run.received(hit), &[v], "sel={s} v={v}");
-        assert!(run.received(miss).is_empty(), "unselected way must stay silent");
+        assert!(
+            run.received(miss).is_empty(),
+            "unselected way must stay silent"
+        );
     }
 }
 
@@ -105,7 +114,12 @@ fn one_of_four_round_trip() {
     let enc = cells::to_one_of_four(&mut b, "enc", &hi, &lo, q_ack);
     b.connect_input_acks(&[hi.id, lo.id], enc.ack_to_senders);
     let (dec_hi, dec_lo) = cells::from_one_of_four(&mut b, "dec", &enc.out, hi_ack, lo_ack);
-    b.gate_into(qdi_netlist::GateKind::Buf, "qab", &[dec_hi.ack_to_senders], q_ack);
+    b.gate_into(
+        qdi_netlist::GateKind::Buf,
+        "qab",
+        &[dec_hi.ack_to_senders],
+        q_ack,
+    );
     let out_hi = b.output_channel("ohi", &dec_hi.out.rails.clone(), hi_ack);
     let out_lo = b.output_channel("olo", &dec_lo.out.rails.clone(), lo_ack);
     let nl = b.finish().expect("valid recode chain");

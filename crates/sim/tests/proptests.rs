@@ -10,8 +10,9 @@ use qdi_sim::{hazard, protocol, Testbench, TestbenchConfig};
 
 fn lut_fixture(table: &[u64], inputs: usize) -> (Netlist, Vec<Channel>, Channel) {
     let mut b = NetlistBuilder::new("lut");
-    let chans: Vec<Channel> =
-        (0..inputs).map(|i| b.input_channel(format!("i{i}"), 2)).collect();
+    let chans: Vec<Channel> = (0..inputs)
+        .map(|i| b.input_channel(format!("i{i}"), 2))
+        .collect();
     let refs: Vec<&Channel> = chans.iter().collect();
     let ack = b.input_net("ack");
     let cells = cells::dual_rail_lut(&mut b, "l", &refs, &[ack], table, 1);

@@ -29,10 +29,7 @@ fn attack_layout(strategy: Strategy, seed: u64) -> Result<(), Box<dyn std::error
     println!("\n=== {strategy:?} layout (seed {seed}) ===");
     println!(
         "die area {:.0} um2, wirelength {:.0} um, worst internal dA = {:.3} ({})",
-        report.die_area_um2,
-        report.total_wirelength_um,
-        worst[0].d,
-        worst[0].name
+        report.die_area_um2, report.total_wirelength_um, worst[0].d, worst[0].name
     );
 
     // Profiling phase (attacker's own device, noiseless, chosen plaintexts).
@@ -42,7 +39,11 @@ fn attack_layout(strategy: Strategy, seed: u64) -> Result<(), Box<dyn std::error
     let margins = templates.margins();
     println!(
         "per-bit bias margins (fC): {}",
-        margins.iter().map(|m| format!("{m:.2}")).collect::<Vec<_>>().join(" ")
+        margins
+            .iter()
+            .map(|m| format!("{m:.2}"))
+            .collect::<Vec<_>>()
+            .join(" ")
     );
 
     // Attack phase: one noisy codebook pass on the victim device.

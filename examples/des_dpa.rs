@@ -25,8 +25,12 @@ struct DesSlice {
 
 fn build_des_slice() -> Result<DesSlice, Box<dyn std::error::Error>> {
     let mut b = NetlistBuilder::new("des_slice");
-    let pt: Vec<Channel> = (0..6).map(|i| b.input_channel(format!("p{i}"), 2)).collect();
-    let key: Vec<Channel> = (0..6).map(|i| b.input_channel(format!("k{i}"), 2)).collect();
+    let pt: Vec<Channel> = (0..6)
+        .map(|i| b.input_channel(format!("p{i}"), 2))
+        .collect();
+    let key: Vec<Channel> = (0..6)
+        .map(|i| b.input_channel(format!("k{i}"), 2))
+        .collect();
     let out_acks: Vec<NetId> = (0..4).map(|i| b.input_net(format!("oack{i}"))).collect();
     // 6-bit XOR bank latched on the S-box's shared acknowledge.
     let sbox_ack = b.net("sb.ack_fwd");
@@ -45,7 +49,12 @@ fn build_des_slice() -> Result<DesSlice, Box<dyn std::error::Error>> {
         .enumerate()
         .map(|(i, ch)| b.output_channel(format!("o{i}"), &ch.rails.clone(), out_acks[i]))
         .collect();
-    Ok(DesSlice { netlist: b.finish()?, pt, key, out })
+    Ok(DesSlice {
+        netlist: b.finish()?,
+        pt,
+        key,
+        out,
+    })
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -78,9 +87,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // The paper's D function over all 64 subkey guesses.
-    let sel = DesSboxSelect { sbox_index: 0, byte: 0, bit: 0 };
+    let sel = DesSboxSelect {
+        sbox_index: 0,
+        byte: 0,
+        bit: 0,
+    };
     let result = attack(&set, &sel);
-    println!("attack over {} traces with {}:", result.traces, result.selection);
+    println!(
+        "attack over {} traces with {}:",
+        result.traces, result.selection
+    );
     for score in result.scores.iter().take(5) {
         println!(
             "  guess {:06b}  peak {:.3} at {} ps",
@@ -89,6 +105,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let rank = result.rank_of(KEY6 as u16).map(|r| r + 1);
     println!("true subkey {KEY6:06b} ranks {rank:?} of 64");
-    assert_eq!(result.best().guess, KEY6 as u16, "the subkey should rank first");
+    assert_eq!(
+        result.best().guess,
+        KEY6 as u16,
+        "the subkey should rank first"
+    );
     Ok(())
 }

@@ -26,16 +26,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Fig. 5: the annotated directed graph and its levels.
     let levels = graph::levelize(&netlist)?;
-    println!("Fig. 5 — levelized graph of the dual-rail XOR (Nc = {}):", levels.nc());
+    println!(
+        "Fig. 5 — levelized graph of the dual-rail XOR (Nc = {}):",
+        levels.nc()
+    );
     for (level, gates) in levels.iter() {
-        let names: Vec<&str> =
-            gates.iter().map(|&g| netlist.gate(g).name.as_str()).collect();
+        let names: Vec<&str> = gates
+            .iter()
+            .map(|&g| netlist.gate(g).name.as_str())
+            .collect();
         println!("  level {level}: {names:?}");
     }
 
     // The symmetry checker verifies the two output rails are balanced.
     let report = symmetry::check_channel(&netlist, netlist.channel(cell.out.id));
-    println!("\nsymmetry check on {}: balanced = {}", report.channel_name, report.balanced);
+    println!(
+        "\nsymmetry check on {}: balanced = {}",
+        report.channel_name, report.balanced
+    );
 
     // Simulate all four input pairs; transitions per computation must be
     // data independent.

@@ -4,12 +4,29 @@
 //! and the analytic leakage ranking.
 //!
 //! Run with: `cargo run --release --example secure_flow`
+//!
+//! Set `QDI_LOG=debug` to watch the span tree on stderr; the run always
+//! writes a Chrome/Perfetto profile to `secure_flow.trace.json` and the
+//! raw record stream to `secure_flow.telemetry.jsonl`.
+
+use std::sync::Arc;
 
 use qdi::core::{run_static_flow, FlowConfig};
 use qdi::crypto::gatelevel::column::aes_column_datapath;
 use qdi::pnr::Strategy;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Observability: human-readable tree on stderr (visibility governed
+    // by QDI_LOG), plus machine-readable JSONL and Chrome trace files.
+    qdi_obs::init_from_env();
+    qdi_obs::add_sink(Arc::new(qdi_obs::StderrSink::new()));
+    qdi_obs::add_sink(Arc::new(qdi_obs::JsonlSink::create(
+        "secure_flow.telemetry.jsonl",
+    )?));
+    qdi_obs::add_sink(Arc::new(qdi_obs::ChromeTraceSink::new(
+        "secure_flow.trace.json",
+    )));
+
     println!("generating the AES column datapath (AddKey0 -> ByteSub x4 -> HB -> MixColumn -> AddRoundKey)...");
     let column = aes_column_datapath("aes_column")?;
     let stats = column.netlist.stats();
@@ -40,6 +57,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .join(", ")
         );
         println!();
+        println!(
+            "  telemetry: {:.1} ms total — {}",
+            report.telemetry.total_wall_ms,
+            report
+                .telemetry
+                .steps
+                .iter()
+                .map(|s| format!("{} {:.1}ms", s.step, s.wall_ms))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        println!();
         area.push((strategy, report.die_area_um2));
     }
 
@@ -47,6 +76,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "area cost of the hierarchical methodology: {:+.1}% (paper reports ~+20%)",
         (hier / flat - 1.0) * 100.0
+    );
+
+    qdi_obs::flush();
+    println!(
+        "wrote secure_flow.trace.json (chrome://tracing / Perfetto) and \
+         secure_flow.telemetry.jsonl"
     );
     Ok(())
 }

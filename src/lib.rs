@@ -13,7 +13,9 @@
 //!   dissymmetry criterion `dA`;
 //! * [`dpa`] — selection functions, bias signals, key ranking, metrics;
 //! * [`core`] — the paper's formal current model and the secure design
-//!   flow.
+//!   flow;
+//! * [`obs`] — structured tracing, metrics and profiling across the flow
+//!   (spans, counters/histograms, stderr/JSONL/Chrome-trace sinks).
 //!
 //! See the `examples/` directory for end-to-end walkthroughs: a
 //! quickstart on the paper's dual-rail XOR, the Fig. 6/7 signature
@@ -28,5 +30,6 @@ pub use qdi_core as core;
 pub use qdi_crypto as crypto;
 pub use qdi_dpa as dpa;
 pub use qdi_netlist as netlist;
+pub use qdi_obs as obs;
 pub use qdi_pnr as pnr;
 pub use qdi_sim as sim;

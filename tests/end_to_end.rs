@@ -58,10 +58,16 @@ fn model_and_simulation_agree_on_signature_ordering() {
         }
         sim_area.push((*name, simulated_signature(&nl, &a, &bb, &out).abs_area_fc()));
         let model = CurrentModel::new(&nl).expect("acyclic");
-        model_area.push((*name, model.xor_gate_signature("x").expect("cell").abs_area_fc()));
+        model_area.push((
+            *name,
+            model.xor_gate_signature("x").expect("cell").abs_area_fc(),
+        ));
     }
     for areas in [&sim_area, &model_area] {
-        assert!(areas[0].1 < 0.2 * areas[1].1, "balanced must be far smaller: {areas:?}");
+        assert!(
+            areas[0].1 < 0.2 * areas[1].1,
+            "balanced must be far smaller: {areas:?}"
+        );
         assert!(areas[3].1 > areas[2].1, "fig7d > fig7c: {areas:?}");
     }
 }
@@ -113,7 +119,12 @@ fn full_attack_recovers_key_byte_on_unbalanced_layout() {
     cfg.traces = 120;
     let set = run_slice_campaign(&slice, &cfg).expect("campaign");
     let result = attack(&set, &AesSboxSelect { byte: 0, bit: 0 });
-    assert_eq!(result.best().guess, key as u16, "ghost ratio {}", result.ghost_ratio());
+    assert_eq!(
+        result.best().guess,
+        key as u16,
+        "ghost ratio {}",
+        result.ghost_ratio()
+    );
 }
 
 #[test]

@@ -1,7 +1,7 @@
 //! Integration tests of the secure design flow: the Table 2 comparison in
 //! miniature, on the first-round byte slice.
 
-use qdi::core::{run_static_flow, run_slice_flow, FlowConfig};
+use qdi::core::{run_slice_flow, run_static_flow, FlowConfig};
 use qdi::crypto::gatelevel::slice::{aes_first_round_slice, SliceStage};
 use qdi::dpa::selection::AesSboxSelect;
 use qdi::pnr::{criterion, PnrConfig, Strategy};
@@ -23,9 +23,10 @@ fn hierarchical_flow_reduces_worst_criterion_across_seeds() {
     let mut flat = Vec::new();
     let mut hier = Vec::new();
     for seed in [3u64, 5, 9] {
-        for (strategy, acc) in
-            [(Strategy::Flat, &mut flat), (Strategy::Hierarchical, &mut hier)]
-        {
+        for (strategy, acc) in [
+            (Strategy::Flat, &mut flat),
+            (Strategy::Hierarchical, &mut hier),
+        ] {
             let mut nl = base.netlist.clone();
             let report = run_static_flow(&mut nl, &fast_cfg(strategy, 0, seed));
             acc.push(report.max_criterion);
@@ -63,8 +64,7 @@ fn slice_flow_report_is_serializable() {
     let mut slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
     let sel = AesSboxSelect { byte: 0, bit: 0 };
     let report =
-        run_slice_flow(&mut slice, &sel, &fast_cfg(Strategy::Hierarchical, 0x11, 1))
-            .expect("flow");
+        run_slice_flow(&mut slice, &sel, &fast_cfg(Strategy::Hierarchical, 0x11, 1)).expect("flow");
     let json = serde_json::to_string(&report).expect("serializes");
     assert!(json.contains("worst_channels"));
     assert!(json.contains("scores"));

@@ -1,0 +1,179 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmark surface this workspace uses:
+//! [`Criterion::bench_function`] with [`Bencher::iter`], the
+//! [`criterion_group!`] / [`criterion_main!`] macros, and
+//! [`Criterion::sample_size`]. Each benchmark is auto-calibrated to a
+//! per-sample iteration count, timed over `sample_size` samples, and
+//! reported as `median [min .. max]` on stdout — enough to compare runs
+//! of the same machine, which is what the workspace's perf gates do.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall time per sample during measurement.
+const TARGET_SAMPLE: Duration = Duration::from_millis(50);
+/// Wall-time budget spent estimating the iteration count.
+const WARMUP: Duration = Duration::from_millis(150);
+
+/// The benchmark harness handle passed to group targets.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark, reporting to stdout.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warmup and calibration: grow the iteration count until one
+        // sample takes a measurable slice of wall time.
+        let calibration_start = Instant::now();
+        loop {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            if bencher.elapsed >= TARGET_SAMPLE || calibration_start.elapsed() >= WARMUP {
+                break;
+            }
+            let grow = if bencher.elapsed.is_zero() {
+                16
+            } else {
+                (TARGET_SAMPLE.as_secs_f64() / bencher.elapsed.as_secs_f64()).clamp(1.2, 16.0)
+                    as u64
+                    + 1
+            };
+            bencher.iters = bencher.iters.saturating_mul(grow).min(1 << 30);
+        }
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            per_iter.push(bencher.elapsed.as_secs_f64() / bencher.iters as f64);
+        }
+        per_iter.sort_by(f64::total_cmp);
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        let max = per_iter[per_iter.len() - 1];
+        println!(
+            "{name:<50} time: [{} {} {}]  ({} iters/sample, {} samples)",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(max),
+            bencher.iters,
+            self.sample_size,
+        );
+        self
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Times closures for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the calibrated number of iterations, timing the batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a benchmark group; supports both the struct-ish and the
+/// positional upstream forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_and_returns() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn formats_cover_magnitudes() {
+        assert!(fmt_time(2e-9).contains("ns"));
+        assert!(fmt_time(2e-6).contains("µs"));
+        assert!(fmt_time(2e-3).contains("ms"));
+        assert!(fmt_time(2.0).contains(" s"));
+    }
+}

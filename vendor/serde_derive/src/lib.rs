@@ -1,0 +1,475 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde` stub's value-tree data model. With neither `syn`
+//! nor `quote` available offline, the item is parsed directly from the
+//! [`proc_macro::TokenStream`] and the generated impls are assembled as
+//! source text.
+//!
+//! Supported item shapes — exactly those the workspace derives:
+//!
+//! * structs with named fields,
+//! * tuple structs (single-field newtypes serialize transparently,
+//!   wider tuples as arrays),
+//! * enums with unit, tuple, and struct variants (externally tagged).
+//!
+//! Generic parameters and `#[serde(...)]` attributes are rejected loudly
+//! rather than silently mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    gen_serialize(&shape)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    gen_deserialize(&shape)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---- parsing ---------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let keyword = expect_ident(&tokens, &mut i);
+    let is_enum = match keyword.as_str() {
+        "struct" => false,
+        "enum" => true,
+        other => panic!("serde stub derive: expected struct or enum, found `{other}`"),
+    };
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub derive: generic type `{name}` is not supported");
+    }
+    if is_enum {
+        let body = expect_group(&tokens, &mut i, Delimiter::Brace, &name);
+        Shape::Enum {
+            name,
+            variants: parse_variants(body),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                Shape::NamedStruct { name, fields }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_fields(g.stream());
+                Shape::TupleStruct { name, arity }
+            }
+            other => panic!("serde stub derive: unsupported struct body for `{name}`: {other:?}"),
+        }
+    }
+}
+
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match (tokens.get(*i), tokens.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                *i += 2;
+            }
+            _ => return,
+        }
+    }
+}
+
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde stub derive: expected identifier, found {other:?}"),
+    }
+}
+
+fn expect_group(tokens: &[TokenTree], i: &mut usize, delim: Delimiter, ctx: &str) -> TokenStream {
+    match tokens.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == delim => {
+            *i += 1;
+            g.stream()
+        }
+        other => panic!("serde stub derive: expected {delim:?} group for `{ctx}`, found {other:?}"),
+    }
+}
+
+/// Field names of a `{ name: Type, ... }` body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_vis(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                panic!("serde stub derive: expected `:` after field `{name}`, found {other:?}")
+            }
+        }
+        skip_until_comma(&tokens, &mut i);
+        fields.push(name);
+    }
+    fields
+}
+
+/// Number of top-level comma-separated fields in a `( ... )` body.
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    let mut saw_trailing_comma = false;
+    for (idx, tok) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    if idx + 1 == tokens.len() {
+                        saw_trailing_comma = true;
+                    } else {
+                        count += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let _ = saw_trailing_comma;
+    count
+}
+
+/// Advances past the current field's type, stopping after the separating
+/// comma (or at end of stream). Respects `<...>` nesting.
+fn skip_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while *i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_fields(g.stream());
+                i += 1;
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant and the separating comma.
+        skip_until_comma(&tokens, &mut i);
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---- code generation -------------------------------------------------
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_owned()
+            } else {
+                let items: String = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                    .collect();
+                format!("::serde::Value::Seq(::std::vec![{items}])")
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binders: Vec<String> =
+                                (0..*arity).map(|i| format!("__f{i}")).collect();
+                            let pattern = binders.join(", ");
+                            let inner = if *arity == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_owned()
+                            } else {
+                                let items: String = binders
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                    .collect();
+                                format!("::serde::Value::Seq(::std::vec![{items}])")
+                            };
+                            format!(
+                                "{name}::{vname}({pattern}) => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"), {inner})]),"
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let pattern = fields.join(", ");
+                            let entries: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f})),"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {pattern} }} => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"), \
+                                  ::serde::Value::Map(::std::vec![{entries}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(__entries, \"{f}\")?,"))
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __entries = __value.as_map().ok_or_else(|| \
+                             ::serde::Error::new(\"expected map for {name}\"))?;\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))"
+                )
+            } else {
+                let items: String = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?,"))
+                    .collect();
+                format!(
+                    "let __items = __value.as_seq().ok_or_else(|| \
+                         ::serde::Error::new(\"expected array for {name}\"))?;\n\
+                     if __items.len() != {arity} {{\n\
+                         return ::std::result::Result::Err(::serde::Error::new(\
+                             \"wrong arity for {name}\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}({items}))"
+                )
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(arity) => {
+                            let body = if *arity == 1 {
+                                format!(
+                                    "::std::result::Result::Ok({name}::{vname}(\
+                                     ::serde::Deserialize::from_value(__inner)?))"
+                                )
+                            } else {
+                                let items: String = (0..*arity)
+                                    .map(|i| {
+                                        format!("::serde::Deserialize::from_value(&__items[{i}])?,")
+                                    })
+                                    .collect();
+                                format!(
+                                    "let __items = __inner.as_seq().ok_or_else(|| \
+                                         ::serde::Error::new(\"expected array\"))?;\n\
+                                     if __items.len() != {arity} {{\n\
+                                         return ::std::result::Result::Err(\
+                                             ::serde::Error::new(\"wrong arity\"));\n\
+                                     }}\n\
+                                     ::std::result::Result::Ok({name}::{vname}({items}))"
+                                )
+                            };
+                            Some(format!("\"{vname}\" => {{ {body} }}"))
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::field(__entries, \"{f}\")?,"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                     let __entries = __inner.as_map().ok_or_else(|| \
+                                         ::serde::Error::new(\"expected map\"))?;\n\
+                                     ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\n\
+                                 }}"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 #[allow(unused_variables)]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __value {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 __other => ::std::result::Result::Err(::serde::Error::new(\
+                                     ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                                 let (__tag, __inner) = &__entries[0];\n\
+                                 match __tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     __other => ::std::result::Result::Err(::serde::Error::new(\
+                                         ::std::format!(\
+                                             \"unknown variant `{{__other}}` of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             __other => ::std::result::Result::Err(::serde::Error::new(\
+                                 ::std::format!(\"bad encoding for {name}: {{__other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
