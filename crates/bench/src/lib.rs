@@ -5,6 +5,8 @@
 //! benches print the regenerated tables/series to stdout — run them with
 //! `cargo bench -p qdi-bench` and compare against `EXPERIMENTS.md`.
 
+#![forbid(unsafe_code)]
+
 use qdi_analog::{SynthConfig, Trace, TraceSynthesizer};
 use qdi_netlist::{cells, Channel, Netlist, NetlistBuilder};
 use qdi_sim::{DelayModel, Testbench, TestbenchConfig};

@@ -2,29 +2,77 @@
 //!
 //! Steps, in order:
 //!
-//! 1. **Balance verification** — the structural symmetry check of
-//!    `qdi-netlist` confirms the logical data paths are balanced (the
-//!    premise of the paper's Section II countermeasures).
+//! 1. **Structural lint** — the `qdi-lint` structural registry (validity,
+//!    cycles, encoding, acknowledgement, rail symmetry) verifies the
+//!    premise of the paper's Section II countermeasures; deny-level
+//!    findings abort the flow before any layout effort is spent.
 //! 2. **Place and route** — flat (the uncontrolled reference, AES_v2) or
 //!    hierarchical with constrained regions (the proposed methodology,
 //!    AES_v1).
 //! 3. **Extraction** — routed net capacitances are written back into the
 //!    netlist.
-//! 4. **Criterion evaluation** — every channel's dissymmetry `dA` is
-//!    computed; channels above the alert threshold are flagged (Table 2).
-//! 5. **Leakage ranking** — the eq.-12 analytic estimate orders channels
+//! 4. **Electrical lint** — the `qdi-lint` electrical registry evaluates
+//!    the eq. 13 dissymmetry criterion and the eqs. 10–12 per-level
+//!    residual on the extracted capacitances; deny-level findings abort
+//!    the flow (by default the deny tier is off — see
+//!    [`FlowConfig::new`]).
+//! 5. **Criterion evaluation** — every channel's dissymmetry `dA` is
+//!    tabulated; channels above the alert threshold are flagged (Table 2).
+//! 6. **Leakage ranking** — the eq.-12 analytic estimate orders channels
 //!    by predicted DPA bias.
-//! 6. **DPA evaluation** (slice flow only) — a trace campaign plus the
+//! 7. **DPA evaluation** (slice flow only) — a trace campaign plus the
 //!    full attack quantify the layout's actual resistance.
+
+use std::fmt;
 
 use qdi_crypto::gatelevel::slice::AesByteSlice;
 use qdi_dpa::{attack, campaign, selection::SelectionFunction, AttackResult};
-use qdi_netlist::{symmetry, Netlist};
+use qdi_lint::{LintConfig, LintReport, Registry};
+use qdi_netlist::Netlist;
 use qdi_pnr::{criterion, place_and_route, ChannelCriterion, PnrConfig, Strategy};
 use qdi_sim::SimError;
 use serde::{Deserialize, Serialize};
 
 use crate::leakage::{rank_channel_leakage, ChannelLeakage};
+
+/// Why a flow run aborted.
+#[derive(Debug)]
+pub enum FlowError {
+    /// A lint stage produced deny-level findings; the embedded report
+    /// carries them with full context.
+    Lint {
+        /// Which stage denied: `"pre-route"` (structural registry) or
+        /// `"post-extraction"` (electrical registry).
+        stage: &'static str,
+        /// The findings of the stage that denied.
+        report: LintReport,
+    },
+    /// The DPA evaluation's simulation failed.
+    Sim(SimError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Lint { stage, report } => write!(
+                f,
+                "{stage} lint denied netlist `{}`: {} error(s), {} warning(s)",
+                report.netlist,
+                report.deny_count(),
+                report.warn_count()
+            ),
+            FlowError::Sim(err) => write!(f, "simulation failed: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<SimError> for FlowError {
+    fn from(err: SimError) -> Self {
+        FlowError::Sim(err)
+    }
+}
 
 /// Post-route fill step.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -50,18 +98,30 @@ pub struct FlowConfig {
     pub pnr: PnrConfig,
     /// Optional post-route capacitive fill.
     pub fill: FillStep,
-    /// `dA` above which a channel is flagged as a leakage risk.
+    /// `dA` above which a channel is flagged as a leakage risk. Kept in
+    /// sync with the electrical lint: the flow copies this value into
+    /// [`LintConfig::da_warn`] before the post-extraction lint stage, so
+    /// the flagged list and the `QDI0009` warnings always agree.
     pub criterion_alert: f64,
     /// How many worst channels to keep in the report.
     pub worst_k: usize,
     /// Trace campaign for the DPA evaluation step (slice flow).
     pub campaign: campaign::CampaignConfig,
+    /// Lint severities and thresholds for both lint stages. The flow
+    /// default disables the `dA` deny tier (`da_deny = None`): routed
+    /// layouts legitimately reach `dA` well above 1 (Table 2), so hard
+    /// failing there is an opt-in policy, e.g.
+    /// `cfg.lint.da_deny = Some(2.0)`.
+    pub lint: LintConfig,
 }
 
 impl FlowConfig {
     /// Defaults: hierarchical strategy, medium-effort annealing, alert at
-    /// `dA > 0.5`, a 256-trace noiseless campaign with key byte `key`.
+    /// `dA > 0.5`, a 256-trace noiseless campaign with key byte `key`,
+    /// structural lints at their natural severities and no `dA` deny tier.
     pub fn new(strategy: Strategy, key: u8) -> Self {
+        let mut lint = LintConfig::default();
+        lint.da_deny = None;
         FlowConfig {
             strategy,
             pnr: PnrConfig::default(),
@@ -69,6 +129,7 @@ impl FlowConfig {
             criterion_alert: 0.5,
             worst_k: 10,
             campaign: campaign::CampaignConfig::new(key),
+            lint,
         }
     }
 }
@@ -99,6 +160,10 @@ pub struct StaticFlowReport {
     pub leakage_ranking: Vec<ChannelLeakage>,
     /// Fill report, when a fill step ran.
     pub fill: Option<qdi_pnr::fill::FillReport>,
+    /// Findings of both lint stages (pre-route structural, post-extraction
+    /// electrical). A report is only produced when no stage denied, so
+    /// everything here is warn level or below.
+    pub lint: LintReport,
     /// Per-step wall time and metric deltas for the run.
     pub telemetry: qdi_obs::Telemetry,
 }
@@ -129,6 +194,11 @@ impl StaticFlowReport {
             self.flagged_channels.len(),
             0.5
         ));
+        out.push_str(&format!(
+            "  lint: {} warning(s), {} finding(s) total\n",
+            self.lint.warn_count(),
+            self.lint.len()
+        ));
         out.push_str(&criterion::format_table(&self.worst_channels));
         out
     }
@@ -136,7 +206,15 @@ impl StaticFlowReport {
 
 /// Runs the static flow; the netlist's net capacitances are overwritten by
 /// extraction.
-pub fn run_static_flow(netlist: &mut Netlist, cfg: &FlowConfig) -> StaticFlowReport {
+///
+/// # Errors
+///
+/// Returns [`FlowError::Lint`] when either lint stage (pre-route
+/// structural, post-extraction electrical) produces deny-level findings.
+pub fn run_static_flow(
+    netlist: &mut Netlist,
+    cfg: &FlowConfig,
+) -> Result<StaticFlowReport, FlowError> {
     qdi_obs::init_from_env();
     let mut flow_span = qdi_obs::span("qdi_core::flow", "static_flow")
         .field("netlist", netlist.name())
@@ -144,13 +222,24 @@ pub fn run_static_flow(netlist: &mut Netlist, cfg: &FlowConfig) -> StaticFlowRep
         .field("gates", netlist.gate_count())
         .enter();
     let mut telemetry = qdi_obs::Telemetry::new();
-    let unbalanced: Vec<String> = telemetry.step("qdi_core::flow", "symmetry_check", || {
-        symmetry::check_all(netlist)
-            .into_iter()
-            .filter(|r| !r.balanced)
-            .map(|r| r.channel_name)
-            .collect()
+
+    // Stage 1: structural lints gate the layout effort. The rail-symmetry
+    // findings double as the report's unbalanced-channel list.
+    let mut lint = telemetry.step("qdi_core::flow", "lint_structural", || {
+        Registry::structural().run(netlist, &cfg.lint)
     });
+    lint.emit_to_obs();
+    if lint.deny_count() > 0 {
+        return Err(FlowError::Lint {
+            stage: "pre-route",
+            report: lint,
+        });
+    }
+    let unbalanced: Vec<String> = lint
+        .with_code(qdi_lint::RAIL_SYMMETRY)
+        .map(|d| d.subject.name().to_owned())
+        .collect();
+
     let pnr = telemetry.step("qdi_core::flow", "place_and_route", || {
         place_and_route(netlist, cfg.strategy, &cfg.pnr)
     });
@@ -161,30 +250,40 @@ pub fn run_static_flow(netlist: &mut Netlist, cfg: &FlowConfig) -> StaticFlowRep
         }
         FillStep::Cones => Some(qdi_pnr::fill::balance_cones(netlist)),
     });
+
+    // Stage 2: electrical lints on the extracted (and possibly filled)
+    // capacitances. `criterion_alert` stays the single flagging knob.
+    let mut electrical_cfg = cfg.lint.clone();
+    electrical_cfg.da_warn = cfg.criterion_alert;
+    let electrical = telemetry.step("qdi_core::flow", "lint_electrical", || {
+        Registry::electrical().run(netlist, &electrical_cfg)
+    });
+    electrical.emit_to_obs();
+    if electrical.deny_count() > 0 {
+        return Err(FlowError::Lint {
+            stage: "post-extraction",
+            report: electrical,
+        });
+    }
+    let flagged: Vec<String> = electrical
+        .with_code(qdi_lint::CHANNEL_DISSYMMETRY)
+        .map(|d| d.subject.name().to_owned())
+        .collect();
+    lint.merge(electrical);
+
     let table = telemetry.step("qdi_core::flow", "criterion_table", || {
         criterion::criterion_table(netlist)
     });
     let max_criterion = table.first().map_or(0.0, |c| c.d);
-    let flagged: Vec<String> = table
-        .iter()
-        .take_while(|c| c.d > cfg.criterion_alert)
-        .map(|c| c.name.clone())
-        .collect();
-    for c in table.iter().take_while(|c| c.d > cfg.criterion_alert) {
-        qdi_obs::warn!(target: "qdi_core::flow",
-            channel = c.name.as_str(),
-            d_a = c.d,
-            alert = cfg.criterion_alert,
-            "dissymmetry criterion above alert threshold");
-    }
     let mut leakage = telemetry.step("qdi_core::flow", "leakage_ranking", || {
         rank_channel_leakage(netlist)
     });
     leakage.truncate(cfg.worst_k);
     flow_span.record("max_criterion", max_criterion);
     flow_span.record("flagged_channels", flagged.len());
+    flow_span.record("lint_findings", lint.len());
     flow_span.record("wall_ms", telemetry.total_wall_ms);
-    StaticFlowReport {
+    Ok(StaticFlowReport {
         netlist: netlist.name().to_owned(),
         strategy: cfg.strategy,
         gates: netlist.gate_count(),
@@ -196,8 +295,9 @@ pub fn run_static_flow(netlist: &mut Netlist, cfg: &FlowConfig) -> StaticFlowRep
         flagged_channels: flagged,
         leakage_ranking: leakage,
         fill: fill_report,
+        lint,
         telemetry,
-    }
+    })
 }
 
 /// Report of the full flow including the DPA evaluation.
@@ -239,13 +339,14 @@ impl SliceFlowReport {
 ///
 /// # Errors
 ///
-/// Propagates simulator errors from the trace campaign.
+/// Returns [`FlowError::Lint`] when a lint stage denies the netlist and
+/// [`FlowError::Sim`] when the trace campaign's simulation fails.
 pub fn run_slice_flow(
     slice: &mut AesByteSlice,
     sel: &dyn SelectionFunction,
     cfg: &FlowConfig,
-) -> Result<SliceFlowReport, SimError> {
-    let mut layout = run_static_flow(&mut slice.netlist, cfg);
+) -> Result<SliceFlowReport, FlowError> {
+    let mut layout = run_static_flow(&mut slice.netlist, cfg)?;
     let set = layout.telemetry.step("qdi_core::flow", "campaign", || {
         campaign::run_slice_campaign(slice, &cfg.campaign)
     })?;
@@ -288,7 +389,7 @@ mod tests {
         b.connect_input_acks(&[a.id, bb.id], cell.ack_to_senders);
         let _ = b.output_channel("co", &cell.out.rails.clone(), ack);
         let mut nl = b.finish().expect("valid");
-        let report = run_static_flow(&mut nl, &fast_cfg(Strategy::Flat, 0));
+        let report = run_static_flow(&mut nl, &fast_cfg(Strategy::Flat, 0)).expect("passes lint");
         assert!(report.unbalanced_channels.is_empty());
         assert!(report.die_area_um2 > 0.0);
         assert!(!report.worst_channels.is_empty());
@@ -300,7 +401,8 @@ mod tests {
     #[test]
     fn static_flow_report_serializes_populated_telemetry() {
         let mut slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
-        let report = run_static_flow(&mut slice.netlist, &fast_cfg(Strategy::Flat, 0));
+        let report =
+            run_static_flow(&mut slice.netlist, &fast_cfg(Strategy::Flat, 0)).expect("passes lint");
         let step_names: Vec<&str> = report
             .telemetry
             .steps
@@ -310,9 +412,10 @@ mod tests {
         assert_eq!(
             step_names,
             vec![
-                "symmetry_check",
+                "lint_structural",
                 "place_and_route",
                 "fill",
+                "lint_electrical",
                 "criterion_table",
                 "leakage_ranking"
             ]
@@ -386,7 +489,7 @@ mod tests {
                 let mut nl = base.netlist.clone();
                 let mut cfg = fast_cfg(strategy, 0);
                 cfg.pnr.anneal.seed = seed;
-                let report = run_static_flow(&mut nl, &cfg);
+                let report = run_static_flow(&mut nl, &cfg).expect("passes lint");
                 *acc = acc.max(report.max_criterion);
             }
         }
@@ -401,7 +504,7 @@ mod tests {
         let mut slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
         let mut cfg = fast_cfg(Strategy::Flat, 0);
         cfg.fill = FillStep::Channels { tolerance: 0.0 };
-        let report = run_static_flow(&mut slice.netlist, &cfg);
+        let report = run_static_flow(&mut slice.netlist, &cfg).expect("passes lint");
         let fill = report.fill.expect("fill ran");
         assert!(fill.max_criterion_before > 0.0);
         assert!(
@@ -419,8 +522,8 @@ mod tests {
         let cfg = fast_cfg(Strategy::Flat, 0);
         let mut fill_cfg = fast_cfg(Strategy::Flat, 0);
         fill_cfg.fill = FillStep::Cones;
-        let r_plain = run_static_flow(&mut plain, &cfg);
-        let r_filled = run_static_flow(&mut filled, &fill_cfg);
+        let r_plain = run_static_flow(&mut plain, &cfg).expect("passes lint");
+        let r_filled = run_static_flow(&mut filled, &fill_cfg).expect("passes lint");
         let top = |r: &StaticFlowReport| r.leakage_ranking.first().map_or(0.0, |l| l.bias_estimate);
         assert!(
             top(&r_filled) < 0.2 * top(&r_plain).max(1e-12),
@@ -431,12 +534,86 @@ mod tests {
     }
 
     #[test]
+    fn flow_report_embeds_lint_findings() {
+        // Post-route layouts always carry some residual dissymmetry (Table 2
+        // shows dA well above the 0.5 alert line even for the hierarchical
+        // flow), so the embedded lint report must agree with the flagged
+        // list derived from the same criterion.
+        let mut slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+        let report =
+            run_static_flow(&mut slice.netlist, &fast_cfg(Strategy::Flat, 0)).expect("passes lint");
+        assert_eq!(report.lint.deny_count(), 0, "default flow must not deny");
+        let lint_flagged: Vec<&str> = report
+            .lint
+            .with_code(qdi_lint::CHANNEL_DISSYMMETRY)
+            .map(|d| d.subject.name())
+            .collect();
+        assert_eq!(
+            lint_flagged,
+            report
+                .flagged_channels
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>(),
+            "flagged channels must mirror the QDI0009 findings"
+        );
+        assert!(
+            !lint_flagged.is_empty(),
+            "flat fast P&R leaves dA above the 0.5 alert on at least one channel"
+        );
+        assert!(report.to_text().contains("lint:"));
+    }
+
+    #[test]
+    fn strict_deny_threshold_aborts_the_flow_post_extraction() {
+        let mut slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+        let mut cfg = fast_cfg(Strategy::Flat, 0);
+        cfg.lint.da_deny = Some(0.05); // far below any routed layout's dA
+        let err = run_static_flow(&mut slice.netlist, &cfg).expect_err("must deny");
+        match err {
+            FlowError::Lint { stage, report } => {
+                assert_eq!(stage, "post-extraction");
+                assert!(report.deny_count() > 0);
+                assert!(report
+                    .denied()
+                    .all(|d| d.code == qdi_lint::CHANNEL_DISSYMMETRY));
+                let text = err_text(&FlowError::Lint { stage, report });
+                assert!(text.contains("post-extraction lint denied"), "{text}");
+            }
+            other => panic!("expected a lint error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn broken_netlist_aborts_the_flow_pre_route() {
+        let mut b = NetlistBuilder::new("broken");
+        let floating = b.net("floating");
+        let out = b.gate(qdi_netlist::GateKind::Buf, "g", &[floating]);
+        b.mark_output(out);
+        let mut nl = b.finish_unchecked();
+        let err = run_static_flow(&mut nl, &fast_cfg(Strategy::Flat, 0)).expect_err("must deny");
+        match err {
+            FlowError::Lint { stage, report } => {
+                assert_eq!(stage, "pre-route");
+                assert!(report.deny_count() > 0);
+            }
+            other => panic!("expected a lint error, got {other:?}"),
+        }
+    }
+
+    fn err_text(err: &FlowError) -> String {
+        format!("{err}")
+    }
+
+    #[test]
     fn hierarchical_flow_costs_area() {
         let base = aes_first_round_slice("s", SliceStage::XorSbox).expect("builds");
         let mut nl_flat = base.netlist.clone();
         let mut nl_hier = base.netlist.clone();
-        let flat = run_static_flow(&mut nl_flat, &fast_cfg(Strategy::Flat, 0));
-        let hier = run_static_flow(&mut nl_hier, &fast_cfg(Strategy::Hierarchical, 0));
+        let flat =
+            run_static_flow(&mut nl_flat, &fast_cfg(Strategy::Flat, 0)).expect("passes lint");
+        let hier = run_static_flow(&mut nl_hier, &fast_cfg(Strategy::Hierarchical, 0))
+            .expect("passes lint");
         assert!(
             hier.die_area_um2 > flat.die_area_um2,
             "hierarchical should cost area: {} vs {}",

@@ -15,11 +15,11 @@
 //! * [`leakage`] — per-channel leakage estimation: ranking channels by the
 //!   `V·(C/Δt − C'/Δt')` magnitude of eq. 12, and the dissymmetry
 //!   criterion `dA` of Section VI.
-//! * [`flow`] — the complete secure design flow: balance verification →
+//! * [`flow`] — the complete secure design flow: structural lint gate →
 //!   place and route (flat or hierarchical) → parasitic extraction →
-//!   criterion evaluation → electrical simulation → DPA evaluation →
-//!   report. The hierarchical strategy is the paper's countermeasure; the
-//!   flat strategy is its reference (AES_v2).
+//!   electrical lint gate → criterion evaluation → electrical simulation →
+//!   DPA evaluation → report. The hierarchical strategy is the paper's
+//!   countermeasure; the flat strategy is its reference (AES_v2).
 //!
 //! # Example: predict the Fig. 7 signature analytically
 //!
@@ -55,7 +55,8 @@ pub mod leakage;
 pub mod model;
 
 pub use flow::{
-    run_slice_flow, run_static_flow, FillStep, FlowConfig, SliceFlowReport, StaticFlowReport,
+    run_slice_flow, run_static_flow, FillStep, FlowConfig, FlowError, SliceFlowReport,
+    StaticFlowReport,
 };
 pub use leakage::{rank_channel_leakage, ChannelLeakage};
 pub use model::CurrentModel;

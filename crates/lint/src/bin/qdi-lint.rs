@@ -1,0 +1,189 @@
+//! The `qdi-lint` command line: static analysis of QDI netlists in the
+//! `qdi_netlist::io` text format.
+//!
+//! ```text
+//! qdi-lint [OPTIONS] FILE...
+//!
+//!   --deny warnings   treat every warning as an error
+//!   --deny CODE       force lint CODE (e.g. QDI0007) to error
+//!   --warn CODE       force lint CODE to warning
+//!   --allow CODE      silence lint CODE
+//!   --da-warn X       dA alert threshold (default 0.5)
+//!   --da-deny X|none  dA error threshold (default 1.0); `none` disables
+//!   --structural      run only the structural passes (skip capacitance)
+//!   --json            print findings as JSON-Lines on stdout
+//!   --jsonl FILE      also stream findings to FILE via a qdi-obs JSONL sink
+//!   --no-color        disable ANSI colors (also: NO_COLOR, non-tty)
+//! ```
+//!
+//! Exit status: `0` no deny-level findings, `1` at least one deny-level
+//! finding, `2` usage or load error.
+
+use std::io::IsTerminal as _;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use qdi_lint::{LintCode, LintConfig, Registry, Severity};
+
+/// Parsed command line.
+struct Options {
+    files: Vec<String>,
+    config: LintConfig,
+    structural_only: bool,
+    json: bool,
+    jsonl: Option<String>,
+    color: Option<bool>,
+}
+
+fn usage() -> &'static str {
+    "usage: qdi-lint [--deny warnings|CODE] [--warn CODE] [--allow CODE] \
+     [--da-warn X] [--da-deny X|none] [--structural] [--json] [--jsonl FILE] \
+     [--no-color] FILE..."
+}
+
+/// Parses a lint code operand, accepting `QDI0007`, `qdi7` or `7`.
+fn parse_code(flag: &str, value: &str) -> Result<LintCode, String> {
+    LintCode::parse(value).ok_or_else(|| format!("{flag}: `{value}` is not a lint code"))
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        files: Vec::new(),
+        config: LintConfig::default(),
+        structural_only: false,
+        json: false,
+        jsonl: None,
+        color: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut operand = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--deny" => {
+                let v = operand("--deny")?;
+                if v == "warnings" {
+                    opts.config.deny_warnings = true;
+                } else {
+                    let code = parse_code("--deny", &v)?;
+                    opts.config.set_level(code, Severity::Deny);
+                }
+            }
+            "--warn" => {
+                let code = parse_code("--warn", &operand("--warn")?)?;
+                opts.config.set_level(code, Severity::Warn);
+            }
+            "--allow" => {
+                let code = parse_code("--allow", &operand("--allow")?)?;
+                opts.config.set_level(code, Severity::Allow);
+            }
+            "--da-warn" => {
+                let v = operand("--da-warn")?;
+                opts.config.da_warn = v
+                    .parse()
+                    .map_err(|_| format!("--da-warn: `{v}` is not a number"))?;
+            }
+            "--da-deny" => {
+                let v = operand("--da-deny")?;
+                opts.config.da_deny = if v == "none" {
+                    None
+                } else {
+                    Some(
+                        v.parse()
+                            .map_err(|_| format!("--da-deny: `{v}` is not a number"))?,
+                    )
+                };
+            }
+            "--structural" => opts.structural_only = true,
+            "--json" => opts.json = true,
+            "--jsonl" => opts.jsonl = Some(operand("--jsonl")?),
+            "--no-color" => opts.color = Some(false),
+            "--color" => opts.color = Some(true),
+            "-h" | "--help" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            file => opts.files.push(file.to_string()),
+        }
+    }
+    if opts.files.is_empty() {
+        return Err("no input files".to_string());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("qdi-lint: {message}");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    let color = opts.color.unwrap_or_else(|| {
+        std::env::var_os("NO_COLOR").is_none() && std::io::stderr().is_terminal()
+    });
+
+    // Findings go through qdi-obs as warn/error events; a JSONL sink makes
+    // them a machine-readable stream alongside whatever QDI_LOG set up.
+    qdi_obs::init_from_env();
+    if let Some(path) = &opts.jsonl {
+        match qdi_obs::JsonlSink::create(path) {
+            Ok(sink) => {
+                qdi_obs::set_filter(qdi_obs::Filter::at(qdi_obs::Level::Warn));
+                qdi_obs::add_sink(Arc::new(sink));
+            }
+            Err(err) => {
+                eprintln!("qdi-lint: cannot create `{path}`: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let registry = if opts.structural_only {
+        Registry::structural()
+    } else {
+        Registry::full()
+    };
+
+    let mut denied = 0usize;
+    for file in &opts.files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("qdi-lint: cannot read `{file}`: {err}");
+                return ExitCode::from(2);
+            }
+        };
+        let netlist = match qdi_netlist::io::from_text(&text) {
+            Ok(netlist) => netlist,
+            Err(err) => {
+                eprintln!("qdi-lint: {file}: {err}");
+                return ExitCode::from(2);
+            }
+        };
+        let report = registry.run(&netlist, &opts.config);
+        report.emit_to_obs();
+        if opts.json {
+            print!("{}", report.to_jsonl());
+        } else {
+            eprint!("{}", report.render_human(color));
+        }
+        denied += report.deny_count();
+    }
+    qdi_obs::flush();
+
+    if denied > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,124 @@
+//! Per-lint severity configuration and electrical thresholds.
+
+use std::collections::BTreeMap;
+
+use qdi_netlist::diag::{LintCode, Severity};
+
+/// Configuration of a lint run: per-code severity overrides, a global
+/// warnings-are-errors switch, and the thresholds of the electrical lints.
+///
+/// Severity resolution, in order:
+///
+/// 1. each finding carries a *natural* severity chosen by its pass
+///    (e.g. `dA` above the deny threshold is naturally deny);
+/// 2. an explicit per-code override (`allow` / `warn` / `deny`) replaces
+///    the natural severity;
+/// 3. with [`LintConfig::deny_warnings`], anything still at warn is
+///    escalated to deny — the CLI's `--deny warnings`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintConfig {
+    /// Per-code severity overrides.
+    levels: BTreeMap<LintCode, Severity>,
+    /// Escalate every warning to an error (after overrides).
+    pub deny_warnings: bool,
+    /// `dA` strictly above this is (at least) a warning. The paper's
+    /// Table 2 discussion treats `dA ≈ 0.5` as the alert zone.
+    pub da_warn: f64,
+    /// `dA` at or above this is a deny-level finding; `None` disables the
+    /// deny tier (findings stay warnings however large `dA` grows). The
+    /// default `1.0` catches the paper's 8 fF → 16 fF perturbation.
+    pub da_deny: Option<f64>,
+    /// Total per-level switched-capacitance residual (fF) strictly above
+    /// which `QDI0008` warns. Pre-layout netlists are exactly balanced,
+    /// so any positive threshold keeps them clean.
+    pub level_cap_warn_ff: f64,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            levels: BTreeMap::new(),
+            deny_warnings: false,
+            da_warn: 0.5,
+            da_deny: Some(1.0),
+            level_cap_warn_ff: 1.0,
+        }
+    }
+}
+
+impl LintConfig {
+    /// Overrides the severity of every finding of `code`.
+    pub fn set_level(&mut self, code: LintCode, severity: Severity) -> &mut Self {
+        self.levels.insert(code, severity);
+        self
+    }
+
+    /// The explicit override for `code`, if any.
+    #[must_use]
+    pub fn level_override(&self, code: LintCode) -> Option<Severity> {
+        self.levels.get(&code).copied()
+    }
+
+    /// Resolves the effective severity of a finding of `code` whose pass
+    /// assigned it `natural` severity (see the type-level docs).
+    #[must_use]
+    pub fn severity_for(&self, code: LintCode, natural: Severity) -> Severity {
+        let base = self.level_override(code).unwrap_or(natural);
+        if self.deny_warnings && base == Severity::Warn {
+            Severity::Deny
+        } else {
+            base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn natural_severity_passes_through() {
+        let cfg = LintConfig::default();
+        assert_eq!(
+            cfg.severity_for(LintCode(7), Severity::Warn),
+            Severity::Warn
+        );
+        assert_eq!(
+            cfg.severity_for(LintCode(1), Severity::Deny),
+            Severity::Deny
+        );
+    }
+
+    #[test]
+    fn override_replaces_natural() {
+        let mut cfg = LintConfig::default();
+        cfg.set_level(LintCode(7), Severity::Allow);
+        assert_eq!(
+            cfg.severity_for(LintCode(7), Severity::Warn),
+            Severity::Allow
+        );
+        cfg.set_level(LintCode(7), Severity::Deny);
+        assert_eq!(
+            cfg.severity_for(LintCode(7), Severity::Warn),
+            Severity::Deny
+        );
+    }
+
+    #[test]
+    fn deny_warnings_escalates_after_overrides() {
+        let mut cfg = LintConfig {
+            deny_warnings: true,
+            ..LintConfig::default()
+        };
+        assert_eq!(
+            cfg.severity_for(LintCode(3), Severity::Warn),
+            Severity::Deny
+        );
+        // Allowed lints stay allowed even under --deny warnings.
+        cfg.set_level(LintCode(3), Severity::Allow);
+        assert_eq!(
+            cfg.severity_for(LintCode(3), Severity::Warn),
+            Severity::Allow
+        );
+    }
+}

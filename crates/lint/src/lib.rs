@@ -1,0 +1,84 @@
+//! `qdi-lint`: a static verifier for QDI asynchronous netlists.
+//!
+//! The paper's countermeasure story is *static*: dual-rail symmetry,
+//! acknowledged (QDI) transitions and the per-channel dissymmetry
+//! criterion `dA = |Cl0 − Cl1| / min(Cl0, Cl1)` (eq. 13) are all
+//! properties of the annotated graph `G(V, E)` that can be checked before
+//! a single trace is simulated. This crate runs a registry of analysis
+//! passes over a [`qdi_netlist::Netlist`] — **without simulation** — and
+//! reports findings as rustc-style [`Diagnostic`]s with stable codes,
+//! configurable severities, context labels and fix-it hints.
+//!
+//! # Lints
+//!
+//! | code | name | default | enforces |
+//! |------|------|---------|----------|
+//! | `QDI0001` | `undriven-net` | deny | structural validity |
+//! | `QDI0002` | `multiple-drivers` | deny | structural validity |
+//! | `QDI0003` | `dangling-output` | warn | structural validity |
+//! | `QDI0004` | `combinational-cycle` | deny | levelizability (`Nc`, Section III) |
+//! | `QDI0005` | `channel-encoding` | deny | 1-of-N validity (Table 1) |
+//! | `QDI0006` | `unacknowledged-output` | deny | QDI acknowledgement / isochronic forks |
+//! | `QDI0007` | `rail-symmetry` | warn | balanced data paths (Section II) |
+//! | `QDI0008` | `level-capacitance-imbalance` | warn | eqs. 10–12 residual |
+//! | `QDI0009` | `channel-dissymmetry` | warn/deny | eq. 13 criterion (Section VI) |
+//!
+//! # Usage
+//!
+//! ```
+//! use qdi_lint::{LintConfig, Registry};
+//! use qdi_netlist::{cells, NetlistBuilder};
+//!
+//! let mut b = NetlistBuilder::new("xor");
+//! let a = b.input_channel("a", 2);
+//! let bb = b.input_channel("b", 2);
+//! let ack = b.input_net("ack");
+//! let cell = cells::dual_rail_xor(&mut b, "x", &a, &bb, ack);
+//! b.connect_input_acks(&[a.id, bb.id], cell.ack_to_senders);
+//! let _ = b.output_channel("co", &cell.out.rails.clone(), ack);
+//! let netlist = b.finish().expect("valid");
+//!
+//! let report = Registry::full().run(&netlist, &LintConfig::default());
+//! assert!(report.is_clean(), "{}", report.render_human(false));
+//! ```
+//!
+//! The `qdi-lint` binary wraps the same registry behind a CLI that loads
+//! netlists in the `qdi_netlist::io` text format and exits nonzero when
+//! any deny-level finding is produced; the secure flow of `qdi-core`
+//! embeds a [`LintReport`] in its flow reports and hard-fails on denials.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod pass;
+pub mod passes;
+pub mod report;
+
+pub use config::LintConfig;
+pub use pass::{LintContext, LintDescriptor, LintPass, Registry};
+pub use report::LintReport;
+
+// The diagnostic data model is shared with `qdi-sim`'s protocol checker
+// (dynamic findings) and therefore lives in `qdi-netlist`; re-exported
+// here so lint users have a single import surface.
+pub use qdi_netlist::diag::{Diagnostic, Label, LintCode, Severity, Subject};
+
+/// `QDI0001`: a net with no driver that is not a primary input.
+pub const UNDRIVEN_NET: LintCode = LintCode(1);
+/// `QDI0002`: a net driven by more than one gate.
+pub const MULTIPLE_DRIVERS: LintCode = LintCode(2);
+/// `QDI0003`: a gate output that nothing observes.
+pub const DANGLING_OUTPUT: LintCode = LintCode(3);
+/// `QDI0004`: a combinational cycle in the data path.
+pub const COMBINATIONAL_CYCLE: LintCode = LintCode(4);
+/// `QDI0005`: a malformed 1-of-N channel.
+pub const CHANNEL_ENCODING: LintCode = LintCode(5);
+/// `QDI0006`: a gate output no acknowledgement path observes.
+pub const UNACKNOWLEDGED_OUTPUT: LintCode = LintCode(6);
+/// `QDI0007`: dual-rail cones with mismatched structure.
+pub const RAIL_SYMMETRY: LintCode = LintCode(7);
+/// `QDI0008`: per-level switched-capacitance imbalance between rails.
+pub const LEVEL_CAP_IMBALANCE: LintCode = LintCode(8);
+/// `QDI0009`: the eq. 13 dissymmetry criterion `dA` above threshold.
+pub const CHANNEL_DISSYMMETRY: LintCode = LintCode(9);

@@ -1,0 +1,174 @@
+//! The lint pass abstraction and the pass registry.
+
+use qdi_netlist::diag::{Diagnostic, LintCode, Severity};
+use qdi_netlist::Netlist;
+
+use crate::config::LintConfig;
+use crate::passes;
+use crate::report::LintReport;
+
+/// Static description of one lint a pass can emit — the row of the
+/// crate-level lint-code table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LintDescriptor {
+    /// Stable code.
+    pub code: LintCode,
+    /// Kebab-case lint name, e.g. `channel-dissymmetry`.
+    pub name: &'static str,
+    /// Natural severity of a typical finding.
+    pub default_severity: Severity,
+    /// One-line summary.
+    pub summary: &'static str,
+}
+
+/// Everything a pass gets to look at.
+pub struct LintContext<'a> {
+    /// The netlist under analysis.
+    pub netlist: &'a Netlist,
+    /// Severity and threshold configuration.
+    pub config: &'a LintConfig,
+}
+
+impl LintContext<'_> {
+    /// Resolves the effective severity for a finding of `code` whose
+    /// natural severity is `natural`, per the config.
+    #[must_use]
+    pub fn severity(&self, code: LintCode, natural: Severity) -> Severity {
+        self.config.severity_for(code, natural)
+    }
+}
+
+/// One static analysis pass over a netlist.
+pub trait LintPass {
+    /// Pass name, e.g. `structure`.
+    fn name(&self) -> &'static str;
+
+    /// The lints this pass can emit.
+    fn descriptors(&self) -> &'static [LintDescriptor];
+
+    /// Runs the pass, appending findings to `out`. Passes must resolve
+    /// severities through [`LintContext::severity`] so config overrides
+    /// apply uniformly.
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// An ordered collection of passes, run as one unit.
+pub struct Registry {
+    passes: Vec<Box<dyn LintPass>>,
+}
+
+impl Registry {
+    /// An empty registry; add passes with [`Registry::register`].
+    #[must_use]
+    pub fn new() -> Registry {
+        Registry { passes: Vec::new() }
+    }
+
+    /// The structural (pre-layout) passes: validity, cycles, encoding,
+    /// acknowledgement and rail symmetry. Everything here is meaningful
+    /// on a netlist whose capacitances have not been extracted yet.
+    #[must_use]
+    pub fn structural() -> Registry {
+        let mut r = Registry::new();
+        r.register(Box::new(passes::structure::StructurePass));
+        r.register(Box::new(passes::cycles::CyclePass));
+        r.register(Box::new(passes::encoding::EncodingPass));
+        r.register(Box::new(passes::ack::AckPass));
+        r.register(Box::new(passes::symmetry::SymmetryPass));
+        r
+    }
+
+    /// The electrical (post-extraction) passes: per-level capacitance
+    /// imbalance (eqs. 10–12 residual) and the `dA` criterion (eq. 13).
+    #[must_use]
+    pub fn electrical() -> Registry {
+        let mut r = Registry::new();
+        r.register(Box::new(passes::capacitance::CapacitancePass));
+        r
+    }
+
+    /// All passes: structural then electrical.
+    #[must_use]
+    pub fn full() -> Registry {
+        let mut r = Registry::structural();
+        r.register(Box::new(passes::capacitance::CapacitancePass));
+        r
+    }
+
+    /// Appends a pass.
+    pub fn register(&mut self, pass: Box<dyn LintPass>) {
+        self.passes.push(pass);
+    }
+
+    /// The registered passes.
+    #[must_use]
+    pub fn passes(&self) -> &[Box<dyn LintPass>] {
+        &self.passes
+    }
+
+    /// Every lint the registered passes can emit, in code order.
+    #[must_use]
+    pub fn descriptors(&self) -> Vec<LintDescriptor> {
+        let mut all: Vec<LintDescriptor> = self
+            .passes
+            .iter()
+            .flat_map(|p| p.descriptors().iter().copied())
+            .collect();
+        all.sort_by_key(|d| d.code);
+        all.dedup_by_key(|d| d.code);
+        all
+    }
+
+    /// Runs every pass over `netlist` and collects the findings into a
+    /// [`LintReport`]. Findings keep pass order; within a pass, emission
+    /// order (deterministic: passes iterate in id order).
+    #[must_use]
+    pub fn run(&self, netlist: &Netlist, config: &LintConfig) -> LintReport {
+        let mut span = qdi_obs::span_at(qdi_obs::Level::Debug, "qdi_lint", "lint")
+            .field("netlist", netlist.name())
+            .field("passes", self.passes.len())
+            .enter();
+        let ctx = LintContext { netlist, config };
+        let mut diagnostics = Vec::new();
+        for pass in &self.passes {
+            let before = diagnostics.len();
+            pass.run(&ctx, &mut diagnostics);
+            qdi_obs::debug!(target: "qdi_lint",
+                pass = pass.name(),
+                findings = diagnostics.len() - before,
+                "lint pass finished");
+        }
+        let report = LintReport::new(netlist.name(), diagnostics);
+        span.record("findings", report.len());
+        span.record("denied", report.deny_count());
+        report
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registries_compose() {
+        assert_eq!(Registry::structural().passes().len(), 5);
+        assert_eq!(Registry::electrical().passes().len(), 1);
+        assert_eq!(Registry::full().passes().len(), 6);
+    }
+
+    #[test]
+    fn full_registry_documents_all_nine_codes() {
+        let codes: Vec<u16> = Registry::full()
+            .descriptors()
+            .iter()
+            .map(|d| d.code.0)
+            .collect();
+        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+}

@@ -1,0 +1,101 @@
+//! `QDI0006`: acknowledgement (orphan) analysis.
+//!
+//! QDI correctness rests on every transition being *acknowledged*: a gate
+//! output nobody downstream observes can glitch or stall without the
+//! handshake noticing, which is precisely where the isochronic-fork
+//! assumption breaks (paper, Section II). This pass walks backwards from
+//! every observation point — primary outputs, rails of channels that carry
+//! an acknowledge, and the acknowledge nets themselves — and flags any
+//! gate whose output the walk never reaches.
+
+use std::collections::HashSet;
+
+use qdi_netlist::diag::{Diagnostic, Severity};
+use qdi_netlist::NetId;
+
+use crate::pass::{LintContext, LintDescriptor, LintPass};
+use crate::passes::{gate_subject, net_subject};
+use crate::UNACKNOWLEDGED_OUTPUT;
+
+/// Flags gates whose transitions no handshake or output observes.
+pub struct AckPass;
+
+const DESCRIPTORS: &[LintDescriptor] = &[LintDescriptor {
+    code: UNACKNOWLEDGED_OUTPUT,
+    name: "unacknowledged-output",
+    default_severity: Severity::Deny,
+    summary: "a gate output outside every acknowledgement path",
+}];
+
+impl LintPass for AckPass {
+    fn name(&self) -> &'static str {
+        "ack"
+    }
+
+    fn descriptors(&self) -> &'static [LintDescriptor] {
+        DESCRIPTORS
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let netlist = ctx.netlist;
+
+        // Observation seeds. Channel rails only count when the channel has
+        // an acknowledge — an ack-less channel is a probe, not a handshake.
+        let mut frontier: Vec<NetId> = Vec::new();
+        for net in netlist.nets() {
+            if net.is_primary_output {
+                frontier.push(net.id);
+            }
+        }
+        for channel in netlist.channels() {
+            if let Some(ack) = channel.ack {
+                frontier.push(ack);
+                frontier.extend(channel.rails.iter().copied());
+            }
+        }
+
+        // Backward closure: an observed net acknowledges its driver, and a
+        // gate that must fire passes the obligation to all of its inputs.
+        let mut observed_nets: HashSet<NetId> = frontier.iter().copied().collect();
+        let mut acked = vec![false; netlist.gate_count()];
+        while let Some(net) = frontier.pop() {
+            let Some(driver) = netlist.net(net).driver else {
+                continue;
+            };
+            if acked[driver.index()] {
+                continue;
+            }
+            acked[driver.index()] = true;
+            for &input in &netlist.gate(driver).inputs {
+                if observed_nets.insert(input) {
+                    frontier.push(input);
+                }
+            }
+        }
+
+        for gate in netlist.gates() {
+            if acked[gate.id.index()] {
+                continue;
+            }
+            out.push(
+                Diagnostic::new(
+                    UNACKNOWLEDGED_OUTPUT,
+                    ctx.severity(UNACKNOWLEDGED_OUTPUT, Severity::Deny),
+                    gate_subject(netlist, gate.id),
+                    format!(
+                        "no acknowledgement path observes the output of gate `{}`",
+                        gate.name
+                    ),
+                )
+                .with_label(
+                    net_subject(netlist, gate.output),
+                    "transitions here are never acknowledged",
+                )
+                .with_help(
+                    "route the output into a completion detector or an acknowledged channel; \
+                     unacknowledged transitions void the QDI timing model",
+                ),
+            );
+        }
+    }
+}

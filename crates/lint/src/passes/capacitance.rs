@@ -1,0 +1,204 @@
+//! `QDI0008`/`QDI0009`: electrical balance of the annotated capacitances.
+//!
+//! `QDI0009` is the paper's per-channel dissymmetry criterion (eq. 13)
+//! `dA = (max − min) / min` over rail interconnect capacitances, with the
+//! warn/deny thresholds of [`crate::LintConfig`]. `QDI0008` looks one
+//! level deeper: it accumulates the *switched* capacitance (eqs. 10–12,
+//! `C = Cl + Cpar + Csc`) per logic depth behind each rail and warns when
+//! the per-level residual exceeds a configurable budget — rails can have
+//! matched totals yet leak through per-level differences in the current
+//! profile.
+
+use std::collections::HashMap;
+
+use qdi_netlist::diag::{Diagnostic, Severity};
+use qdi_netlist::{symmetry, GateId, NetId, Netlist};
+
+use crate::pass::{LintContext, LintDescriptor, LintPass};
+use crate::passes::{channel_subject, net_subject};
+use crate::{CHANNEL_DISSYMMETRY, LEVEL_CAP_IMBALANCE};
+
+/// Checks eq. 13 (`dA`) and the per-level eqs. 10–12 residual.
+pub struct CapacitancePass;
+
+const DESCRIPTORS: &[LintDescriptor] = &[
+    LintDescriptor {
+        code: LEVEL_CAP_IMBALANCE,
+        name: "level-capacitance-imbalance",
+        default_severity: Severity::Warn,
+        summary: "per-level switched-capacitance residual between rails (eqs. 10-12)",
+    },
+    LintDescriptor {
+        code: CHANNEL_DISSYMMETRY,
+        name: "channel-dissymmetry",
+        default_severity: Severity::Warn,
+        summary: "the eq. 13 dissymmetry criterion dA above threshold",
+    },
+];
+
+impl LintPass for CapacitancePass {
+    fn name(&self) -> &'static str {
+        "capacitance"
+    }
+
+    fn descriptors(&self) -> &'static [LintDescriptor] {
+        DESCRIPTORS
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        level_imbalance(ctx, out);
+        dissymmetry(ctx, out);
+    }
+}
+
+/// Switched capacitance behind `net`, bucketed by depth (0 = the rail's
+/// own driver). Acknowledge nets are cut, like every data-path analysis.
+fn cone_caps_by_depth(netlist: &Netlist, net: NetId, acks: &[NetId]) -> Vec<f64> {
+    let mut best_depth: HashMap<GateId, usize> = HashMap::new();
+    let mut stack: Vec<(NetId, usize)> = vec![(net, 0)];
+    while let Some((n, depth)) = stack.pop() {
+        if acks.contains(&n) {
+            continue;
+        }
+        let Some(driver) = netlist.net(n).driver else {
+            continue;
+        };
+        let entry = best_depth.entry(driver).or_insert(usize::MAX);
+        if depth < *entry {
+            *entry = depth;
+            for &input in &netlist.gate(driver).inputs {
+                stack.push((input, depth + 1));
+            }
+        }
+    }
+    let levels = best_depth.values().copied().max().map_or(0, |d| d + 1);
+    let mut caps = vec![0.0; levels];
+    for (gate, depth) in best_depth {
+        caps[depth] += netlist.switched_cap_ff(gate);
+    }
+    caps
+}
+
+/// `QDI0008`: Σ over depths of (max − min) switched capacitance across the
+/// rails of one channel, compared to `level_cap_warn_ff`.
+fn level_imbalance(ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+    let netlist = ctx.netlist;
+    let acks: Vec<NetId> = netlist.channels().filter_map(|c| c.ack).collect();
+    for channel in netlist.channels() {
+        if channel.rails.len() < 2 {
+            continue;
+        }
+        let per_rail: Vec<Vec<f64>> = channel
+            .rails
+            .iter()
+            .map(|&r| cone_caps_by_depth(netlist, r, &acks))
+            .collect();
+        let depth = per_rail.iter().map(Vec::len).max().unwrap_or(0);
+        if depth == 0 {
+            continue; // rails straight from the environment: nothing behind them
+        }
+        let mut residual = 0.0;
+        for level in 0..depth {
+            let caps = per_rail
+                .iter()
+                .map(|c| c.get(level).copied().unwrap_or(0.0));
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            for c in caps {
+                min = min.min(c);
+                max = max.max(c);
+            }
+            residual += max - min;
+        }
+        if residual <= ctx.config.level_cap_warn_ff {
+            continue;
+        }
+        let mut diag = Diagnostic::new(
+            LEVEL_CAP_IMBALANCE,
+            ctx.severity(LEVEL_CAP_IMBALANCE, Severity::Warn),
+            channel_subject(netlist, channel.id),
+            format!(
+                "rails of channel `{}` switch unequal capacitance: {residual:.2} fF residual \
+                 over {depth} level{}",
+                channel.name,
+                if depth == 1 { "" } else { "s" }
+            ),
+        );
+        for (rail, caps) in channel.rails.iter().zip(&per_rail) {
+            diag = diag.with_label(
+                net_subject(netlist, *rail),
+                format!(
+                    "cone switches {:.2} fF over {} level{}",
+                    caps.iter().sum::<f64>(),
+                    caps.len(),
+                    if caps.len() == 1 { "" } else { "s" }
+                ),
+            );
+        }
+        out.push(diag.with_help(
+            "equalise the per-level switched capacitance of the rail cones \
+             (eqs. 10-12); matched totals are not enough if levels differ",
+        ));
+    }
+}
+
+/// `QDI0009`: the eq. 13 criterion, worst channel first (the order
+/// `symmetry::capacitance_skew` already provides).
+fn dissymmetry(ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+    let netlist = ctx.netlist;
+    for skew in symmetry::capacitance_skew(netlist) {
+        let denied = ctx.config.da_deny.is_some_and(|t| skew.d_a >= t);
+        let natural = if denied {
+            Severity::Deny
+        } else if skew.d_a > ctx.config.da_warn {
+            Severity::Warn
+        } else {
+            continue;
+        };
+        let channel = netlist.channel(skew.channel);
+        let threshold_note = if denied {
+            format!(
+                "reaches the deny threshold {:.3}",
+                ctx.config.da_deny.expect("denied implies threshold")
+            )
+        } else {
+            format!("exceeds the alert threshold {:.3}", ctx.config.da_warn)
+        };
+        let mut diag = Diagnostic::new(
+            CHANNEL_DISSYMMETRY,
+            ctx.severity(CHANNEL_DISSYMMETRY, natural),
+            channel_subject(netlist, channel.id),
+            format!(
+                "channel `{}` dissymmetry dA = {:.3} {threshold_note}",
+                skew.name, skew.d_a
+            ),
+        );
+        for (&rail, &cap) in channel.rails.iter().zip(&skew.rail_caps_ff) {
+            diag = diag.with_label(net_subject(netlist, rail), format!("Cl = {cap:.2} fF"));
+        }
+        let min = skew
+            .rail_caps_ff
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let max = skew
+            .rail_caps_ff
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        if let Some(lightest) = channel
+            .rails
+            .iter()
+            .zip(&skew.rail_caps_ff)
+            .find(|(_, &c)| c == min)
+            .map(|(&r, _)| r)
+        {
+            diag = diag.with_help(format!(
+                "add {:.2} fF of capacitive fill to rail `{}` (eq. 13, Section VI)",
+                max - min,
+                netlist.net(lightest).name
+            ));
+        }
+        out.push(diag);
+    }
+}

@@ -1,0 +1,118 @@
+//! `QDI0004`: combinational cycles in the data path.
+//!
+//! Levelization (`qdi_netlist::graph::levelize`, Section III of the paper)
+//! only names one gate stuck in a cycle; this pass runs its own DFS so the
+//! diagnostic can show the *whole* cycle, hop by hop, after cutting the
+//! acknowledge nets exactly like levelization does.
+
+use std::collections::HashSet;
+
+use qdi_netlist::diag::{Diagnostic, Severity};
+use qdi_netlist::{GateId, NetId};
+
+use crate::pass::{LintContext, LintDescriptor, LintPass};
+use crate::passes::{gate_subject, net_subject};
+use crate::COMBINATIONAL_CYCLE;
+
+/// Finds cycles among data edges and reports the full cycle path.
+pub struct CyclePass;
+
+const DESCRIPTORS: &[LintDescriptor] = &[LintDescriptor {
+    code: COMBINATIONAL_CYCLE,
+    name: "combinational-cycle",
+    default_severity: Severity::Deny,
+    summary: "a combinational cycle in the data path (acknowledge nets cut)",
+}];
+
+impl LintPass for CyclePass {
+    fn name(&self) -> &'static str {
+        "cycles"
+    }
+
+    fn descriptors(&self) -> &'static [LintDescriptor] {
+        DESCRIPTORS
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let netlist = ctx.netlist;
+        let cuts: HashSet<NetId> = netlist.channels().filter_map(|c| c.ack).collect();
+
+        // Successors through data edges only: the driven net must not be a
+        // handshake (acknowledge) net — those legitimately close loops.
+        let succ: Vec<&[GateId]> = netlist
+            .gates()
+            .map(|g| {
+                if cuts.contains(&g.output) {
+                    &[][..]
+                } else {
+                    netlist.net(g.output).loads.as_slice()
+                }
+            })
+            .collect();
+
+        // Iterative 3-color DFS; a gray successor closes a cycle, which is
+        // read straight off the current DFS path.
+        const WHITE: u8 = 0;
+        const GRAY: u8 = 1;
+        const BLACK: u8 = 2;
+        let mut color = vec![WHITE; netlist.gate_count()];
+        for root in netlist.gates().map(|g| g.id) {
+            if color[root.index()] != WHITE {
+                continue;
+            }
+            let mut path: Vec<GateId> = vec![root];
+            let mut stack: Vec<(GateId, usize)> = vec![(root, 0)];
+            color[root.index()] = GRAY;
+            while let Some(&(g, i)) = stack.last() {
+                if let Some(&next) = succ[g.index()].get(i) {
+                    stack.last_mut().expect("nonempty").1 += 1;
+                    match color[next.index()] {
+                        WHITE => {
+                            color[next.index()] = GRAY;
+                            path.push(next);
+                            stack.push((next, 0));
+                        }
+                        GRAY => {
+                            let start = path
+                                .iter()
+                                .position(|&p| p == next)
+                                .expect("gray gate is on the DFS path");
+                            out.push(cycle_diagnostic(ctx, &path[start..]));
+                        }
+                        _ => {}
+                    }
+                } else {
+                    color[g.index()] = BLACK;
+                    stack.pop();
+                    path.pop();
+                }
+            }
+        }
+    }
+}
+
+/// Builds the diagnostic for one cycle, labelled hop by hop.
+fn cycle_diagnostic(ctx: &LintContext<'_>, cycle: &[GateId]) -> Diagnostic {
+    let netlist = ctx.netlist;
+    let mut diag = Diagnostic::new(
+        COMBINATIONAL_CYCLE,
+        ctx.severity(COMBINATIONAL_CYCLE, Severity::Deny),
+        gate_subject(netlist, cycle[0]),
+        format!(
+            "combinational cycle through {} gate{} in the data path",
+            cycle.len(),
+            if cycle.len() == 1 { "" } else { "s" }
+        ),
+    );
+    for (i, &g) in cycle.iter().enumerate() {
+        let gate = netlist.gate(g);
+        let to = netlist.gate(cycle[(i + 1) % cycle.len()]);
+        diag = diag.with_label(
+            net_subject(netlist, gate.output),
+            format!("{} `{}` feeds `{}`", gate.kind, gate.name, to.name),
+        );
+    }
+    diag.with_help(
+        "break the loop with a handshake: route the feedback through a channel acknowledge net",
+    )
+}

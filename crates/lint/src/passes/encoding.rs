@@ -1,0 +1,121 @@
+//! `QDI0005`: well-formed 1-of-N channels (the paper's Table 1).
+
+use qdi_netlist::diag::{Diagnostic, Severity};
+use qdi_netlist::ChannelRole;
+
+use crate::pass::{LintContext, LintDescriptor, LintPass};
+use crate::passes::{channel_subject, gate_subject, net_subject};
+use crate::CHANNEL_ENCODING;
+
+/// Checks every channel's rail/acknowledge wiring.
+///
+/// Rails shared *between* channels are fine — output channels routinely
+/// alias the rails of the internal channel they expose — but a malformed
+/// single channel (duplicate rails, an acknowledge that doubles as a rail,
+/// an environment-driven rail with a gate driver, fewer than two rails)
+/// cannot carry the 1-of-N code.
+pub struct EncodingPass;
+
+const DESCRIPTORS: &[LintDescriptor] = &[LintDescriptor {
+    code: CHANNEL_ENCODING,
+    name: "channel-encoding",
+    default_severity: Severity::Deny,
+    summary: "a channel whose rails cannot carry a 1-of-N code",
+}];
+
+impl LintPass for EncodingPass {
+    fn name(&self) -> &'static str {
+        "encoding"
+    }
+
+    fn descriptors(&self) -> &'static [LintDescriptor] {
+        DESCRIPTORS
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let netlist = ctx.netlist;
+        let severity = ctx.severity(CHANNEL_ENCODING, Severity::Deny);
+        for channel in netlist.channels() {
+            let subject = || channel_subject(netlist, channel.id);
+
+            if channel.rails.len() < 2 {
+                out.push(
+                    Diagnostic::new(
+                        CHANNEL_ENCODING,
+                        severity,
+                        subject(),
+                        format!(
+                            "channel `{}` has {} rail(s); a 1-of-N code needs at least two",
+                            channel.name,
+                            channel.rails.len()
+                        ),
+                    )
+                    .with_help("dual-rail is the minimal delay-insensitive encoding (Table 1)"),
+                );
+            }
+
+            // A repeated rail would make two code values indistinguishable.
+            for (v, &rail) in channel.rails.iter().enumerate() {
+                if let Some(first) = channel.rails[..v].iter().position(|&r| r == rail) {
+                    out.push(
+                        Diagnostic::new(
+                            CHANNEL_ENCODING,
+                            severity,
+                            subject(),
+                            format!(
+                                "channel `{}` encodes values {first} and {v} on the same rail",
+                                channel.name
+                            ),
+                        )
+                        .with_label(net_subject(netlist, rail), "used for both values")
+                        .with_help("each code value needs its own rail net"),
+                    );
+                }
+            }
+
+            // The acknowledge travels against the data; sharing a net with
+            // a rail shorts the two phases of the handshake together.
+            if let Some(ack) = channel.ack {
+                if channel.rails.contains(&ack) {
+                    out.push(
+                        Diagnostic::new(
+                            CHANNEL_ENCODING,
+                            severity,
+                            subject(),
+                            format!(
+                                "channel `{}` uses net `{}` as both data rail and acknowledge",
+                                channel.name,
+                                netlist.net(ack).name
+                            ),
+                        )
+                        .with_label(net_subject(netlist, ack), "rail and acknowledge at once")
+                        .with_help("give the acknowledge its own net"),
+                    );
+                }
+            }
+
+            // Input-role rails belong to the environment; a gate driving
+            // one fights the environment for the net.
+            if channel.role == ChannelRole::Input {
+                for &rail in &channel.rails {
+                    if let Some(driver) = netlist.net(rail).driver {
+                        out.push(
+                            Diagnostic::new(
+                                CHANNEL_ENCODING,
+                                severity,
+                                subject(),
+                                format!(
+                                    "input channel `{}` has rail `{}` driven from inside the netlist",
+                                    channel.name,
+                                    netlist.net(rail).name
+                                ),
+                            )
+                            .with_label(gate_subject(netlist, driver), "drives the input rail")
+                            .with_help("input channel rails must be primary inputs"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! The built-in lint passes.
+//!
+//! Structural passes ([`structure`], [`cycles`], [`encoding`], [`ack`],
+//! [`symmetry`]) are meaningful on any netlist; electrical passes
+//! ([`capacitance`]) interpret the annotated capacitances and are usually
+//! run after extraction.
+
+pub mod ack;
+pub mod capacitance;
+pub mod cycles;
+pub mod encoding;
+pub mod structure;
+pub mod symmetry;
+
+use qdi_netlist::diag::Subject;
+use qdi_netlist::{ChannelId, GateId, NetId, Netlist};
+
+/// Subject for a gate, resolving its name.
+pub(crate) fn gate_subject(netlist: &Netlist, id: GateId) -> Subject {
+    Subject::Gate {
+        id,
+        name: netlist.gate(id).name.clone(),
+    }
+}
+
+/// Subject for a net, resolving its name.
+pub(crate) fn net_subject(netlist: &Netlist, id: NetId) -> Subject {
+    Subject::Net {
+        id,
+        name: netlist.net(id).name.clone(),
+    }
+}
+
+/// Subject for a channel, resolving its name.
+pub(crate) fn channel_subject(netlist: &Netlist, id: ChannelId) -> Subject {
+    Subject::Channel {
+        id,
+        name: netlist.channel(id).name.clone(),
+    }
+}

@@ -1,0 +1,123 @@
+//! `QDI0001`–`QDI0003`: structural validity of the annotated graph.
+
+use std::collections::HashSet;
+
+use qdi_netlist::diag::{Diagnostic, Severity};
+use qdi_netlist::NetId;
+
+use crate::pass::{LintContext, LintDescriptor, LintPass};
+use crate::passes::{gate_subject, net_subject};
+use crate::{DANGLING_OUTPUT, MULTIPLE_DRIVERS, UNDRIVEN_NET};
+
+/// Checks that every net has exactly one source and that every gate output
+/// is observed by something.
+pub struct StructurePass;
+
+const DESCRIPTORS: &[LintDescriptor] = &[
+    LintDescriptor {
+        code: UNDRIVEN_NET,
+        name: "undriven-net",
+        default_severity: Severity::Deny,
+        summary: "a net with fan-out but no driver and no primary-input marking",
+    },
+    LintDescriptor {
+        code: MULTIPLE_DRIVERS,
+        name: "multiple-drivers",
+        default_severity: Severity::Deny,
+        summary: "a net driven by more than one gate output",
+    },
+    LintDescriptor {
+        code: DANGLING_OUTPUT,
+        name: "dangling-output",
+        default_severity: Severity::Warn,
+        summary: "a gate output observed by no load, port, rail or acknowledge",
+    },
+];
+
+impl LintPass for StructurePass {
+    fn name(&self) -> &'static str {
+        "structure"
+    }
+
+    fn descriptors(&self) -> &'static [LintDescriptor] {
+        DESCRIPTORS
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let netlist = ctx.netlist;
+
+        // QDI0001: a net something reads, with nothing writing it.
+        for net in netlist.nets() {
+            if net.driver.is_some() || net.is_primary_input {
+                continue;
+            }
+            if net.loads.is_empty() && !net.is_primary_output {
+                continue; // fully floating; nothing observes it either
+            }
+            let mut diag = Diagnostic::new(
+                UNDRIVEN_NET,
+                ctx.severity(UNDRIVEN_NET, Severity::Deny),
+                net_subject(netlist, net.id),
+                format!("net `{}` has fan-out but no driver", net.name),
+            )
+            .with_help("drive the net from a gate output or declare it a primary input");
+            for &load in &net.loads {
+                diag = diag.with_label(gate_subject(netlist, load), "reads the undriven net");
+            }
+            out.push(diag);
+        }
+
+        // QDI0002: the gate list is the source of truth for drivers — a
+        // `Net` stores only one, so count output pins per net directly.
+        let mut drivers = vec![Vec::new(); netlist.net_count()];
+        for gate in netlist.gates() {
+            drivers[gate.output.index()].push(gate.id);
+        }
+        for net in netlist.nets() {
+            let who = &drivers[net.id.index()];
+            if who.len() <= 1 {
+                continue;
+            }
+            let mut diag = Diagnostic::new(
+                MULTIPLE_DRIVERS,
+                ctx.severity(MULTIPLE_DRIVERS, Severity::Deny),
+                net_subject(netlist, net.id),
+                format!("net `{}` is driven by {} gates", net.name, who.len()),
+            )
+            .with_help("give each gate its own output net; QDI gates never share outputs");
+            for &g in who {
+                diag = diag.with_label(gate_subject(netlist, g), "drives this net");
+            }
+            out.push(diag);
+        }
+
+        // QDI0003: gate outputs nothing observes. "Observed" is broad:
+        // gate loads, primary outputs, channel rails (the environment or a
+        // sibling module reads them) and channel acknowledges (the
+        // handshake partner reads them).
+        let mut observed: HashSet<NetId> = HashSet::new();
+        for channel in netlist.channels() {
+            observed.extend(channel.rails.iter().copied());
+            observed.extend(channel.ack);
+        }
+        for gate in netlist.gates() {
+            let net = netlist.net(gate.output);
+            if !net.loads.is_empty() || net.is_primary_output || observed.contains(&net.id) {
+                continue;
+            }
+            out.push(
+                Diagnostic::new(
+                    DANGLING_OUTPUT,
+                    ctx.severity(DANGLING_OUTPUT, Severity::Warn),
+                    gate_subject(netlist, gate.id),
+                    format!(
+                        "output of gate `{}` (net `{}`) is never observed",
+                        gate.name, net.name
+                    ),
+                )
+                .with_label(net_subject(netlist, net.id), "drives no load, port or channel")
+                .with_help("remove the gate or connect its output; unobserved transitions still burn power"),
+            );
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! `QDI0007`: structural symmetry of rail fan-in cones.
+//!
+//! A thin lint frontend over [`qdi_netlist::symmetry::check_channel`]: for
+//! every multi-rail channel, all rails must see per-depth identical gate
+//! compositions (same kinds, same arities), the paper's Section III
+//! condition for data-independent switching counts.
+
+use qdi_netlist::diag::{Diagnostic, Severity};
+use qdi_netlist::symmetry;
+
+use crate::pass::{LintContext, LintDescriptor, LintPass};
+use crate::passes::{channel_subject, net_subject};
+use crate::RAIL_SYMMETRY;
+
+/// Compares rail cone signatures channel by channel.
+pub struct SymmetryPass;
+
+const DESCRIPTORS: &[LintDescriptor] = &[LintDescriptor {
+    code: RAIL_SYMMETRY,
+    name: "rail-symmetry",
+    default_severity: Severity::Warn,
+    summary: "rails of one channel with structurally different fan-in cones",
+}];
+
+impl LintPass for SymmetryPass {
+    fn name(&self) -> &'static str {
+        "symmetry"
+    }
+
+    fn descriptors(&self) -> &'static [LintDescriptor] {
+        DESCRIPTORS
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let netlist = ctx.netlist;
+        for channel in netlist.channels() {
+            if channel.rails.len() < 2 {
+                continue; // QDI0005's problem, not a symmetry question
+            }
+            let report = symmetry::check_channel(netlist, channel);
+            if report.balanced {
+                continue;
+            }
+            let mut diag = Diagnostic::new(
+                RAIL_SYMMETRY,
+                ctx.severity(RAIL_SYMMETRY, Severity::Warn),
+                channel_subject(netlist, channel.id),
+                format!(
+                    "rails of channel `{}` have structurally different fan-in cones",
+                    channel.name
+                ),
+            )
+            .with_label(
+                net_subject(netlist, channel.rails[0]),
+                "reference rail (value 0)",
+            );
+            for violation in &report.violations {
+                diag = diag.with_label(
+                    net_subject(netlist, channel.rails[violation.rail]),
+                    violation.detail.clone(),
+                );
+            }
+            out.push(diag.with_help(
+                "rebuild the cell so every rail sees the same gate kinds and arities at \
+                 each depth; asymmetric cones switch data-dependent capacitance (Section III)",
+            ));
+        }
+    }
+}

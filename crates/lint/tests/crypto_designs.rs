@@ -1,0 +1,234 @@
+//! The lint registry against the real gate-level designs of `qdi-crypto`,
+//! plus targeted fixtures for each structural lint.
+
+use qdi_lint::{LintConfig, Registry, Severity};
+use qdi_netlist::{cells, GateKind, NetlistBuilder};
+
+/// A balanced dual-rail XOR cell, the paper's Fig. 4.
+fn xor_cell() -> qdi_netlist::Netlist {
+    let mut b = NetlistBuilder::new("xor");
+    let a = b.input_channel("a", 2);
+    let bb = b.input_channel("b", 2);
+    let ack = b.input_net("ack");
+    let cell = cells::dual_rail_xor(&mut b, "x", &a, &bb, ack);
+    b.connect_input_acks(&[a.id, bb.id], cell.ack_to_senders);
+    let _ = b.output_channel("co", &cell.out.rails.clone(), ack);
+    b.finish().expect("valid")
+}
+
+#[test]
+fn balanced_xor_cell_lints_clean() {
+    let netlist = xor_cell();
+    let report = Registry::full().run(&netlist, &LintConfig::default());
+    assert!(report.is_clean(), "{}", report.render_human(false));
+}
+
+#[test]
+fn aes_addroundkey_slice_lints_clean() {
+    let slice = qdi_crypto::gatelevel::aes_first_round_slice(
+        "aes",
+        qdi_crypto::gatelevel::SliceStage::XorOnly,
+    )
+    .expect("slice builds");
+    let report = Registry::full().run(&slice.netlist, &LintConfig::default());
+    assert!(report.is_clean(), "{}", report.render_human(false));
+}
+
+#[test]
+fn aes_sbox_slice_has_no_deny_findings() {
+    let slice = qdi_crypto::gatelevel::aes_first_round_slice(
+        "aes",
+        qdi_crypto::gatelevel::SliceStage::XorSbox,
+    )
+    .expect("slice builds");
+    let report = Registry::full().run(&slice.netlist, &LintConfig::default());
+    assert_eq!(report.deny_count(), 0, "{}", report.render_human(false));
+}
+
+#[test]
+fn doubling_one_rail_cap_denies_qdi0009_naming_the_channel() {
+    let mut netlist = xor_cell();
+    let rail = netlist.find_net("a.r1").expect("rail exists");
+    netlist.set_routing_cap(rail, 16.0); // default is 8 fF -> dA = 1.0
+    let report = Registry::full().run(&netlist, &LintConfig::default());
+    assert_eq!(report.deny_count(), 1, "{}", report.render_human(false));
+    let finding = report.denied().next().expect("one deny finding");
+    assert_eq!(finding.code, qdi_lint::CHANNEL_DISSYMMETRY);
+    assert_eq!(finding.subject.name(), "a");
+    assert!(
+        finding.help.as_deref().unwrap_or("").contains("a.r0"),
+        "help names the light rail: {:?}",
+        finding.help
+    );
+}
+
+#[test]
+fn mild_skew_warns_without_denying() {
+    let mut netlist = xor_cell();
+    let rail = netlist.find_net("a.r1").expect("rail exists");
+    netlist.set_routing_cap(rail, 13.0); // dA = 0.625: above warn, below deny
+    let report = Registry::full().run(&netlist, &LintConfig::default());
+    assert_eq!(report.deny_count(), 0);
+    assert_eq!(report.warn_count(), 1);
+    // --deny warnings escalates it.
+    let mut config = LintConfig::default();
+    config.deny_warnings = true;
+    let report = Registry::full().run(&netlist, &config);
+    assert_eq!(report.deny_count(), 1);
+}
+
+#[test]
+fn allow_override_silences_the_criterion() {
+    let mut netlist = xor_cell();
+    let rail = netlist.find_net("a.r1").expect("rail exists");
+    netlist.set_routing_cap(rail, 16.0);
+    let mut config = LintConfig::default();
+    config.set_level(qdi_lint::CHANNEL_DISSYMMETRY, Severity::Allow);
+    let report = Registry::full().run(&netlist, &config);
+    assert!(report.is_clean(), "{}", report.render_human(false));
+    assert_eq!(report.len(), 1, "the finding is still recorded");
+}
+
+#[test]
+fn undriven_net_with_fanout_is_denied() {
+    let mut b = NetlistBuilder::new("t");
+    let floating = b.net("floating");
+    let out = b.gate(GateKind::Buf, "g", &[floating]);
+    b.mark_output(out);
+    let netlist = b.finish_unchecked();
+    let report = Registry::structural().run(&netlist, &LintConfig::default());
+    let finding = report
+        .with_code(qdi_lint::UNDRIVEN_NET)
+        .next()
+        .expect("undriven-net fires");
+    assert_eq!(finding.severity, Severity::Deny);
+    assert_eq!(finding.subject.name(), "floating");
+}
+
+#[test]
+fn dangling_gate_output_warns() {
+    let mut b = NetlistBuilder::new("t");
+    let a = b.input_net("a");
+    let used = b.gate(GateKind::Buf, "used", &[a]);
+    b.mark_output(used);
+    let _unused = b.gate(GateKind::Inv, "unused", &[a]);
+    let netlist = b.finish().expect("valid");
+    let report = Registry::structural().run(&netlist, &LintConfig::default());
+    let finding = report
+        .with_code(qdi_lint::DANGLING_OUTPUT)
+        .next()
+        .expect("dangling-output fires");
+    assert_eq!(finding.severity, Severity::Warn);
+    assert_eq!(finding.subject.name(), "unused");
+}
+
+#[test]
+fn combinational_cycle_reports_the_full_path() {
+    // g1 -> g2 -> g3 -> g1, no acknowledge cut anywhere.
+    let mut b = NetlistBuilder::new("t");
+    let seed = b.input_net("seed");
+    let n1 = b.net("n1");
+    let n2 = b.gate(GateKind::And, "g2", &[n1, seed]);
+    let n3 = b.gate(GateKind::Buf, "g3", &[n2]);
+    b.gate_into(GateKind::And, "g1", &[n3, seed], n1);
+    b.mark_output(n3);
+    let netlist = b.finish().expect("cycles pass validation");
+    let report = Registry::structural().run(&netlist, &LintConfig::default());
+    let finding = report
+        .with_code(qdi_lint::COMBINATIONAL_CYCLE)
+        .next()
+        .expect("cycle fires");
+    assert_eq!(finding.severity, Severity::Deny);
+    assert_eq!(finding.labels.len(), 3, "one label per hop: {finding:?}");
+    // `b.gate` names the output net after the gate, so the hop nets are
+    // n1 (g1's explicit output), g2 and g3.
+    let hops: Vec<&str> = finding.labels.iter().map(|l| l.subject.name()).collect();
+    assert!(
+        hops.contains(&"n1") && hops.contains(&"g2") && hops.contains(&"g3"),
+        "{hops:?}"
+    );
+}
+
+#[test]
+fn ack_to_rail_aliasing_is_an_encoding_error() {
+    let mut b = NetlistBuilder::new("t");
+    let r0 = b.input_net("r0");
+    let r1 = b.input_net("r1");
+    let _ = b.internal_channel("bad", &[r0, r1], Some(r1));
+    let o = b.gate(GateKind::Or, "o", &[r0, r1]);
+    b.mark_output(o);
+    let netlist = b.finish().expect("valid");
+    let report = Registry::structural().run(&netlist, &LintConfig::default());
+    let finding = report
+        .with_code(qdi_lint::CHANNEL_ENCODING)
+        .next()
+        .expect("channel-encoding fires");
+    assert!(finding.message.contains("both data rail and acknowledge"));
+}
+
+#[test]
+fn unobserved_gate_behind_ackless_channel_is_an_orphan() {
+    // The AND's output reaches neither a primary output nor an acked
+    // channel: its transitions are never acknowledged.
+    let mut b = NetlistBuilder::new("t");
+    let a = b.input_channel("a", 2);
+    let orphan = b.gate(GateKind::And, "orphan", &[a.rail(0), a.rail(1)]);
+    let sink = b.gate(GateKind::Buf, "sink", &[orphan]);
+    let _ = sink; // drives nothing observed
+    let keep = b.gate(GateKind::Or, "keep", &[a.rail(0), a.rail(1)]);
+    b.mark_output(keep);
+    let netlist = b.finish().expect("valid");
+    let report = Registry::structural().run(&netlist, &LintConfig::default());
+    let orphans: Vec<&str> = report
+        .with_code(qdi_lint::UNACKNOWLEDGED_OUTPUT)
+        .map(|d| d.subject.name())
+        .collect();
+    assert!(orphans.contains(&"orphan"), "{orphans:?}");
+    assert!(orphans.contains(&"sink"), "{orphans:?}");
+    assert!(!orphans.contains(&"keep"), "{orphans:?}");
+}
+
+#[test]
+fn asymmetric_rails_trip_the_symmetry_lint() {
+    let mut b = NetlistBuilder::new("t");
+    let a = b.input_channel("a", 2);
+    let r0 = b.gate(GateKind::Buf, "r0", &[a.rail(0)]);
+    let mid = b.gate(GateKind::Buf, "mid", &[a.rail(1)]);
+    let r1 = b.gate(GateKind::Buf, "r1", &[mid]);
+    let _ = b.internal_channel("out", &[r0, r1], None);
+    b.mark_output(r0);
+    b.mark_output(r1);
+    let netlist = b.finish().expect("valid");
+    let report = Registry::structural().run(&netlist, &LintConfig::default());
+    let finding = report
+        .with_code(qdi_lint::RAIL_SYMMETRY)
+        .next()
+        .expect("rail-symmetry fires");
+    assert_eq!(finding.subject.name(), "out");
+}
+
+#[test]
+fn post_route_slice_lints_without_denials_under_flow_thresholds() {
+    // After place-and-route the AES slice carries real routing skew; with
+    // the deny tier disabled (as the secure flow defaults to) the lint
+    // degrades gracefully to warnings.
+    let slice = qdi_crypto::gatelevel::aes_first_round_slice(
+        "aes",
+        qdi_crypto::gatelevel::SliceStage::XorOnly,
+    )
+    .expect("slice builds");
+    let mut netlist = slice.netlist;
+    qdi_pnr::place_and_route(
+        &mut netlist,
+        qdi_pnr::Strategy::Hierarchical,
+        &qdi_pnr::PnrConfig::fast(),
+    );
+    let mut config = LintConfig::default();
+    config.da_deny = None;
+    let report = Registry::full().run(&netlist, &config);
+    assert_eq!(report.deny_count(), 0, "{}", report.render_human(false));
+    assert!(
+        report.warn_count() > 0,
+        "routed netlists carry dissymmetry warnings"
+    );
+}

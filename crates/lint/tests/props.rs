@@ -1,0 +1,83 @@
+//! Property-based tests: the `QDI0009` lint agrees exactly with the
+//! eq. 13 criterion under arbitrary rail-capacitance perturbations.
+
+use proptest::prelude::*;
+
+use qdi_lint::{LintConfig, Registry};
+use qdi_netlist::{cells, Netlist, NetlistBuilder};
+
+/// The paper's dual-rail XOR cell, rails of channel `a` perturbed to the
+/// given capacitances.
+fn perturbed_xor(cap_r0: f64, cap_r1: f64) -> Netlist {
+    let mut b = NetlistBuilder::new("xor");
+    let a = b.input_channel("a", 2);
+    let bb = b.input_channel("b", 2);
+    let ack = b.input_net("ack");
+    let cell = cells::dual_rail_xor(&mut b, "x", &a, &bb, ack);
+    b.connect_input_acks(&[a.id, bb.id], cell.ack_to_senders);
+    let _ = b.output_channel("co", &cell.out.rails.clone(), ack);
+    let mut netlist = b.finish().expect("valid");
+    netlist.set_routing_cap(a.rail(0), cap_r0);
+    netlist.set_routing_cap(a.rail(1), cap_r1);
+    netlist
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A dual-rail cell with perturbed rail capacitances lints clean
+    /// exactly when its dissymmetry stays within the warn threshold:
+    /// `dA ≤ da_warn` ⇔ no `QDI0009` finding (deny tier disabled so the
+    /// boundary under test is the single warn threshold).
+    #[test]
+    fn lints_clean_iff_da_within_threshold(
+        cap_r0 in 4.0f64..40.0,
+        cap_r1 in 4.0f64..40.0,
+        da_warn in 0.05f64..3.0,
+    ) {
+        let netlist = perturbed_xor(cap_r0, cap_r1);
+        let channel = netlist.find_channel("a").expect("channel a");
+        let d_a = netlist
+            .channel(channel)
+            .dissymmetry(&netlist)
+            .expect("positive caps define dA");
+
+        let mut config = LintConfig::default();
+        config.da_warn = da_warn;
+        config.da_deny = None;
+        let report = Registry::full().run(&netlist, &config);
+        let flagged = report.with_code(qdi_lint::CHANNEL_DISSYMMETRY).count() > 0;
+
+        prop_assert_eq!(
+            flagged,
+            d_a > da_warn,
+            "dA = {} vs threshold {}: {}",
+            d_a,
+            da_warn,
+            report.render_human(false)
+        );
+        // The perturbation is electrical only: the structural passes and
+        // the remaining channels stay quiet.
+        prop_assert_eq!(report.len(), usize::from(flagged));
+    }
+
+    /// The deny tier triggers exactly at `dA ≥ da_deny`.
+    #[test]
+    fn deny_threshold_is_inclusive(
+        cap_r1 in 8.0f64..40.0,
+        da_deny in 0.1f64..3.0,
+    ) {
+        let netlist = perturbed_xor(8.0, cap_r1);
+        let channel = netlist.find_channel("a").expect("channel a");
+        let d_a = netlist
+            .channel(channel)
+            .dissymmetry(&netlist)
+            .expect("positive caps define dA");
+
+        let mut config = LintConfig::default();
+        config.da_warn = 0.0;
+        config.da_deny = Some(da_deny);
+        let report = Registry::full().run(&netlist, &config);
+        prop_assert_eq!(report.deny_count() > 0, d_a >= da_deny);
+    }
+}

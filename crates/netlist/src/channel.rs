@@ -260,6 +260,50 @@ mod tests {
     }
 
     #[test]
+    fn dissymmetry_undefined_for_single_rail() {
+        let mut b = NetlistBuilder::new("t");
+        let ch = b.input_channel("a", 1);
+        let o = b.gate(GateKind::Buf, "o", &[ch.rail(0)]);
+        b.mark_output(o);
+        let nl = b.finish().expect("valid netlist");
+        assert_eq!(nl.channel(ch.id).dissymmetry(&nl), None);
+    }
+
+    #[test]
+    fn dissymmetry_undefined_for_zero_minimum_cap() {
+        // A rail with zero routing capacitance makes the denominator of
+        // eq. 13 vanish: the criterion is undefined, not infinite.
+        let mut b = NetlistBuilder::new("t");
+        let ch = b.input_channel("a", 2);
+        let o = b.gate(GateKind::Or, "o", &[ch.rail(0), ch.rail(1)]);
+        b.mark_output(o);
+        let mut nl = b.finish().expect("valid netlist");
+        nl.set_routing_cap(ch.rail(0), 0.0);
+        assert_eq!(nl.channel(ch.id).dissymmetry(&nl), None);
+    }
+
+    #[test]
+    fn dissymmetry_generalises_to_one_of_four_spread() {
+        // For a 1-of-4 channel the criterion is (max − min) / min over all
+        // four rails, regardless of which rails carry the extremes.
+        let mut b = NetlistBuilder::new("t");
+        let ch = b.input_channel("a", 4);
+        let o = b.gate(
+            GateKind::Or,
+            "o",
+            &[ch.rail(0), ch.rail(1), ch.rail(2), ch.rail(3)],
+        );
+        b.mark_output(o);
+        let mut nl = b.finish().expect("valid netlist");
+        nl.set_routing_cap(ch.rail(0), 12.0);
+        nl.set_routing_cap(ch.rail(1), 10.0);
+        nl.set_routing_cap(ch.rail(2), 30.0);
+        nl.set_routing_cap(ch.rail(3), 15.0);
+        let d = nl.channel(ch.id).dissymmetry(&nl).expect("defined");
+        assert!((d - (30.0 - 10.0) / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn dissymmetry_zero_for_matched_rails() {
         let mut b = NetlistBuilder::new("t");
         let ch = b.input_channel("a", 2);

@@ -54,6 +54,7 @@
 
 pub mod cells;
 pub mod channel;
+pub mod diag;
 pub mod gate;
 pub mod graph;
 pub mod io;
@@ -65,6 +66,7 @@ mod error;
 mod id;
 
 pub use channel::{Channel, ChannelId, ChannelRole, ChannelState};
+pub use diag::{Diagnostic, Label, LintCode, Severity, Subject};
 pub use error::NetlistError;
 pub use gate::{Gate, GateKind, GateParams};
 pub use id::{GateId, NetId};

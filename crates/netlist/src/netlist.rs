@@ -577,6 +577,27 @@ impl NetlistBuilder {
         netlist.validate()?;
         Ok(netlist)
     }
+
+    /// Builds the netlist **without** validating it and ignoring any error
+    /// recorded during construction.
+    ///
+    /// This is the escape hatch for analysis tooling: `qdi-lint` exists to
+    /// *diagnose* malformed netlists (undriven nets, double drivers,
+    /// malformed channels) with proper context, which requires being able
+    /// to hold one. Simulation and place-and-route assume a validated
+    /// netlist; do not feed them the result of this method.
+    #[must_use]
+    pub fn finish_unchecked(self) -> Netlist {
+        Netlist {
+            name: self.name,
+            gates: self.gates,
+            nets: self.nets,
+            channels: self.channels,
+            net_names: self.net_names,
+            gate_names: self.gate_names,
+            channel_names: self.channel_names,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -180,15 +180,51 @@ pub fn check_all(netlist: &Netlist) -> Vec<SymmetryReport> {
     reports
 }
 
+/// Electrical dissymmetry of one channel: the paper's per-channel
+/// criterion `dA` (eq. 13) together with the rail capacitances it was
+/// computed from. Produced by [`capacitance_skew`]; consumed by the
+/// `qdi-pnr` criterion table, the secure flow's alert path and the
+/// `qdi-lint` `QDI0009` pass — one computation, three reporting surfaces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelSkew {
+    /// The channel.
+    pub channel: ChannelId,
+    /// Channel name, copied for self-contained reports.
+    pub name: String,
+    /// The dissymmetry criterion `dA = (max − min) / min` over rail caps.
+    pub d_a: f64,
+    /// Rail interconnect capacitances in fF (`Cl0`, `Cl1`, ...).
+    pub rail_caps_ff: Vec<f64>,
+}
+
 /// Electrical counterpart of the structural check: the relative spread of
-/// the *rail net* capacitances of a channel, i.e. the paper's dissymmetry
-/// criterion `dA`. Returns `(worst_channel_name, dA)` over all multi-rail
-/// channels, or `None` if no channel defines the criterion.
-pub fn capacitance_skew(netlist: &Netlist) -> Option<(String, f64)> {
-    netlist
+/// the *rail net* capacitances of every channel, i.e. the paper's
+/// dissymmetry criterion `dA` (eq. 13), sorted worst-first (ties broken
+/// by name for determinism). Channels on which the criterion is undefined
+/// (fewer than two rails, non-positive minimum capacitance) are omitted.
+pub fn capacitance_skew(netlist: &Netlist) -> Vec<ChannelSkew> {
+    let mut rows: Vec<ChannelSkew> = netlist
         .channels()
-        .filter_map(|c| c.dissymmetry(netlist).map(|d| (c.name.clone(), d)))
-        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .filter_map(|c| {
+            c.dissymmetry(netlist).map(|d_a| ChannelSkew {
+                channel: c.id,
+                name: c.name.clone(),
+                d_a,
+                rail_caps_ff: c.rail_caps_ff(netlist).collect(),
+            })
+        })
+        .collect();
+    rows.sort_by(|a, b| b.d_a.total_cmp(&a.d_a).then(a.name.cmp(&b.name)));
+    rows
+}
+
+/// Compatibility shim over [`capacitance_skew`]: only the worst channel,
+/// as `(name, dA)`, or `None` when no channel defines the criterion.
+pub fn worst_capacitance_skew(netlist: &Netlist) -> Option<(String, f64)> {
+    capacitance_skew(netlist)
+        .into_iter()
+        .next()
+        .map(|row| (row.name, row.d_a))
 }
 
 #[cfg(test)]
@@ -273,8 +309,31 @@ mod tests {
         b.mark_output(o);
         let mut nl = b.finish().expect("valid");
         nl.set_routing_cap(a.rail(1), 24.0); // vs default 8 -> dA = 2.0
-        let (name, skew) = capacitance_skew(&nl).expect("defined");
+        let (name, skew) = worst_capacitance_skew(&nl).expect("defined");
         assert_eq!(name, "a");
         assert!((skew - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacitance_skew_returns_all_channels_worst_first() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input_channel("a", 2);
+        let c = b.input_channel("b", 2);
+        let o = b.gate(
+            GateKind::Or,
+            "o",
+            &[a.rail(0), a.rail(1), c.rail(0), c.rail(1)],
+        );
+        b.mark_output(o);
+        let mut nl = b.finish().expect("valid");
+        nl.set_routing_cap(a.rail(1), 16.0); // dA = 1.0
+        nl.set_routing_cap(c.rail(1), 24.0); // dA = 2.0
+        let rows = capacitance_skew(&nl);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "b");
+        assert!((rows[0].d_a - 2.0).abs() < 1e-12);
+        assert_eq!(rows[1].name, "a");
+        assert!((rows[1].d_a - 1.0).abs() < 1e-12);
+        assert_eq!(rows[0].rail_caps_ff, vec![8.0, 24.0]);
     }
 }

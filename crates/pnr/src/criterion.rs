@@ -14,7 +14,7 @@
 //! reproduces the observation that under the flat flow "the most sensitive
 //! channels are never the same from one place and route to another".
 
-use qdi_netlist::{ChannelId, Netlist};
+use qdi_netlist::{symmetry, ChannelId, Netlist};
 use serde::{Deserialize, Serialize};
 
 use crate::{place_and_route, PnrConfig, Strategy};
@@ -32,33 +32,42 @@ pub struct ChannelCriterion {
     pub rail_caps_ff: Vec<f64>,
 }
 
+impl From<symmetry::ChannelSkew> for ChannelCriterion {
+    fn from(row: symmetry::ChannelSkew) -> ChannelCriterion {
+        ChannelCriterion {
+            channel: row.channel,
+            name: row.name,
+            d: row.d_a,
+            rail_caps_ff: row.rail_caps_ff,
+        }
+    }
+}
+
 /// Computes `dA` for every multi-rail channel, sorted worst first.
+///
+/// This is a reporting view over [`qdi_netlist::symmetry::capacitance_skew`],
+/// which owns the single implementation of the eq. 13 criterion.
 pub fn criterion_table(netlist: &Netlist) -> Vec<ChannelCriterion> {
-    criterion_rows(netlist, false)
+    symmetry::capacitance_skew(netlist)
+        .into_iter()
+        .map(ChannelCriterion::from)
+        .collect()
 }
 
 /// Like [`criterion_table`], restricted to *internal* channels — the ones
 /// the paper's Table 2 reports. Boundary channels route to pads whose
 /// symmetric bonding is outside the layout model.
 pub fn internal_criterion_table(netlist: &Netlist) -> Vec<ChannelCriterion> {
-    criterion_rows(netlist, true)
-}
-
-fn criterion_rows(netlist: &Netlist, internal_only: bool) -> Vec<ChannelCriterion> {
-    let mut rows: Vec<ChannelCriterion> = netlist
+    let internal: std::collections::HashSet<ChannelId> = netlist
         .channels()
-        .filter(|c| !internal_only || c.role == qdi_netlist::ChannelRole::Internal)
-        .filter_map(|c| {
-            c.dissymmetry(netlist).map(|d| ChannelCriterion {
-                channel: c.id,
-                name: c.name.clone(),
-                d,
-                rail_caps_ff: c.rail_caps_ff(netlist).collect(),
-            })
-        })
+        .filter(|c| c.role == qdi_netlist::ChannelRole::Internal)
+        .map(|c| c.id)
         .collect();
-    rows.sort_by(|a, b| b.d.total_cmp(&a.d).then(a.name.cmp(&b.name)));
-    rows
+    symmetry::capacitance_skew(netlist)
+        .into_iter()
+        .filter(|row| internal.contains(&row.channel))
+        .map(ChannelCriterion::from)
+        .collect()
 }
 
 /// The `k` most critical channels.

@@ -5,21 +5,53 @@
 //! release) and flags violations of the 1-of-N invariant and of the phase
 //! order.
 
+use serde::{Deserialize, Serialize};
+
+use qdi_netlist::diag::{Diagnostic, LintCode, Severity, Subject};
 use qdi_netlist::{Channel, ChannelId, Netlist};
 
 use crate::simulator::{TimePs, Transition};
 
+/// `QDI0101`: more than one rail high — the "unused" row of the paper's
+/// Table 1 (dynamic counterpart of the static `QDI0005` encoding lint).
+pub const ILLEGAL_ENCODING: LintCode = LintCode(101);
+/// `QDI0102`: a rail or acknowledge edge outside the four-phase order of
+/// the paper's Fig. 2.
+pub const PHASE_ORDER: LintCode = LintCode(102);
+
+/// What kind of protocol rule a violation breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ViolationKind {
+    /// The 1-of-N invariant: at most one rail high at any time.
+    IllegalEncoding,
+    /// The four-phase sequencing: valid → capture → return-to-zero →
+    /// release.
+    PhaseOrder,
+}
+
+impl ViolationKind {
+    /// The stable lint code (`QDI01xx` range: dynamic analysis).
+    pub fn code(self) -> LintCode {
+        match self {
+            ViolationKind::IllegalEncoding => ILLEGAL_ENCODING,
+            ViolationKind::PhaseOrder => PHASE_ORDER,
+        }
+    }
+}
+
 /// One protocol violation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ProtocolViolation {
     /// Time of the offending edge.
     pub time_ps: TimePs,
+    /// Which protocol rule was broken.
+    pub kind: ViolationKind,
     /// Explanation.
     pub detail: String,
 }
 
 /// Conformance report for one channel.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ProtocolReport {
     /// The checked channel.
     pub channel: ChannelId,
@@ -35,6 +67,40 @@ impl ProtocolReport {
     /// `true` when no violation was observed.
     pub fn conformant(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// Renders every violation as a [`Diagnostic`] — the same type, codes
+    /// and renderers (`Diagnostic::render`, JSON via serde) the static
+    /// `qdi-lint` passes use, so dynamic findings drop into the same
+    /// tooling. Simulation-time violations are always deny-level: a
+    /// non-conformant trace voids the QDI model outright.
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        self.violations
+            .iter()
+            .map(|v| {
+                Diagnostic::new(
+                    v.kind.code(),
+                    Severity::Deny,
+                    Subject::Channel {
+                        id: self.channel,
+                        name: self.channel_name.clone(),
+                    },
+                    format!("t = {} ps: {}", v.time_ps, v.detail),
+                )
+                .with_help(match v.kind {
+                    ViolationKind::IllegalEncoding => {
+                        "a 1-of-N channel must never drive two rails high (Table 1); \
+                         check the minterm recombination logic"
+                            .to_string()
+                    }
+                    ViolationKind::PhaseOrder => {
+                        "four-phase order is valid data, acknowledge capture, return \
+                         to zero, acknowledge release (Fig. 2)"
+                            .to_string()
+                    }
+                })
+            })
+            .collect()
     }
 }
 
@@ -68,6 +134,7 @@ pub fn check_channel(channel: &Channel, transitions: &[Transition]) -> ProtocolR
                 (Phase::Idle, true) | (Phase::Acked, false) => {} // re-assertion, harmless
                 _ => violations.push(ProtocolViolation {
                     time_ps: t.time_ps,
+                    kind: ViolationKind::PhaseOrder,
                     detail: format!(
                         "acknowledge edge ({}) out of phase {:?}",
                         if t.rising { "release" } else { "capture" },
@@ -85,6 +152,7 @@ pub fn check_channel(channel: &Channel, transitions: &[Transition]) -> ProtocolR
         if high > 1 {
             violations.push(ProtocolViolation {
                 time_ps: t.time_ps,
+                kind: ViolationKind::IllegalEncoding,
                 detail: format!("more than one rail high on {}", channel.name),
             });
             continue;
@@ -100,6 +168,7 @@ pub fn check_channel(channel: &Channel, transitions: &[Transition]) -> ProtocolR
             (Phase::Valid, false) if channel.ack.is_none() => phase = Phase::Rtz,
             _ => violations.push(ProtocolViolation {
                 time_ps: t.time_ps,
+                kind: ViolationKind::PhaseOrder,
                 detail: format!(
                     "rail edge ({}) out of phase {:?} on {}",
                     if t.rising { "rise" } else { "fall" },
@@ -185,6 +254,42 @@ mod tests {
         let report = check_channel(&ch, &log);
         assert!(!report.conformant());
         assert!(report.violations[0].detail.contains("more than one rail"));
+        assert_eq!(report.violations[0].kind, ViolationKind::IllegalEncoding);
+    }
+
+    #[test]
+    fn violations_render_as_shared_diagnostics() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input_channel("a", 2);
+        let o = b.gate(qdi_netlist::GateKind::Or, "o", &[a.rail(0), a.rail(1)]);
+        b.mark_output(o);
+        let nl = b.finish().expect("valid");
+        let ch = nl.channel(a.id).clone();
+        let log = vec![
+            Transition {
+                time_ps: 10,
+                net: ch.rail(0),
+                rising: true,
+            },
+            Transition {
+                time_ps: 20,
+                net: ch.rail(1),
+                rising: true,
+            },
+        ];
+        let report = check_channel(&ch, &log);
+        let diags = report.diagnostics();
+        assert_eq!(diags.len(), report.violations.len());
+        let first = &diags[0];
+        assert_eq!(first.code, ILLEGAL_ENCODING);
+        assert_eq!(first.severity, Severity::Deny);
+        assert_eq!(first.subject.name(), "a");
+        // Same renderers as the static lints: rustc-style text and JSON.
+        let text = first.render(false);
+        assert!(text.starts_with("error[QDI0101]"), "{text}");
+        assert!(text.contains("t = 20 ps"), "{text}");
+        let json = qdi_obs::json::to_json(first);
+        assert!(json.contains("\"code\""), "{json}");
     }
 
     #[test]

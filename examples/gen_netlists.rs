@@ -1,0 +1,45 @@
+//! Regenerates the checked-in example netlists under `examples/netlists/`.
+//!
+//! These files are the fixed corpus CI lints with `qdi-lint --deny
+//! warnings`: a balanced dual-rail XOR cell (the paper's Fig. 4 primitive)
+//! and the first-round AES byte slice at the AddRoundKey stage. Both are
+//! pre-layout and exactly balanced, so a clean run is expected; any drift
+//! in the generators or the text format shows up as a diff.
+//!
+//! Run with: `cargo run --release --example gen_netlists`
+
+use std::path::Path;
+
+use qdi::crypto::gatelevel::slice::{aes_first_round_slice, SliceStage};
+use qdi::netlist::{cells, io, Netlist, NetlistBuilder};
+
+fn xor_cell() -> Result<Netlist, Box<dyn std::error::Error>> {
+    let mut b = NetlistBuilder::new("xor_cell");
+    let a = b.input_channel("a", 2);
+    let bb = b.input_channel("b", 2);
+    let ack = b.input_net("ack");
+    let cell = cells::dual_rail_xor(&mut b, "x", &a, &bb, ack);
+    b.connect_input_acks(&[a.id, bb.id], cell.ack_to_senders);
+    let _ = b.output_channel("co", &cell.out.rails.clone(), ack);
+    Ok(b.finish()?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = Path::new("examples/netlists");
+    std::fs::create_dir_all(dir)?;
+
+    let xor = xor_cell()?;
+    std::fs::write(dir.join("xor_cell.qdi"), io::to_text(&xor))?;
+    println!(
+        "wrote examples/netlists/xor_cell.qdi ({} gates)",
+        xor.gate_count()
+    );
+
+    let slice = aes_first_round_slice("aes_slice_xor", SliceStage::XorOnly)?;
+    std::fs::write(dir.join("aes_slice_xor.qdi"), io::to_text(&slice.netlist))?;
+    println!(
+        "wrote examples/netlists/aes_slice_xor.qdi ({} gates)",
+        slice.netlist.gate_count()
+    );
+    Ok(())
+}

@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut cfg = FlowConfig::new(strategy, 0);
         cfg.pnr.anneal.moves_per_gate = 60;
         cfg.worst_k = 6;
-        let report = run_static_flow(&mut netlist, &cfg);
+        let report = run_static_flow(&mut netlist, &cfg)?;
         println!("{}", report.to_text());
         println!(
             "  top leakage estimates (eq. 12): {}",

@@ -6,6 +6,9 @@
 //!
 //! * [`netlist`] — QDI gate-level netlists, 1-of-N channels, the annotated
 //!   directed graph and the dual-rail symmetry checker;
+//! * [`lint`] — static netlist verification: structural validity, QDI
+//!   acknowledgement and encoding lints, and the DPA-leakage criteria of
+//!   eqs. 10–13 as rustc-style diagnostics (also the `qdi-lint` binary);
 //! * [`sim`] — event-driven simulation with four-phase environments;
 //! * [`analog`] — the electrical current model (traces, pulses, noise);
 //! * [`crypto`] — reference AES/DES plus dual-rail gate-level generators;
@@ -29,6 +32,7 @@ pub use qdi_analog as analog;
 pub use qdi_core as core;
 pub use qdi_crypto as crypto;
 pub use qdi_dpa as dpa;
+pub use qdi_lint as lint;
 pub use qdi_netlist as netlist;
 pub use qdi_obs as obs;
 pub use qdi_pnr as pnr;

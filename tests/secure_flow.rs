@@ -28,7 +28,7 @@ fn hierarchical_flow_reduces_worst_criterion_across_seeds() {
             (Strategy::Hierarchical, &mut hier),
         ] {
             let mut nl = base.netlist.clone();
-            let report = run_static_flow(&mut nl, &fast_cfg(strategy, 0, seed));
+            let report = run_static_flow(&mut nl, &fast_cfg(strategy, 0, seed)).expect("lints");
             acc.push(report.max_criterion);
         }
     }
@@ -77,8 +77,9 @@ fn hierarchical_area_overhead_is_in_the_tens_of_percent() {
     let base = aes_first_round_slice("s", SliceStage::XorSbox).expect("builds");
     let mut nl_flat = base.netlist.clone();
     let mut nl_hier = base.netlist.clone();
-    let flat = run_static_flow(&mut nl_flat, &fast_cfg(Strategy::Flat, 0, 1));
-    let hier = run_static_flow(&mut nl_hier, &fast_cfg(Strategy::Hierarchical, 0, 1));
+    let flat = run_static_flow(&mut nl_flat, &fast_cfg(Strategy::Flat, 0, 1)).expect("lints");
+    let hier =
+        run_static_flow(&mut nl_hier, &fast_cfg(Strategy::Hierarchical, 0, 1)).expect("lints");
     let overhead = hier.die_area_um2 / flat.die_area_um2 - 1.0;
     assert!(
         (0.0..1.0).contains(&overhead),
