@@ -1,0 +1,46 @@
+//! Fault-injection overhead: how much slower is an injected simulation
+//! than a clean one? Three variants of the same XOR run — no plan, an
+//! empty plan (hook armed, nothing scheduled), and a single transient
+//! flip mid-computation — isolate the cost of the injection machinery
+//! from the cost of simulating the perturbation itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qdi_bench::XorFixture;
+use qdi_fi::Stimulus;
+use qdi_sim::{Fault, FaultKind, FaultPlan, FaultSite, TestbenchConfig};
+
+fn bench_fault_overhead(c: &mut Criterion) {
+    let fx = XorFixture::new();
+    let stim = Stimulus::random(&fx.netlist, 2, 1).expect("stimulus");
+    let cfg = TestbenchConfig::default();
+
+    c.bench_function("xor_sim_clean", |b| {
+        b.iter(|| std::hint::black_box(stim.run(&fx.netlist, &cfg, None).expect("runs")))
+    });
+
+    let empty = FaultPlan::empty();
+    c.bench_function("xor_sim_empty_plan", |b| {
+        b.iter(|| std::hint::black_box(stim.run(&fx.netlist, &cfg, Some(&empty)).expect("runs")))
+    });
+
+    let gate = fx.netlist.gates().next().expect("has gates").id;
+    let seu = FaultPlan::single(Fault::new(
+        FaultSite::Gate(gate),
+        FaultKind::TransientFlip,
+        500,
+    ));
+    c.bench_function("xor_sim_transient_flip", |b| {
+        b.iter(|| {
+            // An injected run may legitimately end in a detected outcome;
+            // only the simulation cost is under measurement.
+            std::hint::black_box(stim.run(&fx.netlist, &cfg, Some(&seu)).ok())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fault_overhead
+}
+criterion_main!(benches);

@@ -74,6 +74,82 @@ impl From<SimError> for FlowError {
     }
 }
 
+/// What the flow does when a step fails.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowPolicy {
+    /// Abort at the first failing step (historical behaviour): lint
+    /// denials and simulation failures become [`FlowError`]s and no
+    /// report is produced.
+    #[default]
+    FailFast,
+    /// Keep going: a failing step is recorded as a
+    /// [`StepStatus::Failed`] outcome, steps that depend on it are
+    /// recorded as [`StepStatus::Skipped`], and the flow still returns a
+    /// (partial) report. Use this for overnight sweeps where one broken
+    /// layout must not sink the batch.
+    ContinueOnError,
+}
+
+/// How one flow step ended.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StepStatus {
+    /// The step ran and produced its artifact.
+    Completed,
+    /// The step failed; under [`FlowPolicy::ContinueOnError`] the flow
+    /// carried on without its artifact.
+    Failed {
+        /// Human-readable failure description.
+        error: String,
+    },
+    /// The step was not run because an earlier step failed.
+    Skipped {
+        /// Which failure caused the skip.
+        reason: String,
+    },
+}
+
+/// Per-step outcome of a flow run, in execution order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepOutcome {
+    /// Step name, matching the telemetry step names
+    /// (`lint_structural`, `place_and_route`, …, `campaign`, `attack`).
+    pub step: String,
+    /// How the step ended.
+    pub status: StepStatus,
+}
+
+impl StepOutcome {
+    fn completed(step: &str) -> Self {
+        StepOutcome {
+            step: step.to_owned(),
+            status: StepStatus::Completed,
+        }
+    }
+
+    fn failed(step: &str, error: impl fmt::Display) -> Self {
+        StepOutcome {
+            step: step.to_owned(),
+            status: StepStatus::Failed {
+                error: error.to_string(),
+            },
+        }
+    }
+
+    fn skipped(step: &str, reason: impl fmt::Display) -> Self {
+        StepOutcome {
+            step: step.to_owned(),
+            status: StepStatus::Skipped {
+                reason: reason.to_string(),
+            },
+        }
+    }
+
+    /// `true` when the step completed.
+    pub fn is_completed(&self) -> bool {
+        self.status == StepStatus::Completed
+    }
+}
+
 /// Post-route fill step.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum FillStep {
@@ -113,6 +189,10 @@ pub struct FlowConfig {
     /// failing there is an opt-in policy, e.g.
     /// `cfg.lint.da_deny = Some(2.0)`.
     pub lint: LintConfig,
+    /// What to do when a step fails (lint denial, campaign simulation
+    /// error): abort with a [`FlowError`] or record the failure in the
+    /// report's [`StepOutcome`] list and keep going.
+    pub policy: FlowPolicy,
 }
 
 impl FlowConfig {
@@ -130,6 +210,7 @@ impl FlowConfig {
             worst_k: 10,
             campaign: campaign::CampaignConfig::new(key),
             lint,
+            policy: FlowPolicy::FailFast,
         }
     }
 }
@@ -161,14 +242,29 @@ pub struct StaticFlowReport {
     /// Fill report, when a fill step ran.
     pub fill: Option<qdi_pnr::fill::FillReport>,
     /// Findings of both lint stages (pre-route structural, post-extraction
-    /// electrical). A report is only produced when no stage denied, so
-    /// everything here is warn level or below.
+    /// electrical). Under [`FlowPolicy::FailFast`] a report is only
+    /// produced when no stage denied, so everything here is warn level or
+    /// below; under [`FlowPolicy::ContinueOnError`] deny-level findings
+    /// appear here and the corresponding step is marked failed in
+    /// [`StaticFlowReport::steps`].
     pub lint: LintReport,
+    /// Per-step outcomes, in execution order. Under
+    /// [`FlowPolicy::FailFast`] every entry is completed (a failure
+    /// aborts the run before a report exists); under
+    /// [`FlowPolicy::ContinueOnError`] failed and skipped steps are
+    /// recorded here.
+    pub steps: Vec<StepOutcome>,
     /// Per-step wall time and metric deltas for the run.
     pub telemetry: qdi_obs::Telemetry,
 }
 
 impl StaticFlowReport {
+    /// Steps that did not complete (failed or skipped). Empty under
+    /// [`FlowPolicy::FailFast`].
+    pub fn incomplete_steps(&self) -> impl Iterator<Item = &StepOutcome> {
+        self.steps.iter().filter(|s| !s.is_completed())
+    }
+
     /// Renders a terminal summary.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
@@ -199,6 +295,17 @@ impl StaticFlowReport {
             self.lint.warn_count(),
             self.lint.len()
         ));
+        for step in self.incomplete_steps() {
+            match &step.status {
+                StepStatus::Failed { error } => {
+                    out.push_str(&format!("  step {} FAILED: {}\n", step.step, error));
+                }
+                StepStatus::Skipped { reason } => {
+                    out.push_str(&format!("  step {} skipped: {}\n", step.step, reason));
+                }
+                StepStatus::Completed => {}
+            }
+        }
         out.push_str(&criterion::format_table(&self.worst_channels));
         out
     }
@@ -209,8 +316,12 @@ impl StaticFlowReport {
 ///
 /// # Errors
 ///
-/// Returns [`FlowError::Lint`] when either lint stage (pre-route
-/// structural, post-extraction electrical) produces deny-level findings.
+/// Under [`FlowPolicy::FailFast`] (the default), returns
+/// [`FlowError::Lint`] when either lint stage (pre-route structural,
+/// post-extraction electrical) produces deny-level findings. Under
+/// [`FlowPolicy::ContinueOnError`] lint denials never abort: the denying
+/// stage is recorded as failed in [`StaticFlowReport::steps`], its
+/// findings stay in the report, and the remaining steps still run.
 pub fn run_static_flow(
     netlist: &mut Netlist,
     cfg: &FlowConfig,
@@ -222,6 +333,7 @@ pub fn run_static_flow(
         .field("gates", netlist.gate_count())
         .enter();
     let mut telemetry = qdi_obs::Telemetry::new();
+    let mut steps: Vec<StepOutcome> = Vec::new();
 
     // Stage 1: structural lints gate the layout effort. The rail-symmetry
     // findings double as the report's unbalanced-channel list.
@@ -230,10 +342,22 @@ pub fn run_static_flow(
     });
     lint.emit_to_obs();
     if lint.deny_count() > 0 {
-        return Err(FlowError::Lint {
-            stage: "pre-route",
-            report: lint,
-        });
+        match cfg.policy {
+            FlowPolicy::FailFast => {
+                return Err(FlowError::Lint {
+                    stage: "pre-route",
+                    report: lint,
+                });
+            }
+            FlowPolicy::ContinueOnError => {
+                steps.push(StepOutcome::failed(
+                    "lint_structural",
+                    format!("pre-route lint denied with {} error(s)", lint.deny_count()),
+                ));
+            }
+        }
+    } else {
+        steps.push(StepOutcome::completed("lint_structural"));
     }
     let unbalanced: Vec<String> = lint
         .with_code(qdi_lint::RAIL_SYMMETRY)
@@ -243,6 +367,7 @@ pub fn run_static_flow(
     let pnr = telemetry.step("qdi_core::flow", "place_and_route", || {
         place_and_route(netlist, cfg.strategy, &cfg.pnr)
     });
+    steps.push(StepOutcome::completed("place_and_route"));
     let fill_report = telemetry.step("qdi_core::flow", "fill", || match cfg.fill {
         FillStep::None => None,
         FillStep::Channels { tolerance } => {
@@ -250,6 +375,7 @@ pub fn run_static_flow(
         }
         FillStep::Cones => Some(qdi_pnr::fill::balance_cones(netlist)),
     });
+    steps.push(StepOutcome::completed("fill"));
 
     // Stage 2: electrical lints on the extracted (and possibly filled)
     // capacitances. `criterion_alert` stays the single flagging knob.
@@ -260,10 +386,25 @@ pub fn run_static_flow(
     });
     electrical.emit_to_obs();
     if electrical.deny_count() > 0 {
-        return Err(FlowError::Lint {
-            stage: "post-extraction",
-            report: electrical,
-        });
+        match cfg.policy {
+            FlowPolicy::FailFast => {
+                return Err(FlowError::Lint {
+                    stage: "post-extraction",
+                    report: electrical,
+                });
+            }
+            FlowPolicy::ContinueOnError => {
+                steps.push(StepOutcome::failed(
+                    "lint_electrical",
+                    format!(
+                        "post-extraction lint denied with {} error(s)",
+                        electrical.deny_count()
+                    ),
+                ));
+            }
+        }
+    } else {
+        steps.push(StepOutcome::completed("lint_electrical"));
     }
     let flagged: Vec<String> = electrical
         .with_code(qdi_lint::CHANNEL_DISSYMMETRY)
@@ -274,10 +415,12 @@ pub fn run_static_flow(
     let table = telemetry.step("qdi_core::flow", "criterion_table", || {
         criterion::criterion_table(netlist)
     });
+    steps.push(StepOutcome::completed("criterion_table"));
     let max_criterion = table.first().map_or(0.0, |c| c.d);
     let mut leakage = telemetry.step("qdi_core::flow", "leakage_ranking", || {
         rank_channel_leakage(netlist)
     });
+    steps.push(StepOutcome::completed("leakage_ranking"));
     leakage.truncate(cfg.worst_k);
     flow_span.record("max_criterion", max_criterion);
     flow_span.record("flagged_channels", flagged.len());
@@ -296,6 +439,7 @@ pub fn run_static_flow(
         leakage_ranking: leakage,
         fill: fill_report,
         lint,
+        steps,
         telemetry,
     })
 }
@@ -303,15 +447,19 @@ pub fn run_static_flow(
 /// Report of the full flow including the DPA evaluation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SliceFlowReport {
-    /// The layout-only portion.
+    /// The layout-only portion. Its [`StaticFlowReport::steps`] list
+    /// also carries the `campaign` and `attack` outcomes.
     pub layout: StaticFlowReport,
-    /// Full attack result.
-    pub attack: AttackResult,
+    /// Full attack result; `None` when the DPA evaluation failed under
+    /// [`FlowPolicy::ContinueOnError`] (see the `campaign`/`attack`
+    /// entries of `layout.steps` for why).
+    pub attack: Option<AttackResult>,
     /// 0-based rank of the device's true key byte in the attack scores.
     pub correct_key_rank: Option<usize>,
-    /// Bias peak of the best guess.
+    /// Bias peak of the best guess (0.0 when the attack did not run).
     pub best_peak: f64,
-    /// Ghost ratio (best peak / runner-up peak).
+    /// Ghost ratio, best peak / runner-up peak (0.0 when the attack did
+    /// not run).
     pub ghost_ratio: f64,
 }
 
@@ -319,17 +467,20 @@ impl SliceFlowReport {
     /// Renders a terminal summary.
     pub fn to_text(&self) -> String {
         let mut out = self.layout.to_text();
-        out.push_str(&format!(
-            "  DPA [{}], {} traces: best guess 0x{:02x} (peak {:.3}, ghost ratio {:.2}), \
-             true key rank {}\n",
-            self.attack.selection,
-            self.attack.traces,
-            self.attack.best().guess,
-            self.best_peak,
-            self.ghost_ratio,
-            self.correct_key_rank
-                .map_or("unranked".to_owned(), |r| (r + 1).to_string()),
-        ));
+        match &self.attack {
+            Some(attack) => out.push_str(&format!(
+                "  DPA [{}], {} traces: best guess 0x{:02x} (peak {:.3}, ghost ratio {:.2}), \
+                 true key rank {}\n",
+                attack.selection,
+                attack.traces,
+                attack.best().guess,
+                self.best_peak,
+                self.ghost_ratio,
+                self.correct_key_rank
+                    .map_or("unranked".to_owned(), |r| (r + 1).to_string()),
+            )),
+            None => out.push_str("  DPA evaluation did not run (see step outcomes above)\n"),
+        }
         out
     }
 }
@@ -339,8 +490,12 @@ impl SliceFlowReport {
 ///
 /// # Errors
 ///
-/// Returns [`FlowError::Lint`] when a lint stage denies the netlist and
-/// [`FlowError::Sim`] when the trace campaign's simulation fails.
+/// Under [`FlowPolicy::FailFast`] (the default), returns
+/// [`FlowError::Lint`] when a lint stage denies the netlist and
+/// [`FlowError::Sim`] when the trace campaign's simulation fails. Under
+/// [`FlowPolicy::ContinueOnError`] a campaign failure yields a partial
+/// report instead: `attack` is `None` and the `campaign`/`attack` step
+/// outcomes record the failure.
 pub fn run_slice_flow(
     slice: &mut AesByteSlice,
     sel: &dyn SelectionFunction,
@@ -349,16 +504,41 @@ pub fn run_slice_flow(
     let mut layout = run_static_flow(&mut slice.netlist, cfg)?;
     let set = layout.telemetry.step("qdi_core::flow", "campaign", || {
         campaign::run_slice_campaign(slice, &cfg.campaign)
-    })?;
+    });
+    let set = match set {
+        Ok(set) => {
+            layout.steps.push(StepOutcome::completed("campaign"));
+            set
+        }
+        Err(err) => match cfg.policy {
+            FlowPolicy::FailFast => return Err(FlowError::Sim(err)),
+            FlowPolicy::ContinueOnError => {
+                layout
+                    .steps
+                    .push(StepOutcome::failed("campaign", format!("{err:?}")));
+                layout
+                    .steps
+                    .push(StepOutcome::skipped("attack", "campaign failed"));
+                return Ok(SliceFlowReport {
+                    layout,
+                    attack: None,
+                    correct_key_rank: None,
+                    best_peak: 0.0,
+                    ghost_ratio: 0.0,
+                });
+            }
+        },
+    };
     let result = layout
         .telemetry
         .step("qdi_core::flow", "attack", || attack(&set, sel));
+    layout.steps.push(StepOutcome::completed("attack"));
     let correct_key_rank = result.rank_of(cfg.campaign.key as u16);
     let best_peak = result.best().peak_abs;
     let ghost_ratio = result.ghost_ratio();
     Ok(SliceFlowReport {
         layout,
-        attack: result,
+        attack: Some(result),
         correct_key_rank,
         best_peak,
         ghost_ratio,
@@ -467,9 +647,34 @@ mod tests {
         let sel = AesXorSelect { byte: 0, bit: 0 };
         let cfg = fast_cfg(Strategy::Flat, 0x42);
         let report = run_slice_flow(&mut slice, &sel, &cfg).expect("flow completes");
-        assert_eq!(report.attack.traces, 24);
-        assert!(!report.attack.scores.is_empty());
+        let attack = report.attack.as_ref().expect("attack ran");
+        assert_eq!(attack.traces, 24);
+        assert!(!attack.scores.is_empty());
         assert!(report.to_text().contains("DPA"));
+        assert!(
+            report.layout.steps.iter().all(StepOutcome::is_completed),
+            "fail-fast success must record only completed steps: {:?}",
+            report.layout.steps
+        );
+        let names: Vec<&str> = report
+            .layout
+            .steps
+            .iter()
+            .map(|s| s.step.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "lint_structural",
+                "place_and_route",
+                "fill",
+                "lint_electrical",
+                "criterion_table",
+                "leakage_ranking",
+                "campaign",
+                "attack"
+            ]
+        );
     }
 
     #[test]
@@ -599,6 +804,64 @@ mod tests {
             }
             other => panic!("expected a lint error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn continue_on_error_surfaces_lint_denial_in_partial_report() {
+        let mut b = NetlistBuilder::new("broken");
+        let floating = b.net("floating");
+        let out = b.gate(qdi_netlist::GateKind::Buf, "g", &[floating]);
+        b.mark_output(out);
+        let mut nl = b.finish_unchecked();
+        let mut cfg = fast_cfg(Strategy::Flat, 0);
+        cfg.policy = FlowPolicy::ContinueOnError;
+        let report = run_static_flow(&mut nl, &cfg).expect("partial report, not an abort");
+        assert!(report.lint.deny_count() > 0, "deny findings must be kept");
+        let failed: Vec<&str> = report.incomplete_steps().map(|s| s.step.as_str()).collect();
+        assert_eq!(failed, vec!["lint_structural"]);
+        assert!(
+            matches!(report.steps[0].status, StepStatus::Failed { .. }),
+            "{:?}",
+            report.steps[0]
+        );
+        // The later steps still ran: P&R produced a die, the criterion
+        // table was tabulated.
+        assert!(report.die_area_um2 > 0.0);
+        assert!(report.to_text().contains("step lint_structural FAILED"));
+    }
+
+    #[test]
+    fn continue_on_error_returns_partial_slice_report_when_campaign_fails() {
+        let mut slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+        let sel = AesXorSelect { byte: 0, bit: 0 };
+        let mut cfg = fast_cfg(Strategy::Flat, 0x42);
+        // An event budget far too small for even one handshake cycle.
+        cfg.campaign.testbench.event_limit = 10;
+        cfg.campaign.testbench.max_rounds = 10;
+
+        // Fail-fast: the whole flow aborts.
+        let mut ff_slice = slice.clone();
+        let err = run_slice_flow(&mut ff_slice, &sel, &cfg).expect_err("fail-fast aborts");
+        assert!(matches!(err, FlowError::Sim(_)), "{err}");
+
+        // Continue-on-error: the layout report survives, the DPA part is
+        // marked failed/skipped.
+        cfg.policy = FlowPolicy::ContinueOnError;
+        let report = run_slice_flow(&mut slice, &sel, &cfg).expect("partial report");
+        assert!(report.attack.is_none());
+        assert_eq!(report.correct_key_rank, None);
+        assert!(report.layout.die_area_um2 > 0.0, "layout portion completed");
+        let incomplete: Vec<(&str, &StepStatus)> = report
+            .layout
+            .incomplete_steps()
+            .map(|s| (s.step.as_str(), &s.status))
+            .collect();
+        assert_eq!(incomplete.len(), 2, "{incomplete:?}");
+        assert_eq!(incomplete[0].0, "campaign");
+        assert!(matches!(incomplete[0].1, StepStatus::Failed { .. }));
+        assert_eq!(incomplete[1].0, "attack");
+        assert!(matches!(incomplete[1].1, StepStatus::Skipped { .. }));
+        assert!(report.to_text().contains("DPA evaluation did not run"));
     }
 
     fn err_text(err: &FlowError) -> String {

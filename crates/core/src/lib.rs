@@ -55,8 +55,8 @@ pub mod leakage;
 pub mod model;
 
 pub use flow::{
-    run_slice_flow, run_static_flow, FillStep, FlowConfig, FlowError, SliceFlowReport,
-    StaticFlowReport,
+    run_slice_flow, run_static_flow, FillStep, FlowConfig, FlowError, FlowPolicy, SliceFlowReport,
+    StaticFlowReport, StepOutcome, StepStatus,
 };
 pub use leakage::{rank_channel_leakage, ChannelLeakage};
 pub use model::CurrentModel;

@@ -60,10 +60,63 @@ impl CampaignConfig {
     }
 }
 
+/// Draws the plaintext for acquisition `n`. Shared by the one-shot
+/// campaign and the resumable runner so their RNG call sequences are
+/// bit-identical — a checkpointed run must not diverge from an
+/// uninterrupted one.
+pub(crate) fn draw_plaintext(
+    n: usize,
+    plaintexts: PlaintextSource,
+    rng: &mut ChaCha8Rng,
+    codebook: &mut [u8],
+) -> u8 {
+    match plaintexts {
+        PlaintextSource::Random => rng.gen(),
+        PlaintextSource::FullCodebook => {
+            if n.is_multiple_of(256) {
+                // Fisher-Yates reshuffle per codebook pass.
+                for i in (1..codebook.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    codebook.swap(i, j);
+                }
+            }
+            codebook[n % 256]
+        }
+    }
+}
+
+/// One acquisition: simulates a four-phase computation of the slice for
+/// plaintext `pt` and synthesizes its noisy supply-current trace. `rng` is
+/// consumed only by the noise synthesis — the simulation itself is
+/// deterministic, which is what makes per-trace retries sound.
+pub(crate) fn acquire_trace(
+    slice: &AesByteSlice,
+    testbench: &TestbenchConfig,
+    synth: &TraceSynthesizer<'_>,
+    key: u8,
+    pt: u8,
+    rng: &mut ChaCha8Rng,
+) -> Result<qdi_analog::Trace, SimError> {
+    let mut tb = Testbench::new(&slice.netlist, *testbench)?;
+    let pbits = bit_values(pt);
+    let kbits = bit_values(key);
+    for i in 0..8 {
+        tb.source(slice.pt[i], vec![pbits[i]])?;
+        tb.source(slice.key[i], vec![kbits[i]])?;
+        tb.sink(slice.out[i])?;
+    }
+    let run = tb.run()?;
+    Ok(synth.synthesize_noisy(&run.transitions, rng))
+}
+
 /// Runs the campaign: for each of `cfg.traces` random plaintext bytes,
 /// simulates one four-phase computation of the slice and synthesizes its
 /// supply-current trace. The trace-set inputs hold the plaintext byte at
 /// index 0 (as the selection functions expect).
+///
+/// For long campaigns that should survive interruption, use
+/// [`crate::resume::CampaignRunner`] instead — it produces bit-identical
+/// traces with checkpoint/resume and per-trace retry.
 ///
 /// # Errors
 ///
@@ -84,29 +137,8 @@ pub fn run_slice_campaign(
     let mut codebook: Vec<u8> = (0..=255).collect();
     let mut set = TraceSet::new();
     for n in 0..cfg.traces {
-        let pt: u8 = match cfg.plaintexts {
-            PlaintextSource::Random => rng.gen(),
-            PlaintextSource::FullCodebook => {
-                if n % 256 == 0 {
-                    // Fisher-Yates reshuffle per codebook pass.
-                    for i in (1..codebook.len()).rev() {
-                        let j = rng.gen_range(0..=i);
-                        codebook.swap(i, j);
-                    }
-                }
-                codebook[n % 256]
-            }
-        };
-        let mut tb = Testbench::new(&slice.netlist, cfg.testbench)?;
-        let pbits = bit_values(pt);
-        let kbits = bit_values(cfg.key);
-        for i in 0..8 {
-            tb.source(slice.pt[i], vec![pbits[i]])?;
-            tb.source(slice.key[i], vec![kbits[i]])?;
-            tb.sink(slice.out[i])?;
-        }
-        let run = tb.run()?;
-        let trace = synth.synthesize_noisy(&run.transitions, &mut rng);
+        let pt = draw_plaintext(n, cfg.plaintexts, &mut rng, &mut codebook);
+        let trace = acquire_trace(slice, &cfg.testbench, &synth, cfg.key, pt, &mut rng)?;
         set.push(vec![pt], trace);
         traces_metric.inc();
     }

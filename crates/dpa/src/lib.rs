@@ -52,6 +52,7 @@ pub mod attack;
 pub mod campaign;
 pub mod cpa;
 pub mod metrics;
+pub mod resume;
 pub mod selection;
 pub mod spa;
 pub mod template;
@@ -61,6 +62,7 @@ mod traceset;
 pub use attack::{attack, bias_signal, AttackResult, GuessScore};
 pub use campaign::{run_slice_campaign, CampaignConfig, PlaintextSource};
 pub use cpa::{cpa, CpaResult, HammingWeightSbox, LeakageModel};
+pub use resume::{CampaignCheckpoint, CampaignError, CampaignRunner, ResilienceConfig};
 pub use selection::SelectionFunction;
 pub use template::{profile_bit_templates, template_attack, BitTemplates};
-pub use traceset::TraceSet;
+pub use traceset::{TraceSet, TraceSetError};

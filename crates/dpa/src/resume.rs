@@ -1,0 +1,544 @@
+//! Resilient trace campaigns: checkpoint/resume and per-trace retry.
+//!
+//! A DPA campaign against a large slice can run for hours; losing it to a
+//! transient event-budget blowup or a killed process wastes every trace
+//! collected so far. [`CampaignRunner`] wraps the acquisition loop of
+//! [`crate::campaign::run_slice_campaign`] so that
+//!
+//! * the full campaign state — RNG stream position, codebook order and
+//!   all collected traces — can be serialized into a
+//!   [`CampaignCheckpoint`] every few plaintexts and reloaded after a
+//!   crash, and
+//! * per-trace budget exhaustion ([`SimError::EventLimit`] /
+//!   [`SimError::SimTimeout`]) is retried with an escalated budget
+//!   instead of aborting the whole campaign.
+//!
+//! The runner draws RNG values in exactly the same order as the one-shot
+//! campaign (plaintext, then noise synthesis, per trace), so a resumed
+//! campaign produces bit-identical traces — and therefore the identical
+//! `T = A0 − A1` bias signal — to an uninterrupted run with the same
+//! [`CampaignConfig`].
+
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+
+use qdi_analog::TraceSynthesizer;
+use qdi_crypto::gatelevel::slice::AesByteSlice;
+use qdi_sim::SimError;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::campaign::{acquire_trace, draw_plaintext, CampaignConfig};
+use crate::traceset::{TraceSet, TraceSetError};
+
+/// Retry and checkpoint knobs for a resilient campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResilienceConfig {
+    /// Checkpoint after every `checkpoint_every` collected traces (used
+    /// by [`CampaignRunner::run_with_checkpoints`]).
+    pub checkpoint_every: usize,
+    /// Retries per trace on budget-class failures before giving up.
+    pub max_retries: u32,
+    /// Budget multiplier per retry: attempt `k` runs with the configured
+    /// event/round budgets times `budget_backoff^k`. Values below 2 are
+    /// clamped to 2 — retrying with the same budget cannot help a
+    /// deterministic simulation.
+    pub budget_backoff: u64,
+}
+
+impl ResilienceConfig {
+    /// Defaults: checkpoint every 64 traces, 2 retries, 4x backoff.
+    pub fn new() -> Self {
+        ResilienceConfig {
+            checkpoint_every: 64,
+            max_retries: 2,
+            budget_backoff: 4,
+        }
+    }
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig::new()
+    }
+}
+
+/// Why a resilient campaign stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignError {
+    /// The simulator failed permanently (deadlock, livelock, bad
+    /// environment) or exhausted its budget even after all retries.
+    Sim(SimError),
+    /// A synthesized or reloaded trace was rejected by the trace set.
+    Traces(TraceSetError),
+    /// A checkpoint could not be applied (config mismatch, inconsistent
+    /// counters, malformed RNG snapshot).
+    Checkpoint(String),
+    /// A checkpoint file could not be read, written or parsed.
+    Io(String),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Sim(e) => write!(f, "simulation failed: {e:?}"),
+            CampaignError::Traces(e) => write!(f, "trace rejected: {e}"),
+            CampaignError::Checkpoint(reason) => write!(f, "bad checkpoint: {reason}"),
+            CampaignError::Io(reason) => write!(f, "checkpoint I/O: {reason}"),
+        }
+    }
+}
+
+impl Error for CampaignError {}
+
+impl From<SimError> for CampaignError {
+    fn from(e: SimError) -> Self {
+        CampaignError::Sim(e)
+    }
+}
+
+impl From<TraceSetError> for CampaignError {
+    fn from(e: TraceSetError) -> Self {
+        CampaignError::Traces(e)
+    }
+}
+
+/// Serializable snapshot of a campaign in flight.
+///
+/// Contains everything needed to continue acquisition bit-identically:
+/// the RNG stream position, the current codebook permutation, the number
+/// of completed traces and the traces themselves. The `fingerprint` ties
+/// the checkpoint to the exact [`CampaignConfig`] that produced it —
+/// resuming under a different config would silently mix distributions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignCheckpoint {
+    /// Debug rendering of the originating [`CampaignConfig`].
+    pub fingerprint: String,
+    /// Traces collected so far.
+    pub completed: usize,
+    /// ChaCha8 stream snapshot (see `rand_chacha::ChaCha8Rng::snapshot`).
+    pub rng: Vec<u32>,
+    /// Codebook permutation for [`crate::PlaintextSource::FullCodebook`].
+    pub codebook: Vec<u8>,
+    /// The collected traces and their plaintext inputs.
+    pub traces: TraceSet,
+}
+
+impl CampaignCheckpoint {
+    /// Writes the checkpoint as JSON. The write is not atomic; callers
+    /// that need crash-safe files should write to a sibling path and
+    /// rename.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Io`] on serialization or filesystem
+    /// failure.
+    pub fn save(&self, path: &Path) -> Result<(), CampaignError> {
+        let json = serde_json::to_string(self)
+            .map_err(|e| CampaignError::Io(format!("serialize checkpoint: {e:?}")))?;
+        std::fs::write(path, json)
+            .map_err(|e| CampaignError::Io(format!("write {}: {e}", path.display())))
+    }
+
+    /// Reads a checkpoint written by [`CampaignCheckpoint::save`]. The
+    /// contents are validated by [`CampaignRunner::resume`], not here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Io`] on filesystem or parse failure.
+    pub fn load(path: &Path) -> Result<Self, CampaignError> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| CampaignError::Io(format!("read {}: {e}", path.display())))?;
+        serde_json::from_str(&json)
+            .map_err(|e| CampaignError::Io(format!("parse {}: {e:?}", path.display())))
+    }
+}
+
+fn fingerprint(cfg: &CampaignConfig) -> String {
+    format!("{cfg:?}")
+}
+
+/// Incremental, checkpointable campaign over an AES byte slice.
+///
+/// Produces traces bit-identical to
+/// [`crate::campaign::run_slice_campaign`] for the same config.
+pub struct CampaignRunner<'a> {
+    slice: &'a AesByteSlice,
+    cfg: CampaignConfig,
+    resilience: ResilienceConfig,
+    synth: TraceSynthesizer<'a>,
+    rng: ChaCha8Rng,
+    codebook: Vec<u8>,
+    set: TraceSet,
+    completed: usize,
+    retries: u64,
+}
+
+impl fmt::Debug for CampaignRunner<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CampaignRunner")
+            .field("completed", &self.completed)
+            .field("target", &self.cfg.traces)
+            .field("retries", &self.retries)
+            .finish()
+    }
+}
+
+impl<'a> CampaignRunner<'a> {
+    /// Starts a fresh campaign.
+    pub fn new(slice: &'a AesByteSlice, cfg: CampaignConfig, resilience: ResilienceConfig) -> Self {
+        CampaignRunner {
+            slice,
+            cfg,
+            resilience,
+            synth: TraceSynthesizer::new(&slice.netlist, cfg.synth),
+            rng: ChaCha8Rng::seed_from_u64(cfg.seed),
+            codebook: (0..=255).collect(),
+            set: TraceSet::new(),
+            completed: 0,
+            retries: 0,
+        }
+    }
+
+    /// Continues a campaign from a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// * [`CampaignError::Checkpoint`] if the checkpoint was produced by
+    ///   a different config, its counters are inconsistent, or the RNG
+    ///   snapshot is malformed;
+    /// * [`CampaignError::Traces`] if a stored trace carries non-finite
+    ///   samples (checkpoint-file corruption).
+    pub fn resume(
+        slice: &'a AesByteSlice,
+        cfg: CampaignConfig,
+        resilience: ResilienceConfig,
+        checkpoint: CampaignCheckpoint,
+    ) -> Result<Self, CampaignError> {
+        let expected = fingerprint(&cfg);
+        if checkpoint.fingerprint != expected {
+            return Err(CampaignError::Checkpoint(format!(
+                "config mismatch: checkpoint was produced by {}, resuming with {}",
+                checkpoint.fingerprint, expected
+            )));
+        }
+        if checkpoint.completed != checkpoint.traces.len() {
+            return Err(CampaignError::Checkpoint(format!(
+                "counter mismatch: {} completed but {} traces stored",
+                checkpoint.completed,
+                checkpoint.traces.len()
+            )));
+        }
+        if checkpoint.codebook.len() != 256 {
+            return Err(CampaignError::Checkpoint(format!(
+                "codebook has {} entries, expected 256",
+                checkpoint.codebook.len()
+            )));
+        }
+        checkpoint.traces.validate()?;
+        let rng = ChaCha8Rng::restore(&checkpoint.rng)
+            .ok_or_else(|| CampaignError::Checkpoint("malformed RNG snapshot".into()))?;
+        Ok(CampaignRunner {
+            slice,
+            cfg,
+            resilience,
+            synth: TraceSynthesizer::new(&slice.netlist, cfg.synth),
+            rng,
+            codebook: checkpoint.codebook,
+            set: checkpoint.traces,
+            completed: checkpoint.completed,
+            retries: 0,
+        })
+    }
+
+    /// Snapshots the campaign for later [`CampaignRunner::resume`].
+    pub fn checkpoint(&self) -> CampaignCheckpoint {
+        CampaignCheckpoint {
+            fingerprint: fingerprint(&self.cfg),
+            completed: self.completed,
+            rng: self.rng.snapshot(),
+            codebook: self.codebook.clone(),
+            traces: self.set.clone(),
+        }
+    }
+
+    /// Traces collected so far.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// `true` once all `cfg.traces` acquisitions are done.
+    pub fn is_done(&self) -> bool {
+        self.completed >= self.cfg.traces
+    }
+
+    /// Budget-class retries performed so far (observability).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// The traces collected so far (a partial set while running).
+    pub fn traces(&self) -> &TraceSet {
+        &self.set
+    }
+
+    /// Consumes the runner, yielding the collected traces.
+    pub fn into_traces(self) -> TraceSet {
+        self.set
+    }
+
+    /// Acquires one trace. Returns `Ok(false)` when the campaign target
+    /// was already reached (no work done), `Ok(true)` after a successful
+    /// acquisition.
+    ///
+    /// Budget-class failures ([`SimError::EventLimit`],
+    /// [`SimError::SimTimeout`]) are retried up to
+    /// [`ResilienceConfig::max_retries`] times with the event and round
+    /// budgets multiplied by `budget_backoff^attempt`; before each retry
+    /// the RNG is rewound so the noise draw — and thus the trace — is the
+    /// one the uninterrupted campaign would have produced. Protocol-class
+    /// failures (deadlock, livelock, bad environment) are never retried:
+    /// the simulation is deterministic, so they would only repeat.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Sim`] on permanent or retry-exhausted simulator
+    /// failure, [`CampaignError::Traces`] if the synthesized trace is
+    /// rejected (non-finite samples).
+    pub fn step(&mut self) -> Result<bool, CampaignError> {
+        if self.is_done() {
+            return Ok(false);
+        }
+        let pt = draw_plaintext(
+            self.completed,
+            self.cfg.plaintexts,
+            &mut self.rng,
+            &mut self.codebook,
+        );
+        // Rewind point for retries: after the plaintext draw, before the
+        // noise draw.
+        let rng_after_pt = self.rng.snapshot();
+        let backoff = self.resilience.budget_backoff.max(2);
+        let mut attempt = 0u32;
+        let trace = loop {
+            let mut tb_cfg = self.cfg.testbench;
+            let factor = backoff.saturating_pow(attempt);
+            tb_cfg.event_limit = tb_cfg.event_limit.saturating_mul(factor);
+            tb_cfg.max_rounds = tb_cfg.max_rounds.saturating_mul(factor);
+            match acquire_trace(
+                self.slice,
+                &tb_cfg,
+                &self.synth,
+                self.cfg.key,
+                pt,
+                &mut self.rng,
+            ) {
+                Ok(trace) => break trace,
+                Err(err @ (SimError::EventLimit { .. } | SimError::SimTimeout { .. }))
+                    if attempt < self.resilience.max_retries =>
+                {
+                    attempt += 1;
+                    self.retries += 1;
+                    qdi_obs::metrics::counter("dpa.campaign.retries").inc();
+                    self.rng = ChaCha8Rng::restore(&rng_after_pt).unwrap_or_else(|| {
+                        unreachable!("snapshot taken this step is well-formed: {err:?}")
+                    });
+                }
+                Err(err) => return Err(CampaignError::Sim(err)),
+            }
+        };
+        self.set.try_push(vec![pt], trace)?;
+        self.completed += 1;
+        Ok(true)
+    }
+
+    /// Runs the campaign to completion without checkpointing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`CampaignError`]; traces collected before
+    /// the failure remain available via [`CampaignRunner::traces`].
+    pub fn run(&mut self) -> Result<&TraceSet, CampaignError> {
+        while self.step()? {}
+        Ok(&self.set)
+    }
+
+    /// Runs the campaign to completion, writing a checkpoint to `path`
+    /// after every [`ResilienceConfig::checkpoint_every`] traces and once
+    /// more at the end. After a crash, reload with
+    /// [`CampaignCheckpoint::load`] + [`CampaignRunner::resume`] and call
+    /// this again.
+    ///
+    /// # Errors
+    ///
+    /// Propagates acquisition and checkpoint-write errors.
+    pub fn run_with_checkpoints(&mut self, path: &Path) -> Result<&TraceSet, CampaignError> {
+        let every = self.resilience.checkpoint_every.max(1);
+        while self.step()? {
+            if self.completed.is_multiple_of(every) {
+                self.checkpoint().save(path)?;
+            }
+        }
+        self.checkpoint().save(path)?;
+        Ok(&self.set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::bias_signal;
+    use crate::campaign::run_slice_campaign;
+    use crate::selection::AesXorSelect;
+    use qdi_crypto::gatelevel::slice::{aes_first_round_slice, SliceStage};
+
+    fn test_cfg(traces: usize) -> CampaignConfig {
+        let mut cfg = CampaignConfig::full_codebook(0x42);
+        cfg.traces = traces;
+        cfg.seed = 7;
+        cfg
+    }
+
+    fn assert_sets_identical(a: &TraceSet, b: &TraceSet) {
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert_eq!(a.input(i), b.input(i), "plaintext {i} differs");
+            assert_eq!(
+                a.trace(i).samples(),
+                b.trace(i).samples(),
+                "trace {i} samples differ"
+            );
+        }
+    }
+
+    #[test]
+    fn runner_matches_one_shot_campaign() {
+        let slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+        let cfg = test_cfg(10);
+        let golden = run_slice_campaign(&slice, &cfg).expect("one-shot runs");
+        let mut runner = CampaignRunner::new(&slice, cfg, ResilienceConfig::new());
+        let set = runner.run().expect("runner runs").clone();
+        assert_sets_identical(&golden, &set);
+    }
+
+    #[test]
+    fn killed_and_resumed_campaign_reproduces_bias_signal() {
+        let slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+        let cfg = test_cfg(12);
+        let golden = run_slice_campaign(&slice, &cfg).expect("one-shot runs");
+
+        // Run 5 traces, checkpoint through a JSON round trip (as a killed
+        // process would leave on disk), then resume and finish.
+        let mut first = CampaignRunner::new(&slice, cfg, ResilienceConfig::new());
+        for _ in 0..5 {
+            assert!(first.step().expect("step"));
+        }
+        let json = serde_json::to_string(&first.checkpoint()).expect("serialize");
+        drop(first); // the "kill"
+        let checkpoint: CampaignCheckpoint = serde_json::from_str(&json).expect("parse");
+        let mut resumed = CampaignRunner::resume(&slice, cfg, ResilienceConfig::new(), checkpoint)
+            .expect("resume");
+        assert_eq!(resumed.completed(), 5);
+        let set = resumed.run().expect("finishes").clone();
+
+        assert_sets_identical(&golden, &set);
+        let sel = AesXorSelect { byte: 0, bit: 0 };
+        let t_golden = bias_signal(&golden, &sel, 0x42).expect("golden bias");
+        let t_resumed = bias_signal(&set, &sel, 0x42).expect("resumed bias");
+        assert_eq!(
+            t_golden.samples(),
+            t_resumed.samples(),
+            "T = A0 - A1 must be bit-identical after kill + resume"
+        );
+    }
+
+    #[test]
+    fn resume_rejects_foreign_config() {
+        let slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+        let cfg = test_cfg(8);
+        let mut runner = CampaignRunner::new(&slice, cfg, ResilienceConfig::new());
+        runner.step().expect("step");
+        let checkpoint = runner.checkpoint();
+        let mut other = cfg;
+        other.key = 0x43;
+        let err = CampaignRunner::resume(&slice, other, ResilienceConfig::new(), checkpoint)
+            .expect_err("mismatch rejected");
+        assert!(matches!(err, CampaignError::Checkpoint(_)), "{err}");
+    }
+
+    #[test]
+    fn resume_rejects_corrupted_traces() {
+        let slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+        let cfg = test_cfg(8);
+        let mut runner = CampaignRunner::new(&slice, cfg, ResilienceConfig::new());
+        runner.step().expect("step");
+        let mut checkpoint = runner.checkpoint();
+        // Corrupt the stored traces the way a bad checkpoint file would.
+        let mut poisoned = TraceSet::new();
+        let mut t = checkpoint.traces.trace(0).clone();
+        t.scale(f64::NAN);
+        poisoned.push(checkpoint.traces.input(0).to_vec(), t);
+        checkpoint.traces = poisoned;
+        let err = CampaignRunner::resume(&slice, cfg, ResilienceConfig::new(), checkpoint)
+            .expect_err("corruption rejected");
+        assert!(matches!(err, CampaignError::Traces(_)), "{err}");
+    }
+
+    #[test]
+    fn budget_failures_retry_with_escalated_budget() {
+        let slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+        let mut cfg = test_cfg(2);
+        // A budget far too small for one handshake cycle: the first
+        // attempt must fail with EventLimit; backoff^1 = 8x then 64x
+        // raises it until the run fits.
+        cfg.testbench.event_limit = 40;
+        cfg.testbench.max_rounds = 40;
+        let resilience = ResilienceConfig {
+            checkpoint_every: 64,
+            max_retries: 3,
+            budget_backoff: 8,
+        };
+        let mut runner = CampaignRunner::new(&slice, cfg, resilience);
+        runner.run().expect("retries rescue the campaign");
+        assert!(runner.retries() > 0, "expected at least one retry");
+
+        // The rescued traces still match a comfortably-budgeted golden run.
+        let mut roomy = cfg;
+        roomy.testbench.event_limit = 50_000_000;
+        roomy.testbench.max_rounds = 1_000_000;
+        // fingerprint differs, so compare against the one-shot campaign.
+        let golden = run_slice_campaign(&slice, &roomy).expect("golden runs");
+        assert_sets_identical(&golden, runner.traces());
+    }
+
+    #[test]
+    fn checkpoint_file_round_trips() {
+        let slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+        let cfg = test_cfg(6);
+        let resilience = ResilienceConfig {
+            checkpoint_every: 2,
+            ..ResilienceConfig::new()
+        };
+        let path = std::env::temp_dir().join("qdi_dpa_resume_test.ckpt.json");
+        let mut runner = CampaignRunner::new(&slice, cfg, resilience);
+        let set = runner.run_with_checkpoints(&path).expect("runs").clone();
+        let loaded = CampaignCheckpoint::load(&path).expect("loads");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.completed, 6);
+        assert_sets_identical(&set, &loaded.traces);
+        // A finished campaign resumes into an immediately-done runner.
+        let mut done = CampaignRunner::resume(&slice, cfg, resilience, loaded).expect("resumes");
+        assert!(done.is_done());
+        assert!(!done.step().expect("no-op step"));
+    }
+
+    #[test]
+    fn load_reports_missing_file_as_io_error() {
+        let path = std::env::temp_dir().join("qdi_dpa_resume_missing.ckpt.json");
+        std::fs::remove_file(&path).ok();
+        let err = CampaignCheckpoint::load(&path).expect_err("missing file");
+        assert!(matches!(err, CampaignError::Io(_)), "{err}");
+    }
+}

@@ -1,7 +1,59 @@
 //! Trace collections with their associated inputs.
 
+use std::error::Error;
+use std::fmt;
+
 use qdi_analog::Trace;
 use serde::{Deserialize, Serialize};
+
+/// Why an acquisition (or a loaded set) was rejected.
+///
+/// A single NaN sample silently poisons every `A0`/`A1` partition average
+/// downstream (NaN is absorbing under addition), turning the whole bias
+/// signal into NaN without any visible failure — so ingest and checkpoint
+/// load reject non-finite samples with this typed error instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceSetError {
+    /// A trace sample is NaN or infinite.
+    NonFiniteSample {
+        /// Index of the offending acquisition within the set.
+        trace: usize,
+        /// Index of the offending sample within the trace.
+        sample: usize,
+    },
+    /// The trace grid (origin or sample period) differs from the traces
+    /// already in the set.
+    GridMismatch {
+        /// Index of the offending acquisition within the set.
+        trace: usize,
+    },
+}
+
+impl fmt::Display for TraceSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceSetError::NonFiniteSample { trace, sample } => write!(
+                f,
+                "trace {trace} sample {sample} is not finite (would poison A0/A1 averages)"
+            ),
+            TraceSetError::GridMismatch { trace } => {
+                write!(f, "trace {trace} is on a different time grid than the set")
+            }
+        }
+    }
+}
+
+impl Error for TraceSetError {}
+
+fn check_finite(index: usize, trace: &Trace) -> Result<(), TraceSetError> {
+    if let Some(sample) = trace.samples().iter().position(|s| !s.is_finite()) {
+        return Err(TraceSetError::NonFiniteSample {
+            trace: index,
+            sample,
+        });
+    }
+    Ok(())
+}
 
 /// A set of power traces `S_ij` with the plaintext inputs `PTI_i` that
 /// produced them (paper, Section IV).
@@ -30,6 +82,50 @@ impl TraceSet {
         }
         self.inputs.push(input);
         self.traces.push(trace);
+    }
+
+    /// Appends one acquisition, rejecting non-finite samples and grid
+    /// mismatches with a typed error instead of panicking or letting NaN
+    /// poison the averages.
+    ///
+    /// # Errors
+    ///
+    /// * [`TraceSetError::NonFiniteSample`] if any sample is NaN/±inf,
+    /// * [`TraceSetError::GridMismatch`] if the trace is on a different
+    ///   time grid than the set.
+    pub fn try_push(&mut self, input: Vec<u8>, trace: Trace) -> Result<(), TraceSetError> {
+        check_finite(self.traces.len(), &trace)?;
+        if let Some(first) = self.traces.first() {
+            if first.t0_ps() != trace.t0_ps() || first.dt_ps() != trace.dt_ps() {
+                return Err(TraceSetError::GridMismatch {
+                    trace: self.traces.len(),
+                });
+            }
+        }
+        self.inputs.push(input);
+        self.traces.push(trace);
+        Ok(())
+    }
+
+    /// Checks every stored sample for finiteness — run after loading a
+    /// set from a checkpoint, where the file may carry corruption the
+    /// typed ingest path never saw.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceSetError::NonFiniteSample`] for the first offending
+    /// sample, or [`TraceSetError::GridMismatch`] if the stored traces
+    /// disagree on their time grid.
+    pub fn validate(&self) -> Result<(), TraceSetError> {
+        for (i, trace) in self.traces.iter().enumerate() {
+            check_finite(i, trace)?;
+            if let Some(first) = self.traces.first() {
+                if first.t0_ps() != trace.t0_ps() || first.dt_ps() != trace.dt_ps() {
+                    return Err(TraceSetError::GridMismatch { trace: i });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Number of acquisitions.
@@ -102,5 +198,52 @@ mod tests {
         let mut set = TraceSet::new();
         set.push(vec![1], Trace::zeros(0, 10, 4));
         set.push(vec![2], Trace::zeros(0, 20, 4));
+    }
+
+    fn poisoned_trace() -> Trace {
+        let mut t = Trace::zeros(0, 10, 4);
+        t.scale(f64::NAN); // every sample becomes NaN
+        t
+    }
+
+    #[test]
+    fn try_push_rejects_nan_samples() {
+        let mut set = TraceSet::new();
+        set.try_push(vec![1], Trace::zeros(0, 10, 4)).expect("ok");
+        let err = set
+            .try_push(vec![2], poisoned_trace())
+            .expect_err("NaN rejected");
+        assert_eq!(
+            err,
+            TraceSetError::NonFiniteSample {
+                trace: 1,
+                sample: 0
+            }
+        );
+        assert_eq!(set.len(), 1, "the poisoned trace must not be stored");
+    }
+
+    #[test]
+    fn try_push_rejects_grid_mismatch_with_typed_error() {
+        let mut set = TraceSet::new();
+        set.try_push(vec![1], Trace::zeros(0, 10, 4)).expect("ok");
+        let err = set
+            .try_push(vec![2], Trace::zeros(0, 20, 4))
+            .expect_err("grid mismatch");
+        assert_eq!(err, TraceSetError::GridMismatch { trace: 1 });
+    }
+
+    #[test]
+    fn validate_finds_corruption_after_the_fact() {
+        let mut set = TraceSet::new();
+        set.push(vec![1], Trace::zeros(0, 10, 4));
+        assert!(set.validate().is_ok());
+        // Simulate checkpoint corruption through the panicking path.
+        set.push(vec![2], poisoned_trace());
+        let err = set.validate().expect_err("corruption found");
+        assert!(matches!(
+            err,
+            TraceSetError::NonFiniteSample { trace: 1, .. }
+        ));
     }
 }

@@ -1,0 +1,173 @@
+//! Campaign driver: golden run, per-fault injection, classification.
+
+use qdi_netlist::Netlist;
+use qdi_sim::{Fault, FaultPlan, SimError, TestbenchConfig, TimePs};
+
+use crate::harness::{output_values, Stimulus};
+use crate::outcome::{classify, FaultOutcome};
+use crate::report::{FaultRecord, FaultReport};
+
+/// How a campaign drives the netlist.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Tokens pushed through every input channel per run.
+    pub tokens: usize,
+    /// Seed for the stimulus values.
+    pub seed: u64,
+    /// Simulator budget and environment timing, shared by the golden run
+    /// and every injected run.
+    pub testbench: TestbenchConfig,
+}
+
+impl CampaignConfig {
+    /// Two tokens, seed 1, default testbench.
+    #[must_use]
+    pub fn new() -> CampaignConfig {
+        CampaignConfig {
+            tokens: 2,
+            seed: 1,
+            testbench: TestbenchConfig::default(),
+        }
+    }
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig::new()
+    }
+}
+
+/// Derives injection times from a clean run: the quarter points (25%,
+/// 50%, 75%) of the golden run's span, deduplicated — the window where
+/// the circuit is actually computing.
+///
+/// # Errors
+///
+/// Propagates golden-run failures ([`SimError`]): a netlist that cannot
+/// complete a clean run cannot anchor a campaign.
+pub fn default_injection_times(
+    netlist: &Netlist,
+    cfg: &CampaignConfig,
+) -> Result<Vec<TimePs>, SimError> {
+    let stim = Stimulus::random(netlist, cfg.tokens, cfg.seed)?;
+    let run = stim.run(netlist, &cfg.testbench, None)?;
+    let end = run.end_time_ps.max(4);
+    let mut times: Vec<TimePs> = [end / 4, end / 2, 3 * end / 4].to_vec();
+    times.dedup();
+    Ok(times)
+}
+
+/// Runs a fault campaign: one golden run, then one injected run per
+/// fault, each classified against the golden outputs.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the stimulus cannot attach or the *golden*
+/// run fails — a circuit that deadlocks without faults has no baseline.
+/// Injected-run failures are never errors; they classify as outcomes.
+pub fn run_campaign(
+    netlist: &Netlist,
+    faults: &[Fault],
+    cfg: &CampaignConfig,
+) -> Result<FaultReport, SimError> {
+    let mut span = qdi_obs::span("qdi_fi::campaign", "run_campaign")
+        .field("faults", faults.len())
+        .field("tokens", cfg.tokens)
+        .enter();
+    let runs_metric = qdi_obs::metrics::counter("fi.runs");
+    let stim = Stimulus::random(netlist, cfg.tokens, cfg.seed)?;
+    let golden_run = stim.run(netlist, &cfg.testbench, None)?;
+    let golden = output_values(&golden_run);
+    runs_metric.inc();
+
+    let mut records = Vec::with_capacity(faults.len());
+    for fault in faults {
+        let plan = FaultPlan::single(*fault);
+        let result = stim.run(netlist, &cfg.testbench, Some(&plan));
+        runs_metric.inc();
+        let outcome = classify(netlist, &golden, &result);
+        qdi_obs::metrics::counter(&format!("fi.outcome.{}", outcome.mnemonic())).inc();
+        records.push(FaultRecord::new(netlist, fault, outcome));
+    }
+
+    let report = FaultReport::new(netlist, faults, records);
+    span.record("detected", report.detected() as f64);
+    span.record("silent", report.silent as f64);
+    for outcome in FaultOutcome::all() {
+        span.record(outcome.mnemonic(), report.count(outcome) as f64);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sites::enumerate_faults;
+    use qdi_netlist::{cells, NetlistBuilder};
+    use qdi_sim::{FaultKind, FaultSite};
+
+    fn xor_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("xor");
+        let a = b.input_channel("a", 2);
+        let bb = b.input_channel("b", 2);
+        let ack = b.input_net("ack");
+        let cell = cells::dual_rail_xor(&mut b, "x", &a, &bb, ack);
+        b.connect_input_acks(&[a.id, bb.id], cell.ack_to_senders);
+        let _ = b.output_channel("co", &cell.out.rails.clone(), ack);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn empty_campaign_reports_nothing() {
+        let nl = xor_netlist();
+        let report = run_campaign(&nl, &[], &CampaignConfig::new()).expect("runs");
+        assert_eq!(report.total, 0);
+        assert_eq!(report.detected(), 0);
+        assert_eq!(report.coverage.len(), 1);
+        assert_eq!(report.coverage[0].injected, 0);
+    }
+
+    #[test]
+    fn stuck_at_on_a_rail_driver_is_detected() {
+        let nl = xor_netlist();
+        // Stick every gate output low, permanently: the handshake can
+        // never complete, so every fault must surface as a detection.
+        let faults: Vec<Fault> = nl
+            .gates()
+            .map(|g| Fault::new(FaultSite::Gate(g.id), FaultKind::StuckAt(false), 0))
+            .collect();
+        let report = run_campaign(&nl, &faults, &CampaignConfig::new()).expect("runs");
+        assert_eq!(report.total, faults.len());
+        assert_eq!(
+            report.silent, 0,
+            "dual-rail gates must not corrupt silently"
+        );
+        assert!(
+            report.detected() > 0,
+            "stuck-at-0 on rail drivers must stall the handshake: {}",
+            report.to_text()
+        );
+        let classified: usize = FaultOutcome::all().iter().map(|&o| report.count(o)).sum();
+        assert_eq!(classified, report.total, "every run lands in one class");
+    }
+
+    #[test]
+    fn injection_times_fall_inside_the_golden_span() {
+        let nl = xor_netlist();
+        let cfg = CampaignConfig::new();
+        let times = default_injection_times(&nl, &cfg).expect("derives");
+        assert!(!times.is_empty());
+        let stim = Stimulus::random(&nl, cfg.tokens, cfg.seed).expect("builds");
+        let run = stim.run(&nl, &cfg.testbench, None).expect("runs");
+        for &t in &times {
+            assert!(
+                t > 0 && t < run.end_time_ps,
+                "{t} outside (0, {})",
+                run.end_time_ps
+            );
+        }
+        let faults = enumerate_faults(&nl, &[FaultKind::TransientFlip], &times);
+        let report = run_campaign(&nl, &faults, &cfg).expect("runs");
+        assert_eq!(report.total, faults.len());
+    }
+}

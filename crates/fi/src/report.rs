@@ -1,0 +1,385 @@
+//! Campaign results: per-fault records, per-channel detection coverage,
+//! and rendering (text, JSON lines, shared-model diagnostics).
+
+use std::collections::HashSet;
+
+use qdi_netlist::diag::{Diagnostic, LintCode, Severity, Subject};
+use qdi_netlist::{graph, ChannelRole, GateId, Netlist};
+use qdi_sim::{Fault, TimePs};
+use serde::{Deserialize, Serialize};
+
+use crate::outcome::FaultOutcome;
+
+/// QDI0107: an injected fault produced protocol-clean wrong output data —
+/// the silent-corruption class the paper's Section II argument excludes
+/// for dual-rail logic.
+pub const SILENT_CORRUPTION: LintCode = LintCode(107);
+
+/// One classified fault injection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultRecord {
+    /// Name of the struck gate (the site, or the site net's driver);
+    /// empty for undriven nets.
+    pub gate: String,
+    /// Name of the affected net.
+    pub net: String,
+    /// Fault-model mnemonic (`seu`, `stuck0`, …).
+    pub model: String,
+    /// Injection time, in ps.
+    pub at_ps: TimePs,
+    /// Human-readable fault description.
+    pub detail: String,
+    /// Classification against the golden run.
+    pub outcome: FaultOutcome,
+}
+
+impl FaultRecord {
+    /// Builds a record from a fault and its classified outcome.
+    #[must_use]
+    pub fn new(netlist: &Netlist, fault: &Fault, outcome: FaultOutcome) -> FaultRecord {
+        FaultRecord {
+            gate: fault
+                .gate(netlist)
+                .map(|g| netlist.gate(g).name.clone())
+                .unwrap_or_default(),
+            net: netlist.net(fault.net(netlist)).name.clone(),
+            model: fault.kind.mnemonic().to_owned(),
+            at_ps: fault.at_ps,
+            detail: fault.describe(netlist),
+            outcome,
+        }
+    }
+}
+
+/// Detection coverage of one output channel: how the faults inside its
+/// fan-in cone were classified.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelCoverage {
+    /// Output channel name.
+    pub channel: String,
+    /// Faults whose site lies in the channel's fan-in cone.
+    pub injected: usize,
+    /// Cone faults that were detected (deadlock, livelock, protocol).
+    pub detected: usize,
+    /// Cone faults the circuit absorbed.
+    pub masked: usize,
+    /// Cone faults that corrupted data silently.
+    pub silent: usize,
+}
+
+impl ChannelCoverage {
+    /// Detected fraction of the cone's *effective* faults (everything
+    /// except masked ones, which never threatened the output). `1.0` when
+    /// no fault had an effect.
+    #[must_use]
+    pub fn detection_rate(&self) -> f64 {
+        let effective = self.detected + self.silent;
+        if effective == 0 {
+            1.0
+        } else {
+            self.detected as f64 / effective as f64
+        }
+    }
+}
+
+/// The result of a fault campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Netlist name.
+    pub netlist: String,
+    /// Total faults injected.
+    pub total: usize,
+    /// Count of [`FaultOutcome::Masked`] runs.
+    pub masked: usize,
+    /// Count of [`FaultOutcome::Deadlock`] runs.
+    pub deadlock: usize,
+    /// Count of [`FaultOutcome::Livelock`] runs (including budget and
+    /// timeout detections).
+    pub livelock: usize,
+    /// Count of [`FaultOutcome::ProtocolViolation`] runs.
+    pub protocol: usize,
+    /// Count of [`FaultOutcome::SilentCorruption`] runs.
+    pub silent: usize,
+    /// Count of [`FaultOutcome::Aborted`] runs.
+    pub aborted: usize,
+    /// Every injection, in campaign order.
+    pub records: Vec<FaultRecord>,
+    /// Per-output-channel detection coverage.
+    pub coverage: Vec<ChannelCoverage>,
+}
+
+impl FaultReport {
+    /// Assembles the report from classified records, computing the
+    /// per-channel coverage from the netlist's fan-in cones.
+    #[must_use]
+    pub fn new(netlist: &Netlist, faults: &[Fault], records: Vec<FaultRecord>) -> FaultReport {
+        let mut report = FaultReport {
+            netlist: netlist.name().to_owned(),
+            total: records.len(),
+            masked: 0,
+            deadlock: 0,
+            livelock: 0,
+            protocol: 0,
+            silent: 0,
+            aborted: 0,
+            records,
+            coverage: Vec::new(),
+        };
+        for record in &report.records {
+            match record.outcome {
+                FaultOutcome::Masked => report.masked += 1,
+                FaultOutcome::Deadlock => report.deadlock += 1,
+                FaultOutcome::Livelock => report.livelock += 1,
+                FaultOutcome::ProtocolViolation => report.protocol += 1,
+                FaultOutcome::SilentCorruption => report.silent += 1,
+                FaultOutcome::Aborted => report.aborted += 1,
+            }
+        }
+        report.coverage = channel_coverage(netlist, faults, &report.records);
+        report
+    }
+
+    /// Number of detected faults (deadlock + livelock + protocol).
+    #[must_use]
+    pub fn detected(&self) -> usize {
+        self.deadlock + self.livelock + self.protocol
+    }
+
+    /// Count of runs in `outcome`.
+    #[must_use]
+    pub fn count(&self, outcome: FaultOutcome) -> usize {
+        match outcome {
+            FaultOutcome::Masked => self.masked,
+            FaultOutcome::Deadlock => self.deadlock,
+            FaultOutcome::Livelock => self.livelock,
+            FaultOutcome::ProtocolViolation => self.protocol,
+            FaultOutcome::SilentCorruption => self.silent,
+            FaultOutcome::Aborted => self.aborted,
+        }
+    }
+
+    /// The records that corrupted data silently.
+    pub fn silent_records(&self) -> impl Iterator<Item = &FaultRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.outcome == FaultOutcome::SilentCorruption)
+    }
+
+    /// Terminal summary: outcome histogram, per-channel coverage table,
+    /// and every silent corruption spelled out.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "fault campaign on {}: {} injection(s)\n",
+            self.netlist, self.total
+        ));
+        out.push_str(&format!(
+            "  masked {}  deadlock {}  livelock {}  protocol {}  silent {}  aborted {}\n",
+            self.masked, self.deadlock, self.livelock, self.protocol, self.silent, self.aborted
+        ));
+        if self.total > 0 {
+            let effective = self.detected() + self.silent;
+            let rate = if effective == 0 {
+                1.0
+            } else {
+                self.detected() as f64 / effective as f64
+            };
+            out.push_str(&format!(
+                "  detection: {}/{} effective fault(s) ({:.1}%)\n",
+                self.detected(),
+                effective,
+                rate * 100.0
+            ));
+        }
+        for cov in &self.coverage {
+            out.push_str(&format!(
+                "  channel {}: {} cone fault(s), {} detected, {} masked, {} silent ({:.1}%)\n",
+                cov.channel,
+                cov.injected,
+                cov.detected,
+                cov.masked,
+                cov.silent,
+                cov.detection_rate() * 100.0
+            ));
+        }
+        for r in self.silent_records() {
+            out.push_str(&format!("  SILENT: {} -> wrong output data\n", r.detail));
+        }
+        out
+    }
+
+    /// Machine-readable stream: one JSON object per record.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for record in &self.records {
+            if let Ok(line) = serde_json::to_string(record) {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Shared-model diagnostics: one deny-level `QDI0107` per silent
+    /// corruption, subject = the struck gate.
+    #[must_use]
+    pub fn diagnostics(&self, netlist: &Netlist) -> Vec<Diagnostic> {
+        self.silent_records()
+            .map(|r| {
+                let subject = netlist
+                    .find_gate(&r.gate)
+                    .map(|id| Subject::Gate {
+                        id,
+                        name: r.gate.clone(),
+                    })
+                    .unwrap_or_else(|| Subject::Netlist {
+                        name: self.netlist.clone(),
+                    });
+                Diagnostic::new(
+                    SILENT_CORRUPTION,
+                    Severity::Deny,
+                    subject,
+                    format!(
+                        "{} corrupted output data without tripping the handshake",
+                        r.detail
+                    ),
+                )
+                .with_help(
+                    "Section II predicts faults surface as deadlocks; a silent corruption \
+                     means this node's value is sampled without completion detection — check \
+                     the acknowledgement cone of the affected output",
+                )
+            })
+            .collect()
+    }
+}
+
+/// Computes per-output-channel coverage by attributing each fault to the
+/// channels whose fan-in cone contains its struck gate.
+fn channel_coverage(
+    netlist: &Netlist,
+    faults: &[Fault],
+    records: &[FaultRecord],
+) -> Vec<ChannelCoverage> {
+    let mut coverage = Vec::new();
+    for channel in netlist.channels().filter(|c| c.role == ChannelRole::Output) {
+        let mut cone: HashSet<GateId> = HashSet::new();
+        for &rail in &channel.rails {
+            cone.extend(graph::fanin_cone(netlist, rail, &[]));
+        }
+        let mut cov = ChannelCoverage {
+            channel: channel.name.clone(),
+            injected: 0,
+            detected: 0,
+            masked: 0,
+            silent: 0,
+        };
+        for (fault, record) in faults.iter().zip(records) {
+            let Some(gate) = fault.gate(netlist) else {
+                continue;
+            };
+            if !cone.contains(&gate) {
+                continue;
+            }
+            cov.injected += 1;
+            if record.outcome.is_detected() {
+                cov.detected += 1;
+            } else if record.outcome == FaultOutcome::Masked {
+                cov.masked += 1;
+            } else if record.outcome == FaultOutcome::SilentCorruption {
+                cov.silent += 1;
+            }
+        }
+        coverage.push(cov);
+    }
+    coverage
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdi_netlist::{cells, NetlistBuilder};
+    use qdi_sim::{FaultKind, FaultSite};
+
+    fn xor_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("xor");
+        let a = b.input_channel("a", 2);
+        let bb = b.input_channel("b", 2);
+        let ack = b.input_net("ack");
+        let cell = cells::dual_rail_xor(&mut b, "x", &a, &bb, ack);
+        b.connect_input_acks(&[a.id, bb.id], cell.ack_to_senders);
+        let _ = b.output_channel("co", &cell.out.rails.clone(), ack);
+        b.finish().expect("valid")
+    }
+
+    fn sample_report(outcomes: &[FaultOutcome]) -> (Netlist, FaultReport) {
+        let nl = xor_netlist();
+        let faults: Vec<Fault> = nl
+            .gates()
+            .take(outcomes.len())
+            .map(|g| Fault::new(FaultSite::Gate(g.id), FaultKind::TransientFlip, 100))
+            .collect();
+        let records: Vec<FaultRecord> = faults
+            .iter()
+            .zip(outcomes)
+            .map(|(f, &o)| FaultRecord::new(&nl, f, o))
+            .collect();
+        let report = FaultReport::new(&nl, &faults, records);
+        (nl, report)
+    }
+
+    #[test]
+    fn histogram_counts_every_class_once() {
+        let (_, report) = sample_report(&[
+            FaultOutcome::Masked,
+            FaultOutcome::Deadlock,
+            FaultOutcome::SilentCorruption,
+        ]);
+        assert_eq!(report.total, 3);
+        assert_eq!(report.masked, 1);
+        assert_eq!(report.deadlock, 1);
+        assert_eq!(report.silent, 1);
+        assert_eq!(report.detected(), 1);
+        assert_eq!(report.count(FaultOutcome::Deadlock), 1);
+        let text = report.to_text();
+        assert!(text.contains("SILENT:"), "{text}");
+        assert!(text.contains("channel co:"), "{text}");
+    }
+
+    #[test]
+    fn coverage_attributes_cone_faults() {
+        let (_, report) = sample_report(&[FaultOutcome::Deadlock, FaultOutcome::Masked]);
+        // Every gate of the XOR cell feeds the single output channel.
+        let cov = &report.coverage[0];
+        assert_eq!(cov.injected, 2);
+        assert_eq!(cov.detected, 1);
+        assert_eq!(cov.masked, 1);
+        assert!((cov.detection_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn silent_corruption_maps_to_qdi0107() {
+        let (nl, report) = sample_report(&[FaultOutcome::SilentCorruption]);
+        let diags = report.diagnostics(&nl);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, SILENT_CORRUPTION);
+        assert_eq!(diags[0].severity, Severity::Deny);
+        let text = diags[0].render(false);
+        assert!(text.starts_with("error[QDI0107]"), "{text}");
+    }
+
+    #[test]
+    fn jsonl_round_trips_records() {
+        let (_, report) = sample_report(&[FaultOutcome::Masked, FaultOutcome::Deadlock]);
+        let jsonl = report.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let back: FaultRecord = serde_json::from_str(lines[1]).expect("parses");
+        assert_eq!(back, report.records[1]);
+        let full = serde_json::to_string(&report).expect("report serializes");
+        let report2: FaultReport = serde_json::from_str(&full).expect("report parses");
+        assert_eq!(report2, report);
+    }
+}

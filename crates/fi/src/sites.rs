@@ -1,0 +1,139 @@
+//! Fault-site enumeration and sampling.
+//!
+//! A fault *site* is a (gate, model, time) triple: the campaign injects
+//! each fault model at each gate output at each injection time. For
+//! circuits where the full cross product is too large,
+//! [`sample_faults`] draws a seeded uniform subset without replacement.
+
+use qdi_netlist::Netlist;
+use qdi_sim::{Fault, FaultKind, FaultSite, TimePs};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Pulse width used for `glitch` model instances built from a mnemonic.
+pub const DEFAULT_GLITCH_WIDTH_PS: TimePs = 100;
+
+/// Extra propagation delay used for `delay` model instances built from a
+/// mnemonic.
+pub const DEFAULT_DELAY_EXTRA_PS: TimePs = 200;
+
+/// Parses one fault-model mnemonic (the same names
+/// [`FaultKind::mnemonic`] prints): `seu`, `stuck0`, `stuck1`, `glitch`,
+/// `delay`, `drop`.
+pub fn parse_model(name: &str) -> Option<FaultKind> {
+    match name {
+        "seu" => Some(FaultKind::TransientFlip),
+        "stuck0" => Some(FaultKind::StuckAt(false)),
+        "stuck1" => Some(FaultKind::StuckAt(true)),
+        "glitch" => Some(FaultKind::Glitch {
+            to: true,
+            width_ps: DEFAULT_GLITCH_WIDTH_PS,
+        }),
+        "delay" => Some(FaultKind::DelayPerturb {
+            extra_ps: DEFAULT_DELAY_EXTRA_PS,
+        }),
+        "drop" => Some(FaultKind::DropTransition),
+        _ => None,
+    }
+}
+
+/// Parses a comma-separated model list.
+///
+/// # Errors
+///
+/// Returns the offending mnemonic.
+pub fn parse_models(csv: &str) -> Result<Vec<FaultKind>, String> {
+    csv.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|name| parse_model(name).ok_or_else(|| name.to_owned()))
+        .collect()
+}
+
+/// Enumerates the full fault-site cross product: every gate output of
+/// `netlist` × every model in `models` × every injection time in
+/// `times_ps`. Faults are ordered gate-major so records group naturally
+/// by site.
+pub fn enumerate_faults(
+    netlist: &Netlist,
+    models: &[FaultKind],
+    times_ps: &[TimePs],
+) -> Vec<Fault> {
+    let mut faults = Vec::with_capacity(netlist.gate_count() * models.len() * times_ps.len());
+    for gate in netlist.gates() {
+        for model in models {
+            for &at_ps in times_ps {
+                faults.push(Fault::new(FaultSite::Gate(gate.id), *model, at_ps));
+            }
+        }
+    }
+    faults
+}
+
+/// Draws a seeded uniform sample of `k` faults without replacement
+/// (partial Fisher–Yates). Returns the input unchanged when `k` covers
+/// it.
+pub fn sample_faults(mut faults: Vec<Fault>, k: usize, seed: u64) -> Vec<Fault> {
+    if k >= faults.len() {
+        return faults;
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    for i in 0..k {
+        let j = rng.gen_range(i..faults.len());
+        faults.swap(i, j);
+    }
+    faults.truncate(k);
+    faults
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdi_netlist::{GateKind, NetlistBuilder};
+
+    fn two_gate_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input_net("a");
+        let x = b.gate(GateKind::Inv, "g0", &[a]);
+        let y = b.gate(GateKind::Buf, "g1", &[x]);
+        b.mark_output(y);
+        b.finish_unchecked()
+    }
+
+    #[test]
+    fn mnemonics_round_trip() {
+        for name in ["seu", "stuck0", "stuck1", "glitch", "delay", "drop"] {
+            let kind = parse_model(name).expect("known model");
+            assert_eq!(kind.mnemonic(), name);
+        }
+        assert!(parse_model("meltdown").is_none());
+        assert_eq!(parse_models("seu, stuck0,drop").expect("parses").len(), 3);
+        assert_eq!(parse_models("seu,bogus").expect_err("rejects"), "bogus");
+    }
+
+    #[test]
+    fn enumeration_is_the_full_cross_product() {
+        let nl = two_gate_netlist();
+        let models = [FaultKind::TransientFlip, FaultKind::StuckAt(false)];
+        let faults = enumerate_faults(&nl, &models, &[100, 200, 300]);
+        assert_eq!(faults.len(), 2 * 2 * 3);
+        // Gate-major ordering: the first six faults target gate 0.
+        for f in &faults[..6] {
+            assert!(matches!(f.site, FaultSite::Gate(g) if g.index() == 0));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_without_replacement() {
+        let nl = two_gate_netlist();
+        let faults = enumerate_faults(&nl, &[FaultKind::TransientFlip], &[1, 2, 3, 4, 5]);
+        let a = sample_faults(faults.clone(), 4, 9);
+        let b = sample_faults(faults.clone(), 4, 9);
+        assert_eq!(a, b, "same seed, same sample");
+        assert_eq!(a.len(), 4);
+        for (i, f) in a.iter().enumerate() {
+            assert!(!a[i + 1..].contains(f), "duplicate fault in sample: {f:?}");
+        }
+        assert_eq!(sample_faults(faults.clone(), 999, 1).len(), faults.len());
+    }
+}

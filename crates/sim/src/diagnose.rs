@@ -1,0 +1,246 @@
+//! Rendering simulation failures through the shared diagnostic model.
+//!
+//! Static lints live in the `QDI00xx` range; dynamic (simulation-time)
+//! findings use `QDI01xx`. The protocol checker already owns QDI0101
+//! (illegal encoding) and QDI0102 (phase order); this module adds the
+//! watchdog's failure classes:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | `QDI0103` | handshake deadlock — one diagnostic per stalled channel |
+//! | `QDI0104` | livelock — a small set of nets oscillating periodically |
+//! | `QDI0105` | event budget exhausted without oscillation evidence |
+//! | `QDI0106` | watchdog sim-time deadline passed |
+//!
+//! [`sim_error_diagnostics`] is the single entry point: it maps any
+//! [`SimError`] to zero or more [`Diagnostic`]s with subjects resolved
+//! against the netlist, so CLIs and reports render simulator failures
+//! exactly like lint findings.
+
+use qdi_netlist::diag::{Diagnostic, LintCode, Severity, Subject};
+use qdi_netlist::{ChannelId, NetId, Netlist};
+
+use crate::error::{NetActivity, SimError};
+
+/// QDI0103: a handshake deadlocked (paper Section II — the fault alarm).
+pub const DEADLOCK: LintCode = LintCode(103);
+/// QDI0104: the circuit oscillates (livelock fingerprint).
+pub const LIVELOCK: LintCode = LintCode(104);
+/// QDI0105: the event budget ran out without oscillation evidence.
+pub const EVENT_BUDGET: LintCode = LintCode(105);
+/// QDI0106: the watchdog's sim-time deadline passed.
+pub const SIM_TIMEOUT: LintCode = LintCode(106);
+
+fn net_subject(netlist: &Netlist, net: NetId) -> Subject {
+    Subject::Net {
+        id: net,
+        name: netlist.net(net).name.clone(),
+    }
+}
+
+fn channel_subject(netlist: &Netlist, channel: ChannelId) -> Subject {
+    Subject::Channel {
+        id: channel,
+        name: netlist.channel(channel).name.clone(),
+    }
+}
+
+fn with_activity(mut diag: Diagnostic, netlist: &Netlist, active: &[NetActivity]) -> Diagnostic {
+    for a in active {
+        diag = diag.with_label(
+            net_subject(netlist, a.net),
+            format!("{} toggle(s), last at {} ps", a.toggles, a.last_toggle_ps),
+        );
+    }
+    diag
+}
+
+/// Maps a simulation failure to shared-model diagnostics.
+///
+/// Deadlocks produce one `QDI0103` per stalled channel (each tagged with
+/// its handshake phase); the other variants produce a single diagnostic.
+/// [`SimError::BadEnvironment`] is a harness usage error, not a circuit
+/// finding, and maps to nothing.
+#[must_use]
+pub fn sim_error_diagnostics(netlist: &Netlist, err: &SimError) -> Vec<Diagnostic> {
+    match err {
+        SimError::Deadlock { time_ps, stalled } => stalled
+            .iter()
+            .map(|s| {
+                Diagnostic::new(
+                    DEADLOCK,
+                    Severity::Deny,
+                    channel_subject(netlist, s.channel),
+                    format!(
+                        "channel `{}` deadlocked at {time_ps} ps: {}",
+                        netlist.channel(s.channel).name,
+                        s.phase.describe()
+                    ),
+                )
+                .with_help(
+                    "a QDI handshake stalls rather than corrupts (Section II); inspect the \
+                     fan-in of this channel's acknowledge for the lost transition",
+                )
+            })
+            .collect(),
+        SimError::Livelock {
+            time_ps,
+            period_ps,
+            active,
+            ..
+        } => {
+            let subject = active
+                .first()
+                .map(|a| net_subject(netlist, a.net))
+                .unwrap_or_else(|| Subject::Netlist {
+                    name: netlist.name().to_owned(),
+                });
+            vec![with_activity(
+                Diagnostic::new(
+                    LIVELOCK,
+                    Severity::Deny,
+                    subject,
+                    format!(
+                        "livelock at {time_ps} ps: {} net(s) oscillating with ~{period_ps} ps \
+                         period",
+                        active.len()
+                    ),
+                )
+                .with_help(
+                    "an oscillation means a combinational loop or a glitching completion \
+                     detector; the listed nets bound the loop",
+                ),
+                netlist,
+                active,
+            )]
+        }
+        SimError::EventLimit {
+            limit,
+            time_ps,
+            active,
+        } => {
+            vec![with_activity(
+                Diagnostic::new(
+                    EVENT_BUDGET,
+                    Severity::Deny,
+                    Subject::Netlist {
+                        name: netlist.name().to_owned(),
+                    },
+                    format!("event budget of {limit} exhausted at {time_ps} ps"),
+                )
+                .with_help("no oscillation fingerprint; raise the event budget for this workload"),
+                netlist,
+                active,
+            )]
+        }
+        SimError::SimTimeout {
+            deadline_ps,
+            time_ps,
+        } => vec![Diagnostic::new(
+            SIM_TIMEOUT,
+            Severity::Deny,
+            Subject::Netlist {
+                name: netlist.name().to_owned(),
+            },
+            format!("watchdog deadline of {deadline_ps} ps passed (simulation at {time_ps} ps)"),
+        )
+        .with_help(
+            "the circuit makes progress but too slowly; raise max_sim_time_ps or check \
+                    for a delay-perturbed critical path",
+        )],
+        SimError::BadEnvironment { .. } => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::{HandshakePhase, StalledChannel};
+    use qdi_netlist::{cells, NetlistBuilder};
+
+    fn xor_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("xor");
+        let a = b.input_channel("a", 2);
+        let bb = b.input_channel("b", 2);
+        let ack = b.input_net("ack");
+        let cell = cells::dual_rail_xor(&mut b, "x", &a, &bb, ack);
+        b.connect_input_acks(&[a.id, bb.id], cell.ack_to_senders);
+        let _ = b.output_channel("co", &cell.out.rails.clone(), ack);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn deadlock_renders_one_diagnostic_per_channel() {
+        let nl = xor_netlist();
+        let channels: Vec<ChannelId> = nl.channels().map(|c| c.id).take(2).collect();
+        let err = SimError::Deadlock {
+            time_ps: 1234,
+            stalled: channels
+                .iter()
+                .map(|&channel| StalledChannel {
+                    channel,
+                    phase: HandshakePhase::AwaitCapture,
+                })
+                .collect(),
+        };
+        let diags = sim_error_diagnostics(&nl, &err);
+        assert_eq!(diags.len(), 2);
+        for d in &diags {
+            assert_eq!(d.code, DEADLOCK);
+            assert_eq!(d.severity, Severity::Deny);
+            assert!(d.message.contains("1234 ps"), "{}", d.message);
+            assert!(d.message.contains("capture"), "{}", d.message);
+        }
+        let text = diags[0].render(false);
+        assert!(text.starts_with("error[QDI0103]"), "{text}");
+    }
+
+    #[test]
+    fn livelock_labels_the_oscillating_nets() {
+        let nl = xor_netlist();
+        let net = nl.nets().next().expect("nets").id;
+        let err = SimError::Livelock {
+            limit: 100,
+            time_ps: 999,
+            period_ps: 10,
+            active: vec![NetActivity {
+                net,
+                toggles: 40,
+                last_toggle_ps: 998,
+            }],
+        };
+        let diags = sim_error_diagnostics(&nl, &err);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, LIVELOCK);
+        assert_eq!(diags[0].labels.len(), 1);
+        assert!(diags[0].labels[0].note.contains("40 toggle(s)"));
+    }
+
+    #[test]
+    fn event_limit_and_timeout_map_to_netlist_subject() {
+        let nl = xor_netlist();
+        let e = SimError::EventLimit {
+            limit: 7,
+            time_ps: 3,
+            active: vec![],
+        };
+        let diags = sim_error_diagnostics(&nl, &e);
+        assert_eq!(diags[0].code, EVENT_BUDGET);
+        assert!(matches!(diags[0].subject, Subject::Netlist { .. }));
+        let t = SimError::SimTimeout {
+            deadline_ps: 10,
+            time_ps: 12,
+        };
+        let diags = sim_error_diagnostics(&nl, &t);
+        assert_eq!(diags[0].code, SIM_TIMEOUT);
+    }
+
+    #[test]
+    fn bad_environment_maps_to_nothing() {
+        let nl = xor_netlist();
+        let err = SimError::BadEnvironment {
+            reason: "nope".into(),
+        };
+        assert!(sim_error_diagnostics(&nl, &err).is_empty());
+    }
+}

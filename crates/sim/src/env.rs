@@ -11,8 +11,9 @@ use std::collections::VecDeque;
 use qdi_netlist::{ChannelId, ChannelRole, ChannelState, Netlist};
 
 use crate::delay::{DelayModel, LinearDelay};
-use crate::error::SimError;
-use crate::simulator::{Simulator, TimePs, Transition};
+use crate::error::{HandshakePhase, SimError, StalledChannel};
+use crate::fault::FaultPlan;
+use crate::simulator::{Simulator, TimePs, Transition, WatchdogConfig};
 
 /// Tuning knobs for a [`Testbench`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,6 +24,8 @@ pub struct TestbenchConfig {
     pub event_limit: u64,
     /// Maximum environment polling rounds before giving up.
     pub max_rounds: u64,
+    /// Failure-detection knobs forwarded to the simulator.
+    pub watchdog: WatchdogConfig,
 }
 
 impl TestbenchConfig {
@@ -32,6 +35,7 @@ impl TestbenchConfig {
             env_delay_ps: 50,
             event_limit: 50_000_000,
             max_rounds: 1_000_000,
+            watchdog: WatchdogConfig::new(),
         }
     }
 }
@@ -101,6 +105,14 @@ impl SourceEnv {
     fn is_done(&self) -> bool {
         self.values.is_empty() && self.phase == SourcePhase::WaitReady
     }
+
+    fn handshake_phase(&self) -> HandshakePhase {
+        match self.phase {
+            SourcePhase::WaitReady => HandshakePhase::AwaitReady,
+            SourcePhase::WaitCapture => HandshakePhase::AwaitCapture,
+            SourcePhase::WaitRelease => HandshakePhase::AwaitRelease,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,6 +158,13 @@ impl SinkEnv {
     fn is_idle(&self) -> bool {
         self.phase == SinkPhase::WaitValid
     }
+
+    fn handshake_phase(&self) -> HandshakePhase {
+        match self.phase {
+            SinkPhase::WaitValid => HandshakePhase::AwaitValid,
+            SinkPhase::WaitInvalid => HandshakePhase::AwaitInvalid,
+        }
+    }
 }
 
 /// Result of a completed testbench run.
@@ -173,6 +192,11 @@ impl TestbenchRun {
             .find(|(c, _)| *c == channel)
             .unwrap_or_else(|| panic!("no sink attached to {channel}"))
             .1
+    }
+
+    /// Values received on every sink, in attachment order.
+    pub fn received_all(&self) -> impl Iterator<Item = (ChannelId, &[usize])> {
+        self.received.iter().map(|(c, v)| (*c, v.as_slice()))
     }
 }
 
@@ -213,8 +237,10 @@ impl<'a> Testbench<'a> {
         cfg: TestbenchConfig,
         delay: impl DelayModel + 'static,
     ) -> Self {
+        let mut sim = Simulator::new(netlist, delay);
+        sim.set_watchdog(cfg.watchdog);
         Testbench {
-            sim: Simulator::new(netlist, delay),
+            sim,
             cfg,
             sources: Vec::new(),
             sinks: Vec::new(),
@@ -224,6 +250,19 @@ impl<'a> Testbench<'a> {
     /// The underlying simulator (read access to levels and the log).
     pub fn simulator(&self) -> &Simulator<'a> {
         &self.sim
+    }
+
+    /// Schedules `plan`'s faults for injection into this run; see
+    /// [`Simulator::inject`]. Faults fire during [`Testbench::run`] at
+    /// their scheduled times — even while the circuit idles between
+    /// handshakes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadEnvironment`] if a fault site does not fit
+    /// the netlist.
+    pub fn inject(&mut self, plan: &FaultPlan) -> Result<(), SimError> {
+        self.sim.inject(plan)
     }
 
     /// Attaches a source feeding `values` into input channel `channel`.
@@ -303,8 +342,14 @@ impl<'a> Testbench<'a> {
     /// # Errors
     ///
     /// * [`SimError::Deadlock`] if no environment can make progress while
-    ///   tokens remain,
-    /// * [`SimError::EventLimit`] if the circuit oscillates.
+    ///   tokens remain (every stalled channel is reported with its
+    ///   handshake phase),
+    /// * [`SimError::Livelock`] if the activity fingerprint shows an
+    ///   oscillation,
+    /// * [`SimError::EventLimit`] if the event budget runs out without
+    ///   oscillation evidence,
+    /// * [`SimError::SimTimeout`] if the watchdog's sim-time deadline
+    ///   passes.
     pub fn run(mut self) -> Result<TestbenchRun, SimError> {
         // Sinks start ready: raise their acknowledge nets, then settle.
         for sink in &self.sinks {
@@ -350,19 +395,38 @@ impl<'a> Testbench<'a> {
                     received,
                 });
             }
-            let pending: Vec<ChannelId> = self
+            // A fault armed for a later time can still fire while the
+            // circuit idles — and may be what unsticks (or kills) the run.
+            if self.sim.fire_next_fault() {
+                continue;
+            }
+            let stalled: Vec<StalledChannel> = self
                 .sources
                 .iter()
                 .filter(|s| !s.is_done())
-                .map(|s| s.channel)
+                .map(|s| StalledChannel {
+                    channel: s.channel,
+                    phase: s.handshake_phase(),
+                })
+                .chain(
+                    self.sinks
+                        .iter()
+                        .filter(|s| !s.is_idle())
+                        .map(|s| StalledChannel {
+                            channel: s.channel,
+                            phase: s.handshake_phase(),
+                        }),
+                )
                 .collect();
             return Err(SimError::Deadlock {
                 time_ps: self.sim.now(),
-                pending_channels: pending,
+                stalled,
             });
         }
         Err(SimError::EventLimit {
             limit: self.cfg.max_rounds,
+            time_ps: self.sim.now(),
+            active: Vec::new(),
         })
     }
 }
@@ -464,6 +528,50 @@ mod tests {
         tb.sink(out.id).expect("sink");
         let err = tb.run().expect_err("deadlock");
         assert!(matches!(err, SimError::Deadlock { .. }));
+    }
+
+    #[test]
+    fn injected_stuck_rail_deadlocks_instead_of_corrupting() {
+        use crate::fault::{Fault, FaultKind, FaultSite};
+        // Stick the XOR's active output rail low before the token arrives:
+        // no valid codeword can ever form, completion never acknowledges,
+        // and the run must stall — the paper's Section II alarm property.
+        let (nl, a, bb, out) = xor_netlist();
+        let rail = nl.channel(out.id).rail(1); // 1 ^ 0 = 1
+        let mut tb = Testbench::new(&nl, TestbenchConfig::default()).expect("tb");
+        tb.inject(&FaultPlan::single(Fault::new(
+            FaultSite::Net(rail),
+            FaultKind::StuckAt(false),
+            10,
+        )))
+        .expect("inject");
+        tb.source(a.id, vec![1]).expect("src");
+        tb.source(bb.id, vec![0]).expect("src");
+        tb.sink(out.id).expect("sink");
+        let err = tb.run().expect_err("no valid codeword can form");
+        let SimError::Deadlock { stalled, .. } = err else {
+            panic!("expected deadlock, got {err}");
+        };
+        assert!(!stalled.is_empty(), "stalled channels must be reported");
+    }
+
+    #[test]
+    fn injected_empty_plan_completes_identically() {
+        let (nl, a, bb, out) = xor_netlist();
+        let run = |plan: Option<FaultPlan>| {
+            let mut tb = Testbench::new(&nl, TestbenchConfig::default()).expect("tb");
+            if let Some(p) = plan {
+                tb.inject(&p).expect("inject");
+            }
+            tb.source(a.id, vec![1]).expect("src");
+            tb.source(bb.id, vec![1]).expect("src");
+            tb.sink(out.id).expect("sink");
+            tb.run().expect("completes")
+        };
+        let clean = run(None);
+        let injected = run(Some(FaultPlan::empty()));
+        assert_eq!(clean.transitions, injected.transitions);
+        assert_eq!(clean.end_time_ps, injected.end_time_ps);
     }
 
     #[test]

@@ -1,52 +1,171 @@
-//! Simulation error type.
+//! Simulation error type and its QDI-aware failure evidence.
 
 use std::error::Error;
 use std::fmt;
 
+use serde::{Deserialize, Serialize};
+
 use qdi_netlist::ChannelId;
 
+use crate::simulator::TimePs;
+
+/// Recent toggle activity of one net, recorded when a run aborts.
+///
+/// The simulator fingerprints the tail of the transition log on failure so
+/// an exhausted event budget is no longer opaque: the busiest nets tell
+/// apart a genuine oscillation (few nets, many toggles each) from a budget
+/// that is simply too small for the workload (many nets, few toggles each).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetActivity {
+    /// The net that toggled.
+    pub net: qdi_netlist::NetId,
+    /// Toggles within the inspected log tail.
+    pub toggles: u32,
+    /// Time of the net's last toggle, in ps.
+    pub last_toggle_ps: TimePs,
+}
+
+/// The handshake phase an environment was stuck in when a run deadlocked,
+/// named after what the environment was *waiting for* (paper Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HandshakePhase {
+    /// Source waiting for the acknowledge to signal *ready* before it may
+    /// emit the next token (phase 4 → 1 boundary).
+    AwaitReady,
+    /// Source drove its rail and waits for the capture acknowledge
+    /// (phase 2).
+    AwaitCapture,
+    /// Source returned its rails to zero and waits for the acknowledge
+    /// release (phase 4).
+    AwaitRelease,
+    /// Sink waiting for a valid codeword on the channel rails (phase 1).
+    AwaitValid,
+    /// Sink acknowledged a token and waits for the rails to return to the
+    /// invalid state (phase 3).
+    AwaitInvalid,
+}
+
+impl HandshakePhase {
+    /// Human-readable description of what never arrived.
+    #[must_use]
+    pub fn describe(self) -> &'static str {
+        match self {
+            HandshakePhase::AwaitReady => "waiting for acknowledge ready (cannot send)",
+            HandshakePhase::AwaitCapture => "sent a token, waiting for its capture",
+            HandshakePhase::AwaitRelease => "waiting for acknowledge release after return-to-zero",
+            HandshakePhase::AwaitValid => "waiting for a valid codeword",
+            HandshakePhase::AwaitInvalid => "waiting for rails to return to zero",
+        }
+    }
+}
+
+/// One channel whose handshake made no progress in a deadlocked run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StalledChannel {
+    /// The stalled channel.
+    pub channel: ChannelId,
+    /// The phase its environment was stuck in.
+    pub phase: HandshakePhase,
+}
+
 /// Errors raised while simulating a netlist.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 #[non_exhaustive]
 pub enum SimError {
-    /// The event budget was exhausted — the circuit oscillates or the
-    /// budget is too small for the workload.
+    /// The event budget was exhausted without oscillation evidence — the
+    /// budget is likely too small for the workload.
     EventLimit {
         /// The configured limit.
         limit: u64,
+        /// Simulation time when the budget ran out, in ps.
+        time_ps: TimePs,
+        /// The busiest nets in the log tail, most active first.
+        active: Vec<NetActivity>,
+    },
+    /// The event budget was exhausted and the activity fingerprint shows a
+    /// small set of nets toggling indefinitely: the circuit oscillates.
+    Livelock {
+        /// The configured limit.
+        limit: u64,
+        /// Simulation time when the budget ran out, in ps.
+        time_ps: TimePs,
+        /// Mean toggle period of the most active net, in ps.
+        period_ps: TimePs,
+        /// The oscillating nets, most active first.
+        active: Vec<NetActivity>,
     },
     /// No environment can make progress but tokens remain undelivered:
     /// the handshake is stuck.
     Deadlock {
         /// Simulation time at which progress stopped, in ps.
-        time_ps: u64,
-        /// Channels still holding undelivered source tokens.
-        pending_channels: Vec<ChannelId>,
+        time_ps: TimePs,
+        /// Every channel whose handshake stalled, with its phase.
+        stalled: Vec<StalledChannel>,
+    },
+    /// The watchdog's sim-time deadline passed before the run completed.
+    SimTimeout {
+        /// The configured deadline, in ps.
+        deadline_ps: TimePs,
+        /// Simulation time when the watchdog fired, in ps.
+        time_ps: TimePs,
     },
     /// An environment was attached to a channel that does not fit it
-    /// (missing acknowledge net, wrong role, unknown id).
+    /// (missing acknowledge net, wrong role, unknown id), or a fault plan
+    /// references a site the netlist does not have.
     BadEnvironment {
         /// Explanation.
         reason: String,
     },
 }
 
+impl SimError {
+    /// Channels reported stalled by a [`SimError::Deadlock`], in report
+    /// order. Empty for every other variant.
+    #[must_use]
+    pub fn stalled_channels(&self) -> Vec<ChannelId> {
+        match self {
+            SimError::Deadlock { stalled, .. } => stalled.iter().map(|s| s.channel).collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::EventLimit { limit } => {
+            SimError::EventLimit {
+                limit,
+                time_ps,
+                active,
+            } => {
                 write!(
                     f,
-                    "event limit of {limit} exceeded (oscillation or budget too small)"
+                    "event limit of {limit} exceeded at {time_ps} ps ({} net(s) still active)",
+                    active.len()
                 )
             }
-            SimError::Deadlock {
+            SimError::Livelock {
+                limit,
                 time_ps,
-                pending_channels,
+                period_ps,
+                active,
             } => write!(
                 f,
-                "handshake deadlock at {time_ps} ps with pending tokens on {} channel(s)",
-                pending_channels.len()
+                "livelock at {time_ps} ps: {} net(s) oscillating with ~{period_ps} ps period \
+                 (event limit {limit})",
+                active.len()
+            ),
+            SimError::Deadlock { time_ps, stalled } => write!(
+                f,
+                "handshake deadlock at {time_ps} ps with {} stalled channel(s)",
+                stalled.len()
+            ),
+            SimError::SimTimeout {
+                deadline_ps,
+                time_ps,
+            } => write!(
+                f,
+                "watchdog sim-time deadline of {deadline_ps} ps passed (now {time_ps} ps)"
             ),
             SimError::BadEnvironment { reason } => {
                 write!(f, "environment cannot be attached: {reason}")
@@ -60,16 +179,48 @@ impl Error for SimError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qdi_netlist::NetId;
 
     #[test]
     fn display_messages() {
-        let e = SimError::EventLimit { limit: 10 };
+        let e = SimError::EventLimit {
+            limit: 10,
+            time_ps: 99,
+            active: vec![NetActivity {
+                net: NetId::from_raw(0),
+                toggles: 3,
+                last_toggle_ps: 98,
+            }],
+        };
         assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("1 net(s)"));
         let d = SimError::Deadlock {
             time_ps: 5,
-            pending_channels: vec![],
+            stalled: vec![StalledChannel {
+                channel: ChannelId::from_raw(0),
+                phase: HandshakePhase::AwaitCapture,
+            }],
         };
         assert!(d.to_string().contains("deadlock"));
+        assert_eq!(d.stalled_channels(), vec![ChannelId::from_raw(0)]);
+        let l = SimError::Livelock {
+            limit: 10,
+            time_ps: 99,
+            period_ps: 10,
+            active: vec![],
+        };
+        assert!(l.to_string().contains("livelock"));
+        let t = SimError::SimTimeout {
+            deadline_ps: 1000,
+            time_ps: 1200,
+        };
+        assert!(t.to_string().contains("watchdog"));
+    }
+
+    #[test]
+    fn phase_descriptions_cover_both_sides() {
+        assert!(HandshakePhase::AwaitCapture.describe().contains("capture"));
+        assert!(HandshakePhase::AwaitInvalid.describe().contains("zero"));
     }
 
     #[test]

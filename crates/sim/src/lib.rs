@@ -58,7 +58,9 @@
 #![warn(missing_docs)]
 
 pub mod delay;
+pub mod diagnose;
 pub mod env;
+pub mod fault;
 pub mod hazard;
 pub mod protocol;
 pub mod simulator;
@@ -68,5 +70,6 @@ mod error;
 
 pub use delay::{ConstantDelay, DelayModel, LinearDelay};
 pub use env::{SinkEnv, SourceEnv, Testbench, TestbenchConfig, TestbenchRun};
-pub use error::SimError;
-pub use simulator::{Simulator, TimePs, Transition};
+pub use error::{HandshakePhase, NetActivity, SimError, StalledChannel};
+pub use fault::{Fault, FaultKind, FaultPlan, FaultSite};
+pub use simulator::{Simulator, TimePs, Transition, WatchdogConfig};

@@ -59,10 +59,17 @@ fn mux_with_unselected_token_still_completes_selected_path() {
     tb.sink(out.id).expect("sink");
     let err = tb.run().expect_err("unselected token stays pending");
     match err {
-        SimError::Deadlock {
-            pending_channels, ..
-        } => {
-            assert_eq!(pending_channels, vec![bb.id], "only b's token is stuck");
+        SimError::Deadlock { ref stalled, .. } => {
+            assert_eq!(
+                err.stalled_channels(),
+                vec![bb.id],
+                "only b's token is stuck"
+            );
+            assert_eq!(
+                stalled[0].phase,
+                qdi_sim::HandshakePhase::AwaitCapture,
+                "the unselected token was sent but never captured"
+            );
         }
         other => panic!("expected deadlock, got {other}"),
     }

@@ -14,7 +14,11 @@
 //! * [`crypto`] — reference AES/DES plus dual-rail gate-level generators;
 //! * [`pnr`] — flat and hierarchical place and route, extraction, and the
 //!   dissymmetry criterion `dA`;
-//! * [`dpa`] — selection functions, bias signals, key ranking, metrics;
+//! * [`dpa`] — selection functions, bias signals, key ranking, metrics,
+//!   and the checkpoint/resume campaign runner;
+//! * [`fi`] — fault-injection campaigns: fault-site enumeration, golden
+//!   run comparison, deadlock/livelock/silent-corruption classification
+//!   and per-channel detection coverage (also the `qdi-fi` binary);
 //! * [`core`] — the paper's formal current model and the secure design
 //!   flow;
 //! * [`obs`] — structured tracing, metrics and profiling across the flow
@@ -32,6 +36,7 @@ pub use qdi_analog as analog;
 pub use qdi_core as core;
 pub use qdi_crypto as crypto;
 pub use qdi_dpa as dpa;
+pub use qdi_fi as fi;
 pub use qdi_lint as lint;
 pub use qdi_netlist as netlist;
 pub use qdi_obs as obs;
