@@ -59,6 +59,25 @@ impl Trace {
         &self.samples
     }
 
+    /// Mutable sample values (trace-store decoding, custom synthesis).
+    pub fn samples_mut(&mut self) -> &mut [f64] {
+        &mut self.samples
+    }
+
+    /// Builds a trace from raw samples on the grid `(t0_ps, dt_ps)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_ps` is zero.
+    pub fn from_samples(t0_ps: u64, dt_ps: u64, samples: Vec<f64>) -> Self {
+        assert!(dt_ps > 0, "sample period must be positive");
+        Trace {
+            t0_ps,
+            dt_ps,
+            samples,
+        }
+    }
+
     /// Time of sample `i` in ps.
     pub fn time_of(&self, i: usize) -> u64 {
         self.t0_ps + self.dt_ps * i as u64

@@ -183,6 +183,13 @@ pub struct FlowConfig {
     pub worst_k: usize,
     /// Trace campaign for the DPA evaluation step (slice flow).
     pub campaign: campaign::CampaignConfig,
+    /// Worker threads for the trace-campaign step. `1` (the default)
+    /// uses the legacy serial acquisition loop; larger values (or `0`
+    /// for "all cores") run the campaign on the `qdi-exec` pool with
+    /// per-index noise seeding — bit-identical across worker counts, but
+    /// on a different (worker-count-invariant) noise schedule than the
+    /// serial loop (see [`qdi_dpa::parallel`]).
+    pub workers: usize,
     /// Lint severities and thresholds for both lint stages. The flow
     /// default disables the `dA` deny tier (`da_deny = None`): routed
     /// layouts legitimately reach `dA` well above 1 (Table 2), so hard
@@ -209,6 +216,7 @@ impl FlowConfig {
             criterion_alert: 0.5,
             worst_k: 10,
             campaign: campaign::CampaignConfig::new(key),
+            workers: 1,
             lint,
             policy: FlowPolicy::FailFast,
         }
@@ -503,7 +511,17 @@ pub fn run_slice_flow(
 ) -> Result<SliceFlowReport, FlowError> {
     let mut layout = run_static_flow(&mut slice.netlist, cfg)?;
     let set = layout.telemetry.step("qdi_core::flow", "campaign", || {
-        campaign::run_slice_campaign(slice, &cfg.campaign)
+        if cfg.workers == 1 {
+            campaign::run_slice_campaign(slice, &cfg.campaign)
+        } else {
+            qdi_dpa::run_parallel_campaign(
+                slice,
+                &cfg.campaign,
+                qdi_exec::ExecConfig {
+                    workers: cfg.workers,
+                },
+            )
+        }
     });
     let set = match set {
         Ok(set) => {
@@ -638,6 +656,25 @@ mod tests {
                 .any(|c| c.name == "dpa.traces" && c.value > 0.0),
             "campaign step must record trace counters: {:?}",
             campaign.counters
+        );
+    }
+
+    #[test]
+    fn slice_flow_parallel_campaign_is_worker_count_invariant() {
+        let sel = AesXorSelect { byte: 0, bit: 0 };
+        let mut best = Vec::new();
+        for workers in [2usize, 4] {
+            let mut slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+            let mut cfg = fast_cfg(Strategy::Flat, 0x42);
+            cfg.workers = workers;
+            let report = run_slice_flow(&mut slice, &sel, &cfg).expect("flow completes");
+            let attack = report.attack.as_ref().expect("attack ran");
+            assert_eq!(attack.traces, 24);
+            best.push((attack.best().guess, attack.best().peak_abs));
+        }
+        assert_eq!(
+            best[0], best[1],
+            "parallel campaign results must not depend on the worker count"
         );
     }
 

@@ -36,6 +36,121 @@ pub fn bias_signal(set: &TraceSet, sel: &dyn SelectionFunction, guess: u16) -> O
     Some(Trace::difference(&a0, &a1))
 }
 
+/// One-pass accumulator for the DPA bias `T = A0 − A1` (eqs. 7–9).
+///
+/// [`bias_signal`] materialises both partitions before averaging; this
+/// accumulator instead folds traces in as they arrive — one running sum
+/// and count per partition — so bias computation works over sharded
+/// parallel campaigns ([`crate::parallel`]) and over `.qtrs` streams
+/// ([`crate::store`]) in bounded memory.
+///
+/// Floating-point summation is not associative, so the *grouping* of
+/// accumulations fixes the result bit-pattern: accumulating a trace set
+/// in index order reproduces [`bias_signal`] exactly, while merging
+/// per-shard accumulators reproduces whatever tree the fixed shard size
+/// implies — deterministically, for every worker count.
+#[derive(Debug, Clone, Default)]
+pub struct BiasAccumulator {
+    sum0: Option<Trace>,
+    n0: usize,
+    sum1: Option<Trace>,
+    n1: usize,
+}
+
+impl BiasAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        BiasAccumulator::default()
+    }
+
+    /// Folds one trace into the `D = 1` partition when `selected`, else
+    /// into `D = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace grid differs from traces already accumulated
+    /// (as [`Trace::add_assign`] does).
+    pub fn accumulate(&mut self, selected: bool, trace: &Trace) {
+        let (slot, n) = if selected {
+            (&mut self.sum1, &mut self.n1)
+        } else {
+            (&mut self.sum0, &mut self.n0)
+        };
+        match slot {
+            Some(sum) => sum.add_assign(trace),
+            None => *slot = Some(trace.clone()),
+        }
+        *n += 1;
+    }
+
+    /// Merges another accumulator into this one. Merging shard
+    /// accumulators in shard order keeps the summation tree — and thus
+    /// the final bias — independent of how shards were scheduled.
+    pub fn merge(&mut self, other: BiasAccumulator) {
+        if let Some(sum) = other.sum0 {
+            match &mut self.sum0 {
+                Some(acc) => acc.add_assign(&sum),
+                None => self.sum0 = Some(sum),
+            }
+        }
+        if let Some(sum) = other.sum1 {
+            match &mut self.sum1 {
+                Some(acc) => acc.add_assign(&sum),
+                None => self.sum1 = Some(sum),
+            }
+        }
+        self.n0 += other.n0;
+        self.n1 += other.n1;
+    }
+
+    /// Partition sizes accumulated so far, `(|S0|, |S1|)`.
+    pub fn counts(&self) -> (usize, usize) {
+        (self.n0, self.n1)
+    }
+
+    /// Finishes the averages and returns `T = A0 − A1`, or `None` when
+    /// either partition is empty (the guess cannot be scored).
+    pub fn finish(self) -> Option<Trace> {
+        let (mut a0, mut a1) = match (self.sum0, self.sum1) {
+            (Some(s0), Some(s1)) => (s0, s1),
+            _ => return None,
+        };
+        a0.scale(1.0 / self.n0 as f64);
+        a1.scale(1.0 / self.n1 as f64);
+        Some(Trace::difference(&a0, &a1))
+    }
+}
+
+/// Scores one guess from its bias trace — shared by the serial and
+/// parallel rankers so both produce identical `GuessScore`s.
+pub(crate) fn score_bias(
+    guess: u16,
+    bias: &Trace,
+    window: Option<(u64, u64)>,
+) -> Option<GuessScore> {
+    let (peak_time_ps, peak_signed) = match window {
+        Some((t0, t1)) => bias.abs_peak_in(t0, t1)?,
+        None => bias.abs_peak()?,
+    };
+    Some(GuessScore {
+        guess,
+        peak_abs: peak_signed.abs(),
+        peak_signed,
+        peak_time_ps,
+        area: bias.abs_area_fc(),
+    })
+}
+
+/// Sorts guess scores best-first: by peak, ties broken by guess value so
+/// rankings are total and reproducible.
+pub(crate) fn sort_scores(scores: &mut [GuessScore]) {
+    scores.sort_by(|a, b| {
+        b.peak_abs
+            .total_cmp(&a.peak_abs)
+            .then(a.guess.cmp(&b.guess))
+    });
+}
+
 /// Score of one key guess.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GuessScore {
@@ -124,24 +239,10 @@ pub fn attack_windowed(
         .iter()
         .filter_map(|&guess| {
             let bias = bias_signal(set, sel, guess)?;
-            let (peak_time_ps, peak_signed) = match window {
-                Some((t0, t1)) => bias.abs_peak_in(t0, t1)?,
-                None => bias.abs_peak()?,
-            };
-            Some(GuessScore {
-                guess,
-                peak_abs: peak_signed.abs(),
-                peak_signed,
-                peak_time_ps,
-                area: bias.abs_area_fc(),
-            })
+            score_bias(guess, &bias, window)
         })
         .collect();
-    scores.sort_by(|a, b| {
-        b.peak_abs
-            .total_cmp(&a.peak_abs)
-            .then(a.guess.cmp(&b.guess))
-    });
+    sort_scores(&mut scores);
     let ranking_ms = ranking_start.elapsed().as_secs_f64() * 1e3;
     qdi_obs::metrics::counter("dpa.guesses_scored").add(scores.len() as u64);
     qdi_obs::metrics::histogram(
@@ -207,11 +308,7 @@ pub fn multibit_attack_windowed(
             }
         }
     }
-    combined.sort_by(|a, b| {
-        b.peak_abs
-            .total_cmp(&a.peak_abs)
-            .then(a.guess.cmp(&b.guess))
-    });
+    sort_scores(&mut combined);
     let names: Vec<String> = sels.iter().map(|s| s.name()).collect();
     AttackResult {
         selection: format!("multibit[{}]", names.join(", ")),

@@ -52,17 +52,24 @@ pub mod attack;
 pub mod campaign;
 pub mod cpa;
 pub mod metrics;
+pub mod parallel;
 pub mod resume;
 pub mod selection;
 pub mod spa;
+pub mod store;
 pub mod template;
 
 mod traceset;
 
-pub use attack::{attack, bias_signal, AttackResult, GuessScore};
+pub use attack::{attack, bias_signal, AttackResult, BiasAccumulator, GuessScore};
 pub use campaign::{run_slice_campaign, CampaignConfig, PlaintextSource};
 pub use cpa::{cpa, CpaResult, HammingWeightSbox, LeakageModel};
+pub use parallel::{
+    parallel_attack, parallel_attack_windowed, parallel_bias_signal, run_parallel_campaign,
+    BIAS_SHARD,
+};
 pub use resume::{CampaignCheckpoint, CampaignError, CampaignRunner, ResilienceConfig};
 pub use selection::SelectionFunction;
+pub use store::{bias_signal_from_store, StoreCampaignRunner, StoreCheckpoint};
 pub use template::{profile_bit_templates, template_attack, BitTemplates};
 pub use traceset::{TraceSet, TraceSetError};

@@ -1,0 +1,318 @@
+//! Deterministic parallel campaigns and attacks on the `qdi-exec` pool.
+//!
+//! # Determinism contract
+//!
+//! Everything in this module is **worker-count invariant**: running with
+//! 1, 2 or 8 workers produces bit-identical trace sets, bias signals and
+//! rankings. Two mechanisms make that hold:
+//!
+//! * **Per-index noise seeding.** [`run_parallel_campaign`] draws all
+//!   plaintexts serially from the root RNG stream (exactly as the serial
+//!   campaign orders them), then gives acquisition `i` its own noise RNG
+//!   [`qdi_exec::job_rng`]`(cfg.seed, i)` — so a trace's noise depends
+//!   only on its index, never on which worker ran it or in what order.
+//! * **Fixed-shard accumulation.** [`parallel_bias_signal`] folds traces
+//!   into per-shard [`BiasAccumulator`]s of [`BIAS_SHARD`] traces each —
+//!   a shard structure that depends only on the set size — and merges
+//!   shards in index order, fixing the f64 summation tree.
+//!
+//! The contract is invariance across *worker counts*, not bit-identity
+//! with the legacy serial paths: [`crate::run_slice_campaign`]
+//! interleaves plaintext and noise draws on one sequential stream (which
+//! cannot parallelize), and [`crate::bias_signal`] sums each partition
+//! left-to-right in one chain. The parallel results are statistically
+//! identical and typically agree to the last ulp on small sets, but are
+//! not guaranteed bit-equal to those serial paths — only to themselves
+//! at every worker count.
+
+use qdi_analog::{Trace, TraceSynthesizer};
+use qdi_crypto::gatelevel::slice::AesByteSlice;
+use qdi_exec::ExecConfig;
+use qdi_sim::SimError;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::attack::{score_bias, sort_scores, AttackResult, BiasAccumulator, GuessScore};
+use crate::campaign::{acquire_trace, draw_plaintext, CampaignConfig};
+use crate::selection::SelectionFunction;
+use crate::traceset::TraceSet;
+
+/// Fixed shard size for parallel bias accumulation. Shard boundaries
+/// depend only on the trace count, so the summation tree — and the bias
+/// trace's bit pattern — is the same for every worker count.
+pub const BIAS_SHARD: usize = 256;
+
+/// Draws the full plaintext schedule serially from the root RNG stream —
+/// the same `draw_plaintext` sequence the serial campaign uses, so the
+/// plaintext of acquisition `i` is a pure function of the config.
+pub(crate) fn plaintext_schedule(cfg: &CampaignConfig) -> Vec<u8> {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut codebook: Vec<u8> = (0..=255).collect();
+    (0..cfg.traces)
+        .map(|n| draw_plaintext(n, cfg.plaintexts, &mut rng, &mut codebook))
+        .collect()
+}
+
+/// Acquires one trace of a parallel campaign: simulation as in the
+/// serial path, noise drawn from the per-index RNG.
+pub(crate) fn acquire_indexed(
+    slice: &AesByteSlice,
+    cfg: &CampaignConfig,
+    synth: &TraceSynthesizer<'_>,
+    pt: u8,
+    index: usize,
+) -> Result<Trace, SimError> {
+    let mut noise_rng = qdi_exec::job_rng(cfg.seed, index as u64);
+    acquire_trace(slice, &cfg.testbench, synth, cfg.key, pt, &mut noise_rng)
+}
+
+/// Runs a trace campaign on the `qdi-exec` work-stealing pool.
+///
+/// Bit-identical across worker counts (see the module docs for why it is
+/// *not* bit-identical to [`crate::run_slice_campaign`]). With
+/// `exec.workers == 1` the pool runs inline on the calling thread, so
+/// the single-worker result doubles as the golden reference in tests.
+///
+/// # Errors
+///
+/// Propagates the first simulator error; remaining jobs are cancelled.
+pub fn run_parallel_campaign(
+    slice: &AesByteSlice,
+    cfg: &CampaignConfig,
+    exec: ExecConfig,
+) -> Result<TraceSet, SimError> {
+    let mut span = qdi_obs::span("qdi_dpa::parallel", "run_parallel_campaign")
+        .field("traces", cfg.traces)
+        .field("workers", exec.workers)
+        .enter();
+    let start = std::time::Instant::now();
+    let pts = plaintext_schedule(cfg);
+    let synth = TraceSynthesizer::new(&slice.netlist, cfg.synth);
+    let traces = qdi_exec::try_run_indexed(&exec, cfg.traces, |i| {
+        acquire_indexed(slice, cfg, &synth, pts[i], i)
+    })?;
+    let mut set = TraceSet::new();
+    for (pt, trace) in pts.into_iter().zip(traces) {
+        set.push(vec![pt], trace);
+    }
+    qdi_obs::metrics::counter("dpa.traces").add(set.len() as u64);
+    let elapsed = start.elapsed().as_secs_f64();
+    span.record("wall_s", elapsed);
+    if elapsed > 0.0 {
+        span.record("traces_per_s", set.len() as f64 / elapsed);
+    }
+    Ok(set)
+}
+
+/// Folds the index range `[lo, hi)` of `set` into one accumulator —
+/// the per-shard work of the parallel bias computation.
+fn accumulate_shard(
+    set: &TraceSet,
+    sel: &(dyn SelectionFunction + Sync),
+    guess: u16,
+    lo: usize,
+    hi: usize,
+) -> BiasAccumulator {
+    let mut acc = BiasAccumulator::new();
+    for i in lo..hi {
+        acc.accumulate(sel.select(set.input(i), guess), set.trace(i));
+    }
+    acc
+}
+
+/// Computes the bias trace with a fixed-shard summation tree, serially.
+/// [`parallel_bias_signal`] with any worker count produces exactly this.
+pub(crate) fn sharded_bias(
+    set: &TraceSet,
+    sel: &(dyn SelectionFunction + Sync),
+    guess: u16,
+) -> Option<Trace> {
+    let n = set.len();
+    let mut total = BiasAccumulator::new();
+    for lo in (0..n).step_by(BIAS_SHARD) {
+        total.merge(accumulate_shard(
+            set,
+            sel,
+            guess,
+            lo,
+            (lo + BIAS_SHARD).min(n),
+        ));
+    }
+    total.finish()
+}
+
+/// Computes the DPA bias `T = A0 − A1` for one guess with shards of
+/// [`BIAS_SHARD`] traces accumulated in parallel and merged in index
+/// order. Bit-identical for every worker count; `None` when a partition
+/// is empty.
+pub fn parallel_bias_signal(
+    set: &TraceSet,
+    sel: &(dyn SelectionFunction + Sync),
+    guess: u16,
+    exec: ExecConfig,
+) -> Option<Trace> {
+    let n = set.len();
+    if n == 0 {
+        return None;
+    }
+    let shards = n.div_ceil(BIAS_SHARD);
+    let accs = qdi_exec::run_indexed(&exec, shards, |s| {
+        let lo = s * BIAS_SHARD;
+        accumulate_shard(set, sel, guess, lo, (lo + BIAS_SHARD).min(n))
+    });
+    let mut total = BiasAccumulator::new();
+    for acc in accs {
+        total.merge(acc);
+    }
+    total.finish()
+}
+
+/// Ranks every guess of the selection function in parallel — one pool
+/// job per guess, each computing its fixed-shard bias serially.
+pub fn parallel_attack(
+    set: &TraceSet,
+    sel: &(dyn SelectionFunction + Sync),
+    exec: ExecConfig,
+) -> AttackResult {
+    let guesses: Vec<u16> = (0..sel.guess_count()).collect();
+    parallel_attack_windowed(set, sel, &guesses, None, exec)
+}
+
+/// Parallel guess ranking over an explicit guess subset, scoring peaks
+/// only inside `window` when one is given. The ranking is worker-count
+/// invariant: per-guess biases use the fixed-shard summation tree and
+/// results are merged in guess order before the (stable, total) sort.
+pub fn parallel_attack_windowed(
+    set: &TraceSet,
+    sel: &(dyn SelectionFunction + Sync),
+    guesses: &[u16],
+    window: Option<(u64, u64)>,
+    exec: ExecConfig,
+) -> AttackResult {
+    let mut span = qdi_obs::span("qdi_dpa::parallel", "parallel_attack")
+        .field("selection", sel.name())
+        .field("guesses", guesses.len())
+        .field("traces", set.len())
+        .field("workers", exec.workers)
+        .enter();
+    let start = std::time::Instant::now();
+    let scored: Vec<Option<GuessScore>> = qdi_exec::run_indexed(&exec, guesses.len(), |i| {
+        let guess = guesses[i];
+        let bias = sharded_bias(set, sel, guess)?;
+        score_bias(guess, &bias, window)
+    });
+    let mut scores: Vec<GuessScore> = scored.into_iter().flatten().collect();
+    sort_scores(&mut scores);
+    let ranking_ms = start.elapsed().as_secs_f64() * 1e3;
+    qdi_obs::metrics::counter("dpa.guesses_scored").add(scores.len() as u64);
+    span.record("scored", scores.len());
+    span.record("ranking_ms", ranking_ms);
+    if let Some(best) = scores.first() {
+        span.record("best_guess", best.guess);
+        span.record("best_peak", best.peak_abs);
+    }
+    AttackResult {
+        selection: sel.name(),
+        scores,
+        traces: set.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::{attack_with_guesses, bias_signal};
+    use crate::selection::AesXorSelect;
+    use qdi_crypto::gatelevel::slice::{aes_first_round_slice, SliceStage};
+
+    fn noisy_cfg(traces: usize) -> CampaignConfig {
+        let mut cfg = CampaignConfig::full_codebook(0x42);
+        cfg.traces = traces;
+        cfg.seed = 11;
+        cfg.synth.noise_sigma = 0.02;
+        cfg
+    }
+
+    #[test]
+    fn parallel_campaign_is_worker_count_invariant() {
+        let slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+        let cfg = noisy_cfg(10);
+        let one = run_parallel_campaign(&slice, &cfg, ExecConfig { workers: 1 }).expect("w1");
+        for workers in [2, 3, 8] {
+            let many =
+                run_parallel_campaign(&slice, &cfg, ExecConfig { workers }).expect("parallel");
+            assert_eq!(one.len(), many.len());
+            for i in 0..one.len() {
+                assert_eq!(one.input(i), many.input(i), "plaintext {i} @ {workers}w");
+                assert_eq!(
+                    one.trace(i).samples(),
+                    many.trace(i).samples(),
+                    "trace {i} @ {workers}w"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_campaign_plaintexts_match_serial_schedule() {
+        // The plaintext schedule is shared with the serial campaign: same
+        // root stream, same draw order.
+        let slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+        let mut cfg = noisy_cfg(8);
+        cfg.synth.noise_sigma = 0.0;
+        let serial = crate::campaign::run_slice_campaign(&slice, &cfg).expect("serial");
+        let parallel =
+            run_parallel_campaign(&slice, &cfg, ExecConfig { workers: 2 }).expect("parallel");
+        for i in 0..serial.len() {
+            assert_eq!(serial.input(i), parallel.input(i), "plaintext {i}");
+            // Noiseless synthesis is deterministic, so the traces agree
+            // too even though the noise RNG schedule differs.
+            assert_eq!(serial.trace(i).samples(), parallel.trace(i).samples());
+        }
+    }
+
+    #[test]
+    fn parallel_bias_is_worker_count_invariant_and_matches_sharded_serial() {
+        let slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+        let cfg = noisy_cfg(20);
+        let set = run_parallel_campaign(&slice, &cfg, ExecConfig { workers: 2 }).expect("runs");
+        let sel = AesXorSelect { byte: 0, bit: 0 };
+        let golden = sharded_bias(&set, &sel, 0x42).expect("bias");
+        for workers in [1, 2, 8] {
+            let t = parallel_bias_signal(&set, &sel, 0x42, ExecConfig { workers }).expect("bias");
+            assert_eq!(golden.samples(), t.samples(), "bias @ {workers} workers");
+        }
+        // One shard covers this whole set, so the fixed-shard tree is the
+        // serial left-to-right chain: bit-identical to `bias_signal`.
+        let serial = bias_signal(&set, &sel, 0x42).expect("serial bias");
+        assert_eq!(serial.samples(), golden.samples());
+    }
+
+    #[test]
+    fn parallel_attack_matches_serial_ranking() {
+        let slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+        let mut cfg = noisy_cfg(16);
+        cfg.synth.noise_sigma = 0.0;
+        let set = run_parallel_campaign(&slice, &cfg, ExecConfig { workers: 2 }).expect("runs");
+        let sel = AesXorSelect { byte: 0, bit: 0 };
+        let guesses: Vec<u16> = (0..32).collect();
+        let serial = attack_with_guesses(&set, &sel, &guesses);
+        for workers in [1, 4] {
+            let par = parallel_attack_windowed(&set, &sel, &guesses, None, ExecConfig { workers });
+            assert_eq!(serial.scores.len(), par.scores.len());
+            for (a, b) in serial.scores.iter().zip(&par.scores) {
+                assert_eq!(a.guess, b.guess, "ranking order @ {workers} workers");
+                assert_eq!(a.peak_abs, b.peak_abs);
+                assert_eq!(a.peak_time_ps, b.peak_time_ps);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_bias_empty_set_is_none() {
+        let sel = AesXorSelect { byte: 0, bit: 0 };
+        assert!(
+            parallel_bias_signal(&TraceSet::new(), &sel, 0, ExecConfig { workers: 4 }).is_none()
+        );
+    }
+}

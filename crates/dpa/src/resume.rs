@@ -116,6 +116,12 @@ impl From<TraceSetError> for CampaignError {
 pub struct CampaignCheckpoint {
     /// Debug rendering of the originating [`CampaignConfig`].
     pub fingerprint: String,
+    /// Worker count of the acquisition loop that produced the
+    /// checkpoint. The serial runner's RNG stream position only makes
+    /// sense under the thread structure that advanced it, so resuming
+    /// under a different worker count is rejected rather than silently
+    /// changing the trace distribution.
+    pub workers: usize,
     /// Traces collected so far.
     pub completed: usize,
     /// ChaCha8 stream snapshot (see `rand_chacha::ChaCha8Rng::snapshot`).
@@ -156,8 +162,8 @@ impl CampaignCheckpoint {
     }
 }
 
-fn fingerprint(cfg: &CampaignConfig) -> String {
-    format!("{cfg:?}")
+fn fingerprint(cfg: &CampaignConfig, workers: usize) -> String {
+    format!("{cfg:?} workers={workers}")
 }
 
 /// Incremental, checkpointable campaign over an AES byte slice.
@@ -174,6 +180,7 @@ pub struct CampaignRunner<'a> {
     set: TraceSet,
     completed: usize,
     retries: u64,
+    workers: usize,
 }
 
 impl fmt::Debug for CampaignRunner<'_> {
@@ -199,7 +206,19 @@ impl<'a> CampaignRunner<'a> {
             set: TraceSet::new(),
             completed: 0,
             retries: 0,
+            workers: 1,
         }
+    }
+
+    /// Declares the worker count this runner's acquisitions belong to —
+    /// recorded in checkpoints so a resume under a different thread
+    /// count is rejected. The serial runner itself always steps on the
+    /// calling thread; the count is a campaign-identity attribute, set
+    /// by parallel drivers that shard acquisition across a pool.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
     }
 
     /// Continues a campaign from a checkpoint.
@@ -207,8 +226,8 @@ impl<'a> CampaignRunner<'a> {
     /// # Errors
     ///
     /// * [`CampaignError::Checkpoint`] if the checkpoint was produced by
-    ///   a different config, its counters are inconsistent, or the RNG
-    ///   snapshot is malformed;
+    ///   a different config or worker count, its counters are
+    ///   inconsistent, or the RNG snapshot is malformed;
     /// * [`CampaignError::Traces`] if a stored trace carries non-finite
     ///   samples (checkpoint-file corruption).
     pub fn resume(
@@ -217,7 +236,33 @@ impl<'a> CampaignRunner<'a> {
         resilience: ResilienceConfig,
         checkpoint: CampaignCheckpoint,
     ) -> Result<Self, CampaignError> {
-        let expected = fingerprint(&cfg);
+        Self::resume_with_workers(slice, cfg, resilience, 1, checkpoint)
+    }
+
+    /// [`CampaignRunner::resume`] for a campaign declared to run under
+    /// `workers` threads (see [`CampaignRunner::with_workers`]). The
+    /// checkpoint must have been produced under the same worker count.
+    ///
+    /// # Errors
+    ///
+    /// As [`CampaignRunner::resume`]; additionally rejects a
+    /// worker-count mismatch as [`CampaignError::Checkpoint`].
+    pub fn resume_with_workers(
+        slice: &'a AesByteSlice,
+        cfg: CampaignConfig,
+        resilience: ResilienceConfig,
+        workers: usize,
+        checkpoint: CampaignCheckpoint,
+    ) -> Result<Self, CampaignError> {
+        let workers = workers.max(1);
+        if checkpoint.workers != workers {
+            return Err(CampaignError::Checkpoint(format!(
+                "worker-count mismatch: checkpoint was produced under {} worker(s), \
+                 resuming under {workers}",
+                checkpoint.workers
+            )));
+        }
+        let expected = fingerprint(&cfg, workers);
         if checkpoint.fingerprint != expected {
             return Err(CampaignError::Checkpoint(format!(
                 "config mismatch: checkpoint was produced by {}, resuming with {}",
@@ -250,13 +295,15 @@ impl<'a> CampaignRunner<'a> {
             set: checkpoint.traces,
             completed: checkpoint.completed,
             retries: 0,
+            workers,
         })
     }
 
     /// Snapshots the campaign for later [`CampaignRunner::resume`].
     pub fn checkpoint(&self) -> CampaignCheckpoint {
         CampaignCheckpoint {
-            fingerprint: fingerprint(&self.cfg),
+            fingerprint: fingerprint(&self.cfg, self.workers),
+            workers: self.workers,
             completed: self.completed,
             rng: self.rng.snapshot(),
             codebook: self.codebook.clone(),
@@ -466,6 +513,30 @@ mod tests {
         let err = CampaignRunner::resume(&slice, other, ResilienceConfig::new(), checkpoint)
             .expect_err("mismatch rejected");
         assert!(matches!(err, CampaignError::Checkpoint(_)), "{err}");
+    }
+
+    #[test]
+    fn resume_rejects_different_worker_count() {
+        let slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+        let cfg = test_cfg(8);
+        let mut runner = CampaignRunner::new(&slice, cfg, ResilienceConfig::new()).with_workers(4);
+        runner.step().expect("step");
+        let checkpoint = runner.checkpoint();
+        assert_eq!(checkpoint.workers, 4);
+        // Default resume assumes one worker: rejected.
+        let err = CampaignRunner::resume(&slice, cfg, ResilienceConfig::new(), checkpoint.clone())
+            .expect_err("worker mismatch rejected");
+        assert!(matches!(err, CampaignError::Checkpoint(_)), "{err}");
+        // The matching worker count resumes fine.
+        let resumed = CampaignRunner::resume_with_workers(
+            &slice,
+            cfg,
+            ResilienceConfig::new(),
+            4,
+            checkpoint,
+        )
+        .expect("same workers resume");
+        assert_eq!(resumed.completed(), 1);
     }
 
     #[test]

@@ -1,0 +1,552 @@
+//! `.qtrs`-backed campaigns: streaming trace storage, bounded-memory
+//! attacks, and checkpoints that record store offsets instead of raw
+//! samples.
+//!
+//! A 10k-trace campaign held as a [`TraceSet`] costs hundreds of
+//! megabytes; the same campaign in a `.qtrs` store streams through an
+//! attack one chunk at a time. This module bridges the two worlds:
+//!
+//! * [`TraceSet::to_store`] / [`TraceSet::from_store`] convert between
+//!   the in-memory set and the on-disk store;
+//! * [`bias_signal_from_store`] computes `T = A0 − A1` directly from a
+//!   store with at most `chunk` traces resident, bit-identical to
+//!   [`crate::parallel::parallel_bias_signal`] over the same traces;
+//! * [`StoreCampaignRunner`] acquires traces on the `qdi-exec` pool and
+//!   appends them to a store as chunks complete. Its
+//!   [`StoreCheckpoint`] is a few hundred bytes — fingerprint, progress
+//!   counter and byte offset — because per-index noise seeding makes
+//!   every other bit of campaign state derivable from the config.
+
+use std::path::Path;
+
+use qdi_analog::TraceSynthesizer;
+use qdi_crypto::gatelevel::slice::AesByteSlice;
+use qdi_exec::store::{StoreOptions, StoreReader, StoreWriter};
+use qdi_exec::{ExecConfig, StoreError};
+use qdi_sim::SimError;
+use serde::{Deserialize, Serialize};
+
+use crate::attack::BiasAccumulator;
+use crate::campaign::CampaignConfig;
+use crate::parallel::{acquire_indexed, plaintext_schedule, BIAS_SHARD};
+use crate::resume::{CampaignError, ResilienceConfig};
+use crate::selection::SelectionFunction;
+use crate::traceset::{TraceSet, TraceSetError};
+
+impl From<StoreError> for CampaignError {
+    fn from(e: StoreError) -> Self {
+        CampaignError::Io(format!("trace store: {e}"))
+    }
+}
+
+impl TraceSet {
+    /// Writes every acquisition to a fresh `.qtrs` store at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on write failure; an empty set is rejected as
+    /// [`StoreError::BadHeader`] because it has no time grid to record.
+    pub fn to_store(&self, path: impl AsRef<Path>, opts: StoreOptions) -> Result<(), StoreError> {
+        let first = self
+            .iter()
+            .next()
+            .ok_or_else(|| StoreError::BadHeader("cannot store an empty trace set".into()))?
+            .1;
+        let mut writer = StoreWriter::create(path, first.t0_ps(), first.dt_ps(), opts)?;
+        for (input, trace) in self.iter() {
+            writer.append(input, trace)?;
+        }
+        writer.finish()
+    }
+
+    /// Loads a full `.qtrs` store into memory. For sets that may exceed
+    /// RAM, stream with [`StoreReader::chunks`] or attack directly via
+    /// [`bias_signal_from_store`] instead.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on read/validation failure, including traces the
+    /// set itself would reject (non-finite samples, mixed grids) mapped
+    /// to [`StoreError::NonFinite`] / [`StoreError::GridMismatch`].
+    pub fn from_store(path: impl AsRef<Path>) -> Result<TraceSet, StoreError> {
+        let mut reader = StoreReader::open(path)?;
+        let mut set = TraceSet::new();
+        while let Some((input, trace)) = reader.next_record()? {
+            let record = set.len();
+            set.try_push(input, trace).map_err(|e| match e {
+                TraceSetError::NonFiniteSample { sample, .. } => {
+                    StoreError::NonFinite { record, sample }
+                }
+                TraceSetError::GridMismatch { .. } => StoreError::GridMismatch {
+                    expected: (reader.t0_ps(), reader.dt_ps()),
+                    got: (0, 0),
+                },
+            })?;
+        }
+        Ok(set)
+    }
+}
+
+/// Computes the DPA bias `T = A0 − A1` for one guess by streaming the
+/// store in chunks of `chunk` traces — peak resident trace memory is one
+/// chunk plus the running sums. Accumulation uses the same fixed
+/// [`BIAS_SHARD`] summation tree as the in-memory parallel path, so the
+/// result is bit-identical to
+/// [`crate::parallel::parallel_bias_signal`] over
+/// [`TraceSet::from_store`] of the same file, at every worker count.
+///
+/// Returns `Ok(None)` when a partition is empty.
+///
+/// # Errors
+///
+/// [`StoreError`] on read or validation failure.
+pub fn bias_signal_from_store(
+    path: impl AsRef<Path>,
+    sel: &dyn SelectionFunction,
+    guess: u16,
+    chunk: usize,
+) -> Result<Option<qdi_analog::Trace>, StoreError> {
+    let reader = StoreReader::open(path)?;
+    let mut total = BiasAccumulator::new();
+    let mut shard = BiasAccumulator::new();
+    let mut in_shard = 0usize;
+    for batch in reader.chunks(chunk.max(1)) {
+        for (input, trace) in batch? {
+            shard.accumulate(sel.select(&input, guess), &trace);
+            in_shard += 1;
+            if in_shard == BIAS_SHARD {
+                total.merge(std::mem::take(&mut shard));
+                in_shard = 0;
+            }
+        }
+    }
+    if in_shard > 0 {
+        total.merge(shard);
+    }
+    Ok(total.finish())
+}
+
+/// Serializable snapshot of a store-backed campaign: no raw samples —
+/// the traces already collected live behind `store_offset` in the
+/// `.qtrs` file, and per-index noise seeding makes the RNG state a pure
+/// function of the config, so nothing else needs saving.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoreCheckpoint {
+    /// Ties the checkpoint to the exact config *and worker count* that
+    /// produced it (see [`crate::resume::CampaignCheckpoint`]).
+    pub fingerprint: String,
+    /// Traces acquired and durably appended to the store.
+    pub completed: usize,
+    /// Path of the `.qtrs` store holding the traces.
+    pub store_path: String,
+    /// Byte offset of the next record — anything past it is a torn tail
+    /// from a crash and is truncated on resume.
+    pub store_offset: u64,
+}
+
+impl StoreCheckpoint {
+    /// Writes the checkpoint as JSON (non-atomic, like
+    /// [`crate::resume::CampaignCheckpoint::save`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Io`] on serialization or filesystem failure.
+    pub fn save(&self, path: &Path) -> Result<(), CampaignError> {
+        let json = serde_json::to_string(self)
+            .map_err(|e| CampaignError::Io(format!("serialize checkpoint: {e:?}")))?;
+        std::fs::write(path, json)
+            .map_err(|e| CampaignError::Io(format!("write {}: {e}", path.display())))
+    }
+
+    /// Reads a checkpoint written by [`StoreCheckpoint::save`].
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Io`] on filesystem or parse failure.
+    pub fn load(path: &Path) -> Result<Self, CampaignError> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| CampaignError::Io(format!("read {}: {e}", path.display())))?;
+        serde_json::from_str(&json)
+            .map_err(|e| CampaignError::Io(format!("parse {}: {e:?}", path.display())))
+    }
+}
+
+fn store_fingerprint(cfg: &CampaignConfig, workers: usize) -> String {
+    format!("{cfg:?} workers={workers}")
+}
+
+/// Store-backed parallel campaign: acquires chunks of traces on the
+/// `qdi-exec` pool (per-index noise seeding, worker-count invariant) and
+/// appends them to a `.qtrs` store in index order. Peak resident trace
+/// memory is one chunk.
+pub struct StoreCampaignRunner<'a> {
+    slice: &'a AesByteSlice,
+    cfg: CampaignConfig,
+    resilience: ResilienceConfig,
+    exec: ExecConfig,
+    synth: TraceSynthesizer<'a>,
+    pts: Vec<u8>,
+    writer: StoreWriter,
+    store_path: String,
+    completed: usize,
+}
+
+impl std::fmt::Debug for StoreCampaignRunner<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreCampaignRunner")
+            .field("completed", &self.completed)
+            .field("target", &self.cfg.traces)
+            .field("store", &self.store_path)
+            .finish()
+    }
+}
+
+impl<'a> StoreCampaignRunner<'a> {
+    /// Starts a fresh campaign writing to a new store at `store_path`.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Io`] when the store cannot be created.
+    pub fn new(
+        slice: &'a AesByteSlice,
+        cfg: CampaignConfig,
+        resilience: ResilienceConfig,
+        exec: ExecConfig,
+        store_path: impl AsRef<Path>,
+        opts: StoreOptions,
+    ) -> Result<Self, CampaignError> {
+        let store_path = store_path.as_ref().to_string_lossy().into_owned();
+        let writer = StoreWriter::create(&store_path, 0, cfg.synth.dt_ps, opts)?;
+        Ok(StoreCampaignRunner {
+            slice,
+            cfg,
+            resilience,
+            exec,
+            synth: TraceSynthesizer::new(&slice.netlist, cfg.synth),
+            pts: plaintext_schedule(&cfg),
+            writer,
+            store_path,
+            completed: 0,
+        })
+    }
+
+    /// Resumes from a checkpoint: validates the fingerprint (config and
+    /// worker count), reopens the store at the checkpointed offset and
+    /// truncates any torn tail a crashed writer left behind.
+    ///
+    /// # Errors
+    ///
+    /// * [`CampaignError::Checkpoint`] on a fingerprint, worker-count or
+    ///   record-count mismatch;
+    /// * [`CampaignError::Io`] when the store prefix fails validation
+    ///   (offset not on a record boundary, CRC failure before the
+    ///   checkpointed offset).
+    pub fn resume(
+        slice: &'a AesByteSlice,
+        cfg: CampaignConfig,
+        resilience: ResilienceConfig,
+        exec: ExecConfig,
+        checkpoint: StoreCheckpoint,
+    ) -> Result<Self, CampaignError> {
+        let expected = store_fingerprint(&cfg, exec.workers);
+        if checkpoint.fingerprint != expected {
+            return Err(CampaignError::Checkpoint(format!(
+                "config mismatch: checkpoint was produced by `{}`, resuming with `{}`",
+                checkpoint.fingerprint, expected
+            )));
+        }
+        let writer = StoreWriter::resume(&checkpoint.store_path, checkpoint.store_offset)?;
+        if writer.records() != checkpoint.completed {
+            return Err(CampaignError::Checkpoint(format!(
+                "store holds {} records before the checkpointed offset, expected {}",
+                writer.records(),
+                checkpoint.completed
+            )));
+        }
+        Ok(StoreCampaignRunner {
+            slice,
+            cfg,
+            resilience,
+            exec,
+            synth: TraceSynthesizer::new(&slice.netlist, cfg.synth),
+            pts: plaintext_schedule(&cfg),
+            writer,
+            store_path: checkpoint.store_path,
+            completed: checkpoint.completed,
+        })
+    }
+
+    /// Snapshots the campaign. Call after [`StoreCampaignRunner::step_chunk`]
+    /// returns; the chunk's records are flushed before this offset is
+    /// taken, so the checkpoint never points past durable data.
+    pub fn checkpoint(&self) -> StoreCheckpoint {
+        StoreCheckpoint {
+            fingerprint: store_fingerprint(&self.cfg, self.exec.workers),
+            completed: self.completed,
+            store_path: self.store_path.clone(),
+            store_offset: self.writer.offset(),
+        }
+    }
+
+    /// Traces acquired so far.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// `true` once all `cfg.traces` acquisitions are stored.
+    pub fn is_done(&self) -> bool {
+        self.completed >= self.cfg.traces
+    }
+
+    /// Acquires the next chunk of up to
+    /// [`ResilienceConfig::checkpoint_every`] traces in parallel, appends
+    /// them to the store in index order and flushes. Returns `Ok(false)`
+    /// when the campaign was already complete.
+    ///
+    /// Budget-class simulator failures are retried per trace with the
+    /// escalation policy of [`crate::resume::CampaignRunner::step`];
+    /// the retry re-derives the per-index noise RNG, so a rescued trace
+    /// is bit-identical to an undisturbed acquisition.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Sim`] on permanent simulator failure,
+    /// [`CampaignError::Io`] on store write failure.
+    pub fn step_chunk(&mut self) -> Result<bool, CampaignError> {
+        if self.is_done() {
+            return Ok(false);
+        }
+        let lo = self.completed;
+        let hi = (lo + self.resilience.checkpoint_every.max(1)).min(self.cfg.traces);
+        let backoff = self.resilience.budget_backoff.max(2);
+        let max_retries = self.resilience.max_retries;
+        let (slice, cfg, synth, pts) = (self.slice, &self.cfg, &self.synth, &self.pts);
+        let traces = qdi_exec::try_run_indexed(&self.exec, hi - lo, |j| {
+            let index = lo + j;
+            let mut attempt = 0u32;
+            loop {
+                let mut try_cfg = *cfg;
+                let factor = backoff.saturating_pow(attempt);
+                try_cfg.testbench.event_limit =
+                    try_cfg.testbench.event_limit.saturating_mul(factor);
+                try_cfg.testbench.max_rounds = try_cfg.testbench.max_rounds.saturating_mul(factor);
+                // The noise RNG is re-derived from the index each attempt,
+                // so a retry replays exactly the draw a clean run makes.
+                match acquire_indexed(slice, &try_cfg, synth, pts[index], index) {
+                    Ok(trace) => return Ok(trace),
+                    Err(err @ (SimError::EventLimit { .. } | SimError::SimTimeout { .. }))
+                        if attempt < max_retries =>
+                    {
+                        attempt += 1;
+                        qdi_obs::metrics::counter("dpa.campaign.retries").inc();
+                        let _ = err;
+                    }
+                    Err(err) => return Err(CampaignError::Sim(err)),
+                }
+            }
+        })?;
+        for (j, trace) in traces.iter().enumerate() {
+            self.writer.append(&[pts[lo + j]], trace)?;
+        }
+        self.writer.flush()?;
+        self.completed = hi;
+        Ok(true)
+    }
+
+    /// Runs the campaign to completion, saving a [`StoreCheckpoint`] to
+    /// `checkpoint_path` after every chunk and once at the end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates acquisition, store and checkpoint-write errors.
+    pub fn run_with_checkpoints(&mut self, checkpoint_path: &Path) -> Result<(), CampaignError> {
+        while self.step_chunk()? {
+            self.checkpoint().save(checkpoint_path)?;
+        }
+        self.checkpoint().save(checkpoint_path)?;
+        Ok(())
+    }
+
+    /// Flushes and closes the store.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Io`] on flush failure.
+    pub fn finish(self) -> Result<(), CampaignError> {
+        self.writer.finish()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::{parallel_bias_signal, run_parallel_campaign};
+    use crate::selection::AesXorSelect;
+    use qdi_crypto::gatelevel::slice::{aes_first_round_slice, SliceStage};
+    use std::io::Write as _;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("qdi_dpa_store_{}_{name}", std::process::id()))
+    }
+
+    fn noisy_cfg(traces: usize) -> CampaignConfig {
+        let mut cfg = CampaignConfig::full_codebook(0x42);
+        cfg.traces = traces;
+        cfg.seed = 23;
+        cfg.synth.noise_sigma = 0.02;
+        cfg
+    }
+
+    #[test]
+    fn trace_set_round_trips_through_store() {
+        let slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+        let cfg = noisy_cfg(6);
+        let set = run_parallel_campaign(&slice, &cfg, ExecConfig { workers: 1 }).expect("runs");
+        let path = tmp("roundtrip.qtrs");
+        set.to_store(&path, StoreOptions::new()).expect("stores");
+        let loaded = TraceSet::from_store(&path).expect("loads");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(set.len(), loaded.len());
+        for i in 0..set.len() {
+            assert_eq!(set.input(i), loaded.input(i));
+            assert_eq!(set.trace(i).samples(), loaded.trace(i).samples());
+        }
+    }
+
+    #[test]
+    fn empty_set_cannot_be_stored() {
+        let err = TraceSet::new()
+            .to_store(tmp("empty.qtrs"), StoreOptions::new())
+            .expect_err("no grid");
+        assert!(matches!(err, StoreError::BadHeader(_)), "{err}");
+    }
+
+    #[test]
+    fn streamed_bias_matches_in_memory_bias() {
+        let slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+        let cfg = noisy_cfg(12);
+        let set = run_parallel_campaign(&slice, &cfg, ExecConfig { workers: 2 }).expect("runs");
+        let path = tmp("bias.qtrs");
+        set.to_store(&path, StoreOptions::new()).expect("stores");
+        let sel = AesXorSelect { byte: 0, bit: 0 };
+        let in_memory =
+            parallel_bias_signal(&set, &sel, 0x42, ExecConfig { workers: 2 }).expect("bias");
+        // Tiny chunks: at most 3 traces resident while streaming.
+        let streamed = bias_signal_from_store(&path, &sel, 0x42, 3)
+            .expect("streams")
+            .expect("both partitions");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(in_memory.samples(), streamed.samples());
+    }
+
+    #[test]
+    fn store_campaign_matches_parallel_campaign() {
+        let slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+        let cfg = noisy_cfg(9);
+        let golden = run_parallel_campaign(&slice, &cfg, ExecConfig { workers: 1 }).expect("runs");
+        let path = tmp("campaign.qtrs");
+        let mut runner = StoreCampaignRunner::new(
+            &slice,
+            cfg,
+            ResilienceConfig {
+                checkpoint_every: 4,
+                ..ResilienceConfig::new()
+            },
+            ExecConfig { workers: 2 },
+            &path,
+            StoreOptions::new(),
+        )
+        .expect("creates");
+        while runner.step_chunk().expect("chunk") {}
+        runner.finish().expect("closes");
+        let stored = TraceSet::from_store(&path).expect("loads");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(golden.len(), stored.len());
+        for i in 0..golden.len() {
+            assert_eq!(golden.input(i), stored.input(i), "plaintext {i}");
+            assert_eq!(golden.trace(i).samples(), stored.trace(i).samples());
+        }
+    }
+
+    #[test]
+    fn crashed_store_campaign_resumes_bit_identically() {
+        let slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+        let cfg = noisy_cfg(10);
+        let golden = run_parallel_campaign(&slice, &cfg, ExecConfig { workers: 2 }).expect("runs");
+        let path = tmp("resume.qtrs");
+        let ckpt = tmp("resume.ckpt.json");
+        let resilience = ResilienceConfig {
+            checkpoint_every: 4,
+            ..ResilienceConfig::new()
+        };
+        let exec = ExecConfig { workers: 2 };
+
+        // First chunk, checkpoint, then "crash" leaving a torn record.
+        let mut first =
+            StoreCampaignRunner::new(&slice, cfg, resilience, exec, &path, StoreOptions::new())
+                .expect("creates");
+        assert!(first.step_chunk().expect("chunk"));
+        first.checkpoint().save(&ckpt).expect("saves");
+        drop(first);
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .expect("open");
+        file.write_all(&[0xDE, 0xAD, 0xBE]).expect("torn tail");
+        drop(file);
+
+        let checkpoint = StoreCheckpoint::load(&ckpt).expect("loads");
+        assert_eq!(checkpoint.completed, 4);
+        let mut resumed = StoreCampaignRunner::resume(&slice, cfg, resilience, exec, checkpoint)
+            .expect("resumes");
+        while resumed.step_chunk().expect("chunk") {}
+        resumed.finish().expect("closes");
+
+        let stored = TraceSet::from_store(&path).expect("loads");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&ckpt).ok();
+        assert_eq!(golden.len(), stored.len());
+        for i in 0..golden.len() {
+            assert_eq!(golden.input(i), stored.input(i), "plaintext {i}");
+            assert_eq!(
+                golden.trace(i).samples(),
+                stored.trace(i).samples(),
+                "trace {i} must be bit-identical after crash + resume"
+            );
+        }
+    }
+
+    #[test]
+    fn store_resume_rejects_different_worker_count() {
+        let slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+        let cfg = noisy_cfg(6);
+        let path = tmp("workers.qtrs");
+        let resilience = ResilienceConfig {
+            checkpoint_every: 3,
+            ..ResilienceConfig::new()
+        };
+        let mut runner = StoreCampaignRunner::new(
+            &slice,
+            cfg,
+            resilience,
+            ExecConfig { workers: 2 },
+            &path,
+            StoreOptions::new(),
+        )
+        .expect("creates");
+        assert!(runner.step_chunk().expect("chunk"));
+        let checkpoint = runner.checkpoint();
+        drop(runner);
+        let err = StoreCampaignRunner::resume(
+            &slice,
+            cfg,
+            resilience,
+            ExecConfig { workers: 8 },
+            checkpoint,
+        )
+        .expect_err("worker count mismatch");
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, CampaignError::Checkpoint(_)), "{err}");
+    }
+}

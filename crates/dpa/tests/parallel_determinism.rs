@@ -1,0 +1,62 @@
+//! Property test of the parallel determinism contract: for arbitrary
+//! campaign parameters, the trace set and the bias signal `T = A0 − A1`
+//! are bit-identical across 1, 2 and 8 workers.
+
+use proptest::prelude::*;
+
+use qdi_crypto::gatelevel::slice::{aes_first_round_slice, SliceStage};
+use qdi_dpa::selection::AesXorSelect;
+use qdi_dpa::{parallel_bias_signal, run_parallel_campaign, CampaignConfig, PlaintextSource};
+use qdi_exec::ExecConfig;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn campaign_and_bias_are_bit_identical_across_1_2_and_8_workers(
+        seed in any::<u64>(),
+        traces in 4usize..16,
+        key in any::<u8>(),
+        noisy in any::<bool>(),
+        codebook in any::<bool>(),
+    ) {
+        let slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("slice builds");
+        let mut cfg = CampaignConfig::new(key);
+        cfg.traces = traces;
+        cfg.seed = seed;
+        cfg.plaintexts = if codebook {
+            PlaintextSource::FullCodebook
+        } else {
+            PlaintextSource::Random
+        };
+        cfg.synth.noise_sigma = if noisy { 0.05 } else { 0.0 };
+
+        let golden =
+            run_parallel_campaign(&slice, &cfg, ExecConfig { workers: 1 }).expect("1 worker");
+        let sel = AesXorSelect { byte: 0, bit: 0 };
+        let golden_bias = parallel_bias_signal(&golden, &sel, key as u16, ExecConfig { workers: 1 });
+
+        for workers in [2usize, 8] {
+            let set = run_parallel_campaign(&slice, &cfg, ExecConfig { workers })
+                .expect("parallel campaign");
+            prop_assert_eq!(golden.len(), set.len());
+            for i in 0..golden.len() {
+                prop_assert_eq!(golden.input(i), set.input(i), "plaintext {} @ {}w", i, workers);
+                prop_assert_eq!(
+                    golden.trace(i).samples(),
+                    set.trace(i).samples(),
+                    "trace {} @ {} workers", i, workers
+                );
+            }
+            let bias = parallel_bias_signal(&set, &sel, key as u16, ExecConfig { workers });
+            match (&golden_bias, &bias) {
+                (Some(a), Some(b)) => prop_assert_eq!(
+                    a.samples(), b.samples(),
+                    "T = A0 - A1 must be bit-identical @ {} workers", workers
+                ),
+                (None, None) => {} // degenerate partition degenerates identically
+                _ => prop_assert!(false, "partition degeneracy differed across worker counts"),
+            }
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Deterministic work-stealing job pool on scoped threads.
+//!
+//! The pool runs `jobs` independent closures `f(0)..f(jobs-1)` on a
+//! fixed set of workers. Indices are pre-partitioned into contiguous
+//! per-worker deques; a worker that drains its own deque steals the
+//! back half of a victim's. Because every job is identified by its
+//! index and results are merged **in index order** after the scope
+//! joins, the output is independent of the schedule — see the
+//! determinism contract in the crate docs.
+//!
+//! Observability: each run opens a `qdi_exec::pool` span recording the
+//! worker count, job count, steal count and per-worker job throughput;
+//! the `exec.pool.jobs` / `exec.pool.steals` counters and the
+//! `exec.pool.workers` / `exec.pool.queue_depth` gauges aggregate
+//! across runs (`queue_depth` tracks outstanding jobs, so its
+//! high-water mark is the largest bag executed).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// How a job bag is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Worker threads; `0` means one per available hardware thread
+    /// ([`std::thread::available_parallelism`]), `1` runs inline on the
+    /// calling thread. The effective count is additionally capped by
+    /// the number of jobs.
+    pub workers: usize,
+}
+
+impl ExecConfig {
+    /// One worker per available hardware thread.
+    #[must_use]
+    pub fn new() -> ExecConfig {
+        ExecConfig { workers: 0 }
+    }
+
+    /// Runs every job inline on the calling thread.
+    #[must_use]
+    pub fn serial() -> ExecConfig {
+        ExecConfig { workers: 1 }
+    }
+
+    /// Exactly `workers` threads (`0` = auto).
+    #[must_use]
+    pub fn with_workers(workers: usize) -> ExecConfig {
+        ExecConfig { workers }
+    }
+
+    /// The worker count a bag of `jobs` jobs actually runs with.
+    #[must_use]
+    pub fn effective_workers(&self, jobs: usize) -> usize {
+        let requested = if self.workers == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.workers
+        };
+        requested.min(jobs).max(1)
+    }
+}
+
+impl Default for ExecConfig {
+    fn default() -> ExecConfig {
+        ExecConfig::new()
+    }
+}
+
+/// Runs `job(0)..job(jobs-1)` on the pool and returns the results in
+/// index order. Equivalent to `(0..jobs).map(job).collect()` for any
+/// worker count (see the determinism contract).
+///
+/// # Panics
+///
+/// A panicking job propagates its panic to the caller once the scope
+/// joins (other in-flight jobs finish first).
+pub fn run_indexed<T, F>(cfg: &ExecConfig, jobs: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    match try_run_indexed(cfg, jobs, |i| Ok::<T, std::convert::Infallible>(job(i))) {
+        Ok(results) => results,
+        Err(never) => match never {},
+    }
+}
+
+/// Fallible variant of [`run_indexed`]: runs jobs until one returns
+/// `Err`, then cancels the remaining queue and returns the error with
+/// the smallest index among the failures observed.
+///
+/// On success the result vector is schedule-independent. On failure the
+/// *returned* error is one produced by the job closure, but *which*
+/// failing index surfaces may depend on the schedule: jobs queued after
+/// the first observed failure are cancelled, not run.
+///
+/// # Errors
+///
+/// The first (lowest-index) error among the jobs that ran.
+pub fn try_run_indexed<T, E, F>(cfg: &ExecConfig, jobs: usize, job: F) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    let workers = cfg.effective_workers(jobs);
+    let mut span = qdi_obs::span("qdi_exec::pool", "run")
+        .field("jobs", jobs)
+        .field("workers", workers)
+        .enter();
+    let start = std::time::Instant::now();
+    qdi_obs::metrics::gauge("exec.pool.workers").set(workers as i64);
+    let depth = qdi_obs::metrics::gauge("exec.pool.queue_depth");
+    depth.add(jobs as i64);
+    let jobs_metric = qdi_obs::metrics::counter("exec.pool.jobs");
+
+    if jobs == 0 {
+        return Ok(Vec::new());
+    }
+
+    let result = if workers <= 1 {
+        let mut out = Vec::with_capacity(jobs);
+        let mut failure = None;
+        for i in 0..jobs {
+            match job(i) {
+                Ok(v) => {
+                    out.push(v);
+                    jobs_metric.inc();
+                    depth.add(-1);
+                }
+                Err(e) => {
+                    depth.add(-((jobs - i) as i64));
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    } else {
+        run_stealing(workers, jobs, &job, &depth, &jobs_metric, &mut span)
+    };
+
+    let elapsed = start.elapsed().as_secs_f64();
+    span.record("wall_s", elapsed);
+    if elapsed > 0.0 && result.is_ok() {
+        span.record("jobs_per_s", jobs as f64 / elapsed);
+    }
+    result
+}
+
+/// The parallel path: contiguous index ranges per worker, back-half
+/// stealing, merge-by-index after the scope joins.
+fn run_stealing<T, E, F>(
+    workers: usize,
+    jobs: usize,
+    job: &F,
+    depth: &qdi_obs::metrics::Gauge,
+    jobs_metric: &qdi_obs::metrics::Counter,
+    span: &mut qdi_obs::SpanGuard,
+) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    // Per-worker output: `(worker id, [(job index, job result)])`.
+    type WorkerResults<T, E> = Vec<(usize, Result<T, E>)>;
+
+    let steals_metric = qdi_obs::metrics::counter("exec.pool.steals");
+    // Contiguous partition: worker w owns [w*jobs/workers, (w+1)*jobs/workers).
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| {
+            let lo = w * jobs / workers;
+            let hi = (w + 1) * jobs / workers;
+            Mutex::new((lo..hi).collect())
+        })
+        .collect();
+    let cancel = AtomicBool::new(false);
+    let queues = &queues;
+    let cancel = &cancel;
+    let steals_metric = &steals_metric;
+
+    let per_worker: Vec<(usize, WorkerResults<T, E>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|wid| {
+                s.spawn(move || {
+                    let mut local: WorkerResults<T, E> = Vec::new();
+                    let mut done = 0usize;
+                    'work: loop {
+                        if cancel.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let next = queues[wid].lock().expect("queue poisoned").pop_front();
+                        let index = match next {
+                            Some(i) => i,
+                            None => {
+                                // Steal the back half of the fullest victim.
+                                let mut best: Option<(usize, usize)> = None;
+                                for (vid, victim) in queues.iter().enumerate() {
+                                    if vid == wid {
+                                        continue;
+                                    }
+                                    let len = victim.lock().expect("queue poisoned").len();
+                                    if len > 0 && best.is_none_or(|(_, blen)| len > blen) {
+                                        best = Some((vid, len));
+                                    }
+                                }
+                                let Some((vid, _)) = best else {
+                                    break 'work; // every queue is drained
+                                };
+                                let mut victim = queues[vid].lock().expect("queue poisoned");
+                                let n = victim.len();
+                                if n == 0 {
+                                    continue; // raced; rescan
+                                }
+                                let stolen = victim.split_off(n - n.div_ceil(2));
+                                drop(victim);
+                                steals_metric.inc();
+                                let mut mine = queues[wid].lock().expect("queue poisoned");
+                                mine.extend(stolen);
+                                continue;
+                            }
+                        };
+                        let outcome = job(index);
+                        done += 1;
+                        jobs_metric.inc();
+                        depth.add(-1);
+                        let failed = outcome.is_err();
+                        local.push((index, outcome));
+                        if failed {
+                            cancel.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    (done, local)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    });
+
+    let mut merged: Vec<(usize, Result<T, E>)> = Vec::with_capacity(jobs);
+    for (wid, (done, local)) in per_worker.into_iter().enumerate() {
+        span.record(&format!("worker{wid}_jobs"), done);
+        qdi_obs::metrics::counter(&format!("exec.pool.worker.{wid}.jobs")).add(done as u64);
+        merged.extend(local);
+    }
+    // Cancelled (never-run) jobs leave no entry; drain the gauge for them.
+    depth.add(-((jobs - merged.len()) as i64));
+    merged.sort_by_key(|(i, _)| *i);
+    let mut out = Vec::with_capacity(jobs);
+    for (_, result) in merged {
+        out.push(result?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seed::job_rng;
+    use rand::Rng;
+
+    #[test]
+    fn matches_serial_map_for_any_worker_count() {
+        let expected: Vec<u64> = (0..257).map(|i| (i as u64).wrapping_mul(0x9E37)).collect();
+        for workers in [1, 2, 3, 8] {
+            let got = run_indexed(&ExecConfig::with_workers(workers), 257, |i| {
+                (i as u64).wrapping_mul(0x9E37)
+            });
+            assert_eq!(got, expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn per_index_rng_is_schedule_independent() {
+        let draw = |i: usize| -> u64 { job_rng(42, i as u64).gen() };
+        let serial: Vec<u64> = (0..100).map(draw).collect();
+        let parallel = run_indexed(&ExecConfig::with_workers(8), 100, draw);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_bag_returns_empty() {
+        let out: Vec<u8> = run_indexed(&ExecConfig::new(), 0, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uneven_bags_cover_every_index() {
+        for jobs in [1usize, 2, 5, 7, 31] {
+            let got = run_indexed(&ExecConfig::with_workers(4), jobs, |i| i);
+            assert_eq!(got, (0..jobs).collect::<Vec<_>>(), "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn error_cancels_and_surfaces() {
+        for workers in [1, 4] {
+            let result = try_run_indexed(&ExecConfig::with_workers(workers), 64, |i| {
+                if i == 20 {
+                    Err(format!("boom at {i}"))
+                } else {
+                    Ok(i)
+                }
+            });
+            let err = result.expect_err("job 20 fails");
+            assert!(err.starts_with("boom at"), "{err}");
+        }
+    }
+
+    #[test]
+    fn effective_workers_caps_by_jobs() {
+        assert_eq!(ExecConfig::with_workers(8).effective_workers(3), 3);
+        assert_eq!(ExecConfig::with_workers(2).effective_workers(100), 2);
+        assert_eq!(ExecConfig::serial().effective_workers(100), 1);
+        assert!(ExecConfig::new().effective_workers(100) >= 1);
+        assert_eq!(ExecConfig::with_workers(8).effective_workers(0), 1);
+    }
+
+    #[test]
+    fn oversubscribed_pool_still_deterministic() {
+        // More workers than jobs and than cores: indices must still map
+        // 1:1 onto results.
+        let got = run_indexed(&ExecConfig::with_workers(16), 5, |i| i * i);
+        assert_eq!(got, vec![0, 1, 4, 9, 16]);
+    }
+}

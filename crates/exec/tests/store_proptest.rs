@@ -1,0 +1,138 @@
+//! Property tests of the `.qtrs` store: write → read round trips are
+//! identical (samples and metadata), for every encoding combination.
+
+use proptest::prelude::*;
+
+use qdi_analog::Trace;
+use qdi_exec::store::{SampleEncoding, StoreOptions, StoreReader, StoreWriter};
+
+fn tmp(tag: u64) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("qdi_exec_prop_{}_{tag}.qtrs", std::process::id()))
+}
+
+/// Deterministic pseudo-random sample from test-case parameters; values
+/// span several orders of magnitude including negatives and exact zeros.
+fn sample_value(seed: u64, record: usize, i: usize) -> f64 {
+    let x = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((record as u64) << 32 | i as u64);
+    let z = (x ^ (x >> 29)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    if z.is_multiple_of(17) {
+        0.0
+    } else {
+        ((z % 20_011) as f64 - 10_000.0) * 1e-3
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// f64 stores round-trip bit-exactly: every sample, every input
+    /// byte, the grid, and the record order — with and without delta.
+    #[test]
+    fn f64_store_round_trips_exactly(
+        seed in any::<u64>(),
+        records in 1usize..12,
+        len in 1usize..80,
+        t0 in 0u64..1000,
+        dt in 1u64..50,
+        delta in any::<bool>(),
+    ) {
+        let opts = StoreOptions { encoding: SampleEncoding::F64, delta };
+        let path = tmp(seed ^ (records as u64) << 8 ^ if delta { 1 } else { 0 });
+        let mut writer = StoreWriter::create(&path, t0, dt, opts).expect("create");
+        let mut expected = Vec::new();
+        for r in 0..records {
+            let samples: Vec<f64> = (0..len).map(|i| sample_value(seed, r, i)).collect();
+            let input = vec![r as u8, (seed % 251) as u8];
+            writer
+                .append(&input, &Trace::from_samples(t0, dt, samples.clone()))
+                .expect("append");
+            expected.push((input, samples));
+        }
+        writer.finish().expect("finish");
+
+        let mut reader = StoreReader::open(&path).expect("open");
+        prop_assert_eq!(reader.t0_ps(), t0);
+        prop_assert_eq!(reader.dt_ps(), dt);
+        for (input, samples) in &expected {
+            let (got_input, got_trace) = reader.next_record().expect("read").expect("record");
+            prop_assert_eq!(&got_input, input);
+            prop_assert_eq!(got_trace.samples(), samples.as_slice());
+            prop_assert_eq!(got_trace.t0_ps(), t0);
+            prop_assert_eq!(got_trace.dt_ps(), dt);
+        }
+        prop_assert!(reader.next_record().expect("clean EOF").is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// f32 stores round-trip to exactly the f32-narrowed value — delta
+    /// must never cost additional precision.
+    #[test]
+    fn f32_store_round_trips_to_narrowed_value(
+        seed in any::<u64>(),
+        len in 1usize..60,
+        delta in any::<bool>(),
+    ) {
+        let opts = StoreOptions { encoding: SampleEncoding::F32, delta };
+        let path = tmp(seed ^ 0xF32F32 ^ if delta { 2 } else { 0 });
+        let samples: Vec<f64> = (0..len).map(|i| sample_value(seed, 0, i)).collect();
+        let mut writer = StoreWriter::create(&path, 0, 10, opts).expect("create");
+        writer
+            .append(b"m", &Trace::from_samples(0, 10, samples.clone()))
+            .expect("append");
+        writer.finish().expect("finish");
+
+        let mut reader = StoreReader::open(&path).expect("open");
+        let (_, got) = reader.next_record().expect("read").expect("record");
+        for (a, b) in samples.iter().zip(got.samples()) {
+            prop_assert_eq!(f64::from(*a as f32), *b);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Chopping a store anywhere inside a record surfaces as a typed
+    /// `Truncated` error at that record, never as garbage data.
+    #[test]
+    fn any_truncation_is_detected(
+        seed in any::<u64>(),
+        records in 1usize..6,
+        cut_back in 1u64..20,
+    ) {
+        let path = tmp(seed ^ 0x7C07);
+        let mut writer =
+            StoreWriter::create(&path, 0, 10, StoreOptions::new()).expect("create");
+        for r in 0..records {
+            let samples: Vec<f64> = (0..16).map(|i| sample_value(seed, r, i)).collect();
+            writer.append(&[r as u8], &Trace::from_samples(0, 10, samples)).expect("append");
+        }
+        let end = writer.offset();
+        writer.finish().expect("finish");
+        let cut = end - cut_back.min(end - qdi_exec::store::HEADER_LEN - 1);
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .expect("open rw")
+            .set_len(cut)
+            .expect("truncate");
+
+        let mut reader = StoreReader::open(&path).expect("open");
+        let mut saw_error = false;
+        loop {
+            match reader.next_record() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(err) => {
+                    prop_assert!(
+                        matches!(err, qdi_exec::StoreError::Truncated { .. }),
+                        "expected Truncated, got {}", err
+                    );
+                    saw_error = true;
+                    break;
+                }
+            }
+        }
+        prop_assert!(saw_error, "a cut inside a record must be detected");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -99,6 +99,61 @@ pub fn run_campaign(
     Ok(report)
 }
 
+/// [`run_campaign`] with injected runs executed on the `qdi-exec`
+/// work-stealing pool — one job per fault site.
+///
+/// The simulation is deterministic and every injected run is independent
+/// (faults never interact), so the report — per-fault outcomes, counts
+/// and coverage — is bit-identical to the serial campaign's and to
+/// itself at every worker count.
+///
+/// # Errors
+///
+/// As [`run_campaign`]: only stimulus attachment or *golden*-run
+/// failures are errors; injected-run failures classify as outcomes.
+pub fn run_campaign_parallel(
+    netlist: &Netlist,
+    faults: &[Fault],
+    cfg: &CampaignConfig,
+    exec: qdi_exec::ExecConfig,
+) -> Result<FaultReport, SimError> {
+    let mut span = qdi_obs::span("qdi_fi::campaign", "run_campaign_parallel")
+        .field("faults", faults.len())
+        .field("tokens", cfg.tokens)
+        .field("workers", exec.workers)
+        .enter();
+    let runs_metric = qdi_obs::metrics::counter("fi.runs");
+    let stim = Stimulus::random(netlist, cfg.tokens, cfg.seed)?;
+    let golden_run = stim.run(netlist, &cfg.testbench, None)?;
+    let golden = output_values(&golden_run);
+    runs_metric.inc();
+
+    let outcomes = qdi_exec::run_indexed(&exec, faults.len(), |i| {
+        let plan = FaultPlan::single(faults[i]);
+        let result = stim.run(netlist, &cfg.testbench, Some(&plan));
+        classify(netlist, &golden, &result)
+    });
+    runs_metric.add(faults.len() as u64);
+    // Records and outcome counters are materialized serially in fault
+    // order, so metrics and report rows are schedule-independent.
+    let records: Vec<FaultRecord> = faults
+        .iter()
+        .zip(outcomes)
+        .map(|(fault, outcome)| {
+            qdi_obs::metrics::counter(&format!("fi.outcome.{}", outcome.mnemonic())).inc();
+            FaultRecord::new(netlist, fault, outcome)
+        })
+        .collect();
+
+    let report = FaultReport::new(netlist, faults, records);
+    span.record("detected", report.detected() as f64);
+    span.record("silent", report.silent as f64);
+    for outcome in FaultOutcome::all() {
+        span.record(outcome.mnemonic(), report.count(outcome) as f64);
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -110,6 +110,27 @@ pub struct SeedOutcome {
     pub worst_d: f64,
 }
 
+/// One seed's flow run of a stability study — shared by the serial and
+/// parallel drivers so their outcomes are bit-identical.
+fn seed_outcome(netlist: &Netlist, strategy: Strategy, cfg: &PnrConfig, seed: u64) -> SeedOutcome {
+    let mut nl = netlist.clone();
+    let mut cfg = *cfg;
+    cfg.anneal.seed = seed;
+    place_and_route(&mut nl, strategy, &cfg);
+    // Prefer internal channels (the paper's Table 2 scope); fall
+    // back to all channels for IO-only fixtures.
+    let mut worst = internal_criterion_table(&nl);
+    if worst.is_empty() {
+        worst = criterion_table(&nl);
+    }
+    let first = worst.first().expect("netlist has channels");
+    SeedOutcome {
+        seed,
+        worst_channel: first.name.clone(),
+        worst_d: first.d,
+    }
+}
+
 /// Re-runs the flow across `seeds` and records the worst channel of each
 /// run — the paper's evidence that the flat flow is "not under the
 /// designer's control" is that these differ from run to run.
@@ -121,25 +142,30 @@ pub fn stability_study(
 ) -> Vec<SeedOutcome> {
     seeds
         .iter()
-        .map(|&seed| {
-            let mut nl = netlist.clone();
-            let mut cfg = *cfg;
-            cfg.anneal.seed = seed;
-            place_and_route(&mut nl, strategy, &cfg);
-            // Prefer internal channels (the paper's Table 2 scope); fall
-            // back to all channels for IO-only fixtures.
-            let mut worst = internal_criterion_table(&nl);
-            if worst.is_empty() {
-                worst = criterion_table(&nl);
-            }
-            let first = worst.first().expect("netlist has channels");
-            SeedOutcome {
-                seed,
-                worst_channel: first.name.clone(),
-                worst_d: first.d,
-            }
-        })
+        .map(|&seed| seed_outcome(netlist, strategy, cfg, seed))
         .collect()
+}
+
+/// [`stability_study`] with the per-seed annealing runs executed on the
+/// `qdi-exec` pool. Each run's randomness comes from its own seed and
+/// results are merged in seed order, so the outcome list is bit-identical
+/// to the serial study at every worker count.
+pub fn stability_study_parallel(
+    netlist: &Netlist,
+    strategy: Strategy,
+    cfg: &PnrConfig,
+    seeds: &[u64],
+    exec: qdi_exec::ExecConfig,
+) -> Vec<SeedOutcome> {
+    let mut span = qdi_obs::span("qdi_pnr::criterion", "stability_study_parallel")
+        .field("seeds", seeds.len())
+        .field("workers", exec.workers)
+        .enter();
+    let outcomes = qdi_exec::run_indexed(&exec, seeds.len(), |i| {
+        seed_outcome(netlist, strategy, cfg, seeds[i])
+    });
+    span.record("outcomes", outcomes.len());
+    outcomes
 }
 
 #[cfg(test)]
@@ -202,6 +228,23 @@ mod tests {
         for o in &outcomes {
             assert!(o.worst_d >= 0.0);
             assert!(!o.worst_channel.is_empty());
+        }
+    }
+
+    #[test]
+    fn parallel_stability_study_matches_serial() {
+        let nl = xor_netlist();
+        let seeds = [1u64, 2, 3, 4, 5];
+        let serial = stability_study(&nl, Strategy::Flat, &PnrConfig::fast(), &seeds);
+        for workers in [1usize, 2, 8] {
+            let parallel = stability_study_parallel(
+                &nl,
+                Strategy::Flat,
+                &PnrConfig::fast(),
+                &seeds,
+                qdi_exec::ExecConfig { workers },
+            );
+            assert_eq!(serial, parallel, "outcomes @ {workers} workers");
         }
     }
 }

@@ -36,6 +36,7 @@ pub use qdi_analog as analog;
 pub use qdi_core as core;
 pub use qdi_crypto as crypto;
 pub use qdi_dpa as dpa;
+pub use qdi_exec as exec;
 pub use qdi_fi as fi;
 pub use qdi_lint as lint;
 pub use qdi_netlist as netlist;
