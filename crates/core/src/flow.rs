@@ -200,6 +200,18 @@ pub struct FlowConfig {
     /// error): abort with a [`FlowError`] or record the failure in the
     /// report's [`StepOutcome`] list and keep going.
     pub policy: FlowPolicy,
+    /// Turns on the process-wide progress facility
+    /// ([`qdi_obs::progress`]) before the run, so the campaign and any
+    /// nested parallel loops register live tasks `qdi-mon watch` can
+    /// tail. Off by default (inert handles, one relaxed load per
+    /// registration). Enabling is one-way: a `false` here never switches
+    /// the facility off for other concurrent users.
+    pub progress: bool,
+    /// Ticks the global time-series recorder
+    /// ([`qdi_obs::timeseries`]) after every flow step and embeds the
+    /// per-metric rollups in [`StaticFlowReport::timeseries`]. Off by
+    /// default (zero cost: no tick calls are made).
+    pub timeseries: bool,
 }
 
 impl FlowConfig {
@@ -219,6 +231,8 @@ impl FlowConfig {
             workers: 1,
             lint,
             policy: FlowPolicy::FailFast,
+            progress: false,
+            timeseries: false,
         }
     }
 }
@@ -264,6 +278,10 @@ pub struct StaticFlowReport {
     pub steps: Vec<StepOutcome>,
     /// Per-step wall time and metric deltas for the run.
     pub telemetry: qdi_obs::Telemetry,
+    /// Per-metric time-series rollups (min/max/mean/p50/p90/p99) over
+    /// the run, recorded when [`FlowConfig::timeseries`] is on; `None`
+    /// otherwise.
+    pub timeseries: Option<qdi_obs::TimeseriesSummary>,
 }
 
 impl StaticFlowReport {
@@ -335,6 +353,14 @@ pub fn run_static_flow(
     cfg: &FlowConfig,
 ) -> Result<StaticFlowReport, FlowError> {
     qdi_obs::init_from_env();
+    if cfg.progress {
+        qdi_obs::progress::set_enabled(true);
+    }
+    let tick = || {
+        if cfg.timeseries {
+            qdi_obs::timeseries::tick();
+        }
+    };
     let mut flow_span = qdi_obs::span("qdi_core::flow", "static_flow")
         .field("netlist", netlist.name())
         .field("strategy", format!("{:?}", cfg.strategy))
@@ -349,9 +375,13 @@ pub fn run_static_flow(
         Registry::structural().run(netlist, &cfg.lint)
     });
     lint.emit_to_obs();
+    tick();
     if lint.deny_count() > 0 {
         match cfg.policy {
             FlowPolicy::FailFast => {
+                // Push buffered telemetry out before the early return so
+                // an aborted run still leaves a complete JSONL trail.
+                qdi_obs::flush();
                 return Err(FlowError::Lint {
                     stage: "pre-route",
                     report: lint,
@@ -376,6 +406,7 @@ pub fn run_static_flow(
         place_and_route(netlist, cfg.strategy, &cfg.pnr)
     });
     steps.push(StepOutcome::completed("place_and_route"));
+    tick();
     let fill_report = telemetry.step("qdi_core::flow", "fill", || match cfg.fill {
         FillStep::None => None,
         FillStep::Channels { tolerance } => {
@@ -384,6 +415,7 @@ pub fn run_static_flow(
         FillStep::Cones => Some(qdi_pnr::fill::balance_cones(netlist)),
     });
     steps.push(StepOutcome::completed("fill"));
+    tick();
 
     // Stage 2: electrical lints on the extracted (and possibly filled)
     // capacitances. `criterion_alert` stays the single flagging knob.
@@ -393,9 +425,11 @@ pub fn run_static_flow(
         Registry::electrical().run(netlist, &electrical_cfg)
     });
     electrical.emit_to_obs();
+    tick();
     if electrical.deny_count() > 0 {
         match cfg.policy {
             FlowPolicy::FailFast => {
+                qdi_obs::flush();
                 return Err(FlowError::Lint {
                     stage: "post-extraction",
                     report: electrical,
@@ -424,11 +458,13 @@ pub fn run_static_flow(
         criterion::criterion_table(netlist)
     });
     steps.push(StepOutcome::completed("criterion_table"));
+    tick();
     let max_criterion = table.first().map_or(0.0, |c| c.d);
     let mut leakage = telemetry.step("qdi_core::flow", "leakage_ranking", || {
         rank_channel_leakage(netlist)
     });
     steps.push(StepOutcome::completed("leakage_ranking"));
+    tick();
     leakage.truncate(cfg.worst_k);
     flow_span.record("max_criterion", max_criterion);
     flow_span.record("flagged_channels", flagged.len());
@@ -449,6 +485,7 @@ pub fn run_static_flow(
         lint,
         steps,
         telemetry,
+        timeseries: cfg.timeseries.then(qdi_obs::timeseries::summary),
     })
 }
 
@@ -523,13 +560,19 @@ pub fn run_slice_flow(
             )
         }
     });
+    if cfg.timeseries {
+        qdi_obs::timeseries::tick();
+    }
     let set = match set {
         Ok(set) => {
             layout.steps.push(StepOutcome::completed("campaign"));
             set
         }
         Err(err) => match cfg.policy {
-            FlowPolicy::FailFast => return Err(FlowError::Sim(err)),
+            FlowPolicy::FailFast => {
+                qdi_obs::flush();
+                return Err(FlowError::Sim(err));
+            }
             FlowPolicy::ContinueOnError => {
                 layout
                     .steps
@@ -551,6 +594,11 @@ pub fn run_slice_flow(
         .telemetry
         .step("qdi_core::flow", "attack", || attack(&set, sel));
     layout.steps.push(StepOutcome::completed("attack"));
+    if cfg.timeseries {
+        qdi_obs::timeseries::tick();
+        // Refresh the embedded rollups so they cover the DPA steps too.
+        layout.timeseries = Some(qdi_obs::timeseries::summary());
+    }
     let correct_key_rank = result.rank_of(cfg.campaign.key as u16);
     let best_peak = result.best().peak_abs;
     let ghost_ratio = result.ghost_ratio();
@@ -903,6 +951,29 @@ mod tests {
 
     fn err_text(err: &FlowError) -> String {
         format!("{err}")
+    }
+
+    #[test]
+    fn timeseries_knob_embeds_rollups_in_the_report() {
+        let mut slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+        let mut cfg = fast_cfg(Strategy::Flat, 0);
+        assert!(
+            run_static_flow(&mut slice.netlist.clone(), &cfg)
+                .expect("passes lint")
+                .timeseries
+                .is_none(),
+            "off by default"
+        );
+        cfg.timeseries = true;
+        let report = run_static_flow(&mut slice.netlist, &cfg).expect("passes lint");
+        let ts = report.timeseries.as_ref().expect("summary embedded");
+        assert!(ts.ticks >= 6, "one tick per static step, got {}", ts.ticks);
+        assert!(
+            ts.series.iter().any(|s| s.name == "pnr.moves_attempted"),
+            "annealing counters must appear in the rollups"
+        );
+        let json = serde_json::to_string(&report).expect("serializes");
+        assert!(json.contains("\"timeseries\""));
     }
 
     #[test]

@@ -88,9 +88,15 @@ pub fn run_parallel_campaign(
     let start = std::time::Instant::now();
     let pts = plaintext_schedule(cfg);
     let synth = TraceSynthesizer::new(&slice.netlist, cfg.synth);
+    // Inert unless `qdi_obs::progress` is enabled; `qdi-mon watch` tails
+    // the streamed snapshots for a live completed/total + ETA view.
+    let progress = qdi_obs::progress::task("dpa.campaign", cfg.traces);
     let traces = qdi_exec::try_run_indexed(&exec, cfg.traces, |i| {
-        acquire_indexed(slice, cfg, &synth, pts[i], i)
+        let trace = acquire_indexed(slice, cfg, &synth, pts[i], i);
+        progress.advance(1);
+        trace
     })?;
+    progress.finish();
     let mut set = TraceSet::new();
     for (pt, trace) in pts.into_iter().zip(traces) {
         set.push(vec![pt], trace);

@@ -189,6 +189,7 @@ pub struct StoreCampaignRunner<'a> {
     writer: StoreWriter,
     store_path: String,
     completed: usize,
+    progress: qdi_obs::progress::ProgressTask,
 }
 
 impl std::fmt::Debug for StoreCampaignRunner<'_> {
@@ -227,6 +228,7 @@ impl<'a> StoreCampaignRunner<'a> {
             writer,
             store_path,
             completed: 0,
+            progress: qdi_obs::progress::task("dpa.store_campaign", cfg.traces),
         })
     }
 
@@ -263,6 +265,9 @@ impl<'a> StoreCampaignRunner<'a> {
                 checkpoint.completed
             )));
         }
+        // A resumed campaign starts its progress bar at the checkpoint.
+        let progress = qdi_obs::progress::task("dpa.store_campaign", cfg.traces);
+        progress.advance(checkpoint.completed);
         Ok(StoreCampaignRunner {
             slice,
             cfg,
@@ -273,6 +278,7 @@ impl<'a> StoreCampaignRunner<'a> {
             writer,
             store_path: checkpoint.store_path,
             completed: checkpoint.completed,
+            progress,
         })
     }
 
@@ -321,6 +327,7 @@ impl<'a> StoreCampaignRunner<'a> {
         let backoff = self.resilience.budget_backoff.max(2);
         let max_retries = self.resilience.max_retries;
         let (slice, cfg, synth, pts) = (self.slice, &self.cfg, &self.synth, &self.pts);
+        let progress = &self.progress;
         let traces = qdi_exec::try_run_indexed(&self.exec, hi - lo, |j| {
             let index = lo + j;
             let mut attempt = 0u32;
@@ -333,7 +340,10 @@ impl<'a> StoreCampaignRunner<'a> {
                 // The noise RNG is re-derived from the index each attempt,
                 // so a retry replays exactly the draw a clean run makes.
                 match acquire_indexed(slice, &try_cfg, synth, pts[index], index) {
-                    Ok(trace) => return Ok(trace),
+                    Ok(trace) => {
+                        progress.advance(1);
+                        return Ok(trace);
+                    }
                     Err(err @ (SimError::EventLimit { .. } | SimError::SimTimeout { .. }))
                         if attempt < max_retries =>
                     {
@@ -373,6 +383,7 @@ impl<'a> StoreCampaignRunner<'a> {
     ///
     /// [`CampaignError::Io`] on flush failure.
     pub fn finish(self) -> Result<(), CampaignError> {
+        self.progress.finish();
         self.writer.finish()?;
         Ok(())
     }

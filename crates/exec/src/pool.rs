@@ -252,6 +252,12 @@ where
     for (wid, (done, local)) in per_worker.into_iter().enumerate() {
         span.record(&format!("worker{wid}_jobs"), done);
         qdi_obs::metrics::counter(&format!("exec.pool.worker.{wid}.jobs")).add(done as u64);
+        // Share of the bag this worker executed, in percent. Computed
+        // once after the scope joins (not on the hot path); an even
+        // split reads 100/workers, so a stalled worker is visible as a
+        // near-zero share. Feeds the pool section of `qdi-mon watch`.
+        qdi_obs::metrics::gauge(&format!("exec.pool.worker.{wid}.share_pct"))
+            .set((done * 100 / jobs) as i64);
         merged.extend(local);
     }
     // Cancelled (never-run) jobs leave no entry; drain the gauge for them.

@@ -128,11 +128,16 @@ pub fn run_campaign_parallel(
     let golden = output_values(&golden_run);
     runs_metric.inc();
 
+    // Inert unless `qdi_obs::progress` is enabled; feeds `qdi-mon watch`.
+    let progress = qdi_obs::progress::task("fi.campaign", faults.len());
     let outcomes = qdi_exec::run_indexed(&exec, faults.len(), |i| {
         let plan = FaultPlan::single(faults[i]);
         let result = stim.run(netlist, &cfg.testbench, Some(&plan));
-        classify(netlist, &golden, &result)
+        let outcome = classify(netlist, &golden, &result);
+        progress.advance(1);
+        outcome
     });
+    progress.finish();
     runs_metric.add(faults.len() as u64);
     // Records and outcome counters are materialized serially in fault
     // order, so metrics and report rows are schedule-independent.

@@ -1,0 +1,213 @@
+//! Bench-report comparison: the perf-regression gate.
+//!
+//! Both sides are JSON objects in the shape `parallel_campaign` emits
+//! (`BENCH_parallel_campaign.json`). Throughput metrics are
+//! higher-is-better; a metric regresses when
+//! `current < baseline * (1 - threshold)`. The determinism flag
+//! `bias_bit_identical` is a hard failure whenever it is present and
+//! false — a perf run that lost bit-identity is broken no matter how
+//! fast it went.
+
+use serde::Value;
+
+/// Default relative threshold: fail below 50% of the baseline. Wide on
+/// purpose — CI machines vary a lot; the gate is for order-of-magnitude
+/// regressions, not noise.
+pub const DEFAULT_THRESHOLD: f64 = 0.5;
+
+/// Throughput metrics compared by default (higher is better).
+pub const DEFAULT_METRICS: [&str; 2] = ["serial_traces_per_s", "parallel_traces_per_s"];
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// JSON field name.
+    pub name: String,
+    /// Committed baseline value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub current: f64,
+    /// `current / baseline`.
+    pub ratio: f64,
+    /// Whether the drop exceeds the threshold.
+    pub regressed: bool,
+}
+
+/// The full comparison result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDiff {
+    /// Per-metric comparisons, in request order.
+    pub deltas: Vec<MetricDelta>,
+    /// `bias_bit_identical` of the current run (true when absent).
+    pub bias_ok: bool,
+    /// The threshold the comparison ran with.
+    pub threshold: f64,
+}
+
+impl BenchDiff {
+    /// Whether the gate should fail (any regression or lost bit-identity).
+    #[must_use]
+    pub fn failed(&self) -> bool {
+        !self.bias_ok || self.deltas.iter().any(|d| d.regressed)
+    }
+
+    /// A human-readable table of the comparison.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:>14} {:>14} {:>8}  verdict (threshold {:.0}%)\n",
+            "metric",
+            "baseline",
+            "current",
+            "ratio",
+            self.threshold * 100.0
+        ));
+        for d in &self.deltas {
+            out.push_str(&format!(
+                "{:<24} {:>14.1} {:>14.1} {:>7.2}x  {}\n",
+                d.name,
+                d.baseline,
+                d.current,
+                d.ratio,
+                if d.regressed { "REGRESSED" } else { "ok" }
+            ));
+        }
+        if !self.bias_ok {
+            out.push_str("bias_bit_identical       false — determinism contract broken\n");
+        }
+        out
+    }
+}
+
+fn metric(value: &Value, name: &str) -> Result<f64, String> {
+    value
+        .get(name)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing numeric field `{name}`"))
+}
+
+/// Compares `current` against `baseline` over `metrics` (higher is
+/// better) with a relative `threshold` in `(0, 1)`.
+///
+/// # Errors
+///
+/// Returns a description when a metric is missing, non-numeric or the
+/// baseline value is not positive, or when the threshold is out of
+/// range.
+pub fn diff(
+    baseline: &Value,
+    current: &Value,
+    metrics: &[String],
+    threshold: f64,
+) -> Result<BenchDiff, String> {
+    if !(threshold > 0.0 && threshold < 1.0) {
+        return Err(format!("threshold {threshold} must be in (0, 1)"));
+    }
+    let mut deltas = Vec::with_capacity(metrics.len());
+    for name in metrics {
+        let base = metric(baseline, name).map_err(|e| format!("baseline: {e}"))?;
+        let cur = metric(current, name).map_err(|e| format!("current: {e}"))?;
+        if base <= 0.0 {
+            return Err(format!("baseline `{name}` is {base}, expected > 0"));
+        }
+        let ratio = cur / base;
+        deltas.push(MetricDelta {
+            name: name.clone(),
+            baseline: base,
+            current: cur,
+            ratio,
+            regressed: ratio < 1.0 - threshold,
+        });
+    }
+    let bias_ok = current
+        .get("bias_bit_identical")
+        .and_then(Value::as_bool)
+        .unwrap_or(true);
+    Ok(BenchDiff {
+        deltas,
+        bias_ok,
+        threshold,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(serial: f64, parallel: f64, bias: bool) -> Value {
+        serde_json::parse_value_str(&format!(
+            "{{\"bench\":\"parallel_campaign\",\"serial_traces_per_s\":{serial},\
+             \"parallel_traces_per_s\":{parallel},\"bias_bit_identical\":{bias}}}"
+        ))
+        .unwrap()
+    }
+
+    fn names() -> Vec<String> {
+        DEFAULT_METRICS.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let d = diff(
+            &report(100.0, 800.0, true),
+            &report(60.0, 500.0, true),
+            &names(),
+            0.5,
+        )
+        .unwrap();
+        assert!(!d.failed());
+        assert!(d.deltas.iter().all(|m| !m.regressed));
+        assert!(d.render().contains("ok"));
+    }
+
+    #[test]
+    fn deep_regression_fails() {
+        let d = diff(
+            &report(100.0, 800.0, true),
+            &report(20.0, 790.0, true),
+            &names(),
+            0.5,
+        )
+        .unwrap();
+        assert!(d.failed());
+        assert!(d.deltas[0].regressed, "serial dropped to 20%");
+        assert!(!d.deltas[1].regressed);
+        assert!(d.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn improvements_never_fail() {
+        let d = diff(
+            &report(100.0, 800.0, true),
+            &report(500.0, 4000.0, true),
+            &names(),
+            0.1,
+        )
+        .unwrap();
+        assert!(!d.failed());
+    }
+
+    #[test]
+    fn lost_bit_identity_is_a_hard_failure() {
+        let d = diff(
+            &report(100.0, 800.0, true),
+            &report(100.0, 800.0, false),
+            &names(),
+            0.5,
+        )
+        .unwrap();
+        assert!(d.failed());
+        assert!(d.render().contains("determinism"));
+    }
+
+    #[test]
+    fn missing_metric_and_bad_threshold_error() {
+        let base = report(100.0, 800.0, true);
+        assert!(diff(&base, &base, &["nope".to_string()], 0.5).is_err());
+        assert!(diff(&base, &base, &names(), 0.0).is_err());
+        assert!(diff(&base, &base, &names(), 1.0).is_err());
+        let zero = report(0.0, 800.0, true);
+        assert!(diff(&zero, &base, &names(), 0.5).is_err());
+    }
+}

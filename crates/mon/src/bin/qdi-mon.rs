@@ -1,0 +1,296 @@
+//! The `qdi-mon` command line: live dashboards, HTML reports,
+//! Prometheus exposition and the bench perf-regression gate.
+//!
+//! ```text
+//! qdi-mon watch [--interval-ms N] [--once] PROGRESS.json
+//! qdi-mon report [--out FILE.html] [--top N] [--title T] TELEMETRY.jsonl
+//! qdi-mon export METRICS.json
+//! qdi-mon bench-diff [--baseline FILE] [--threshold FRAC] [--metric NAME]...
+//!                    [--update-baseline] CURRENT.json
+//! ```
+//!
+//! Exit status mirrors `qdi-lint`: `0` success, `1` a data-level
+//! failure (perf regression past the threshold, lost bit-identity), `2`
+//! usage error or unreadable input.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use qdi_mon::{bench, dashboard, report};
+use qdi_obs::metrics::MetricsSnapshot;
+use qdi_obs::progress::ProgressSnapshot;
+
+fn usage() -> &'static str {
+    "usage: qdi-mon watch [--interval-ms N] [--once] PROGRESS.json\n\
+     \x20      qdi-mon report [--out FILE.html] [--top N] [--title T] TELEMETRY.jsonl\n\
+     \x20      qdi-mon export METRICS.json\n\
+     \x20      qdi-mon bench-diff [--baseline FILE] [--threshold FRAC] [--metric NAME]...\n\
+     \x20              [--update-baseline] CURRENT.json"
+}
+
+fn cmd_watch(interval_ms: u64, once: bool, file: &str) -> ExitCode {
+    let mut first = true;
+    loop {
+        match ProgressSnapshot::load(file) {
+            Ok(snap) => {
+                let frame = dashboard::render(&snap);
+                if once {
+                    print!("{frame}");
+                    return ExitCode::SUCCESS;
+                }
+                print!("{}", dashboard::ansi_frame(&frame, first));
+                use std::io::Write as _;
+                let _ = std::io::stdout().flush();
+                first = false;
+                if snap.all_done() {
+                    println!("all tasks done");
+                    return ExitCode::SUCCESS;
+                }
+            }
+            Err(err) => {
+                if once || first {
+                    eprintln!("watch: {err}");
+                    return ExitCode::from(2);
+                }
+                // The writer may be mid-rename; keep polling.
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(10)));
+    }
+}
+
+fn cmd_report(out: Option<&str>, top: usize, title: &str, telemetry: &str) -> ExitCode {
+    let telemetry = Path::new(telemetry);
+    let html = match report::build(telemetry, top, title) {
+        Ok(html) => html,
+        Err(err) => {
+            eprintln!("report: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let out_path = match out {
+        Some(path) => path.to_string(),
+        None => report::sidecar(telemetry, "report.html")
+            .display()
+            .to_string(),
+    };
+    if let Err(err) = std::fs::write(&out_path, html) {
+        eprintln!("report: {out_path}: {err}");
+        return ExitCode::from(2);
+    }
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}
+
+fn cmd_export(metrics: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(metrics) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("export: {metrics}: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut snap: MetricsSnapshot = match serde_json::from_str(&text) {
+        Ok(snap) => snap,
+        Err(err) => {
+            eprintln!("export: {metrics}: not a metrics snapshot: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    snap.normalize();
+    print!("{}", qdi_obs::prometheus::render(&snap));
+    ExitCode::SUCCESS
+}
+
+fn load_json(path: &str) -> Result<serde::Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::parse_value_str(&text).map_err(|e| format!("{path}: {e:?}"))
+}
+
+fn cmd_bench_diff(
+    baseline: &str,
+    threshold: f64,
+    metrics: &[String],
+    update: bool,
+    current: &str,
+) -> ExitCode {
+    let current_value = match load_json(current) {
+        Ok(v) => v,
+        Err(err) => {
+            eprintln!("bench-diff: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    if update {
+        let text = match std::fs::read_to_string(current) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("bench-diff: {current}: {err}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Some(parent) = Path::new(baseline).parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+        }
+        if let Err(err) = std::fs::write(baseline, text) {
+            eprintln!("bench-diff: {baseline}: {err}");
+            return ExitCode::from(2);
+        }
+        println!("baseline {baseline} updated from {current}");
+        return ExitCode::SUCCESS;
+    }
+    let baseline_value = match load_json(baseline) {
+        Ok(v) => v,
+        Err(err) => {
+            eprintln!("bench-diff: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    match bench::diff(&baseline_value, &current_value, metrics, threshold) {
+        Ok(diff) => {
+            print!("{}", diff.render());
+            if diff.failed() {
+                eprintln!("bench-diff: performance regressed past the threshold");
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(err) => {
+            eprintln!("bench-diff: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    };
+    let rest = &args[1..];
+    match command {
+        "watch" => {
+            let mut interval_ms = 250u64;
+            let mut once = false;
+            let mut files = Vec::new();
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--interval-ms" => {
+                        let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
+                            eprintln!("watch: --interval-ms needs a number\n{}", usage());
+                            return ExitCode::from(2);
+                        };
+                        interval_ms = n;
+                    }
+                    "--once" => once = true,
+                    _ => files.push(arg.clone()),
+                }
+            }
+            if files.len() != 1 {
+                eprintln!("watch: exactly one PROGRESS.json\n{}", usage());
+                return ExitCode::from(2);
+            }
+            cmd_watch(interval_ms, once, &files[0])
+        }
+        "report" => {
+            let mut out = None;
+            let mut top = 10usize;
+            let mut title = "QDI run report".to_string();
+            let mut files = Vec::new();
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--out" => match it.next() {
+                        Some(path) => out = Some(path.clone()),
+                        None => {
+                            eprintln!("report: --out needs a path\n{}", usage());
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--top" => {
+                        let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
+                            eprintln!("report: --top needs a number\n{}", usage());
+                            return ExitCode::from(2);
+                        };
+                        top = n;
+                    }
+                    "--title" => match it.next() {
+                        Some(t) => title = t.clone(),
+                        None => {
+                            eprintln!("report: --title needs a value\n{}", usage());
+                            return ExitCode::from(2);
+                        }
+                    },
+                    _ => files.push(arg.clone()),
+                }
+            }
+            if files.len() != 1 {
+                eprintln!("report: exactly one TELEMETRY.jsonl\n{}", usage());
+                return ExitCode::from(2);
+            }
+            cmd_report(out.as_deref(), top, &title, &files[0])
+        }
+        "export" => {
+            if rest.len() != 1 {
+                eprintln!("export: exactly one METRICS.json\n{}", usage());
+                return ExitCode::from(2);
+            }
+            cmd_export(&rest[0])
+        }
+        "bench-diff" => {
+            let mut baseline = "benches/baseline.json".to_string();
+            let mut threshold = bench::DEFAULT_THRESHOLD;
+            let mut metrics: Vec<String> = Vec::new();
+            let mut update = false;
+            let mut files = Vec::new();
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--baseline" => match it.next() {
+                        Some(path) => baseline = path.clone(),
+                        None => {
+                            eprintln!("bench-diff: --baseline needs a path\n{}", usage());
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--threshold" => {
+                        let Some(t) = it.next().and_then(|v| v.parse().ok()) else {
+                            eprintln!("bench-diff: --threshold needs a fraction\n{}", usage());
+                            return ExitCode::from(2);
+                        };
+                        threshold = t;
+                    }
+                    "--metric" => match it.next() {
+                        Some(name) => metrics.push(name.clone()),
+                        None => {
+                            eprintln!("bench-diff: --metric needs a name\n{}", usage());
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--update-baseline" => update = true,
+                    _ => files.push(arg.clone()),
+                }
+            }
+            if files.len() != 1 {
+                eprintln!("bench-diff: exactly one CURRENT.json\n{}", usage());
+                return ExitCode::from(2);
+            }
+            if metrics.is_empty() {
+                metrics = bench::DEFAULT_METRICS
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
+            }
+            cmd_bench_diff(&baseline, threshold, &metrics, update, &files[0])
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n{}", usage());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! ANSI dashboard frames for `qdi-mon watch`.
+
+use qdi_obs::progress::{ProgressSnapshot, TaskSnapshot};
+
+const BAR_WIDTH: usize = 32;
+
+/// Formats seconds as a compact human duration (`--` when unknown).
+#[must_use]
+pub fn fmt_eta(eta_s: f64) -> String {
+    if eta_s < 0.0 {
+        return "--".to_string();
+    }
+    let total = eta_s.round() as u64;
+    if total >= 3600 {
+        format!("{}h{:02}m", total / 3600, (total % 3600) / 60)
+    } else if total >= 60 {
+        format!("{}m{:02}s", total / 60, total % 60)
+    } else {
+        format!("{total}s")
+    }
+}
+
+fn bar(fraction: f64) -> String {
+    let filled = (fraction.clamp(0.0, 1.0) * BAR_WIDTH as f64).round() as usize;
+    format!("[{}{}]", "#".repeat(filled), "-".repeat(BAR_WIDTH - filled))
+}
+
+fn task_line(t: &TaskSnapshot) -> String {
+    let rate = if t.ewma_rate > 0.0 {
+        t.ewma_rate
+    } else {
+        t.rate
+    };
+    let state = if t.done {
+        "done".to_string()
+    } else {
+        format!("eta {}", fmt_eta(t.eta_s))
+    };
+    format!(
+        "{:<22} {} {:>5.1}% {:>14} {:>10.1}/s  {}",
+        t.name,
+        bar(t.fraction()),
+        t.fraction() * 100.0,
+        format!("{}/{}", t.completed, t.total),
+        rate,
+        state,
+    )
+}
+
+/// One dashboard frame (no ANSI control codes — the caller decides how
+/// to place it on screen).
+#[must_use]
+pub fn render(snap: &ProgressSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "qdi-mon watch  t=+{:.1}s  ({} task{})\n\n",
+        snap.ts_us as f64 / 1e6,
+        snap.tasks.len(),
+        if snap.tasks.len() == 1 { "" } else { "s" },
+    ));
+    if snap.tasks.is_empty() {
+        out.push_str("  (no tasks registered yet)\n");
+    }
+    for t in &snap.tasks {
+        out.push_str(&task_line(t));
+        out.push('\n');
+    }
+    if !snap.pool.is_empty() {
+        out.push_str("\npool:\n");
+        for s in &snap.pool {
+            out.push_str(&format!("  {:<38} {}\n", s.name, s.value));
+        }
+    }
+    out
+}
+
+/// Wraps a frame with ANSI codes that repaint the terminal in place.
+#[must_use]
+pub fn ansi_frame(frame: &str, first: bool) -> String {
+    // Home the cursor and clear below; clear the whole screen once at
+    // the start so leftovers from the shell don't linger.
+    if first {
+        format!("\x1b[2J\x1b[H{frame}\x1b[J")
+    } else {
+        format!("\x1b[H{frame}\x1b[J")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdi_obs::metrics::MetricSample;
+
+    fn snap() -> ProgressSnapshot {
+        ProgressSnapshot {
+            ts_us: 2_500_000,
+            tasks: vec![TaskSnapshot {
+                name: "dpa.campaign".into(),
+                completed: 250,
+                total: 1000,
+                elapsed_s: 2.5,
+                rate: 100.0,
+                ewma_rate: 120.0,
+                eta_s: 6.25,
+                done: false,
+            }],
+            pool: vec![MetricSample {
+                name: "exec.pool.workers".into(),
+                value: 8.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn frame_shows_progress_rate_and_eta() {
+        let frame = render(&snap());
+        assert!(frame.contains("dpa.campaign"));
+        assert!(frame.contains("250/1000"));
+        assert!(frame.contains("25.0%"));
+        assert!(frame.contains("120.0/s"), "EWMA preferred over overall");
+        assert!(frame.contains("eta 6s"));
+        assert!(frame.contains("exec.pool.workers"));
+    }
+
+    #[test]
+    fn done_tasks_and_unknown_eta() {
+        let mut s = snap();
+        s.tasks[0].done = true;
+        assert!(render(&s).contains("done"));
+        s.tasks[0].done = false;
+        s.tasks[0].eta_s = -1.0;
+        assert!(render(&s).contains("eta --"));
+    }
+
+    #[test]
+    fn eta_formatting_scales() {
+        assert_eq!(fmt_eta(-1.0), "--");
+        assert_eq!(fmt_eta(4.4), "4s");
+        assert_eq!(fmt_eta(75.0), "1m15s");
+        assert_eq!(fmt_eta(3700.0), "1h01m");
+    }
+
+    #[test]
+    fn ansi_frames_repaint_in_place() {
+        let first = ansi_frame("x", true);
+        assert!(first.starts_with("\x1b[2J\x1b[H"));
+        let later = ansi_frame("x", false);
+        assert!(later.starts_with("\x1b[H"));
+        assert!(later.ends_with("\x1b[J"));
+    }
+}

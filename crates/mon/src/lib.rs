@@ -1,0 +1,25 @@
+//! `qdi-mon`: the monitoring companion of the QDI secure flow.
+//!
+//! The library half hosts everything the `qdi-mon` binary does, in
+//! testable form:
+//!
+//! * [`dashboard`] — renders a [`qdi_obs::ProgressSnapshot`] (streamed
+//!   by running campaigns via `qdi_obs::progress::set_file`) as an
+//!   in-place ANSI terminal frame with completed/total bars, EWMA
+//!   throughput and ETA per task, plus the `exec.pool.*` gauges.
+//! * [`report`] — turns a recorded telemetry JSONL (and its optional
+//!   `*.timeseries.json` / `*.metrics.json` sidecars) into the
+//!   self-contained HTML report of [`qdi_obs::html`].
+//! * [`bench`] — compares a freshly emitted `BENCH_*.json` against a
+//!   committed baseline with relative thresholds: the repo's CI
+//!   perf-regression gate.
+//!
+//! The binary follows the `qdi-lint` exit-code discipline: `0` success,
+//! `1` a data-level failure (perf regression, lost determinism), `2`
+//! usage error or unreadable input.
+
+#![forbid(unsafe_code)]
+
+pub mod bench;
+pub mod dashboard;
+pub mod report;

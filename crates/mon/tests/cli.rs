@@ -1,0 +1,261 @@
+//! End-to-end tests of the `qdi-mon` binary: exit-code discipline and
+//! output shapes for every subcommand.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use qdi_obs::metrics::{MetricSample, MetricsSnapshot};
+use qdi_obs::progress::{ProgressSnapshot, TaskSnapshot};
+
+fn qdi_mon(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_qdi-mon"))
+        .args(args)
+        .env_remove("QDI_LOG")
+        .output()
+        .expect("qdi-mon runs")
+}
+
+fn code(output: &Output) -> i32 {
+    output.status.code().expect("exit code")
+}
+
+fn temp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(name)
+}
+
+fn write_progress(path: &PathBuf, completed: u64, done: bool) {
+    let snap = ProgressSnapshot {
+        ts_us: 1_000_000,
+        tasks: vec![TaskSnapshot {
+            name: "dpa.campaign".into(),
+            completed,
+            total: 100,
+            elapsed_s: 1.0,
+            rate: completed as f64,
+            ewma_rate: completed as f64,
+            eta_s: if done { 0.0 } else { 2.0 },
+            done,
+        }],
+        pool: vec![MetricSample {
+            name: "exec.pool.workers".into(),
+            value: 4.0,
+        }],
+    };
+    snap.save(path).unwrap();
+}
+
+#[test]
+fn no_args_is_usage_error() {
+    let out = qdi_mon(&[]);
+    assert_eq!(code(&out), 2);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn unknown_command_is_usage_error() {
+    assert_eq!(code(&qdi_mon(&["frobnicate"])), 2);
+}
+
+#[test]
+fn watch_once_renders_a_frame() {
+    let path = temp("qdi_mon_cli_watch.json");
+    write_progress(&path, 25, false);
+    let out = qdi_mon(&["watch", "--once", path.to_str().unwrap()]);
+    assert_eq!(code(&out), 0);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("dpa.campaign"));
+    assert!(stdout.contains("25/100"));
+    assert!(stdout.contains("eta"));
+    assert!(stdout.contains("exec.pool.workers"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn watch_exits_when_all_tasks_done() {
+    let path = temp("qdi_mon_cli_watch_done.json");
+    write_progress(&path, 100, true);
+    let out = qdi_mon(&["watch", "--interval-ms", "10", path.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "watch returns once every task is done");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn watch_missing_file_is_load_error() {
+    assert_eq!(
+        code(&qdi_mon(&["watch", "--once", "/nonexistent/p.json"])),
+        2
+    );
+}
+
+#[test]
+fn report_builds_html_from_jsonl() {
+    let dir = std::env::temp_dir();
+    let jsonl = dir.join("qdi_mon_cli_run.telemetry.jsonl");
+    let record = qdi_obs::Record::SpanClose {
+        id: 1,
+        depth: 0,
+        target: "qdi_core::flow".into(),
+        name: "campaign".into(),
+        fields: vec![],
+        ts_us: 0,
+        dur_us: 2_000,
+        thread: 0,
+    };
+    std::fs::write(&jsonl, qdi_obs::json::record_to_json(&record) + "\n").unwrap();
+    let out_html = dir.join("qdi_mon_cli_run.report.html");
+    let out = qdi_mon(&[
+        "report",
+        "--out",
+        out_html.to_str().unwrap(),
+        "--title",
+        "cli test",
+        jsonl.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "{}", String::from_utf8_lossy(&out.stderr));
+    let html = std::fs::read_to_string(&out_html).unwrap();
+    assert!(html.starts_with("<!DOCTYPE html>"));
+    assert!(html.contains("cli test"));
+    assert!(html.contains("campaign"));
+    let _ = std::fs::remove_file(&jsonl);
+    let _ = std::fs::remove_file(&out_html);
+}
+
+#[test]
+fn report_missing_telemetry_is_load_error() {
+    assert_eq!(code(&qdi_mon(&["report", "/nonexistent/t.jsonl"])), 2);
+}
+
+#[test]
+fn export_round_trips_through_prometheus_text() {
+    let path = temp("qdi_mon_cli_metrics.json");
+    let snap = MetricsSnapshot {
+        samples: vec![
+            MetricSample {
+                name: "dpa.traces".into(),
+                value: 10_000.0,
+            },
+            MetricSample {
+                name: "sim.queue.max".into(),
+                value: 42.0,
+            },
+        ],
+    };
+    std::fs::write(&path, serde_json::to_string_pretty(&snap).unwrap()).unwrap();
+    let out = qdi_mon(&["export", path.to_str().unwrap()]);
+    assert_eq!(code(&out), 0);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("# TYPE qdi_dpa_traces gauge"));
+    let parsed = qdi_obs::prometheus::parse(&text).unwrap();
+    assert_eq!(parsed.len(), 2);
+    assert_eq!(parsed[0].name, "qdi_dpa_traces");
+    assert_eq!(parsed[0].value, 10_000.0);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn export_rejects_non_snapshot_json() {
+    let path = temp("qdi_mon_cli_not_metrics.json");
+    std::fs::write(&path, "[1,2,3]").unwrap();
+    assert_eq!(code(&qdi_mon(&["export", path.to_str().unwrap()])), 2);
+    let _ = std::fs::remove_file(&path);
+}
+
+fn bench_json(serial: f64, parallel: f64, bias: bool) -> String {
+    format!(
+        "{{\"bench\":\"parallel_campaign\",\"serial_traces_per_s\":{serial},\
+         \"parallel_traces_per_s\":{parallel},\"bias_bit_identical\":{bias}}}"
+    )
+}
+
+#[test]
+fn bench_diff_passes_within_threshold_and_fails_past_it() {
+    let base = temp("qdi_mon_cli_baseline.json");
+    let cur = temp("qdi_mon_cli_current.json");
+    std::fs::write(&base, bench_json(100.0, 800.0, true)).unwrap();
+
+    std::fs::write(&cur, bench_json(70.0, 600.0, true)).unwrap();
+    let ok = qdi_mon(&[
+        "bench-diff",
+        "--baseline",
+        base.to_str().unwrap(),
+        cur.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&ok), 0, "{}", String::from_utf8_lossy(&ok.stderr));
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("ok"));
+
+    std::fs::write(&cur, bench_json(10.0, 600.0, true)).unwrap();
+    let bad = qdi_mon(&[
+        "bench-diff",
+        "--baseline",
+        base.to_str().unwrap(),
+        cur.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&bad), 1, "regression past threshold exits 1");
+    assert!(String::from_utf8_lossy(&bad.stdout).contains("REGRESSED"));
+
+    // Tighter threshold flips the verdict for a mild drop.
+    std::fs::write(&cur, bench_json(70.0, 600.0, true)).unwrap();
+    let tight = qdi_mon(&[
+        "bench-diff",
+        "--baseline",
+        base.to_str().unwrap(),
+        "--threshold",
+        "0.1",
+        cur.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&tight), 1);
+
+    let _ = std::fs::remove_file(&base);
+    let _ = std::fs::remove_file(&cur);
+}
+
+#[test]
+fn bench_diff_fails_on_lost_bit_identity() {
+    let base = temp("qdi_mon_cli_baseline_bias.json");
+    let cur = temp("qdi_mon_cli_current_bias.json");
+    std::fs::write(&base, bench_json(100.0, 800.0, true)).unwrap();
+    std::fs::write(&cur, bench_json(100.0, 800.0, false)).unwrap();
+    let out = qdi_mon(&[
+        "bench-diff",
+        "--baseline",
+        base.to_str().unwrap(),
+        cur.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 1);
+    let _ = std::fs::remove_file(&base);
+    let _ = std::fs::remove_file(&cur);
+}
+
+#[test]
+fn bench_diff_update_baseline_rewrites_the_file() {
+    let base = temp("qdi_mon_cli_baseline_update.json");
+    let cur = temp("qdi_mon_cli_current_update.json");
+    let fresh = bench_json(250.0, 2000.0, true);
+    std::fs::write(&cur, &fresh).unwrap();
+    let _ = std::fs::remove_file(&base);
+    let out = qdi_mon(&[
+        "bench-diff",
+        "--baseline",
+        base.to_str().unwrap(),
+        "--update-baseline",
+        cur.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(std::fs::read_to_string(&base).unwrap(), fresh);
+    let _ = std::fs::remove_file(&base);
+    let _ = std::fs::remove_file(&cur);
+}
+
+#[test]
+fn bench_diff_missing_baseline_is_load_error() {
+    let cur = temp("qdi_mon_cli_current_nobase.json");
+    std::fs::write(&cur, bench_json(100.0, 800.0, true)).unwrap();
+    let out = qdi_mon(&[
+        "bench-diff",
+        "--baseline",
+        "/nonexistent/baseline.json",
+        cur.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 2);
+    let _ = std::fs::remove_file(&cur);
+}

@@ -38,18 +38,24 @@
 #![forbid(unsafe_code)]
 
 pub mod filter;
+pub mod html;
 pub mod json;
 pub mod level;
 pub mod metrics;
+pub mod progress;
+pub mod prometheus;
 pub mod record;
 pub mod sink;
 pub mod telemetry;
+pub mod timeseries;
 
 pub use filter::Filter;
 pub use level::Level;
+pub use progress::{ProgressSnapshot, ProgressTask};
 pub use record::{FieldValue, Fields, Record};
 pub use sink::{ChromeTraceSink, JsonlSink, MemorySink, Sink, StderrSink};
 pub use telemetry::{StepTelemetry, Telemetry};
+pub use timeseries::{Recorder, TimeseriesSnapshot, TimeseriesSummary};
 
 use std::cell::RefCell;
 use std::marker::PhantomData;

@@ -242,6 +242,12 @@ pub struct MetricSample {
 }
 
 /// A point-in-time flattened reading of every registered metric.
+///
+/// Invariant: `samples` is sorted by name. [`MetricsSnapshot::capture`]
+/// and [`MetricsSnapshot::delta_since`] uphold it; snapshots built by
+/// hand or deserialized from external JSON should be passed through
+/// [`MetricsSnapshot::normalize`] so JSONL, Prometheus exposition and
+/// report diffs stay byte-stable across runs and worker counts.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// Samples sorted by name.
@@ -282,8 +288,22 @@ impl MetricsSnapshot {
                 }
             }
         }
-        samples.sort_by(|a, b| a.name.cmp(&b.name));
-        MetricsSnapshot { samples }
+        let mut snapshot = MetricsSnapshot { samples };
+        snapshot.normalize();
+        snapshot
+    }
+
+    /// Restores the sorted-by-name invariant (stable, so equal names
+    /// keep their relative order). Call after building a snapshot by
+    /// hand or deserializing one from an external source.
+    pub fn normalize(&mut self) {
+        self.samples.sort_by(|a, b| a.name.cmp(&b.name));
+    }
+
+    /// Whether the sorted-by-name invariant currently holds.
+    #[must_use]
+    pub fn is_sorted(&self) -> bool {
+        self.samples.windows(2).all(|w| w[0].name <= w[1].name)
     }
 
     /// The sample with the given name, if present.
@@ -316,7 +336,9 @@ impl MetricsSnapshot {
                 });
             }
         }
-        MetricsSnapshot { samples }
+        let mut delta = MetricsSnapshot { samples };
+        delta.normalize();
+        delta
     }
 }
 
@@ -374,6 +396,34 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(c.get(), 8000);
+    }
+
+    #[test]
+    fn snapshots_are_sorted_regardless_of_registration_order() {
+        // Register deliberately out of lexicographic order.
+        let _z = counter("obs.test.order.z");
+        let _a = counter("obs.test.order.a");
+        let _m = gauge("obs.test.order.m");
+        let snap = MetricsSnapshot::capture();
+        assert!(snap.is_sorted(), "capture upholds the name ordering");
+        let delta = snap.delta_since(&MetricsSnapshot::default());
+        assert!(delta.is_sorted(), "deltas uphold the name ordering");
+        let mut shuffled = MetricsSnapshot {
+            samples: vec![
+                MetricSample {
+                    name: "b".into(),
+                    value: 1.0,
+                },
+                MetricSample {
+                    name: "a".into(),
+                    value: 2.0,
+                },
+            ],
+        };
+        assert!(!shuffled.is_sorted());
+        shuffled.normalize();
+        assert!(shuffled.is_sorted());
+        assert_eq!(shuffled.samples[0].name, "a");
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Prometheus text-format 0.0.4 exposition of a [`MetricsSnapshot`].
+//!
+//! Every flattened sample renders as an untyped-by-structure gauge (the
+//! snapshot has already widened counters/histogram components to `f64`)
+//! with the original dotted metric name sanitized into the Prometheus
+//! grammar (`[a-zA-Z_:][a-zA-Z0-9_:]*`) under a `qdi_` namespace:
+//!
+//! ```text
+//! # HELP qdi_dpa_traces qdi metric `dpa.traces`
+//! # TYPE qdi_dpa_traces gauge
+//! qdi_dpa_traces 10000
+//! ```
+//!
+//! [`parse`] reads the same format back (comments skipped), which the
+//! format round-trip test and `qdi-mon export` smoke checks rely on.
+
+use crate::metrics::{MetricSample, MetricsSnapshot};
+
+/// Maps a dotted qdi metric name into the Prometheus name grammar,
+/// prefixing `qdi_` unless the name already carries it.
+#[must_use]
+pub fn metric_name(raw: &str) -> String {
+    let sanitized: String = raw
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if sanitized.starts_with("qdi_") {
+        sanitized
+    } else {
+        format!("qdi_{sanitized}")
+    }
+}
+
+fn render_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders a snapshot in Prometheus text format 0.0.4. Samples keep the
+/// snapshot's deterministic name ordering.
+#[must_use]
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for sample in &snapshot.samples {
+        let name = metric_name(&sample.name);
+        out.push_str(&format!("# HELP {name} qdi metric `{}`\n", sample.name));
+        out.push_str(&format!("# TYPE {name} gauge\n"));
+        out.push_str(&format!("{name} {}\n", render_value(sample.value)));
+    }
+    out
+}
+
+/// Parses text-format 0.0.4 exposition back into `(name, value)`
+/// samples (comment and blank lines skipped, labels not supported —
+/// [`render`] never emits any).
+///
+/// # Errors
+///
+/// Returns a description naming the first malformed line.
+pub fn parse(text: &str) -> Result<Vec<MetricSample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(name), Some(value)) = (parts.next(), parts.next()) else {
+            return Err(format!("line {}: expected `name value`", lineno + 1));
+        };
+        if parts.next().is_some() {
+            return Err(format!("line {}: trailing tokens", lineno + 1));
+        }
+        let value = match value {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            other => other
+                .parse::<f64>()
+                .map_err(|e| format!("line {}: bad value `{other}`: {e}", lineno + 1))?,
+        };
+        samples.push(MetricSample {
+            name: name.to_string(),
+            value,
+        });
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(pairs: &[(&str, f64)]) -> MetricsSnapshot {
+        MetricsSnapshot {
+            samples: pairs
+                .iter()
+                .map(|(n, v)| MetricSample {
+                    name: (*n).to_string(),
+                    value: *v,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn sanitizes_names_into_prometheus_grammar() {
+        assert_eq!(metric_name("dpa.traces"), "qdi_dpa_traces");
+        assert_eq!(
+            metric_name("exec.pool.worker.0.jobs"),
+            "qdi_exec_pool_worker_0_jobs"
+        );
+        assert_eq!(metric_name("qdi_already"), "qdi_already");
+        assert_eq!(metric_name("weird-name!x"), "qdi_weird_name_x");
+    }
+
+    #[test]
+    fn renders_help_type_and_sample_lines() {
+        let text = render(&snap(&[("dpa.traces", 10000.0), ("sim.queue.max", 42.0)]));
+        assert!(text.contains("# HELP qdi_dpa_traces qdi metric `dpa.traces`\n"));
+        assert!(text.contains("# TYPE qdi_dpa_traces gauge\n"));
+        assert!(text.contains("qdi_dpa_traces 10000\n"));
+        assert!(text.contains("qdi_sim_queue_max 42\n"));
+    }
+
+    #[test]
+    fn round_trips_through_parse() {
+        let original = snap(&[("a.x", 1.5), ("b.y", -3.0), ("c.z", 0.0)]);
+        let parsed = parse(&render(&original)).unwrap();
+        assert_eq!(parsed.len(), original.samples.len());
+        for (p, o) in parsed.iter().zip(&original.samples) {
+            assert_eq!(p.name, metric_name(&o.name));
+            assert_eq!(p.value, o.value);
+        }
+    }
+
+    #[test]
+    fn parse_handles_specials_and_rejects_garbage() {
+        let parsed = parse("# c\nqdi_a +Inf\nqdi_b -Inf\n\nqdi_c 2e3\n").unwrap();
+        assert_eq!(parsed[0].value, f64::INFINITY);
+        assert_eq!(parsed[1].value, f64::NEG_INFINITY);
+        assert_eq!(parsed[2].value, 2000.0);
+        assert!(parse("qdi_a\n").is_err());
+        assert!(parse("qdi_a 1 2\n").is_err());
+        assert!(parse("qdi_a nope\n").is_err());
+    }
+}

@@ -201,6 +201,14 @@ impl Sink for JsonlSink {
     }
 }
 
+impl Drop for JsonlSink {
+    /// Flushes the buffered tail so aborted runs (early `FlowError`
+    /// returns, panics that unwind) keep their last records.
+    fn drop(&mut self) {
+        Sink::flush(self);
+    }
+}
+
 /// Accumulates spans as Chrome trace-event "X" (complete) entries and
 /// events as "i" (instant) entries; [`Sink::flush`] writes a JSON file
 /// loadable in `chrome://tracing` or Perfetto.
@@ -278,5 +286,57 @@ impl Sink for ChromeTraceSink {
         }
         out.push_str("]}\n");
         let _ = std::fs::write(&self.path, out);
+    }
+}
+
+impl Drop for ChromeTraceSink {
+    /// Writes the accumulated profile; without this, a run that never
+    /// reached an explicit [`crate::flush`] would lose the entire trace.
+    fn drop(&mut self) {
+        Sink::flush(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close_record() -> Record {
+        Record::SpanClose {
+            id: 1,
+            depth: 0,
+            target: "obs.test".into(),
+            name: "drop".into(),
+            fields: vec![],
+            ts_us: 0,
+            dur_us: 42,
+            thread: 0,
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_on_drop() {
+        let path = std::env::temp_dir().join("qdi_obs_jsonl_drop_test.jsonl");
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            sink.record(&close_record());
+            // No explicit flush: dropping the sink must persist the line.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"drop\""), "buffered record survived drop");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn chrome_sink_flushes_on_drop() {
+        let path = std::env::temp_dir().join("qdi_obs_chrome_drop_test.json");
+        {
+            let sink = ChromeTraceSink::new(&path);
+            sink.record(&close_record());
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert!(text.contains("\"drop\""), "profile written on drop");
+        let _ = std::fs::remove_file(&path);
     }
 }

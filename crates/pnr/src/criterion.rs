@@ -161,9 +161,14 @@ pub fn stability_study_parallel(
         .field("seeds", seeds.len())
         .field("workers", exec.workers)
         .enter();
+    // Inert unless `qdi_obs::progress` is enabled; feeds `qdi-mon watch`.
+    let progress = qdi_obs::progress::task("pnr.stability_study", seeds.len());
     let outcomes = qdi_exec::run_indexed(&exec, seeds.len(), |i| {
-        seed_outcome(netlist, strategy, cfg, seeds[i])
+        let outcome = seed_outcome(netlist, strategy, cfg, seeds[i]);
+        progress.advance(1);
+        outcome
     });
+    progress.finish();
     span.record("outcomes", outcomes.len());
     outcomes
 }

@@ -6,8 +6,11 @@
 //! Run with: `cargo run --release --example secure_flow`
 //!
 //! Set `QDI_LOG=debug` to watch the span tree on stderr; the run always
-//! writes a Chrome/Perfetto profile to `secure_flow.trace.json` and the
-//! raw record stream to `secure_flow.telemetry.jsonl`.
+//! writes a Chrome/Perfetto profile to `secure_flow.trace.json`, the
+//! raw record stream to `secure_flow.telemetry.jsonl`, plus the
+//! monitoring sidecars `secure_flow.metrics.json` /
+//! `secure_flow.timeseries.json` / `secure_flow.progress.json` that
+//! `qdi-mon watch` and `qdi-mon report` consume.
 
 use std::sync::Arc;
 
@@ -26,6 +29,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     qdi_obs::add_sink(Arc::new(qdi_obs::ChromeTraceSink::new(
         "secure_flow.trace.json",
     )));
+    // Live progress: `qdi-mon watch secure_flow.progress.json` tails
+    // this file while the flow runs.
+    qdi_obs::progress::set_file("secure_flow.progress.json", 200);
 
     println!("generating the AES column datapath (AddKey0 -> ByteSub x4 -> HB -> MixColumn -> AddRoundKey)...");
     let column = aes_column_datapath("aes_column")?;
@@ -44,6 +50,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut cfg = FlowConfig::new(strategy, 0);
         cfg.pnr.anneal.moves_per_gate = 60;
         cfg.worst_k = 6;
+        cfg.progress = true;
+        cfg.timeseries = true;
         let report = run_static_flow(&mut netlist, &cfg)?;
         println!("{}", report.to_text());
         println!(
@@ -78,10 +86,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (hier / flat - 1.0) * 100.0
     );
 
+    // A short parallel trace campaign on the byte slice: registers the
+    // `dpa.campaign` progress task and drives the `exec.pool.*` gauges,
+    // so the streamed progress file carries live completed/total + ETA.
+    println!("\nacquiring a 512-trace parallel campaign on the byte slice...");
+    qdi_obs::progress::set_enabled(true);
+    let slice = qdi::crypto::gatelevel::slice::aes_first_round_slice(
+        "s",
+        qdi::crypto::gatelevel::slice::SliceStage::XorOnly,
+    )?;
+    let mut campaign = qdi::dpa::CampaignConfig::new(0x42);
+    campaign.traces = 512;
+    campaign.synth.noise_sigma = 0.02;
+    let set = qdi::dpa::run_parallel_campaign(&slice, &campaign, qdi::exec::ExecConfig::new())?;
+    qdi_obs::timeseries::tick();
+    println!("acquired {} traces", set.len());
+
     qdi_obs::flush();
+    qdi_obs::progress::write_now();
+    qdi_obs::progress::clear_file();
+
+    // Monitoring sidecars next to the telemetry, in the layout
+    // `qdi-mon report secure_flow.telemetry.jsonl` expects.
+    let metrics = qdi_obs::metrics::MetricsSnapshot::capture();
+    std::fs::write(
+        "secure_flow.metrics.json",
+        serde_json::to_string_pretty(&metrics)? + "\n",
+    )?;
+    qdi_obs::timeseries::save_json("secure_flow.timeseries.json")?;
+
     println!(
-        "wrote secure_flow.trace.json (chrome://tracing / Perfetto) and \
-         secure_flow.telemetry.jsonl"
+        "wrote secure_flow.trace.json (chrome://tracing / Perfetto), \
+         secure_flow.telemetry.jsonl and the qdi-mon sidecars \
+         (metrics/timeseries/progress .json)\n\
+         next: qdi-mon report secure_flow.telemetry.jsonl"
     );
     Ok(())
 }
