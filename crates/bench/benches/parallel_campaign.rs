@@ -4,8 +4,11 @@
 //! worker counts and when streamed back from a `.qtrs` store).
 //!
 //! Emits `BENCH_parallel_campaign.json` in the working directory so CI
-//! can archive the numbers. Trace count defaults to 10 000 and can be
-//! overridden with `QDI_BENCH_TRACES` for quick smoke runs.
+//! can archive the numbers, plus `BENCH_parallel_campaign.qprof.json`:
+//! the wall-clock attribution profile of the parallel leg (`qdi-mon
+//! analyze` explains the speedup, `qdi-mon flame`/`timeline` render
+//! it). Trace count defaults to 10 000 and can be overridden with
+//! `QDI_BENCH_TRACES` for quick smoke runs.
 
 use std::time::Instant;
 
@@ -28,7 +31,14 @@ const STREAM_CHUNK: usize = 512;
 struct Report {
     bench: &'static str,
     traces: usize,
-    cores: usize,
+    /// Hardware threads the host exposes
+    /// ([`std::thread::available_parallelism`]).
+    available_parallelism: usize,
+    /// Worker count the parallel leg actually ran with. `speedup`
+    /// compares against the 1-worker leg, so it is only meaningful
+    /// between runs with equal `workers` — `qdi-mon bench-diff`
+    /// refuses to gate on `speedup` otherwise.
+    workers: usize,
     serial_s: f64,
     parallel_s: f64,
     serial_traces_per_s: f64,
@@ -66,7 +76,8 @@ fn main() {
     banner("Parallel campaign: traces/sec at 1 worker vs. all cores");
 
     let traces = trace_count();
-    let cores = cores();
+    let available = cores();
+    let workers = ExecConfig::new().effective_workers(traces.max(1));
     let slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("slice builds");
     let mut cfg = CampaignConfig::new(KEY);
     cfg.traces = traces;
@@ -74,15 +85,20 @@ fn main() {
     cfg.synth.noise_sigma = 0.05;
 
     let (serial_set, serial_s) = timed_campaign(&slice, &cfg, 1);
-    let (parallel_set, parallel_s) = timed_campaign(&slice, &cfg, cores);
+    // Profile only the parallel leg: its .qprof is the attribution
+    // trail CI archives with every baseline update.
+    qdi_obs::prof::set_enabled(true);
+    let (parallel_set, parallel_s) = timed_campaign(&slice, &cfg, 0);
+    qdi_obs::prof::set_enabled(false);
+    let profile = qdi_obs::prof::report();
 
     let serial_tps = traces as f64 / serial_s.max(1e-9);
     let parallel_tps = traces as f64 / parallel_s.max(1e-9);
     let speedup = parallel_tps / serial_tps.max(1e-9);
     println!("traces               {traces}");
-    println!("cores                {cores}");
+    println!("available cores      {available}");
     println!("serial   (1 worker)  {serial_s:>8.2} s   {serial_tps:>9.1} traces/s");
-    println!("parallel ({cores} workers) {parallel_s:>8.2} s   {parallel_tps:>9.1} traces/s");
+    println!("parallel ({workers} workers) {parallel_s:>8.2} s   {parallel_tps:>9.1} traces/s");
     println!("speedup              {speedup:>8.2}x");
 
     // Determinism contract: the trace set and the bias T = A0 - A1 are
@@ -91,13 +107,8 @@ fn main() {
     let serial_bias =
         parallel_bias_signal(&serial_set, &sel, KEY as u16, ExecConfig { workers: 1 })
             .expect("non-degenerate partition");
-    let parallel_bias = parallel_bias_signal(
-        &parallel_set,
-        &sel,
-        KEY as u16,
-        ExecConfig { workers: cores },
-    )
-    .expect("non-degenerate partition");
+    let parallel_bias = parallel_bias_signal(&parallel_set, &sel, KEY as u16, ExecConfig::new())
+        .expect("non-degenerate partition");
     let traces_identical = (0..serial_set.len())
         .all(|i| serial_set.trace(i).samples() == parallel_set.trace(i).samples());
     let bias_identical = serial_bias.samples() == parallel_bias.samples();
@@ -117,12 +128,13 @@ fn main() {
     assert!(streamed_identical, "streamed bias differs from in-memory");
     let store_bytes = std::fs::metadata(&store).map(|m| m.len()).unwrap_or(0);
     let _ = std::fs::remove_file(&store);
-    println!("bias bit-identical   1w == {cores}w == streamed ({STREAM_CHUNK}-trace chunks)");
+    println!("bias bit-identical   1w == {workers}w == streamed ({STREAM_CHUNK}-trace chunks)");
 
     let report = Report {
         bench: "parallel_campaign",
         traces,
-        cores,
+        available_parallelism: available,
+        workers,
         serial_s,
         parallel_s,
         serial_traces_per_s: serial_tps,
@@ -144,4 +156,8 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&path, json + "\n").expect("report writes");
     println!("wrote {path}");
+
+    let qprof_path = path.strip_suffix(".json").unwrap_or(&path).to_string() + ".qprof.json";
+    profile.save(&qprof_path).expect("profile writes");
+    println!("wrote {qprof_path} (qdi-mon analyze / flame / timeline)");
 }

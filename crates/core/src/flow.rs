@@ -212,6 +212,15 @@ pub struct FlowConfig {
     /// per-metric rollups in [`StaticFlowReport::timeseries`]. Off by
     /// default (zero cost: no tick calls are made).
     pub timeseries: bool,
+    /// Turns on the wall-clock attribution profiler
+    /// ([`qdi_obs::prof`]) before the run and embeds a
+    /// [`qdi_obs::prof::ProfSummary`] (top regions by self time, pool
+    /// totals) in [`StaticFlowReport::profile`]. Off by default — the
+    /// instrumented hot paths then cost one relaxed atomic load each.
+    /// Like `progress`, enabling is one-way for the process; the full
+    /// profile stays available via [`qdi_obs::prof::report`] for a
+    /// `.qprof` dump.
+    pub profile: bool,
 }
 
 impl FlowConfig {
@@ -233,6 +242,7 @@ impl FlowConfig {
             policy: FlowPolicy::FailFast,
             progress: false,
             timeseries: false,
+            profile: false,
         }
     }
 }
@@ -282,6 +292,10 @@ pub struct StaticFlowReport {
     /// the run, recorded when [`FlowConfig::timeseries`] is on; `None`
     /// otherwise.
     pub timeseries: Option<qdi_obs::TimeseriesSummary>,
+    /// Wall-clock attribution summary (top regions by self time, pool
+    /// totals), recorded when [`FlowConfig::profile`] is on; `None`
+    /// otherwise.
+    pub profile: Option<qdi_obs::prof::ProfSummary>,
 }
 
 impl StaticFlowReport {
@@ -355,6 +369,9 @@ pub fn run_static_flow(
     qdi_obs::init_from_env();
     if cfg.progress {
         qdi_obs::progress::set_enabled(true);
+    }
+    if cfg.profile {
+        qdi_obs::prof::set_enabled(true);
     }
     let tick = || {
         if cfg.timeseries {
@@ -486,6 +503,7 @@ pub fn run_static_flow(
         steps,
         telemetry,
         timeseries: cfg.timeseries.then(qdi_obs::timeseries::summary),
+        profile: cfg.profile.then(|| qdi_obs::prof::summary(10)),
     })
 }
 
@@ -598,6 +616,11 @@ pub fn run_slice_flow(
         qdi_obs::timeseries::tick();
         // Refresh the embedded rollups so they cover the DPA steps too.
         layout.timeseries = Some(qdi_obs::timeseries::summary());
+    }
+    if cfg.profile {
+        // Same refresh for the profile: the campaign and attack are the
+        // hot part a profile is usually after.
+        layout.profile = Some(qdi_obs::prof::summary(10));
     }
     let correct_key_rank = result.rank_of(cfg.campaign.key as u16);
     let best_peak = result.best().peak_abs;
@@ -974,6 +997,50 @@ mod tests {
         );
         let json = serde_json::to_string(&report).expect("serializes");
         assert!(json.contains("\"timeseries\""));
+    }
+
+    #[test]
+    fn profile_knob_embeds_attribution_summary() {
+        let mut slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+        let cfg = fast_cfg(Strategy::Flat, 0);
+        assert!(
+            run_static_flow(&mut slice.netlist.clone(), &cfg)
+                .expect("passes lint")
+                .profile
+                .is_none(),
+            "off by default"
+        );
+        let sel = AesXorSelect { byte: 0, bit: 0 };
+        let mut cfg = fast_cfg(Strategy::Flat, 0x42);
+        cfg.profile = true;
+        cfg.workers = 2;
+        let report = run_slice_flow(&mut slice, &sel, &cfg).expect("flow completes");
+        let profile = report.layout.profile.as_ref().expect("summary embedded");
+        assert!(
+            profile
+                .top_regions
+                .iter()
+                .any(|r| r.name == "pnr.place_route"),
+            "place-and-route region must be attributed: {:?}",
+            profile.top_regions
+        );
+        assert!(
+            profile
+                .top_regions
+                .iter()
+                .any(|r| r.path.contains("dpa.acquire")),
+            "campaign acquisition must be attributed: {:?}",
+            profile.top_regions
+        );
+        let pool = profile
+            .pool
+            .as_ref()
+            .expect("pool totals from the campaign");
+        assert!(pool.jobs >= 24, "one pool job per trace: {pool:?}");
+        let json = serde_json::to_string(&report.layout).expect("serializes");
+        assert!(json.contains("\"profile\""));
+        qdi_obs::prof::set_enabled(false);
+        qdi_obs::prof::reset();
     }
 
     #[test]

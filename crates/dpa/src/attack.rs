@@ -71,6 +71,7 @@ impl BiasAccumulator {
     /// Panics if the trace grid differs from traces already accumulated
     /// (as [`Trace::add_assign`] does).
     pub fn accumulate(&mut self, selected: bool, trace: &Trace) {
+        let _prof = qdi_obs::prof::region("dpa.bias.accumulate");
         let (slot, n) = if selected {
             (&mut self.sum1, &mut self.n1)
         } else {

@@ -97,6 +97,7 @@ pub(crate) fn acquire_trace(
     pt: u8,
     rng: &mut ChaCha8Rng,
 ) -> Result<qdi_analog::Trace, SimError> {
+    let _prof = qdi_obs::prof::region("dpa.acquire");
     let mut tb = Testbench::new(&slice.netlist, *testbench)?;
     let pbits = bit_values(pt);
     let kbits = bit_values(key);

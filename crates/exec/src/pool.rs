@@ -108,6 +108,10 @@ where
         .field("jobs", jobs)
         .field("workers", workers)
         .enter();
+    // Snapshot the profiler switch once per bag so a mid-run toggle
+    // cannot produce half-recorded timelines.
+    let profiling = qdi_obs::prof::enabled();
+    let _prof_run = qdi_obs::prof::region("exec.pool.run");
     let start = std::time::Instant::now();
     qdi_obs::metrics::gauge("exec.pool.workers").set(workers as i64);
     let depth = qdi_obs::metrics::gauge("exec.pool.queue_depth");
@@ -119,10 +123,22 @@ where
     }
 
     let result = if workers <= 1 {
+        // Even the inline path records a one-worker lane: on single-core
+        // hosts this is the only source of mean-job-duration data, which
+        // `qdi-mon analyze` compares against the parallel legs.
+        let mut lane = profiling.then(|| qdi_obs::prof::LaneRecorder::new(0));
         let mut out = Vec::with_capacity(jobs);
         let mut failure = None;
         for i in 0..jobs {
-            match job(i) {
+            let job_start = lane.as_ref().map(|_| elapsed_us(&start));
+            let outcome = {
+                let _prof_job = qdi_obs::prof::region("exec.pool.job");
+                job(i)
+            };
+            if let (Some(lane), Some(job_start)) = (lane.as_mut(), job_start) {
+                lane.job(i as u64, job_start, elapsed_us(&start));
+            }
+            match outcome {
                 Ok(v) => {
                     out.push(v);
                     jobs_metric.inc();
@@ -135,12 +151,30 @@ where
                 }
             }
         }
+        if let Some(lane) = lane {
+            let wall_us = elapsed_us(&start);
+            qdi_obs::prof::record_pool_run(qdi_obs::prof::PoolRun {
+                jobs: jobs as u64,
+                workers: 1,
+                wall_us,
+                steals: 0,
+                lanes: vec![lane.finish(wall_us)],
+            });
+        }
         match failure {
             Some(e) => Err(e),
             None => Ok(out),
         }
     } else {
-        run_stealing(workers, jobs, &job, &depth, &jobs_metric, &mut span)
+        run_stealing(
+            workers,
+            jobs,
+            profiling,
+            &job,
+            &depth,
+            &jobs_metric,
+            &mut span,
+        )
     };
 
     let elapsed = start.elapsed().as_secs_f64();
@@ -151,11 +185,18 @@ where
     result
 }
 
+/// Microseconds elapsed since `epoch` (the pool-run clock the lane
+/// timelines are expressed in).
+fn elapsed_us(epoch: &std::time::Instant) -> u64 {
+    u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
 /// The parallel path: contiguous index ranges per worker, back-half
 /// stealing, merge-by-index after the scope joins.
 fn run_stealing<T, E, F>(
     workers: usize,
     jobs: usize,
+    profiling: bool,
     job: &F,
     depth: &qdi_obs::metrics::Gauge,
     jobs_metric: &qdi_obs::metrics::Counter,
@@ -182,17 +223,30 @@ where
     let queues = &queues;
     let cancel = &cancel;
     let steals_metric = &steals_metric;
+    // The run clock every lane timeline is expressed in.
+    let epoch = std::time::Instant::now();
+    let epoch = &epoch;
 
-    let per_worker: Vec<(usize, WorkerResults<T, E>)> = std::thread::scope(|s| {
+    type WorkerOutput<T, E> = (
+        usize,
+        WorkerResults<T, E>,
+        Option<qdi_obs::prof::LaneRecorder>,
+    );
+    let mut per_worker: Vec<WorkerOutput<T, E>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|wid| {
                 s.spawn(move || {
                     let mut local: WorkerResults<T, E> = Vec::new();
                     let mut done = 0usize;
+                    let mut lane = profiling.then(|| qdi_obs::prof::LaneRecorder::new(wid));
                     'work: loop {
                         if cancel.load(Ordering::Relaxed) {
                             break;
                         }
+                        // Everything from here until a job index is in
+                        // hand counts as queue wait: own-queue locking
+                        // plus steal scans.
+                        let acquire_start = lane.as_ref().map(|_| elapsed_us(epoch));
                         let next = queues[wid].lock().expect("queue poisoned").pop_front();
                         let index = match next {
                             Some(i) => i,
@@ -214,17 +268,40 @@ where
                                 let mut victim = queues[vid].lock().expect("queue poisoned");
                                 let n = victim.len();
                                 if n == 0 {
+                                    if let (Some(lane), Some(from)) = (lane.as_mut(), acquire_start)
+                                    {
+                                        lane.queue_wait_us(elapsed_us(epoch) - from);
+                                    }
                                     continue; // raced; rescan
                                 }
                                 let stolen = victim.split_off(n - n.div_ceil(2));
                                 drop(victim);
                                 steals_metric.inc();
+                                if let Some(lane) = lane.as_mut() {
+                                    lane.steal();
+                                }
                                 let mut mine = queues[wid].lock().expect("queue poisoned");
                                 mine.extend(stolen);
+                                drop(mine);
+                                if let (Some(lane), Some(from)) = (lane.as_mut(), acquire_start) {
+                                    lane.queue_wait_us(elapsed_us(epoch) - from);
+                                }
                                 continue;
                             }
                         };
-                        let outcome = job(index);
+                        let job_start = lane.as_ref().map(|_| elapsed_us(epoch));
+                        if let (Some(lane), Some(from), Some(to)) =
+                            (lane.as_mut(), acquire_start, job_start)
+                        {
+                            lane.queue_wait_us(to - from);
+                        }
+                        let outcome = {
+                            let _prof_job = qdi_obs::prof::region("exec.pool.job");
+                            job(index)
+                        };
+                        if let (Some(lane), Some(from)) = (lane.as_mut(), job_start) {
+                            lane.job(index as u64, from, elapsed_us(epoch));
+                        }
                         done += 1;
                         jobs_metric.inc();
                         depth.add(-1);
@@ -235,7 +312,7 @@ where
                             break;
                         }
                     }
-                    (done, local)
+                    (done, local, lane)
                 })
             })
             .collect();
@@ -248,8 +325,25 @@ where
             .collect()
     });
 
+    if profiling {
+        let wall_us = elapsed_us(epoch);
+        let lanes: Vec<qdi_obs::prof::WorkerLane> = per_worker
+            .iter_mut()
+            .filter_map(|(_, _, lane)| lane.take())
+            .map(|lane| lane.finish(wall_us))
+            .collect();
+        let steals = lanes.iter().map(|l| l.steals).sum();
+        qdi_obs::prof::record_pool_run(qdi_obs::prof::PoolRun {
+            jobs: jobs as u64,
+            workers,
+            wall_us,
+            steals,
+            lanes,
+        });
+    }
+
     let mut merged: Vec<(usize, Result<T, E>)> = Vec::with_capacity(jobs);
-    for (wid, (done, local)) in per_worker.into_iter().enumerate() {
+    for (wid, (done, local, _)) in per_worker.into_iter().enumerate() {
         span.record(&format!("worker{wid}_jobs"), done);
         qdi_obs::metrics::counter(&format!("exec.pool.worker.{wid}.jobs")).add(done as u64);
         // Share of the bag this worker executed, in percent. Computed
@@ -331,6 +425,73 @@ mod tests {
         assert_eq!(ExecConfig::serial().effective_workers(100), 1);
         assert!(ExecConfig::new().effective_workers(100) >= 1);
         assert_eq!(ExecConfig::with_workers(8).effective_workers(0), 1);
+    }
+
+    /// The profiler is process-global; serialize the tests that toggle it.
+    fn prof_gate() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: std::sync::OnceLock<Mutex<()>> = std::sync::OnceLock::new();
+        GATE.get_or_init(|| Mutex::new(()))
+            .lock()
+            .expect("prof gate poisoned")
+    }
+
+    #[test]
+    fn profiling_records_pool_runs_with_lanes() {
+        let _gate = prof_gate();
+        // Distinctive job counts so concurrent tests in this binary
+        // (the profiler ring is process-global) cannot alias the runs.
+        qdi_obs::prof::reset();
+        qdi_obs::prof::set_enabled(true);
+        let _ = run_indexed(&ExecConfig::with_workers(2), 23, |i| i * 3);
+        let _ = run_indexed(&ExecConfig::serial(), 7, |i| i);
+        qdi_obs::prof::set_enabled(false);
+        let report = qdi_obs::prof::report();
+
+        let parallel = report
+            .pool_runs
+            .iter()
+            .find(|r| r.jobs == 23 && r.workers == 2)
+            .expect("parallel run recorded");
+        assert_eq!(parallel.lanes.len(), 2);
+        assert_eq!(parallel.lanes.iter().map(|l| l.jobs).sum::<u64>(), 23);
+        assert_eq!(
+            parallel.steals,
+            parallel.lanes.iter().map(|l| l.steals).sum::<u64>()
+        );
+
+        let serial = report
+            .pool_runs
+            .iter()
+            .find(|r| r.jobs == 7 && r.workers == 1)
+            .expect("inline path records a one-worker lane");
+        assert_eq!(serial.lanes.len(), 1);
+        assert_eq!(serial.lanes[0].jobs, 7);
+        assert_eq!(serial.steals, 0);
+
+        // The job closures themselves show up in the region tree — at
+        // worker-thread roots for the parallel path, nested under
+        // `exec.pool.run` for the inline path.
+        let job_visits: u64 = report
+            .regions
+            .regions
+            .iter()
+            .filter(|r| r.name == "exec.pool.job")
+            .map(|r| r.count)
+            .sum();
+        assert!(job_visits >= 30, "23 parallel + 7 serial, got {job_visits}");
+        qdi_obs::prof::reset();
+    }
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let _gate = prof_gate();
+        qdi_obs::prof::reset();
+        let _ = run_indexed(&ExecConfig::with_workers(2), 19, |i| i);
+        let report = qdi_obs::prof::report();
+        assert!(
+            !report.pool_runs.iter().any(|r| r.jobs == 19),
+            "no timeline while disabled"
+        );
     }
 
     #[test]

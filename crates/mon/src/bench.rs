@@ -87,14 +87,45 @@ fn metric(value: &Value, name: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("missing numeric field `{name}`"))
 }
 
+/// The worker count a bench report ran its parallel leg with. Accepts
+/// the current schema (`workers`) and the pre-profiler one (`cores`).
+fn worker_count(value: &Value) -> Option<u64> {
+    value
+        .get("workers")
+        .or_else(|| value.get("cores"))
+        .and_then(Value::as_u64)
+}
+
+/// Rejects a `speedup` comparison between runs whose parallel legs used
+/// different worker counts: speedup is relative to the host's own
+/// serial leg, so across different core counts the ratio compares
+/// machines, not code. Returns the shared worker count when the
+/// comparison is meaningful.
+fn check_speedup_comparable(baseline: &Value, current: &Value) -> Result<u64, String> {
+    match (worker_count(baseline), worker_count(current)) {
+        (Some(b), Some(c)) if b == c => Ok(b),
+        (Some(b), Some(c)) => Err(format!(
+            "refusing to compare `speedup`: baseline ran {b} worker(s) but current ran \
+             {c} — speedup is only comparable between runs with equal worker counts \
+             (re-baseline on this host or drop `--metric speedup`)"
+        )),
+        (None, _) | (_, None) => Err(
+            "refusing to compare `speedup`: worker count missing from a report \
+             (expected a `workers` field) — cannot tell whether the runs are comparable"
+                .to_string(),
+        ),
+    }
+}
+
 /// Compares `current` against `baseline` over `metrics` (higher is
 /// better) with a relative `threshold` in `(0, 1)`.
 ///
 /// # Errors
 ///
 /// Returns a description when a metric is missing, non-numeric or the
-/// baseline value is not positive, or when the threshold is out of
-/// range.
+/// baseline value is not positive, when the threshold is out of range,
+/// or when `speedup` is requested across runs with different (or
+/// unrecorded) parallel worker counts.
 pub fn diff(
     baseline: &Value,
     current: &Value,
@@ -103,6 +134,9 @@ pub fn diff(
 ) -> Result<BenchDiff, String> {
     if !(threshold > 0.0 && threshold < 1.0) {
         return Err(format!("threshold {threshold} must be in (0, 1)"));
+    }
+    if metrics.iter().any(|m| m == "speedup") {
+        check_speedup_comparable(baseline, current)?;
     }
     let mut deltas = Vec::with_capacity(metrics.len());
     for name in metrics {
@@ -199,6 +233,85 @@ mod tests {
         .unwrap();
         assert!(d.failed());
         assert!(d.render().contains("determinism"));
+    }
+
+    fn report_with_workers(speedup: f64, workers: Option<u64>) -> Value {
+        let workers_field = workers.map_or(String::new(), |w| format!("\"workers\":{w},"));
+        serde_json::parse_value_str(&format!(
+            "{{\"bench\":\"parallel_campaign\",{workers_field}\"speedup\":{speedup},\
+             \"serial_traces_per_s\":100.0,\"parallel_traces_per_s\":800.0,\
+             \"bias_bit_identical\":true}}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn speedup_compares_when_worker_counts_match() {
+        let d = diff(
+            &report_with_workers(2.0, Some(4)),
+            &report_with_workers(1.8, Some(4)),
+            &["speedup".to_string()],
+            0.5,
+        )
+        .unwrap();
+        assert!(!d.failed());
+    }
+
+    #[test]
+    fn speedup_across_different_worker_counts_is_refused() {
+        let err = diff(
+            &report_with_workers(2.0, Some(4)),
+            &report_with_workers(0.8, Some(1)),
+            &["speedup".to_string()],
+            0.5,
+        )
+        .unwrap_err();
+        assert!(err.contains("refusing to compare `speedup`"), "{err}");
+        assert!(err.contains("4 worker(s)"), "{err}");
+        assert!(err.contains("1"), "{err}");
+    }
+
+    #[test]
+    fn speedup_without_recorded_workers_is_refused() {
+        let err = diff(
+            &report_with_workers(2.0, None),
+            &report_with_workers(1.8, Some(4)),
+            &["speedup".to_string()],
+            0.5,
+        )
+        .unwrap_err();
+        assert!(err.contains("worker count missing"), "{err}");
+    }
+
+    #[test]
+    fn legacy_cores_field_counts_as_worker_count() {
+        let legacy = serde_json::parse_value_str(
+            "{\"bench\":\"parallel_campaign\",\"cores\":4,\"speedup\":2.0,\
+             \"serial_traces_per_s\":100.0,\"parallel_traces_per_s\":800.0,\
+             \"bias_bit_identical\":true}",
+        )
+        .unwrap();
+        let d = diff(
+            &legacy,
+            &report_with_workers(1.9, Some(4)),
+            &["speedup".to_string()],
+            0.5,
+        );
+        assert!(d.is_ok(), "{d:?}");
+    }
+
+    #[test]
+    fn non_speedup_metrics_ignore_worker_counts() {
+        // The default throughput gate must keep working across machines
+        // with different core counts.
+        let d = diff(
+            &report_with_workers(2.0, Some(4)),
+            &report_with_workers(0.8, Some(1)),
+            &names(),
+            0.5,
+        )
+        .unwrap();
+        assert!(!d.failed());
     }
 
     #[test]

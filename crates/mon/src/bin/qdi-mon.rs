@@ -7,17 +7,21 @@
 //! qdi-mon export METRICS.json
 //! qdi-mon bench-diff [--baseline FILE] [--threshold FRAC] [--metric NAME]...
 //!                    [--update-baseline] CURRENT.json
+//! qdi-mon analyze [--top N] [--json] PROFILE.qprof.json
+//! qdi-mon flame [--out FILE.svg] [--title T] PROFILE.qprof.json
+//! qdi-mon timeline [--out FILE.svg] [--title T] PROFILE.qprof.json
 //! ```
 //!
 //! Exit status mirrors `qdi-lint`: `0` success, `1` a data-level
-//! failure (perf regression past the threshold, lost bit-identity), `2`
+//! failure (perf regression past the threshold, profile findings), `2`
 //! usage error or unreadable input.
 
 use std::path::Path;
 use std::process::ExitCode;
 
-use qdi_mon::{bench, dashboard, report};
+use qdi_mon::{analyze, bench, dashboard, report};
 use qdi_obs::metrics::MetricsSnapshot;
+use qdi_obs::prof::ProfReport;
 use qdi_obs::progress::ProgressSnapshot;
 
 fn usage() -> &'static str {
@@ -25,7 +29,10 @@ fn usage() -> &'static str {
      \x20      qdi-mon report [--out FILE.html] [--top N] [--title T] TELEMETRY.jsonl\n\
      \x20      qdi-mon export METRICS.json\n\
      \x20      qdi-mon bench-diff [--baseline FILE] [--threshold FRAC] [--metric NAME]...\n\
-     \x20              [--update-baseline] CURRENT.json"
+     \x20              [--update-baseline] CURRENT.json\n\
+     \x20      qdi-mon analyze [--top N] [--json] PROFILE.qprof.json\n\
+     \x20      qdi-mon flame [--out FILE.svg] [--title T] PROFILE.qprof.json\n\
+     \x20      qdi-mon timeline [--out FILE.svg] [--title T] PROFILE.qprof.json"
 }
 
 fn cmd_watch(interval_ms: u64, once: bool, file: &str) -> ExitCode {
@@ -165,6 +172,69 @@ fn cmd_bench_diff(
     }
 }
 
+fn cmd_analyze(top: usize, json: bool, profile: &str) -> ExitCode {
+    let report = match ProfReport::load(profile) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("analyze: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let analysis = analyze::analyze(&report, top);
+    if json {
+        match serde_json::to_string_pretty(&analysis) {
+            Ok(text) => println!("{text}"),
+            Err(err) => {
+                eprintln!("analyze: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        print!("{}", analysis.render());
+    }
+    if analysis.has_findings() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Shared driver of `flame` and `timeline`: load, render, write.
+fn cmd_render_svg(
+    command: &str,
+    out: Option<&str>,
+    title: &str,
+    default_suffix: &str,
+    profile: &str,
+    render: impl Fn(&ProfReport, &str) -> String,
+) -> ExitCode {
+    let report = match ProfReport::load(profile) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("{command}: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let svg = render(&report, title);
+    let out_path = match out {
+        Some(path) => path.to_string(),
+        None => {
+            // foo.qprof.json → foo.<suffix>.svg next to the profile.
+            let stem = profile
+                .strip_suffix(".qprof.json")
+                .or_else(|| profile.strip_suffix(".json"))
+                .unwrap_or(profile);
+            format!("{stem}.{default_suffix}.svg")
+        }
+    };
+    if let Err(err) = std::fs::write(&out_path, svg) {
+        eprintln!("{command}: {out_path}: {err}");
+        return ExitCode::from(2);
+    }
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().map(String::as_str) else {
@@ -287,6 +357,78 @@ fn main() -> ExitCode {
                     .collect();
             }
             cmd_bench_diff(&baseline, threshold, &metrics, update, &files[0])
+        }
+        "analyze" => {
+            let mut top = 10usize;
+            let mut json = false;
+            let mut files = Vec::new();
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--top" => {
+                        let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
+                            eprintln!("analyze: --top needs a number\n{}", usage());
+                            return ExitCode::from(2);
+                        };
+                        top = n;
+                    }
+                    "--json" => json = true,
+                    _ => files.push(arg.clone()),
+                }
+            }
+            if files.len() != 1 {
+                eprintln!("analyze: exactly one PROFILE.qprof.json\n{}", usage());
+                return ExitCode::from(2);
+            }
+            cmd_analyze(top, json, &files[0])
+        }
+        "flame" | "timeline" => {
+            let mut out = None;
+            let mut title = None;
+            let mut files = Vec::new();
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--out" => match it.next() {
+                        Some(path) => out = Some(path.clone()),
+                        None => {
+                            eprintln!("{command}: --out needs a path\n{}", usage());
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--title" => match it.next() {
+                        Some(t) => title = Some(t.clone()),
+                        None => {
+                            eprintln!("{command}: --title needs a value\n{}", usage());
+                            return ExitCode::from(2);
+                        }
+                    },
+                    _ => files.push(arg.clone()),
+                }
+            }
+            if files.len() != 1 {
+                eprintln!("{command}: exactly one PROFILE.qprof.json\n{}", usage());
+                return ExitCode::from(2);
+            }
+            if command == "flame" {
+                cmd_render_svg(
+                    command,
+                    out.as_deref(),
+                    title.as_deref().unwrap_or("region flamegraph"),
+                    "flame",
+                    &files[0],
+                    |report, title| qdi_obs::flamegraph_svg(&report.regions, title),
+                )
+            } else {
+                cmd_render_svg(
+                    command,
+                    out.as_deref(),
+                    title.as_deref().unwrap_or("pool timeline"),
+                    "timeline",
+                    &files[0],
+                    |report, title| qdi_obs::timeline_svg(&report.pool_runs, title),
+                )
+            }
         }
         other => {
             eprintln!("unknown command `{other}`\n{}", usage());

@@ -13,6 +13,11 @@
 //! * [`bench`] — compares a freshly emitted `BENCH_*.json` against a
 //!   committed baseline with relative thresholds: the repo's CI
 //!   perf-regression gate.
+//! * [`analyze`] — reads a `.qprof` profile ([`qdi_obs::prof`]) and
+//!   emits a verdict table (parallel efficiency, idle fraction, steal
+//!   rate, per-job overhead vs mean job duration) with rustc-style
+//!   findings naming the dominant loss; `qdi-mon flame` / `qdi-mon
+//!   timeline` render the same profile as self-contained SVGs.
 //!
 //! The binary follows the `qdi-lint` exit-code discipline: `0` success,
 //! `1` a data-level failure (perf regression, lost determinism), `2`
@@ -20,6 +25,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod analyze;
 pub mod bench;
 pub mod dashboard;
 pub mod report;

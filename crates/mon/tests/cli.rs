@@ -259,3 +259,158 @@ fn bench_diff_missing_baseline_is_load_error() {
     assert_eq!(code(&out), 2);
     let _ = std::fs::remove_file(&cur);
 }
+
+// ---------------------------------------------------------------------------
+// analyze / flame / timeline
+// ---------------------------------------------------------------------------
+
+/// A `.qprof` profile shaped like the committed baseline workload:
+/// small jobs whose dispatch overhead exceeds half their mean duration
+/// (55 µs mean vs 70 µs overhead), so `analyze` must name per-job
+/// overhead as a concrete cause of the < 1.0 speedup.
+fn overhead_dominated_profile() -> qdi_obs::prof::ProfReport {
+    use qdi_obs::prof::{PoolRun, ProfReport, RegionProfile, WorkerLane, QPROF_VERSION};
+    ProfReport {
+        version: QPROF_VERSION,
+        captured_us: 0,
+        regions: RegionProfile::default(),
+        pool_runs: vec![PoolRun {
+            jobs: 100,
+            workers: 2,
+            wall_us: 6250,
+            steals: 1,
+            lanes: vec![
+                WorkerLane {
+                    worker: 0,
+                    jobs: 50,
+                    steals: 0,
+                    busy_us: 2750,
+                    queue_wait_us: 100,
+                    idle_us: 3400,
+                    segments: vec![],
+                    segments_truncated: false,
+                },
+                WorkerLane {
+                    worker: 1,
+                    jobs: 50,
+                    steals: 1,
+                    busy_us: 2750,
+                    queue_wait_us: 100,
+                    idle_us: 3400,
+                    segments: vec![],
+                    segments_truncated: false,
+                },
+            ],
+        }],
+        dropped_pool_runs: 0,
+    }
+}
+
+#[test]
+fn analyze_names_per_job_overhead_on_the_baseline_workload() {
+    let path = temp("qdi_mon_cli_analyze.qprof.json");
+    overhead_dominated_profile().save(&path).unwrap();
+    let out = qdi_mon(&["analyze", path.to_str().unwrap()]);
+    assert_eq!(code(&out), 1, "findings exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("parallel efficiency"), "{stdout}");
+    assert!(stdout.contains("idle fraction"), "{stdout}");
+    assert!(stdout.contains("steal rate"), "{stdout}");
+    assert!(stdout.contains("per-job overhead"), "{stdout}");
+    assert!(
+        stdout.contains("jobs are 55 µs mean but per-job overhead is 70 µs: batch work items"),
+        "{stdout}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn analyze_json_emits_the_analysis_structure() {
+    let path = temp("qdi_mon_cli_analyze_json.qprof.json");
+    overhead_dominated_profile().save(&path).unwrap();
+    let out = qdi_mon(&["analyze", "--json", path.to_str().unwrap()]);
+    assert_eq!(code(&out), 1);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let value = serde_json::parse_value_str(&stdout).expect("valid JSON");
+    let findings = value.get("findings").expect("findings array");
+    assert!(findings.as_seq().is_some_and(|a| !a.is_empty()));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn analyze_rejects_garbage_with_usage_exit() {
+    let path = temp("qdi_mon_cli_analyze_garbage.qprof.json");
+    std::fs::write(&path, "not json").unwrap();
+    assert_eq!(code(&qdi_mon(&["analyze", path.to_str().unwrap()])), 2);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The full loop on a real profile: run an instrumented pool bag,
+/// save the `.qprof`, and drive all three profile subcommands.
+#[test]
+fn analyze_and_renderers_work_on_a_recorded_profile() {
+    qdi_obs::prof::reset();
+    qdi_obs::prof::set_enabled(true);
+    let _ = qdi_exec::run_indexed(&qdi_exec::ExecConfig::with_workers(2), 64, |i| {
+        // A busy-loop so lanes carry measurable time.
+        let mut acc = i as u64;
+        for k in 0..2_000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+        }
+        acc
+    });
+    qdi_obs::prof::set_enabled(false);
+    let report = qdi_obs::prof::report();
+    assert!(!report.pool_runs.is_empty(), "pool run recorded");
+    let path = temp("qdi_mon_cli_recorded.qprof.json");
+    report.save(&path).unwrap();
+
+    let out = qdi_mon(&["analyze", path.to_str().unwrap()]);
+    assert!(
+        [0, 1].contains(&code(&out)),
+        "analyze succeeds on real data: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("pool runs judged"));
+
+    let flame = temp("qdi_mon_cli_recorded.flame.svg");
+    let out = qdi_mon(&[
+        "flame",
+        "--out",
+        flame.to_str().unwrap(),
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "{}", String::from_utf8_lossy(&out.stderr));
+    let svg = std::fs::read_to_string(&flame).unwrap();
+    assert!(svg.starts_with("<svg"), "flamegraph is an SVG document");
+    assert!(svg.contains("exec.pool.job"), "job frames rendered");
+
+    let lanes = temp("qdi_mon_cli_recorded.timeline.svg");
+    let out = qdi_mon(&[
+        "timeline",
+        "--out",
+        lanes.to_str().unwrap(),
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "{}", String::from_utf8_lossy(&out.stderr));
+    let svg = std::fs::read_to_string(&lanes).unwrap();
+    assert!(svg.starts_with("<svg"));
+    assert!(svg.contains("pool run"), "run header rendered");
+
+    for f in [&path, &flame, &lanes] {
+        let _ = std::fs::remove_file(f);
+    }
+    qdi_obs::prof::reset();
+}
+
+#[test]
+fn flame_derives_output_path_from_profile_name() {
+    let path = temp("qdi_mon_cli_derive.qprof.json");
+    overhead_dominated_profile().save(&path).unwrap();
+    let out = qdi_mon(&["flame", path.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{}", String::from_utf8_lossy(&out.stderr));
+    let derived = temp("qdi_mon_cli_derive.flame.svg");
+    assert!(derived.exists(), "foo.qprof.json -> foo.flame.svg");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&derived);
+}

@@ -286,6 +286,48 @@ mod tests {
         assert_eq!(rows[0].name, "slow");
     }
 
+    fn span_close(name: &str, ts_us: u64, dur_us: u64) -> Record {
+        Record::SpanClose {
+            id: ts_us,
+            depth: 0,
+            target: "t".into(),
+            name: name.into(),
+            fields: vec![],
+            ts_us,
+            dur_us,
+            thread: 0,
+        }
+    }
+
+    #[test]
+    fn slowest_spans_break_duration_ties_by_start_time() {
+        // Three spans share the top duration; ranking within the tie
+        // must follow start time so the cut at `top` is deterministic.
+        let records = vec![
+            span_close("late", 30, 500),
+            span_close("early", 10, 500),
+            span_close("mid", 20, 500),
+            span_close("short", 0, 100),
+        ];
+        let rows = slowest_spans(&records, 10);
+        let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["early", "mid", "late", "short"]);
+
+        // Truncation keeps the earliest of the tied spans.
+        let cut = slowest_spans(&records, 2);
+        assert_eq!(cut.len(), 2);
+        assert_eq!(cut[0].name, "early");
+        assert_eq!(cut[1].name, "mid");
+    }
+
+    #[test]
+    fn slowest_spans_truncation_edges() {
+        let records = vec![span_close("only", 0, 5)];
+        assert!(slowest_spans(&records, 0).is_empty());
+        assert_eq!(slowest_spans(&records, 100).len(), 1, "top > len is fine");
+        assert!(slowest_spans(&[], 3).is_empty());
+    }
+
     #[test]
     fn sparkline_handles_flat_and_sparse_series() {
         let flat = sparkline_svg(&[

@@ -38,10 +38,12 @@
 #![forbid(unsafe_code)]
 
 pub mod filter;
+pub mod flame;
 pub mod html;
 pub mod json;
 pub mod level;
 pub mod metrics;
+pub mod prof;
 pub mod progress;
 pub mod prometheus;
 pub mod record;
@@ -50,7 +52,9 @@ pub mod telemetry;
 pub mod timeseries;
 
 pub use filter::Filter;
+pub use flame::{flamegraph_svg, timeline_svg};
 pub use level::Level;
+pub use prof::{ProfReport, ProfSummary, RegionProfile};
 pub use progress::{ProgressSnapshot, ProgressTask};
 pub use record::{FieldValue, Fields, Record};
 pub use sink::{ChromeTraceSink, JsonlSink, MemorySink, Sink, StderrSink};

@@ -1,0 +1,978 @@
+//! Wall-clock attribution profiler: thread-local region timers and
+//! per-worker pool timelines, merged into a `.qprof` profile.
+//!
+//! The facility answers *where the time goes* — the question spans
+//! alone cannot: spans give durations, this module gives attribution
+//! (a call-tree with self/total time per region, and per-worker
+//! busy/steal/queue-wait/idle accounting for the `qdi-exec` pool).
+//!
+//! # Disabled-cost contract
+//!
+//! Profiling is off by default. While disabled, [`region`] returns an
+//! inert guard after **one relaxed atomic load**, and dropping it is a
+//! branch on a bool — the same inert-handle idiom (and the same ~ns
+//! order of cost) as [`crate::progress`], pinned by the
+//! `prof_overhead` criterion bench. Instrumented hot paths (the
+//! simulator event loop, `.qtrs` encode/decode, pool job dispatch) pay
+//! effectively nothing in production runs.
+//!
+//! # Enabled operation
+//!
+//! Each thread accumulates its own call tree: [`region`] pushes a
+//! frame on a thread-local stack, and the guard's drop folds the
+//! elapsed time into a per-thread node table (count, total, self, min,
+//! max per `(parent, name)` node). Worker threads never contend — the
+//! only cross-thread synchronization is a per-thread mutex that
+//! [`report`] locks at merge time. The `qdi-exec` pool additionally
+//! records one [`PoolRun`] per parallel bag: per-worker lanes with job
+//! segments, steal events, queue-wait and idle totals.
+//!
+//! [`report`] merges everything into a serializable [`ProfReport`]
+//! (the `.qprof` JSON format, version [`QPROF_VERSION`]) that
+//! `qdi-mon analyze` turns into a verdict table and
+//! `qdi-mon flame` / `qdi-mon timeline` render as SVGs.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// Version of the `.qprof` JSON format this module writes.
+pub const QPROF_VERSION: u32 = 1;
+
+/// Separator between frame names in a folded region path (the
+/// flamegraph "folded stacks" convention).
+pub const PATH_SEP: char = ';';
+
+/// Job segments kept per worker lane in a [`PoolRun`]; further
+/// segments are merged into the last one and flagged as truncated.
+pub const MAX_LANE_SEGMENTS: usize = 512;
+
+/// Pool runs retained in the in-memory ring; older runs are dropped
+/// (counted in [`ProfReport::dropped_pool_runs`]) but their totals are
+/// preserved via the lane aggregates of the runs that remain.
+pub const MAX_POOL_RUNS: usize = 128;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns the profiler on or off process-wide. Regions opened while
+/// disabled stay inert even if profiling is enabled before they close.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether profiling is currently enabled (one relaxed load — this is
+/// the whole disabled-path cost of [`region`]).
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread call-tree accumulation
+// ---------------------------------------------------------------------------
+
+/// Sentinel parent index for root-level nodes.
+const NO_PARENT: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct NodeStat {
+    name: &'static str,
+    parent: usize,
+    count: u64,
+    total_ns: u64,
+    self_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+#[derive(Default)]
+struct ThreadNodes {
+    index: HashMap<(usize, &'static str), usize>,
+    stats: Vec<NodeStat>,
+}
+
+impl ThreadNodes {
+    fn node(&mut self, parent: usize, name: &'static str) -> usize {
+        if let Some(&i) = self.index.get(&(parent, name)) {
+            return i;
+        }
+        let i = self.stats.len();
+        self.stats.push(NodeStat {
+            name,
+            parent,
+            count: 0,
+            total_ns: 0,
+            self_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        });
+        self.index.insert((parent, name), i);
+        i
+    }
+
+    fn close(&mut self, node: usize, dur_ns: u64, child_ns: u64) {
+        let stat = &mut self.stats[node];
+        stat.count += 1;
+        stat.total_ns += dur_ns;
+        stat.self_ns += dur_ns.saturating_sub(child_ns);
+        stat.min_ns = stat.min_ns.min(dur_ns);
+        stat.max_ns = stat.max_ns.max(dur_ns);
+    }
+}
+
+struct Frame {
+    node: usize,
+    start: Instant,
+    child_ns: u64,
+}
+
+struct ThreadProf {
+    shared: Arc<Mutex<ThreadNodes>>,
+    stack: Vec<Frame>,
+}
+
+fn node_registry() -> &'static Mutex<Vec<Arc<Mutex<ThreadNodes>>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<Mutex<ThreadNodes>>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static THREAD_PROF: RefCell<Option<ThreadProf>> = const { RefCell::new(None) };
+}
+
+fn with_thread_prof<R>(f: impl FnOnce(&mut ThreadProf) -> R) -> R {
+    THREAD_PROF.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let prof = slot.get_or_insert_with(|| {
+            let shared = Arc::new(Mutex::new(ThreadNodes::default()));
+            node_registry()
+                .lock()
+                .expect("prof registry poisoned")
+                .push(shared.clone());
+            ThreadProf {
+                shared,
+                stack: Vec::new(),
+            }
+        });
+        f(prof)
+    })
+}
+
+/// RAII guard for a timed region; dropping it attributes the elapsed
+/// wall time to the region's call-tree node. Must drop on the thread
+/// that opened it (it is `!Send`, like a span guard).
+#[must_use = "dropping the region guard immediately closes it"]
+pub struct Region {
+    active: bool,
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Opens a timed region. While the profiler is disabled this is one
+/// relaxed atomic load and the returned guard is inert; while enabled
+/// it pushes a frame on the thread-local region stack.
+///
+/// Region names should be short dotted identifiers (`"sim.run"`,
+/// `"qtrs.encode"`): they become frames of the folded-stack paths the
+/// flamegraph renders.
+pub fn region(name: &'static str) -> Region {
+    if !enabled() {
+        return Region {
+            active: false,
+            _not_send: PhantomData,
+        };
+    }
+    with_thread_prof(|prof| {
+        let parent = prof.stack.last().map_or(NO_PARENT, |f| f.node);
+        let node = prof
+            .shared
+            .lock()
+            .expect("prof nodes poisoned")
+            .node(parent, name);
+        prof.stack.push(Frame {
+            node,
+            start: Instant::now(),
+            child_ns: 0,
+        });
+    });
+    Region {
+        active: true,
+        _not_send: PhantomData,
+    }
+}
+
+impl Drop for Region {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        with_thread_prof(|prof| {
+            let Some(frame) = prof.stack.pop() else {
+                return; // reset() raced a live region; nothing to attribute
+            };
+            let dur_ns = u64::try_from(frame.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            if let Some(parent) = prof.stack.last_mut() {
+                parent.child_ns = parent.child_ns.saturating_add(dur_ns);
+            }
+            prof.shared.lock().expect("prof nodes poisoned").close(
+                frame.node,
+                dur_ns,
+                frame.child_ns,
+            );
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pool timelines
+// ---------------------------------------------------------------------------
+
+/// One contiguous busy stretch of a worker lane: consecutive jobs with
+/// no measurable gap, coalesced so big bags stay renderable.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Microseconds from the pool-run start to the segment start.
+    pub start_us: u64,
+    /// Microseconds from the pool-run start to the segment end.
+    pub end_us: u64,
+    /// Index of the first job in the segment.
+    pub first_job: u64,
+    /// Jobs coalesced into the segment.
+    pub jobs: u32,
+}
+
+/// Timeline and totals of one worker of one pool run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerLane {
+    /// Worker id within the run (0-based).
+    pub worker: usize,
+    /// Jobs this worker executed.
+    pub jobs: u64,
+    /// Steals this worker performed.
+    pub steals: u64,
+    /// Microseconds spent inside job closures.
+    pub busy_us: u64,
+    /// Microseconds spent acquiring work: queue locks, steal scans.
+    pub queue_wait_us: u64,
+    /// Microseconds neither busy nor acquiring work (run wall minus
+    /// the two), i.e. the worker had nothing to do.
+    pub idle_us: u64,
+    /// Coalesced busy segments (at most [`MAX_LANE_SEGMENTS`]).
+    pub segments: Vec<Segment>,
+    /// Whether segments were merged away beyond the cap.
+    pub segments_truncated: bool,
+}
+
+/// One parallel bag executed by the `qdi-exec` pool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolRun {
+    /// Jobs in the bag.
+    pub jobs: u64,
+    /// Workers the bag ran with.
+    pub workers: usize,
+    /// Wall time of the whole run, µs.
+    pub wall_us: u64,
+    /// Steals across all workers.
+    pub steals: u64,
+    /// Per-worker lanes, in worker order.
+    pub lanes: Vec<WorkerLane>,
+}
+
+impl PoolRun {
+    /// Sum of `busy_us` over the lanes.
+    #[must_use]
+    pub fn busy_us(&self) -> u64 {
+        self.lanes.iter().map(|l| l.busy_us).sum()
+    }
+
+    /// Sum of `queue_wait_us` over the lanes.
+    #[must_use]
+    pub fn queue_wait_us(&self) -> u64 {
+        self.lanes.iter().map(|l| l.queue_wait_us).sum()
+    }
+
+    /// Sum of `idle_us` over the lanes.
+    #[must_use]
+    pub fn idle_us(&self) -> u64 {
+        self.lanes.iter().map(|l| l.idle_us).sum()
+    }
+
+    /// Fraction of the run's worker-seconds spent inside job closures
+    /// (`busy / (workers · wall)`), the parallel efficiency. `None`
+    /// when the run has zero wall time.
+    #[must_use]
+    pub fn efficiency(&self) -> Option<f64> {
+        let capacity = self.wall_us.saturating_mul(self.workers as u64);
+        if capacity == 0 {
+            return None;
+        }
+        Some(self.busy_us() as f64 / capacity as f64)
+    }
+}
+
+#[derive(Default)]
+struct PoolRuns {
+    runs: Vec<PoolRun>,
+    dropped: u64,
+}
+
+fn pool_registry() -> &'static Mutex<PoolRuns> {
+    static POOL: OnceLock<Mutex<PoolRuns>> = OnceLock::new();
+    POOL.get_or_init(|| Mutex::new(PoolRuns::default()))
+}
+
+/// Records one completed pool run (called by `qdi-exec` after the
+/// scope joins, never on the job hot path). Keeps the most recent
+/// [`MAX_POOL_RUNS`] runs.
+pub fn record_pool_run(run: PoolRun) {
+    let mut pool = pool_registry().lock().expect("prof pool poisoned");
+    if pool.runs.len() == MAX_POOL_RUNS {
+        pool.runs.remove(0);
+        pool.dropped += 1;
+    }
+    pool.runs.push(run);
+}
+
+/// Builds one worker lane incrementally while the worker runs. All
+/// methods are cheap relative to the clock reads the caller already
+/// pays; the recorder is only constructed when profiling is enabled.
+#[derive(Debug)]
+pub struct LaneRecorder {
+    worker: usize,
+    jobs: u64,
+    steals: u64,
+    busy_us: u64,
+    queue_wait_us: u64,
+    segments: Vec<Segment>,
+    truncated: bool,
+}
+
+impl LaneRecorder {
+    /// A fresh lane for `worker`.
+    #[must_use]
+    pub fn new(worker: usize) -> LaneRecorder {
+        LaneRecorder {
+            worker,
+            jobs: 0,
+            steals: 0,
+            busy_us: 0,
+            queue_wait_us: 0,
+            segments: Vec::new(),
+            truncated: false,
+        }
+    }
+
+    /// Records one executed job by its `[start_us, end_us]` window on
+    /// the run clock. Jobs that start where the previous segment ended
+    /// (within 1 µs) coalesce.
+    pub fn job(&mut self, index: u64, start_us: u64, end_us: u64) {
+        self.jobs += 1;
+        self.busy_us += end_us.saturating_sub(start_us);
+        if let Some(last) = self.segments.last_mut() {
+            if start_us.saturating_sub(last.end_us) <= 1 {
+                last.end_us = last.end_us.max(end_us);
+                last.jobs += 1;
+                return;
+            }
+        }
+        if self.segments.len() == MAX_LANE_SEGMENTS {
+            // Keep totals exact and the tail visible: extend the last
+            // segment instead of growing without bound.
+            self.truncated = true;
+            let last = self.segments.last_mut().expect("cap > 0");
+            last.end_us = last.end_us.max(end_us);
+            last.jobs += 1;
+            return;
+        }
+        self.segments.push(Segment {
+            start_us,
+            end_us,
+            first_job: index,
+            jobs: 1,
+        });
+    }
+
+    /// Records one steal performed by this worker.
+    pub fn steal(&mut self) {
+        self.steals += 1;
+    }
+
+    /// Adds time spent acquiring work (queue locks, steal scans).
+    pub fn queue_wait_us(&mut self, us: u64) {
+        self.queue_wait_us += us;
+    }
+
+    /// Finishes the lane against the run's total wall time.
+    #[must_use]
+    pub fn finish(self, wall_us: u64) -> WorkerLane {
+        WorkerLane {
+            worker: self.worker,
+            jobs: self.jobs,
+            steals: self.steals,
+            busy_us: self.busy_us,
+            queue_wait_us: self.queue_wait_us,
+            idle_us: wall_us.saturating_sub(self.busy_us + self.queue_wait_us),
+            segments: self.segments,
+            segments_truncated: self.truncated,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Merged profile
+// ---------------------------------------------------------------------------
+
+/// One merged call-tree node across all threads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionStat {
+    /// Folded-stack path, frames joined with [`PATH_SEP`]
+    /// (`"exec.pool.job;sim.tb.run;sim.run"`).
+    pub path: String,
+    /// Leaf frame name.
+    pub name: String,
+    /// Nesting depth (0 = root-level region).
+    pub depth: usize,
+    /// Times the region closed.
+    pub count: u64,
+    /// Total wall time inside the region, ns.
+    pub total_ns: u64,
+    /// Total minus time attributed to child regions, ns.
+    pub self_ns: u64,
+    /// Shortest single visit, ns.
+    pub min_ns: u64,
+    /// Longest single visit, ns.
+    pub max_ns: u64,
+}
+
+impl RegionStat {
+    /// Mean wall time per visit, ns.
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// The merged region call tree, sorted by path.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RegionProfile {
+    /// Merged nodes, sorted by `path` for deterministic output.
+    pub regions: Vec<RegionStat>,
+}
+
+impl RegionProfile {
+    /// Classic folded-stack lines (`path self_ns`), the flamegraph
+    /// input model. Zero-self nodes are kept: their children carry the
+    /// weight.
+    #[must_use]
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        for r in &self.regions {
+            out.push_str(&format!("{} {}\n", r.path, r.self_ns));
+        }
+        out
+    }
+
+    /// The `top` regions by self time, descending (ties broken by
+    /// path so the order is total).
+    #[must_use]
+    pub fn top_by_self(&self, top: usize) -> Vec<RegionStat> {
+        let mut rows = self.regions.clone();
+        rows.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.path.cmp(&b.path)));
+        rows.truncate(top);
+        rows
+    }
+}
+
+/// Everything a `.qprof` file holds.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProfReport {
+    /// Format version ([`QPROF_VERSION`]).
+    pub version: u32,
+    /// Capture timestamp, µs on the process-monotonic clock.
+    pub captured_us: u64,
+    /// Merged region call tree.
+    pub regions: RegionProfile,
+    /// Retained pool runs, oldest first.
+    pub pool_runs: Vec<PoolRun>,
+    /// Pool runs dropped from the ring before capture.
+    pub dropped_pool_runs: u64,
+}
+
+impl ProfReport {
+    /// Serializes to pretty JSON and writes `path` (the `.qprof`
+    /// convention is `<name>.qprof.json`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::other(format!("profile serialization failed: {e}")))?;
+        std::fs::write(path, json + "\n")
+    }
+
+    /// Loads a profile written by [`ProfReport::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the file is unreadable, not JSON, or
+    /// a different `.qprof` version.
+    pub fn load(path: impl AsRef<Path>) -> Result<ProfReport, String> {
+        let text = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| format!("{}: {e}", path.as_ref().display()))?;
+        let report: ProfReport = serde_json::from_str(&text)
+            .map_err(|e| format!("{}: not a .qprof profile: {e}", path.as_ref().display()))?;
+        if report.version != QPROF_VERSION {
+            return Err(format!(
+                "{}: .qprof version {} (this build reads {})",
+                path.as_ref().display(),
+                report.version,
+                QPROF_VERSION
+            ));
+        }
+        Ok(report)
+    }
+}
+
+/// Merges every thread's call tree and the pool-run ring into a
+/// [`ProfReport`]. Non-destructive: accumulation continues afterwards.
+#[must_use]
+pub fn report() -> ProfReport {
+    // Per-thread node tables use per-thread indices; re-key by path.
+    #[derive(Default)]
+    struct Merged {
+        count: u64,
+        total_ns: u64,
+        self_ns: u64,
+        min_ns: u64,
+        max_ns: u64,
+    }
+    let mut merged: HashMap<String, Merged> = HashMap::new();
+    let tables: Vec<Arc<Mutex<ThreadNodes>>> = node_registry()
+        .lock()
+        .expect("prof registry poisoned")
+        .clone();
+    for table in tables {
+        let table = table.lock().expect("prof nodes poisoned");
+        // Resolve each node's folded path by climbing parents.
+        let mut paths: Vec<String> = Vec::with_capacity(table.stats.len());
+        for stat in &table.stats {
+            let path = if stat.parent == NO_PARENT {
+                stat.name.to_string()
+            } else {
+                // Parents always precede children in the table.
+                format!("{}{}{}", paths[stat.parent], PATH_SEP, stat.name)
+            };
+            paths.push(path);
+        }
+        for (stat, path) in table.stats.iter().zip(&paths) {
+            if stat.count == 0 {
+                continue; // opened but never closed (still on a stack)
+            }
+            let entry = merged.entry(path.clone()).or_insert(Merged {
+                min_ns: u64::MAX,
+                ..Merged::default()
+            });
+            entry.count += stat.count;
+            entry.total_ns += stat.total_ns;
+            entry.self_ns += stat.self_ns;
+            entry.min_ns = entry.min_ns.min(stat.min_ns);
+            entry.max_ns = entry.max_ns.max(stat.max_ns);
+        }
+    }
+    let mut regions: Vec<RegionStat> = merged
+        .into_iter()
+        .map(|(path, m)| {
+            let name = path
+                .rsplit(PATH_SEP)
+                .next()
+                .unwrap_or(path.as_str())
+                .to_string();
+            let depth = path.matches(PATH_SEP).count();
+            RegionStat {
+                path,
+                name,
+                depth,
+                count: m.count,
+                total_ns: m.total_ns,
+                self_ns: m.self_ns,
+                min_ns: m.min_ns,
+                max_ns: m.max_ns,
+            }
+        })
+        .collect();
+    regions.sort_by(|a, b| a.path.cmp(&b.path));
+    let pool = pool_registry().lock().expect("prof pool poisoned");
+    ProfReport {
+        version: QPROF_VERSION,
+        captured_us: crate::now_us(),
+        regions: RegionProfile { regions },
+        pool_runs: pool.runs.clone(),
+        dropped_pool_runs: pool.dropped,
+    }
+}
+
+/// Clears all accumulated region stats and pool runs (tests, between
+/// independent runs). Regions currently open keep timing and attribute
+/// into the fresh tables when they close.
+pub fn reset() {
+    for table in node_registry()
+        .lock()
+        .expect("prof registry poisoned")
+        .iter()
+    {
+        let mut table = table.lock().expect("prof nodes poisoned");
+        for stat in &mut table.stats {
+            stat.count = 0;
+            stat.total_ns = 0;
+            stat.self_ns = 0;
+            stat.min_ns = u64::MAX;
+            stat.max_ns = 0;
+        }
+    }
+    let mut pool = pool_registry().lock().expect("prof pool poisoned");
+    pool.runs.clear();
+    pool.dropped = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Flow-report summary
+// ---------------------------------------------------------------------------
+
+/// Pool totals folded over every retained run (for report embedding).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PoolTotals {
+    /// Retained pool runs.
+    pub runs: usize,
+    /// Jobs across the runs.
+    pub jobs: u64,
+    /// Steals across the runs.
+    pub steals: u64,
+    /// Largest worker count among the runs.
+    pub max_workers: usize,
+    /// Worker-seconds spent inside job closures.
+    pub busy_s: f64,
+    /// Worker-seconds spent acquiring work.
+    pub queue_wait_s: f64,
+    /// Worker-seconds spent idle.
+    pub idle_s: f64,
+    /// Busy share of the total worker-seconds, in `[0, 1]`; `0` when
+    /// no time was recorded.
+    pub efficiency: f64,
+}
+
+/// Compact profile view embedded in flow reports: the top regions by
+/// self time plus pool totals.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProfSummary {
+    /// Top regions by self time, descending.
+    pub top_regions: Vec<RegionStat>,
+    /// Pool totals, when any pool run was recorded.
+    pub pool: Option<PoolTotals>,
+}
+
+/// Folds the pool runs of a report into [`PoolTotals`]; `None` when
+/// the report holds no runs.
+#[must_use]
+pub fn pool_totals(report: &ProfReport) -> Option<PoolTotals> {
+    if report.pool_runs.is_empty() {
+        return None;
+    }
+    let mut totals = PoolTotals {
+        runs: report.pool_runs.len(),
+        ..PoolTotals::default()
+    };
+    let mut capacity_us = 0u64;
+    let mut busy_us = 0u64;
+    for run in &report.pool_runs {
+        totals.jobs += run.jobs;
+        totals.steals += run.steals;
+        totals.max_workers = totals.max_workers.max(run.workers);
+        busy_us += run.busy_us();
+        totals.queue_wait_s += run.queue_wait_us() as f64 / 1e6;
+        totals.idle_s += run.idle_us() as f64 / 1e6;
+        capacity_us += run.wall_us.saturating_mul(run.workers as u64);
+    }
+    totals.busy_s = busy_us as f64 / 1e6;
+    totals.efficiency = if capacity_us == 0 {
+        0.0
+    } else {
+        busy_us as f64 / capacity_us as f64
+    };
+    Some(totals)
+}
+
+/// Captures a [`ProfSummary`] with the `top` regions by self time.
+#[must_use]
+pub fn summary(top: usize) -> ProfSummary {
+    let report = report();
+    ProfSummary {
+        top_regions: report.regions.top_by_self(top),
+        pool: pool_totals(&report),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// These tests toggle process-global state; serialize them.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+        GATE.get_or_init(|| Mutex::new(()))
+            .lock()
+            .expect("test gate poisoned")
+    }
+
+    fn find<'a>(prof: &'a RegionProfile, path: &str) -> &'a RegionStat {
+        prof.regions
+            .iter()
+            .find(|r| r.path == path)
+            .unwrap_or_else(|| panic!("region `{path}` missing"))
+    }
+
+    #[test]
+    fn disabled_regions_are_inert() {
+        let _gate = lock();
+        set_enabled(false);
+        reset();
+        {
+            let _r = region("prof.test.disabled");
+        }
+        let rep = report();
+        assert!(
+            !rep.regions
+                .regions
+                .iter()
+                .any(|r| r.path.contains("prof.test.disabled")),
+            "disabled region must not record"
+        );
+    }
+
+    #[test]
+    fn nested_regions_attribute_self_and_total() {
+        let _gate = lock();
+        set_enabled(true);
+        reset();
+        {
+            let _outer = region("prof.test.outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = region("prof.test.inner");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        set_enabled(false);
+        let rep = report();
+        let outer = find(&rep.regions, "prof.test.outer");
+        let inner = find(&rep.regions, "prof.test.outer;prof.test.inner");
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(inner.name, "prof.test.inner");
+        assert!(outer.total_ns >= inner.total_ns);
+        assert!(
+            outer.self_ns < outer.total_ns,
+            "inner time must not count as outer self time"
+        );
+        assert!(inner.min_ns <= inner.max_ns);
+        let folded = rep.regions.folded();
+        assert!(folded.contains("prof.test.outer;prof.test.inner "));
+        reset();
+    }
+
+    #[test]
+    fn repeat_visits_accumulate_counts_and_minmax() {
+        let _gate = lock();
+        set_enabled(true);
+        reset();
+        for _ in 0..5 {
+            let _r = region("prof.test.repeat");
+        }
+        set_enabled(false);
+        let rep = report();
+        let r = find(&rep.regions, "prof.test.repeat");
+        assert_eq!(r.count, 5);
+        assert!(r.min_ns <= r.max_ns);
+        assert!(r.total_ns >= r.max_ns);
+        assert!((r.mean_ns() - r.total_ns as f64 / 5.0).abs() < 1e-9);
+        reset();
+    }
+
+    #[test]
+    fn threads_merge_into_one_tree() {
+        let _gate = lock();
+        set_enabled(true);
+        reset();
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    let _r = region("prof.test.worker");
+                });
+            }
+        });
+        let _r = region("prof.test.worker");
+        drop(_r);
+        set_enabled(false);
+        let rep = report();
+        assert_eq!(find(&rep.regions, "prof.test.worker").count, 4);
+        reset();
+    }
+
+    #[test]
+    fn lane_recorder_coalesces_and_caps_segments() {
+        let mut lane = LaneRecorder::new(0);
+        lane.job(0, 0, 10);
+        lane.job(1, 10, 20); // adjacent: coalesces
+        lane.job(2, 50, 60); // gap: new segment
+        lane.steal();
+        lane.queue_wait_us(5);
+        let worker = lane.finish(100);
+        assert_eq!(worker.segments.len(), 2);
+        assert_eq!(worker.segments[0].jobs, 2);
+        assert_eq!(worker.jobs, 3);
+        assert_eq!(worker.busy_us, 30);
+        assert_eq!(worker.queue_wait_us, 5);
+        assert_eq!(worker.idle_us, 100 - 30 - 5);
+        assert!(!worker.segments_truncated);
+
+        let mut big = LaneRecorder::new(1);
+        for i in 0..(MAX_LANE_SEGMENTS as u64 + 10) {
+            big.job(i, i * 10, i * 10 + 2); // gaps of 8 µs: no coalescing
+        }
+        let worker = big.finish(u64::MAX);
+        assert_eq!(worker.segments.len(), MAX_LANE_SEGMENTS);
+        assert!(worker.segments_truncated);
+        assert_eq!(worker.jobs, MAX_LANE_SEGMENTS as u64 + 10);
+    }
+
+    #[test]
+    fn pool_run_efficiency_and_totals() {
+        let run = PoolRun {
+            jobs: 8,
+            workers: 2,
+            wall_us: 100,
+            steals: 1,
+            lanes: vec![
+                WorkerLane {
+                    worker: 0,
+                    jobs: 5,
+                    steals: 0,
+                    busy_us: 90,
+                    queue_wait_us: 5,
+                    idle_us: 5,
+                    segments: vec![],
+                    segments_truncated: false,
+                },
+                WorkerLane {
+                    worker: 1,
+                    jobs: 3,
+                    steals: 1,
+                    busy_us: 50,
+                    queue_wait_us: 10,
+                    idle_us: 40,
+                    segments: vec![],
+                    segments_truncated: false,
+                },
+            ],
+        };
+        assert_eq!(run.busy_us(), 140);
+        assert_eq!(run.queue_wait_us(), 15);
+        assert_eq!(run.idle_us(), 45);
+        let eff = run.efficiency().unwrap();
+        assert!(
+            (eff - 0.7).abs() < 1e-12,
+            "140 / (2 * 100) = 0.7, got {eff}"
+        );
+    }
+
+    #[test]
+    fn report_round_trips_through_a_qprof_file() {
+        let _gate = lock();
+        set_enabled(true);
+        reset();
+        {
+            let _r = region("prof.test.roundtrip");
+        }
+        record_pool_run(PoolRun {
+            jobs: 4,
+            workers: 2,
+            wall_us: 10,
+            steals: 0,
+            lanes: vec![],
+        });
+        set_enabled(false);
+        let rep = report();
+        assert_eq!(rep.version, QPROF_VERSION);
+        assert_eq!(rep.pool_runs.len(), 1);
+        let path = std::env::temp_dir().join("qdi_obs_prof_test.qprof.json");
+        rep.save(&path).unwrap();
+        let back = ProfReport::load(&path).unwrap();
+        assert_eq!(back.regions, rep.regions);
+        assert_eq!(back.pool_runs, rep.pool_runs);
+        let _ = std::fs::remove_file(&path);
+        reset();
+    }
+
+    #[test]
+    fn summary_picks_top_regions_and_pool_totals() {
+        let _gate = lock();
+        set_enabled(true);
+        reset();
+        {
+            let _slow = region("prof.test.slow");
+            std::thread::sleep(std::time::Duration::from_millis(3));
+        }
+        {
+            let _fast = region("prof.test.fast");
+        }
+        record_pool_run(PoolRun {
+            jobs: 10,
+            workers: 2,
+            wall_us: 100,
+            steals: 3,
+            lanes: vec![WorkerLane {
+                worker: 0,
+                jobs: 10,
+                steals: 3,
+                busy_us: 120,
+                queue_wait_us: 10,
+                idle_us: 70,
+                segments: vec![],
+                segments_truncated: false,
+            }],
+        });
+        set_enabled(false);
+        let sum = summary(1);
+        assert_eq!(sum.top_regions.len(), 1);
+        assert_eq!(sum.top_regions[0].name, "prof.test.slow");
+        let pool = sum.pool.expect("pool totals present");
+        assert_eq!(pool.jobs, 10);
+        assert_eq!(pool.steals, 3);
+        assert_eq!(pool.max_workers, 2);
+        assert!((pool.efficiency - 0.6).abs() < 1e-12);
+        reset();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let path = std::env::temp_dir().join("qdi_obs_prof_badver.qprof.json");
+        let rep = ProfReport {
+            version: QPROF_VERSION + 1,
+            ..ProfReport::default()
+        };
+        rep.save(&path).unwrap();
+        let err = ProfReport::load(&path).unwrap_err();
+        assert!(err.contains("version"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -31,6 +31,113 @@ pub fn metric_name(raw: &str) -> String {
     }
 }
 
+/// Escapes a label value per the text-format 0.0.4 grammar: backslash,
+/// double quote and newline become `\\`, `\"` and `\n`. Everything else
+/// passes through untouched.
+#[must_use]
+pub fn escape_label_value(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape_label_value`].
+///
+/// # Errors
+///
+/// Returns a description on a dangling backslash or an escape sequence
+/// the format does not define.
+pub fn unescape_label_value(escaped: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(escaped.len());
+    let mut chars = escaped.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            Some(other) => return Err(format!("unknown escape `\\{other}` in label value")),
+            None => return Err("dangling backslash in label value".to_string()),
+        }
+    }
+    Ok(out)
+}
+
+/// Renders one labeled sample line, `name{k="v",...} value`, escaping
+/// every label value. With no labels the brace block is omitted.
+#[must_use]
+pub fn render_labeled(name: &str, labels: &[(&str, &str)], value: f64) -> String {
+    let name = metric_name(name);
+    if labels.is_empty() {
+        return format!("{name} {}\n", render_value(value));
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    format!("{name}{{{}}} {}\n", body.join(","), render_value(value))
+}
+
+/// Splits a sample's name token into its base name and unescaped
+/// `(key, value)` labels. A token without a brace block has no labels.
+///
+/// # Errors
+///
+/// Returns a description on unbalanced braces, unquoted values, or bad
+/// escapes.
+pub fn parse_labels(token: &str) -> Result<(String, Vec<(String, String)>), String> {
+    let Some(open) = token.find('{') else {
+        return Ok((token.to_string(), Vec::new()));
+    };
+    let base = token[..open].to_string();
+    let body = token[open + 1..]
+        .strip_suffix('}')
+        .ok_or_else(|| format!("unbalanced label braces in `{token}`"))?;
+    let mut labels = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without `=` in `{token}`"))?;
+        let key = rest[..eq].to_string();
+        let after = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| format!("label `{key}` value is not quoted"))?;
+        // Find the closing quote, skipping escaped characters.
+        let mut close = None;
+        let mut skip = false;
+        for (i, c) in after.char_indices() {
+            if skip {
+                skip = false;
+            } else if c == '\\' {
+                skip = true;
+            } else if c == '"' {
+                close = Some(i);
+                break;
+            }
+        }
+        let close = close.ok_or_else(|| format!("label `{key}` value is unterminated"))?;
+        labels.push((key, unescape_label_value(&after[..close])?));
+        rest = &after[close + 1..];
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped;
+        } else if !rest.is_empty() {
+            return Err(format!("expected `,` between labels in `{token}`"));
+        }
+    }
+    Ok((base, labels))
+}
+
 fn render_value(v: f64) -> String {
     if v.is_nan() {
         "NaN".to_string()
@@ -57,9 +164,29 @@ pub fn render(snapshot: &MetricsSnapshot) -> String {
     out
 }
 
+/// Finds where a sample line's name token (which may carry a quoted
+/// label block containing spaces) ends, or `None` when no `{` opens one.
+fn label_block_end(line: &str) -> Option<Result<usize, String>> {
+    let open = line.find('{')?;
+    let mut in_quotes = false;
+    let mut skip = false;
+    for (i, c) in line[open..].char_indices() {
+        if skip {
+            skip = false;
+        } else if in_quotes && c == '\\' {
+            skip = true;
+        } else if c == '"' {
+            in_quotes = !in_quotes;
+        } else if c == '}' && !in_quotes {
+            return Some(Ok(open + i + 1));
+        }
+    }
+    Some(Err("unbalanced label braces".to_string()))
+}
+
 /// Parses text-format 0.0.4 exposition back into `(name, value)`
-/// samples (comment and blank lines skipped, labels not supported —
-/// [`render`] never emits any).
+/// samples (comment and blank lines skipped). A label block is kept
+/// verbatim in the sample name; use [`parse_labels`] to split it out.
 ///
 /// # Errors
 ///
@@ -71,8 +198,16 @@ pub fn parse(text: &str) -> Result<Vec<MetricSample>, String> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let mut parts = line.split_whitespace();
-        let (Some(name), Some(value)) = (parts.next(), parts.next()) else {
+        let (name, rest) = match label_block_end(line) {
+            Some(Ok(end)) => line.split_at(end),
+            Some(Err(e)) => return Err(format!("line {}: {e}", lineno + 1)),
+            None => {
+                let cut = line.find(char::is_whitespace).unwrap_or(line.len());
+                line.split_at(cut)
+            }
+        };
+        let mut parts = rest.split_whitespace();
+        let Some(value) = parts.next() else {
             return Err(format!("line {}: expected `name value`", lineno + 1));
         };
         if parts.next().is_some() {
@@ -138,6 +273,72 @@ mod tests {
             assert_eq!(p.name, metric_name(&o.name));
             assert_eq!(p.value, o.value);
         }
+    }
+
+    #[test]
+    fn label_value_escaping_round_trips_every_special() {
+        for raw in [
+            "plain",
+            "with \"quotes\"",
+            "back\\slash",
+            "line\nbreak",
+            "\\n is literal backslash-n",
+            "all \\ of \" them\nat once",
+            "",
+        ] {
+            let escaped = escape_label_value(raw);
+            assert!(!escaped.contains('\n'), "escaped form must be one line");
+            assert_eq!(unescape_label_value(&escaped).unwrap(), raw, "{raw:?}");
+        }
+        // The escaped forms themselves are what the spec mandates.
+        assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+    }
+
+    #[test]
+    fn unescape_rejects_undefined_escapes() {
+        assert!(unescape_label_value("dangling\\").is_err());
+        assert!(unescape_label_value("bad\\t").is_err());
+    }
+
+    #[test]
+    fn labeled_samples_round_trip_through_parse() {
+        let labels = [
+            ("flow", "secure \"fast\" path"),
+            ("dir", "C:\\traces"),
+            ("note", "two\nlines"),
+        ];
+        let line = render_labeled("dpa.traces", &labels, 7.0);
+        let parsed = parse(&line).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].value, 7.0);
+        let (base, got) = parse_labels(&parsed[0].name).unwrap();
+        assert_eq!(base, "qdi_dpa_traces");
+        let want: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn render_labeled_without_labels_matches_plain_form() {
+        assert_eq!(render_labeled("a.x", &[], 1.5), "qdi_a_x 1.5\n");
+        let (base, labels) = parse_labels("qdi_a_x").unwrap();
+        assert_eq!(base, "qdi_a_x");
+        assert!(labels.is_empty());
+    }
+
+    #[test]
+    fn parse_labels_rejects_malformed_blocks() {
+        assert!(parse_labels("m{k=\"v\"").is_err(), "unbalanced braces");
+        assert!(parse_labels("m{k}").is_err(), "no equals");
+        assert!(parse_labels("m{k=v}").is_err(), "unquoted value");
+        assert!(parse_labels("m{k=\"v}").is_err(), "unterminated value");
+        assert!(
+            parse_labels("m{k=\"a\" b=\"c\"}").is_err(),
+            "space separator"
+        );
+        assert!(parse("m{k=\"open 1\n").is_err(), "unbalanced in parse");
     }
 
     #[test]

@@ -52,6 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cfg.worst_k = 6;
         cfg.progress = true;
         cfg.timeseries = true;
+        cfg.profile = true;
         let report = run_static_flow(&mut netlist, &cfg)?;
         println!("{}", report.to_text());
         println!(
@@ -115,11 +116,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     qdi_obs::timeseries::save_json("secure_flow.timeseries.json")?;
 
+    // The full region/pool profile accumulated since `cfg.profile`
+    // switched the profiler on (both flows plus the campaign above):
+    // feed it to `qdi-mon analyze|flame|timeline`.
+    qdi_obs::prof::report().save("secure_flow.qprof.json")?;
+
     println!(
         "wrote secure_flow.trace.json (chrome://tracing / Perfetto), \
-         secure_flow.telemetry.jsonl and the qdi-mon sidecars \
-         (metrics/timeseries/progress .json)\n\
-         next: qdi-mon report secure_flow.telemetry.jsonl"
+         secure_flow.telemetry.jsonl, secure_flow.qprof.json and the \
+         qdi-mon sidecars (metrics/timeseries/progress .json)\n\
+         next: qdi-mon report secure_flow.telemetry.jsonl\n\
+         next: qdi-mon analyze secure_flow.qprof.json"
     );
     Ok(())
 }
