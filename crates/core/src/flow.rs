@@ -6,21 +6,26 @@
 //!    cycles, encoding, acknowledgement, rail symmetry) verifies the
 //!    premise of the paper's Section II countermeasures; deny-level
 //!    findings abort the flow before any layout effort is spent.
-//! 2. **Place and route** — flat (the uncontrolled reference, AES_v2) or
+//! 2. **Symbolic lint** — the `qdi-sym` verifier proves every level's
+//!    transition count and nominal weighted activity input-independent
+//!    (`QDI0201`–`QDI0203`), or refutes it with a witness input pair
+//!    that replays in `qdi-sim`; runs pre-layout because extraction
+//!    cannot change its nominal-capacitance verdict.
+//! 3. **Place and route** — flat (the uncontrolled reference, AES_v2) or
 //!    hierarchical with constrained regions (the proposed methodology,
 //!    AES_v1).
-//! 3. **Extraction** — routed net capacitances are written back into the
+//! 4. **Extraction** — routed net capacitances are written back into the
 //!    netlist.
-//! 4. **Electrical lint** — the `qdi-lint` electrical registry evaluates
+//! 5. **Electrical lint** — the `qdi-lint` electrical registry evaluates
 //!    the eq. 13 dissymmetry criterion and the eqs. 10–12 per-level
 //!    residual on the extracted capacitances; deny-level findings abort
 //!    the flow (by default the deny tier is off — see
 //!    [`FlowConfig::new`]).
-//! 5. **Criterion evaluation** — every channel's dissymmetry `dA` is
+//! 6. **Criterion evaluation** — every channel's dissymmetry `dA` is
 //!    tabulated; channels above the alert threshold are flagged (Table 2).
-//! 6. **Leakage ranking** — the eq.-12 analytic estimate orders channels
+//! 7. **Leakage ranking** — the eq.-12 analytic estimate orders channels
 //!    by predicted DPA bias.
-//! 7. **DPA evaluation** (slice flow only) — a trace campaign plus the
+//! 8. **DPA evaluation** (slice flow only) — a trace campaign plus the
 //!    full attack quantify the layout's actual resistance.
 
 use std::fmt;
@@ -273,12 +278,20 @@ pub struct StaticFlowReport {
     pub leakage_ranking: Vec<ChannelLeakage>,
     /// Fill report, when a fill step ran.
     pub fill: Option<qdi_pnr::fill::FillReport>,
-    /// Findings of both lint stages (pre-route structural, post-extraction
-    /// electrical). Under [`FlowPolicy::FailFast`] a report is only
-    /// produced when no stage denied, so everything here is warn level or
-    /// below; under [`FlowPolicy::ContinueOnError`] deny-level findings
-    /// appear here and the corresponding step is marked failed in
-    /// [`StaticFlowReport::steps`].
+    /// `true` when the symbolic verifier proved every level's transition
+    /// count and nominal weighted activity input-independent — no
+    /// `QDI0201`/`QDI0202` finding at any severity (an unproven level
+    /// counts as not balanced).
+    pub symbolic_balanced: bool,
+    /// Witness input pairs carried by symbolic refutations; each replays
+    /// in `qdi-sim` with nonzero bias (`qdi_sim::replay_witness`).
+    pub symbolic_witnesses: Vec<qdi_netlist::WitnessPair>,
+    /// Findings of all lint stages (pre-route structural, symbolic,
+    /// post-extraction electrical). Under [`FlowPolicy::FailFast`] a
+    /// report is only produced when no stage denied, so everything here
+    /// is warn level or below; under [`FlowPolicy::ContinueOnError`]
+    /// deny-level findings appear here and the corresponding step is
+    /// marked failed in [`StaticFlowReport::steps`].
     pub lint: LintReport,
     /// Per-step outcomes, in execution order. Under
     /// [`FlowPolicy::FailFast`] every entry is completed (a failure
@@ -329,6 +342,17 @@ impl StaticFlowReport {
             self.max_criterion,
             self.flagged_channels.len(),
             0.5
+        ));
+        out.push_str(&format!(
+            "  symbolic: {}\n",
+            if self.symbolic_balanced {
+                "per-level activity proved input-independent".to_owned()
+            } else {
+                format!(
+                    "NOT proved balanced ({} replayable witness(es))",
+                    self.symbolic_witnesses.len()
+                )
+            }
         ));
         out.push_str(&format!(
             "  lint: {} warning(s), {} finding(s) total\n",
@@ -419,6 +443,50 @@ pub fn run_static_flow(
         .map(|d| d.subject.name().to_owned())
         .collect();
 
+    // Stage 1b: the symbolic verifier proves (or refutes with replayable
+    // witnesses) per-level data independence. Runs pre-layout: it works
+    // at nominal capacitances, so extraction cannot change its verdict.
+    let symbolic = telemetry.step("qdi_core::flow", "lint_symbolic", || {
+        Registry::symbolic().run(netlist, &cfg.lint)
+    });
+    symbolic.emit_to_obs();
+    tick();
+    if symbolic.deny_count() > 0 {
+        match cfg.policy {
+            FlowPolicy::FailFast => {
+                qdi_obs::flush();
+                return Err(FlowError::Lint {
+                    stage: "symbolic",
+                    report: symbolic,
+                });
+            }
+            FlowPolicy::ContinueOnError => {
+                steps.push(StepOutcome::failed(
+                    "lint_symbolic",
+                    format!(
+                        "symbolic lint denied with {} error(s)",
+                        symbolic.deny_count()
+                    ),
+                ));
+            }
+        }
+    } else {
+        steps.push(StepOutcome::completed("lint_symbolic"));
+    }
+    // Balanced = no count/activity finding at any severity (a warn-level
+    // QDI0201 means "unproven", which is not a proof of balance).
+    let symbolic_balanced = symbolic
+        .with_code(qdi_lint::SYM_TRANSITION_COUNT)
+        .chain(symbolic.with_code(qdi_lint::SYM_ACTIVITY_IMBALANCE))
+        .next()
+        .is_none();
+    let symbolic_witnesses: Vec<qdi_netlist::WitnessPair> = symbolic
+        .diagnostics
+        .iter()
+        .filter_map(|d| d.witness.clone())
+        .collect();
+    lint.merge(symbolic);
+
     let pnr = telemetry.step("qdi_core::flow", "place_and_route", || {
         place_and_route(netlist, cfg.strategy, &cfg.pnr)
     });
@@ -499,6 +567,8 @@ pub fn run_static_flow(
         flagged_channels: flagged,
         leakage_ranking: leakage,
         fill: fill_report,
+        symbolic_balanced,
+        symbolic_witnesses,
         lint,
         steps,
         telemetry,
@@ -660,11 +730,54 @@ mod tests {
         let mut nl = b.finish().expect("valid");
         let report = run_static_flow(&mut nl, &fast_cfg(Strategy::Flat, 0)).expect("passes lint");
         assert!(report.unbalanced_channels.is_empty());
+        assert!(
+            report.symbolic_balanced,
+            "{}",
+            report.lint.render_human(false)
+        );
+        assert!(report.symbolic_witnesses.is_empty());
         assert!(report.die_area_um2 > 0.0);
         assert!(!report.worst_channels.is_empty());
         assert!(report.max_criterion >= 0.0);
         let text = report.to_text();
         assert!(text.contains("max dA"));
+        assert!(text.contains("proved input-independent"), "{text}");
+    }
+
+    #[test]
+    fn static_flow_refutes_unbalanced_cell_with_witness() {
+        let mut b = NetlistBuilder::new("xor_unbalanced");
+        let a = b.input_channel("a", 2);
+        let bb = b.input_channel("b", 2);
+        let ack = b.input_net("ack");
+        let cell = cells::dual_rail_xor_unbalanced(&mut b, "x", &a, &bb, ack);
+        b.connect_input_acks(&[a.id, bb.id], cell.ack_to_senders);
+        let _ = b.output_channel("co", &cell.out.rails.clone(), ack);
+        let mut nl = b.finish().expect("valid");
+
+        // Fail-fast: the symbolic stage denies before any layout effort.
+        let err = run_static_flow(&mut nl, &fast_cfg(Strategy::Flat, 0))
+            .expect_err("symbolic stage must deny");
+        match &err {
+            FlowError::Lint { stage, report } => {
+                assert_eq!(*stage, "symbolic");
+                assert!(report.deny_count() > 0);
+            }
+            other => panic!("expected lint error, got {other:?}"),
+        }
+
+        // Continue-on-error: the run completes, the step is failed, and
+        // the report carries the replayable witnesses.
+        let mut cfg = fast_cfg(Strategy::Flat, 0);
+        cfg.policy = FlowPolicy::ContinueOnError;
+        let report = run_static_flow(&mut nl, &cfg).expect("continues");
+        assert!(!report.symbolic_balanced);
+        assert!(!report.symbolic_witnesses.is_empty());
+        assert!(report
+            .steps
+            .iter()
+            .any(|s| s.step == "lint_symbolic" && !s.is_completed()));
+        assert!(report.to_text().contains("NOT proved balanced"));
     }
 
     #[test]
@@ -682,6 +795,7 @@ mod tests {
             step_names,
             vec![
                 "lint_structural",
+                "lint_symbolic",
                 "place_and_route",
                 "fill",
                 "lint_electrical",
@@ -774,6 +888,7 @@ mod tests {
             names,
             vec![
                 "lint_structural",
+                "lint_symbolic",
                 "place_and_route",
                 "fill",
                 "lint_electrical",

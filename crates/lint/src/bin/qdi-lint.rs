@@ -10,14 +10,19 @@
 //!   --allow CODE      silence lint CODE
 //!   --da-warn X       dA alert threshold (default 0.5)
 //!   --da-deny X|none  dA error threshold (default 1.0); `none` disables
-//!   --structural      run only the structural passes (skip capacitance)
-//!   --json            print findings as JSON-Lines on stdout
+//!   --sym-budget N    symbolic joint-assignment budget (default 4096)
+//!   --structural      run only the structural passes (skip symbolic
+//!                     and capacitance)
+//!   --explain CODE    print the extended help for lint CODE and exit
+//!   --format FMT      output format: human (default), json, github
+//!   --json            shorthand for --format json
 //!   --jsonl FILE      also stream findings to FILE via a qdi-obs JSONL sink
 //!   --no-color        disable ANSI colors (also: NO_COLOR, non-tty)
 //! ```
 //!
 //! Exit status: `0` no deny-level findings, `1` at least one deny-level
-//! finding, `2` usage or load error.
+//! finding, `2` usage or load error (including `--explain` of an
+//! unregistered code).
 
 use std::io::IsTerminal as _;
 use std::process::ExitCode;
@@ -25,19 +30,32 @@ use std::sync::Arc;
 
 use qdi_lint::{LintCode, LintConfig, Registry, Severity};
 
+/// Output format of the findings.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    /// Rustc-style text on stderr.
+    Human,
+    /// JSON-Lines on stdout.
+    Json,
+    /// GitHub Actions workflow commands on stdout.
+    Github,
+}
+
 /// Parsed command line.
 struct Options {
     files: Vec<String>,
     config: LintConfig,
     structural_only: bool,
-    json: bool,
+    format: Format,
+    explain: Option<String>,
     jsonl: Option<String>,
     color: Option<bool>,
 }
 
 fn usage() -> &'static str {
     "usage: qdi-lint [--deny warnings|CODE] [--warn CODE] [--allow CODE] \
-     [--da-warn X] [--da-deny X|none] [--structural] [--json] [--jsonl FILE] \
+     [--da-warn X] [--da-deny X|none] [--sym-budget N] [--structural] \
+     [--explain CODE] [--format human|json|github] [--json] [--jsonl FILE] \
      [--no-color] FILE..."
 }
 
@@ -51,7 +69,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         files: Vec::new(),
         config: LintConfig::default(),
         structural_only: false,
-        json: false,
+        format: Format::Human,
+        explain: None,
         jsonl: None,
         color: None,
     };
@@ -97,8 +116,23 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     )
                 };
             }
+            "--sym-budget" => {
+                let v = operand("--sym-budget")?;
+                opts.config.sym_budget = v
+                    .parse()
+                    .map_err(|_| format!("--sym-budget: `{v}` is not a number"))?;
+            }
             "--structural" => opts.structural_only = true,
-            "--json" => opts.json = true,
+            "--explain" => opts.explain = Some(operand("--explain")?),
+            "--format" => {
+                opts.format = match operand("--format")?.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    "github" => Format::Github,
+                    other => return Err(format!("--format: unknown format `{other}`")),
+                };
+            }
+            "--json" => opts.format = Format::Json,
             "--jsonl" => opts.jsonl = Some(operand("--jsonl")?),
             "--no-color" => opts.color = Some(false),
             "--color" => opts.color = Some(true),
@@ -109,10 +143,32 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             file => opts.files.push(file.to_string()),
         }
     }
-    if opts.files.is_empty() {
+    if opts.files.is_empty() && opts.explain.is_none() {
         return Err("no input files".to_string());
     }
     Ok(opts)
+}
+
+/// Prints the extended help for `code` (rustc's `--explain` for lints).
+fn explain(code_str: &str) -> ExitCode {
+    let Some(code) = LintCode::parse(code_str) else {
+        eprintln!("qdi-lint: --explain: `{code_str}` is not a lint code");
+        return ExitCode::from(2);
+    };
+    let registry = Registry::full();
+    let Some(descriptor) = registry.descriptors().into_iter().find(|d| d.code == code) else {
+        eprintln!("qdi-lint: --explain: no lint registered with code `{code}`");
+        return ExitCode::from(2);
+    };
+    println!(
+        "{} ({}), default {}\n{}\n\n{}",
+        descriptor.code,
+        descriptor.name,
+        descriptor.default_severity.label(),
+        descriptor.summary,
+        descriptor.explanation
+    );
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -127,6 +183,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if let Some(code_str) = &opts.explain {
+        return explain(code_str);
+    }
 
     let color = opts.color.unwrap_or_else(|| {
         std::env::var_os("NO_COLOR").is_none() && std::io::stderr().is_terminal()
@@ -172,10 +232,10 @@ fn main() -> ExitCode {
         };
         let report = registry.run(&netlist, &opts.config);
         report.emit_to_obs();
-        if opts.json {
-            print!("{}", report.to_jsonl());
-        } else {
-            eprint!("{}", report.render_human(color));
+        match opts.format {
+            Format::Json => print!("{}", report.to_jsonl()),
+            Format::Github => print!("{}", report.render_github()),
+            Format::Human => eprint!("{}", report.render_human(color)),
         }
         denied += report.deny_count();
     }

@@ -32,6 +32,14 @@ pub struct LintConfig {
     /// which `QDI0008` warns. Pre-layout netlists are exactly balanced,
     /// so any positive threshold keeps them clean.
     pub level_cap_warn_ff: f64,
+    /// Joint-assignment-space budget of the symbolic passes (`QDI02xx`):
+    /// cones whose input-channel value space exceeds this are reported as
+    /// unproven instead of enumerated.
+    pub sym_budget: usize,
+    /// Nominal weighted-activity residual (fF) strictly above which
+    /// `QDI0202` fires. Gates of equal kind and arity have exactly equal
+    /// nominal capacitance, so the default only absorbs float noise.
+    pub logic_cap_tol_ff: f64,
 }
 
 impl Default for LintConfig {
@@ -42,6 +50,8 @@ impl Default for LintConfig {
             da_warn: 0.5,
             da_deny: Some(1.0),
             level_cap_warn_ff: 1.0,
+            sym_budget: qdi_netlist::symbolic::DEFAULT_SYM_BUDGET,
+            logic_cap_tol_ff: 0.01,
         }
     }
 }

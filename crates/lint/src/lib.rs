@@ -22,6 +22,9 @@
 //! | `QDI0007` | `rail-symmetry` | warn | balanced data paths (Section II) |
 //! | `QDI0008` | `level-capacitance-imbalance` | warn | eqs. 10–12 residual |
 //! | `QDI0009` | `channel-dissymmetry` | warn/deny | eq. 13 criterion (Section VI) |
+//! | `QDI0201` | `data-dependent-transitions` | deny | input-independent `N_ij` (Section III) |
+//! | `QDI0202` | `logic-activity-imbalance` | deny | eqs. 10–12 at nominal capacitances |
+//! | `QDI0203` | `constant-rail` | deny | every 1-of-N codeword reachable |
 //!
 //! # Usage
 //!
@@ -82,3 +85,9 @@ pub const RAIL_SYMMETRY: LintCode = LintCode(7);
 pub const LEVEL_CAP_IMBALANCE: LintCode = LintCode(8);
 /// `QDI0009`: the eq. 13 dissymmetry criterion `dA` above threshold.
 pub const CHANNEL_DISSYMMETRY: LintCode = LintCode(9);
+/// `QDI0201`: a logic level whose transition count depends on input data.
+pub const SYM_TRANSITION_COUNT: LintCode = LintCode(201);
+/// `QDI0202`: logic-induced activity imbalance at nominal capacitances.
+pub const SYM_ACTIVITY_IMBALANCE: LintCode = LintCode(202);
+/// `QDI0203`: a channel rail proved constant (dead or stuck).
+pub const SYM_CONSTANT_RAIL: LintCode = LintCode(203);

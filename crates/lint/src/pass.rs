@@ -19,6 +19,10 @@ pub struct LintDescriptor {
     pub default_severity: Severity,
     /// One-line summary.
     pub summary: &'static str,
+    /// Extended help: what the lint enforces, why a violation leaks, and
+    /// where in the paper the property comes from. Shown by
+    /// `qdi-lint --explain CODE`.
+    pub explanation: &'static str,
 }
 
 /// Everything a pass gets to look at.
@@ -87,10 +91,20 @@ impl Registry {
         r
     }
 
-    /// All passes: structural then electrical.
+    /// The symbolic pass: data-independence proofs over one handshake
+    /// cycle (`QDI0201`–`QDI0203`), with witness search on refutation.
+    #[must_use]
+    pub fn symbolic() -> Registry {
+        let mut r = Registry::new();
+        r.register(Box::new(passes::symbolic::SymbolicPass));
+        r
+    }
+
+    /// All passes: structural, then symbolic, then electrical.
     #[must_use]
     pub fn full() -> Registry {
         let mut r = Registry::structural();
+        r.register(Box::new(passes::symbolic::SymbolicPass));
         r.register(Box::new(passes::capacitance::CapacitancePass));
         r
     }
@@ -120,8 +134,9 @@ impl Registry {
     }
 
     /// Runs every pass over `netlist` and collects the findings into a
-    /// [`LintReport`]. Findings keep pass order; within a pass, emission
-    /// order (deterministic: passes iterate in id order).
+    /// [`LintReport`]. Findings are sorted by `(code, subject, message)`
+    /// regardless of which pass produced them, so output is byte-stable
+    /// across registry compositions and pass reorderings.
     #[must_use]
     pub fn run(&self, netlist: &Netlist, config: &LintConfig) -> LintReport {
         let mut span = qdi_obs::span_at(qdi_obs::Level::Debug, "qdi_lint", "lint")
@@ -138,6 +153,20 @@ impl Registry {
                 findings = diagnostics.len() - before,
                 "lint pass finished");
         }
+        diagnostics.sort_by(|a, b| {
+            (
+                a.code,
+                a.subject.kind(),
+                a.subject.name(),
+                a.message.as_str(),
+            )
+                .cmp(&(
+                    b.code,
+                    b.subject.kind(),
+                    b.subject.name(),
+                    b.message.as_str(),
+                ))
+        });
         let report = LintReport::new(netlist.name(), diagnostics);
         span.record("findings", report.len());
         span.record("denied", report.deny_count());
@@ -154,21 +183,88 @@ impl Default for Registry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qdi_netlist::NetlistBuilder;
 
     #[test]
     fn registries_compose() {
         assert_eq!(Registry::structural().passes().len(), 5);
         assert_eq!(Registry::electrical().passes().len(), 1);
-        assert_eq!(Registry::full().passes().len(), 6);
+        assert_eq!(Registry::symbolic().passes().len(), 1);
+        assert_eq!(Registry::full().passes().len(), 7);
     }
 
     #[test]
-    fn full_registry_documents_all_nine_codes() {
+    fn full_registry_documents_all_twelve_codes() {
         let codes: Vec<u16> = Registry::full()
             .descriptors()
             .iter()
             .map(|d| d.code.0)
             .collect();
-        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 201, 202, 203]);
+    }
+
+    #[test]
+    fn every_code_has_an_explanation() {
+        for d in Registry::full().descriptors() {
+            assert!(
+                !d.explanation.trim().is_empty(),
+                "{} ({}) has no --explain text",
+                d.code,
+                d.name
+            );
+        }
+    }
+
+    /// A tangle of defects whose findings arrive from several passes:
+    /// the report must come out sorted by (code, subject, message).
+    #[test]
+    fn findings_are_sorted_by_code_then_subject() {
+        let mut b = NetlistBuilder::new("messy");
+        let z = b.net("z");
+        let y = b.net("y");
+        let _ = b.gate(qdi_netlist::GateKind::Or, "g2", &[z]);
+        let _ = b.gate(qdi_netlist::GateKind::Or, "g1", &[y]);
+        let netlist = b.finish_unchecked();
+        let report = Registry::full().run(&netlist, &LintConfig::default());
+        assert!(report.len() >= 2, "{}", report.render_human(false));
+        let keys: Vec<(u16, String, String)> = report
+            .diagnostics
+            .iter()
+            .map(|d| {
+                (
+                    d.code.0,
+                    d.subject.kind().to_string(),
+                    d.subject.name().to_string(),
+                )
+            })
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        // The two undriven-net findings specifically: subject order, not
+        // emission (gate-id) order.
+        let undriven: Vec<&str> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code.0 == 1)
+            .map(|d| d.subject.name())
+            .collect();
+        let mut expected = undriven.clone();
+        expected.sort_unstable();
+        assert_eq!(undriven, expected);
+    }
+
+    #[test]
+    fn sorted_output_is_byte_stable_across_runs() {
+        let mut b = NetlistBuilder::new("stable");
+        let x = b.net("x");
+        let _ = b.gate(qdi_netlist::GateKind::Or, "g", &[x]);
+        let netlist = b.finish_unchecked();
+        let cfg = LintConfig::default();
+        let first = Registry::full().run(&netlist, &cfg).render_human(false);
+        for _ in 0..3 {
+            let again = Registry::full().run(&netlist, &cfg).render_human(false);
+            assert_eq!(first, again);
+        }
     }
 }

@@ -25,6 +25,13 @@ const DESCRIPTORS: &[LintDescriptor] = &[LintDescriptor {
     name: "unacknowledged-output",
     default_severity: Severity::Deny,
     summary: "a gate output outside every acknowledgement path",
+    explanation: "Quasi delay insensitivity (Section II) demands that every \
+transition be acknowledged: some sequence of gates must observe the edge \
+before the next handshake phase may begin. An unacknowledged output can still \
+be mid-flight when the environment moves on - a timing assumption QDI forbids, \
+and a glitch source that breaks the exactly-two-transitions-per-cycle premise \
+of the balance equations. Route the output into the completion/acknowledge \
+network (isochronic forks are the only exemption).",
 }];
 
 impl LintPass for AckPass {

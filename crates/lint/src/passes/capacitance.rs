@@ -27,12 +27,27 @@ const DESCRIPTORS: &[LintDescriptor] = &[
         name: "level-capacitance-imbalance",
         default_severity: Severity::Warn,
         summary: "per-level switched-capacitance residual between rails (eqs. 10-12)",
+        explanation: "Eqs. 10-12 decompose the power trace per logic level: \
+A_i = sum over switching gates of C (C = Cl + Cpar + Csc). Two rails can have \
+matched cone totals yet switch their capacitance at different depths, which \
+separates their current profiles in time - exactly what a windowed DPA \
+correlator exploits. This lint sums, per level, the max-min spread of switched \
+capacitance across the channel's rails and warns when the residual exceeds the \
+configured budget. Equalize per level (buffer insertion, fill), not just in \
+total.",
     },
     LintDescriptor {
         code: CHANNEL_DISSYMMETRY,
         name: "channel-dissymmetry",
         default_severity: Severity::Warn,
         summary: "the eq. 13 dissymmetry criterion dA above threshold",
+        explanation: "Eq. 13 defines the dissymmetry of a channel as \
+dA = |Cl0 - Cl1| / min(Cl0, Cl1) over its rails' annotated interconnect \
+capacitances. The paper's experiment doubles one routing capacitance from \
+8 fF to 16 fF (dA = 1.0) and recovers the key; below the alert zone around \
+dA = 0.5 the attack fails. This is the post-layout check: run it on extracted \
+capacitances and add capacitive fill to the lighter rail until dA is under \
+threshold (Section VI).",
     },
 ];
 

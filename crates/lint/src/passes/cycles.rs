@@ -22,6 +22,12 @@ const DESCRIPTORS: &[LintDescriptor] = &[LintDescriptor {
     name: "combinational-cycle",
     default_severity: Severity::Deny,
     summary: "a combinational cycle in the data path (acknowledge nets cut)",
+    explanation: "Section III counts transitions level by level: the data path \
+(acknowledge nets cut, since handshake feedback is cyclic by design) must be a \
+DAG for the logic depth Nc and the per-level counts N_ij to exist. A cycle \
+through the data rails makes the netlist unlevelizable, so neither the \
+capacitance lints (eqs. 10-12) nor the symbolic verifier can run. Break the \
+cycle or register it through a handshake stage.",
 }];
 
 impl LintPass for CyclePass {

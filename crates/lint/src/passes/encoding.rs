@@ -21,6 +21,12 @@ const DESCRIPTORS: &[LintDescriptor] = &[LintDescriptor {
     name: "channel-encoding",
     default_severity: Severity::Deny,
     summary: "a channel whose rails cannot carry a 1-of-N code",
+    explanation: "The countermeasure of Section VI rests on 1-of-N encoding \
+(Table 1): exactly one rail fires per codeword, so the number of rail \
+transitions per cycle is data independent by construction. A channel with \
+fewer than one rail, duplicated rails, or rails shared with another channel \
+breaks that invariant before any balancing argument can start. Rebuild the \
+channel with N distinct rails and one acknowledge.",
 }];
 
 impl LintPass for EncodingPass {

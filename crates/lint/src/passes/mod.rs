@@ -3,13 +3,15 @@
 //! Structural passes ([`structure`], [`cycles`], [`encoding`], [`ack`],
 //! [`symmetry`]) are meaningful on any netlist; electrical passes
 //! ([`capacitance`]) interpret the annotated capacitances and are usually
-//! run after extraction.
+//! run after extraction; the [`symbolic`] pass proves (or refutes with
+//! replayable witnesses) per-level data independence.
 
 pub mod ack;
 pub mod capacitance;
 pub mod cycles;
 pub mod encoding;
 pub mod structure;
+pub mod symbolic;
 pub mod symmetry;
 
 use qdi_netlist::diag::Subject;

@@ -19,18 +19,34 @@ const DESCRIPTORS: &[LintDescriptor] = &[
         name: "undriven-net",
         default_severity: Severity::Deny,
         summary: "a net with fan-out but no driver and no primary-input marking",
+        explanation: "Every net of the annotated graph G(V, E) must be driven by \
+exactly one gate output or declared a primary input. A floating net makes the \
+four-phase handshake of Section II unanalyzable: its level is undefined, so no \
+transition-count or capacitance property (eqs. 10-12) can be stated about any \
+cone it feeds. Declare the net an input or connect a driver.",
     },
     LintDescriptor {
         code: MULTIPLE_DRIVERS,
         name: "multiple-drivers",
         default_severity: Severity::Deny,
         summary: "a net driven by more than one gate output",
+        explanation: "QDI circuits have no bus keepers or tri-states: a net with \
+two drivers is a short. Beyond the electrical conflict, every analysis in this \
+workspace (levelization, switched-capacitance accounting of eqs. 10-12, the \
+symbolic evaluator) assumes a unique driver per net. Insert an explicit merge \
+(OR / Muller C-element) instead.",
     },
     LintDescriptor {
         code: DANGLING_OUTPUT,
         name: "dangling-output",
         default_severity: Severity::Warn,
         summary: "a gate output observed by no load, port, rail or acknowledge",
+        explanation: "A gate whose output nothing observes still switches and \
+still draws the current pulse the DPA attacker integrates (Section IV), but no \
+acknowledgement path can confirm its transition - the circuit is not delay \
+insensitive with respect to that gate. Dead logic also distorts the per-level \
+activity accounting of eqs. 10-12. Remove the gate or route its output into a \
+completion tree.",
     },
 ];
 

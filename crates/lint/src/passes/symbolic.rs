@@ -1,0 +1,333 @@
+//! `QDI0201`–`QDI0203`: the symbolic data-independence verifier.
+//!
+//! This pass runs `qdi-sym`'s [`analyze`] over the netlist — propagating a
+//! symbolic activity descriptor through one four-phase cycle — and maps
+//! its findings onto diagnostics:
+//!
+//! * [`CountFinding`] → `QDI0201`: a level whose transition count `N_ij`
+//!   depends on the input data, with the offending cone and a concrete
+//!   witness input pair that replays in `qdi-sim` with nonzero bias;
+//! * budget-exhausted levels → a warn-severity `QDI0201` ("could not
+//!   prove"), because an unproven level is not a balanced level;
+//! * [`CapFinding`] → `QDI0202`: counts are constant but the *nominal*
+//!   capacitance-weighted activity (eqs. 10–12 at library/default
+//!   capacitances) is not — the imbalance is caused by logic structure,
+//!   not by annotated layout capacitances (those are `QDI0008`/`QDI0009`);
+//! * [`RailFinding`] → `QDI0203`: a channel rail proved constant — the
+//!   1-of-N code point is unreachable (dead) or fires on every input
+//!   (stuck).
+//!
+//! A netlist that cannot be levelized is skipped silently: `QDI0004`
+//! already denies it.
+
+use qdi_netlist::diag::{Diagnostic, Severity};
+use qdi_sym::{analyze, CapFinding, CountFinding, RailFinding, SymConfig};
+
+use crate::pass::{LintContext, LintDescriptor, LintPass};
+use crate::passes::{channel_subject, gate_subject, net_subject};
+use crate::{SYM_ACTIVITY_IMBALANCE, SYM_CONSTANT_RAIL, SYM_TRANSITION_COUNT};
+
+/// Proves (or refutes, with witnesses) per-level data independence.
+pub struct SymbolicPass;
+
+const DESCRIPTORS: &[LintDescriptor] = &[
+    LintDescriptor {
+        code: SYM_TRANSITION_COUNT,
+        name: "data-dependent-transitions",
+        default_severity: Severity::Deny,
+        summary: "a logic level whose transition count depends on input data",
+        explanation: "Section III's balance premise is that the number of gates \
+switching at each logic level, N_ij, is the same for every input codeword - \
+then the power trace shape carries no data. The symbolic evaluator expresses \
+each gate's per-cycle switching as a boolean function of the 1-of-N input \
+channels and enumerates every cone whose count expression is non-constant. A \
+violation comes with a concrete witness input pair (lo, hi) that replays in \
+qdi-sim with a nonzero transition-count bias T = A0 - A1 (eq. 9) - the \
+measurable DPA signal. A warn-severity variant marks levels the analysis could \
+not decide within its budget: unproven, not balanced.",
+    },
+    LintDescriptor {
+        code: SYM_ACTIVITY_IMBALANCE,
+        name: "logic-activity-imbalance",
+        default_severity: Severity::Deny,
+        summary: "data-dependent weighted activity at nominal capacitances",
+        explanation: "Even with constant transition counts, eqs. 10-12 weight \
+each switching gate by its capacitance C = Cl + Cpar + Csc: if different input \
+values switch gates of different kinds or arities, the weighted activity A_i \
+differs per value. This lint evaluates the weighted sum at *nominal* \
+capacitances (default routing load plus library pin/parasitic values), so any \
+residual is attributable to logic structure alone - annotated or extracted \
+capacitance deltas are deliberately out of scope (they are QDI0008/QDI0009 \
+territory). The witness input pair maximizes the fF spread.",
+    },
+    LintDescriptor {
+        code: SYM_CONSTANT_RAIL,
+        name: "constant-rail",
+        default_severity: Severity::Deny,
+        summary: "a channel rail proved constant (dead or stuck)",
+        explanation: "A 1-of-N channel (Table 1) is only balanced if every \
+codeword is reachable: the symbolic evaluator proved this rail either never \
+fires (the channel cannot carry that value, so upstream logic is constant or \
+miswired) or fires on every input (sibling codewords are unreachable). Either \
+way the effective arity is smaller than declared, the per-value activity \
+accounting is skewed, and downstream completion logic waits on transitions \
+that may never come.",
+    },
+];
+
+impl LintPass for SymbolicPass {
+    fn name(&self) -> &'static str {
+        "symbolic"
+    }
+
+    fn descriptors(&self) -> &'static [LintDescriptor] {
+        DESCRIPTORS
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let cfg = SymConfig {
+            budget: ctx.config.sym_budget,
+            cap_tol_ff: ctx.config.logic_cap_tol_ff,
+        };
+        // Unlevelizable netlists are QDI0004's problem, not ours.
+        let Ok(report) = analyze(ctx.netlist, &cfg) else {
+            return;
+        };
+        for finding in &report.count_findings {
+            out.push(count_diag(ctx, finding));
+        }
+        for &level in &report.unproven_levels {
+            out.push(unproven_diag(ctx, level, cfg.budget));
+        }
+        for finding in &report.cap_findings {
+            out.push(cap_diag(ctx, finding));
+        }
+        for finding in &report.rail_findings {
+            out.push(rail_diag(ctx, finding));
+        }
+    }
+}
+
+/// How many cone gates to label before truncating (cones can span a
+/// whole level).
+const MAX_CONE_LABELS: usize = 6;
+
+fn cone_labels(
+    ctx: &LintContext<'_>,
+    mut diag: Diagnostic,
+    gates: &[qdi_netlist::GateId],
+) -> Diagnostic {
+    for &gid in gates.iter().take(MAX_CONE_LABELS) {
+        diag = diag.with_label(
+            gate_subject(ctx.netlist, gid),
+            "switches data-dependently at this level",
+        );
+    }
+    if gates.len() > MAX_CONE_LABELS {
+        diag = diag.with_label(
+            gate_subject(ctx.netlist, gates[MAX_CONE_LABELS]),
+            format!("... and {} more cone gates", gates.len() - MAX_CONE_LABELS),
+        );
+    }
+    diag
+}
+
+fn channel_list(ctx: &LintContext<'_>, channels: &[qdi_netlist::ChannelId]) -> String {
+    let names: Vec<String> = channels
+        .iter()
+        .map(|&c| format!("`{}`", ctx.netlist.channel(c).name))
+        .collect();
+    names.join(", ")
+}
+
+fn count_diag(ctx: &LintContext<'_>, finding: &CountFinding) -> Diagnostic {
+    let subject = gate_subject(ctx.netlist, finding.gates[0]);
+    let diag = Diagnostic::new(
+        SYM_TRANSITION_COUNT,
+        ctx.severity(SYM_TRANSITION_COUNT, Severity::Deny),
+        subject,
+        format!(
+            "transition count at level {} depends on input data: {}..{} gates switch \
+             over channel{} {}",
+            finding.level,
+            finding.min,
+            finding.max,
+            if finding.channels.len() == 1 { "" } else { "s" },
+            channel_list(ctx, &finding.channels),
+        ),
+    );
+    cone_labels(ctx, diag, &finding.gates)
+        .with_witness(finding.witness.clone())
+        .with_help(
+            "make the cone switch the same number of gates for every codeword \
+             (Section III); replay the witness with qdi-sim to measure the bias",
+        )
+}
+
+fn unproven_diag(ctx: &LintContext<'_>, level: usize, budget: usize) -> Diagnostic {
+    Diagnostic::new(
+        SYM_TRANSITION_COUNT,
+        ctx.severity(SYM_TRANSITION_COUNT, Severity::Warn),
+        qdi_netlist::diag::Subject::Netlist {
+            name: ctx.netlist.name().to_string(),
+        },
+        format!(
+            "level {level} could not be proved data-independent: cone exceeds \
+             the symbolic budget of {budget} joint input assignments"
+        ),
+    )
+    .with_help("raise the symbolic budget (--sym-budget / LintConfig::sym_budget)")
+}
+
+fn cap_diag(ctx: &LintContext<'_>, finding: &CapFinding) -> Diagnostic {
+    let subject = gate_subject(ctx.netlist, finding.gates[0]);
+    let diag = Diagnostic::new(
+        SYM_ACTIVITY_IMBALANCE,
+        ctx.severity(SYM_ACTIVITY_IMBALANCE, Severity::Deny),
+        subject,
+        format!(
+            "nominal switched capacitance at level {} depends on input data: \
+             {:.2}..{:.2} fF over channel{} {}",
+            finding.level,
+            finding.min_ff,
+            finding.max_ff,
+            if finding.channels.len() == 1 { "" } else { "s" },
+            channel_list(ctx, &finding.channels),
+        ),
+    );
+    cone_labels(ctx, diag, &finding.gates)
+        .with_witness(finding.witness.clone())
+        .with_help(
+            "the imbalance is logic-induced (eqs. 10-12 at nominal capacitances): \
+             restructure the cone so every codeword switches the same gate \
+             kinds and arities; capacitive fill cannot fix this",
+        )
+}
+
+fn rail_diag(ctx: &LintContext<'_>, finding: &RailFinding) -> Diagnostic {
+    let channel = ctx.netlist.channel(finding.channel);
+    let (what, help): (&str, &str) = if finding.always {
+        (
+            "fires on every input: sibling codewords are unreachable",
+            "a rail that always fires collapses the 1-of-N code; check the \
+             completion or steering logic driving it",
+        )
+    } else {
+        (
+            "can never fire: the codeword is unreachable",
+            "a dead rail means upstream logic is constant or miswired; the \
+             channel's effective arity is smaller than declared",
+        )
+    };
+    Diagnostic::new(
+        SYM_CONSTANT_RAIL,
+        ctx.severity(SYM_CONSTANT_RAIL, Severity::Deny),
+        net_subject(ctx.netlist, finding.rail),
+        format!("rail of channel `{}` {what}", channel.name),
+    )
+    .with_label(
+        channel_subject(ctx.netlist, finding.channel),
+        format!("1-of-{} channel", channel.arity()),
+    )
+    .with_help(help)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LintConfig;
+    use crate::pass::Registry;
+    use qdi_netlist::{cells, GateKind, NetlistBuilder};
+
+    fn lint(netlist: &qdi_netlist::Netlist) -> crate::report::LintReport {
+        Registry::symbolic().run(netlist, &LintConfig::default())
+    }
+
+    fn xor_netlist(balanced: bool) -> qdi_netlist::Netlist {
+        let mut b = NetlistBuilder::new("xor");
+        let a = b.input_channel("a", 2);
+        let bb = b.input_channel("b", 2);
+        let ack = b.input_net("ack");
+        let cell = if balanced {
+            cells::dual_rail_xor(&mut b, "x", &a, &bb, ack)
+        } else {
+            cells::dual_rail_xor_unbalanced(&mut b, "x", &a, &bb, ack)
+        };
+        b.connect_input_acks(&[a.id, bb.id], cell.ack_to_senders);
+        let _ = b.output_channel("co", &cell.out.rails.clone(), ack);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn balanced_xor_is_clean() {
+        let report = lint(&xor_netlist(true));
+        assert!(report.is_empty(), "{}", report.render_human(false));
+    }
+
+    #[test]
+    fn unbalanced_xor_is_refuted_with_witness() {
+        let report = lint(&xor_netlist(false));
+        let finding = report
+            .with_code(SYM_TRANSITION_COUNT)
+            .next()
+            .expect("QDI0201 expected");
+        assert_eq!(finding.severity, Severity::Deny);
+        let witness = finding.witness.as_ref().expect("witness attached");
+        // The pad cone flips exactly when a xor b = 1.
+        assert_ne!(
+            witness.lo_value("a") ^ witness.lo_value("b"),
+            witness.hi_value("a") ^ witness.hi_value("b"),
+        );
+        // The pad also unbalances the level below it in *weight* while
+        // keeping the count constant (exactly one of h1/pad switches, but
+        // a Muller and a 1-input OR have different nominal capacitance):
+        // the same fixture demonstrates QDI0202.
+        let cap = report
+            .with_code(SYM_ACTIVITY_IMBALANCE)
+            .next()
+            .expect("QDI0202 expected");
+        assert!(cap.witness.is_some());
+    }
+
+    #[test]
+    fn dead_rail_is_reported() {
+        // Rail 1 is driven by AND(a.r0, a.r1): one-hot inputs make it
+        // provably dead.
+        let mut b = NetlistBuilder::new("dead");
+        let a = b.input_channel("a", 2);
+        let ack = b.input_net("ack");
+        let buf = b.gate(GateKind::Or, "buf", &[a.rails[0]]);
+        let dead = b.gate(GateKind::And, "dead", &[a.rails[0], a.rails[1]]);
+        let done = b.gate(GateKind::Nor, "done", &[buf, dead]);
+        b.connect_input_acks(&[a.id], done);
+        let _ = b.output_channel("co", &[buf, dead], ack);
+        let netlist = b.finish().expect("valid");
+        let report = lint(&netlist);
+        let finding = report
+            .with_code(SYM_CONSTANT_RAIL)
+            .next()
+            .expect("QDI0203 expected");
+        assert!(
+            finding.message.contains("never fire"),
+            "{}",
+            finding.message
+        );
+    }
+
+    #[test]
+    fn tiny_budget_reports_unproven_as_warning() {
+        let mut cfg = LintConfig::default();
+        cfg.sym_budget = 1;
+        let report = Registry::symbolic().run(&xor_netlist(true), &cfg);
+        let finding = report
+            .with_code(SYM_TRANSITION_COUNT)
+            .next()
+            .expect("unproven warning expected");
+        assert_eq!(finding.severity, Severity::Warn);
+        assert!(finding.message.contains("budget"), "{}", finding.message);
+        cfg.sym_budget = 1 << 16;
+        assert!(Registry::symbolic()
+            .run(&xor_netlist(true), &cfg)
+            .is_empty());
+    }
+}

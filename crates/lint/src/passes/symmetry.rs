@@ -20,6 +20,13 @@ const DESCRIPTORS: &[LintDescriptor] = &[LintDescriptor {
     name: "rail-symmetry",
     default_severity: Severity::Warn,
     summary: "rails of one channel with structurally different fan-in cones",
+    explanation: "Section II's security argument wants the rails of a channel \
+to be electrically interchangeable: same gate kinds, same arities, same depth \
+in each fan-in cone. Structurally different cones switch different gate \
+populations for different data values, which surfaces as a per-value power \
+difference even before layout (the logic half of the eq. 13 dissymmetry). \
+Restructure the cell so each rail's cone is an isomorphic image of its \
+siblings'.",
 }];
 
 impl LintPass for SymmetryPass {

@@ -125,6 +125,38 @@ impl LintReport {
         out
     }
 
+    /// Renders every non-allowed finding as a GitHub Actions workflow
+    /// command (`::error ...` / `::warning ...`), one line per finding,
+    /// so CI runs annotate directly. The netlist objects have no
+    /// file/line mapping; the annotation carries the lint code as title
+    /// and the subject inside the message.
+    #[must_use]
+    pub fn render_github(&self) -> String {
+        let mut out = String::new();
+        for diag in &self.diagnostics {
+            let command = match diag.severity {
+                Severity::Allow => continue,
+                Severity::Warn => "warning",
+                Severity::Deny => "error",
+            };
+            let mut message = format!("{}: {}", diag.subject, diag.message);
+            if let Some(witness) = &diag.witness {
+                message.push_str(&format!(
+                    " [witness: {} ({} delta {:.3})]",
+                    witness.render_compact(),
+                    witness.metric,
+                    witness.delta
+                ));
+            }
+            out.push_str(&format!(
+                "::{command} title={}::{}\n",
+                github_escape_property(&diag.code.as_string()),
+                github_escape_data(&message)
+            ));
+        }
+        out
+    }
+
     /// Emits every non-allowed finding as a `qdi-obs` event (target
     /// `qdi_lint`, level warn/error), so any installed sink — JSONL,
     /// Chrome trace, memory — receives the machine-readable findings.
@@ -150,6 +182,20 @@ impl LintReport {
             }
         }
     }
+}
+
+/// Escapes workflow-command message data (`%`, CR, LF).
+fn github_escape_data(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
+/// Escapes workflow-command property values (data escapes plus `:`, `,`).
+fn github_escape_property(s: &str) -> String {
+    github_escape_data(s)
+        .replace(':', "%3A")
+        .replace(',', "%2C")
 }
 
 #[cfg(test)]
@@ -200,6 +246,31 @@ mod tests {
         for line in jsonl.lines() {
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
         }
+    }
+
+    #[test]
+    fn github_rendering_annotates_and_escapes() {
+        let mut r = report();
+        r.diagnostics[0].message = "multi\nline % message".into();
+        let text = r.render_github();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "allowed finding skipped: {text}");
+        assert!(
+            lines[0].starts_with("::error title=QDI0001::"),
+            "{}",
+            lines[0]
+        );
+        assert!(
+            lines[0].contains("multi%0Aline %25 message"),
+            "{}",
+            lines[0]
+        );
+        assert!(
+            lines[1].starts_with("::warning title=QDI0003::"),
+            "{}",
+            lines[1]
+        );
+        assert!(lines[1].contains("net a (n0)"), "{}", lines[1]);
     }
 
     #[test]

@@ -126,3 +126,90 @@ fn unreadable_input_is_a_usage_error() {
     let no_args = run_lint(&[]);
     assert_eq!(no_args.status.code(), Some(2));
 }
+
+#[test]
+fn explain_prints_extended_help_without_input_files() {
+    let out = run_lint(&["--explain", "QDI0202"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("QDI0202"), "{stdout}");
+    assert!(stdout.contains("logic-activity-imbalance"), "{stdout}");
+    // The extended paragraph, not just the one-line summary.
+    assert!(stdout.lines().count() > 3, "{stdout}");
+}
+
+#[test]
+fn explain_unknown_code_is_a_usage_error() {
+    let unregistered = run_lint(&["--explain", "QDI0999"]);
+    assert_eq!(unregistered.status.code(), Some(2), "{unregistered:?}");
+    let garbage = run_lint(&["--explain", "banana"]);
+    assert_eq!(garbage.status.code(), Some(2), "{garbage:?}");
+}
+
+#[test]
+fn github_format_annotates_on_stdout() {
+    let mut netlist = xor_cell();
+    let rail = netlist.find_net("a.r1").expect("rail exists");
+    netlist.set_routing_cap(rail, 16.0);
+    let path = write_netlist(&netlist, "github");
+    let out = run_lint(&["--format", "github", path.to_str().expect("utf8 path")]);
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("::error title=QDI0009::"), "{stdout}");
+}
+
+#[test]
+fn unknown_format_is_a_usage_error() {
+    let path = write_netlist(&xor_cell(), "badformat");
+    let out = run_lint(&["--format", "yaml", path.to_str().expect("utf8 path")]);
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn unbalanced_cell_is_refuted_with_a_witness() {
+    let mut b = NetlistBuilder::new("skewed_xor");
+    let a = b.input_channel("a", 2);
+    let bb = b.input_channel("b", 2);
+    let ack = b.input_net("ack");
+    let cell = cells::dual_rail_xor_unbalanced(&mut b, "x", &a, &bb, ack);
+    b.connect_input_acks(&[a.id, bb.id], cell.ack_to_senders);
+    let _ = b.output_channel("co", &cell.out.rails.clone(), ack);
+    let netlist = b.finish().expect("valid");
+    let path = write_netlist(&netlist, "refuted");
+    let out = run_lint(&["--json", path.to_str().expect("utf8 path")]);
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // JSON-Lines carries numeric codes; the refutation must include a
+    // concrete (non-null) witness input pair.
+    assert!(stdout.contains("\"code\":201"), "{stdout}");
+    assert!(stdout.contains("\"witness\":{"), "{stdout}");
+}
+
+#[test]
+fn tiny_sym_budget_downgrades_proof_to_warning() {
+    let path = write_netlist(&xor_cell(), "budget");
+    // Budget 1 cannot prove anything: the symbolic pass reports
+    // warn-level "unproven" findings instead of a clean bill.
+    let out = run_lint(&[
+        "--no-color",
+        "--sym-budget",
+        "1",
+        path.to_str().expect("utf8 path"),
+    ]);
+    let denied = run_lint(&[
+        "--deny",
+        "warnings",
+        "--sym-budget",
+        "1",
+        path.to_str().expect("utf8 path"),
+    ]);
+    let _ = std::fs::remove_file(&path);
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("warning[QDI0201]"), "{stderr}");
+    assert!(stderr.contains("budget"), "{stderr}");
+    assert_eq!(denied.status.code(), Some(1), "{denied:?}");
+}

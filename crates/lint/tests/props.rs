@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 
 use qdi_lint::{LintConfig, Registry};
-use qdi_netlist::{cells, Netlist, NetlistBuilder};
+use qdi_netlist::{cells, GateKind, NetId, Netlist, NetlistBuilder};
 
 /// The paper's dual-rail XOR cell, rails of channel `a` perturbed to the
 /// given capacitances.
@@ -59,6 +59,61 @@ proptest! {
         // The perturbation is electrical only: the structural passes and
         // the remaining channels stay quiet.
         prop_assert_eq!(report.len(), usize::from(flagged));
+    }
+
+    /// Arbitrary *malformed* netlists — unacknowledged channels, undriven
+    /// nets, random gate soup built with `finish_unchecked` — flow through
+    /// the full registry (symbolic passes included) without panicking, and
+    /// the guaranteed undriven-net defect is diagnosed.
+    #[test]
+    fn malformed_netlists_are_diagnosed_never_panic(
+        arities in prop::collection::vec(1usize..4, 1..3),
+        gate_picks in prop::collection::vec((0usize..8, prop::collection::vec(0usize..64, 1..4)), 1..7),
+    ) {
+        const KINDS: [GateKind; 8] = [
+            GateKind::Muller,
+            GateKind::MullerReset,
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Nand,
+            GateKind::Xor,
+            GateKind::Inv,
+        ];
+        let mut b = NetlistBuilder::new("soup");
+        // Input channels, deliberately never acknowledged.
+        let mut pool: Vec<NetId> = Vec::new();
+        for (i, &arity) in arities.iter().enumerate() {
+            let ch = b.input_channel(format!("c{i}"), arity);
+            pool.extend(ch.rails.iter().copied());
+        }
+        // A floating net with no driver: every generated netlist contains
+        // at least this one structural defect.
+        let loose = b.net("loose");
+        pool.push(loose);
+        for (i, (kind_idx, input_picks)) in gate_picks.iter().enumerate() {
+            let inputs: Vec<NetId> = input_picks.iter().map(|&p| pool[p % pool.len()]).collect();
+            let out = b.gate(KINDS[kind_idx % KINDS.len()], format!("g{i}"), &inputs);
+            pool.push(out);
+        }
+        // Guarantee the loose net is observed by at least one gate.
+        let _ = b.gate(GateKind::Inv, "observer", &[loose]);
+        let netlist = b.finish_unchecked();
+
+        let config = LintConfig::default();
+        // Must not panic — that is the property under test.
+        let report = Registry::full().run(&netlist, &config);
+        let symbolic = Registry::symbolic().run(&netlist, &config);
+        prop_assert!(
+            !report.is_empty(),
+            "undriven `loose` net went undiagnosed: {}",
+            report.render_human(false)
+        );
+        // The symbolic pass bails out or reports, but never invents a
+        // deny without a concrete defect on a net it can name.
+        for diag in symbolic.denied() {
+            prop_assert!(!diag.message.is_empty());
+        }
     }
 
     /// The deny tier triggers exactly at `dA ≥ da_deny`.

@@ -676,6 +676,62 @@ pub fn one_of_four_xor(
     }
 }
 
+/// Builds a **deliberately unbalanced** variant of [`dual_rail_xor`]: the
+/// `co1` rail crosses an extra arity-1 OR (`{name}.pad`) between its
+/// recombination OR and its latch, so computations with `a ⊕ b = 1`
+/// switch one more gate than computations with `a ⊕ b = 0`.
+///
+/// The cell is functionally correct and handshake-complete — simulation
+/// produces the right codewords — but its per-level transition count is
+/// data dependent (the latch of `co1` sits one level deeper than the
+/// latch of `co0`), which is exactly the logic-level leak the symbolic
+/// verifier (`qdi-sym`, lint `QDI0201`) exists to refute. Use it as a
+/// negative fixture for balance-verification tooling; never in a design.
+pub fn dual_rail_xor_unbalanced(
+    b: &mut NetlistBuilder,
+    name: &str,
+    a: &Channel,
+    bb: &Channel,
+    out_ack: NetId,
+) -> QdiCell {
+    assert!(
+        a.is_dual_rail() && bb.is_dual_rail(),
+        "dual_rail_xor_unbalanced needs dual-rail inputs"
+    );
+    let m1 = b.gate(
+        GateKind::Muller,
+        format!("{name}.m1"),
+        &[a.rail(0), bb.rail(0)],
+    );
+    let m2 = b.gate(
+        GateKind::Muller,
+        format!("{name}.m2"),
+        &[a.rail(1), bb.rail(1)],
+    );
+    let m3 = b.gate(
+        GateKind::Muller,
+        format!("{name}.m3"),
+        &[a.rail(1), bb.rail(0)],
+    );
+    let m4 = b.gate(
+        GateKind::Muller,
+        format!("{name}.m4"),
+        &[a.rail(0), bb.rail(1)],
+    );
+    let o1 = b.gate(GateKind::Or, format!("{name}.o1"), &[m1, m2]);
+    let o2 = b.gate(GateKind::Or, format!("{name}.o2"), &[m3, m4]);
+    // The imbalance: rail 1 only, one extra gate in series.
+    let pad = b.gate(GateKind::Or, format!("{name}.pad"), &[o2]);
+    let h1 = b.gate(GateKind::MullerReset, format!("{name}.h1"), &[o1, out_ack]);
+    let h2 = b.gate(GateKind::MullerReset, format!("{name}.h2"), &[pad, out_ack]);
+    let n1 = b.gate(GateKind::Nor, format!("{name}.n1"), &[h1, h2]);
+    let out = b.internal_channel(format!("{name}.co"), &[h1, h2], Some(out_ack));
+    QdiCell {
+        out,
+        ack_to_senders: n1,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

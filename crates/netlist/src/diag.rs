@@ -64,7 +64,8 @@ impl fmt::Display for Severity {
 ///
 /// Codes are never reused or renumbered; machine consumers key on them.
 /// The `QDI00xx` range is static (netlist-structure) analysis, `QDI01xx`
-/// is dynamic (simulation-time) analysis.
+/// is dynamic (simulation-time) analysis, and `QDI02xx` is symbolic
+/// (data-independence proofs of `qdi-sym`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct LintCode(pub u16);
 
@@ -179,6 +180,68 @@ impl Label {
     }
 }
 
+/// One input-channel assignment of a witness: `channel` takes `value`
+/// (the index of the 1-of-N rail that fires).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelValue {
+    /// Input channel name.
+    pub channel: String,
+    /// 1-of-N value presented on the channel.
+    pub value: usize,
+}
+
+/// A concrete pair of input vectors refuting a balance claim: replaying
+/// `lo` and `hi` through the simulator exhibits `delta` of imbalance in
+/// `metric` (transitions, or capacitance-weighted activity in fF).
+///
+/// Attached to symbolic-verifier diagnostics (`QDI0201`/`QDI0202`) so a
+/// refutation is machine-replayable, not just a prose claim.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WitnessPair {
+    /// The input vector minimizing the metric.
+    pub lo: Vec<ChannelValue>,
+    /// The input vector maximizing the metric.
+    pub hi: Vec<ChannelValue>,
+    /// What is being compared, e.g. `transitions at level 4`.
+    pub metric: String,
+    /// `metric(hi) − metric(lo)` as predicted symbolically.
+    pub delta: f64,
+}
+
+impl WitnessPair {
+    /// The value assigned to `channel` in the given side, if any.
+    fn side_value(side: &[ChannelValue], channel: &str) -> Option<usize> {
+        side.iter()
+            .find(|cv| cv.channel == channel)
+            .map(|cv| cv.value)
+    }
+
+    /// The `lo`-side value for `channel` (defaults to 0 when absent).
+    #[must_use]
+    pub fn lo_value(&self, channel: &str) -> usize {
+        Self::side_value(&self.lo, channel).unwrap_or(0)
+    }
+
+    /// The `hi`-side value for `channel` (defaults to 0 when absent).
+    #[must_use]
+    pub fn hi_value(&self, channel: &str) -> usize {
+        Self::side_value(&self.hi, channel).unwrap_or(0)
+    }
+
+    /// Compact one-line rendering, e.g. `{a=0, b=0} vs {a=0, b=1}`.
+    #[must_use]
+    pub fn render_compact(&self) -> String {
+        let side = |vals: &[ChannelValue]| {
+            let inner: Vec<String> = vals
+                .iter()
+                .map(|cv| format!("{}={}", cv.channel, cv.value))
+                .collect();
+            format!("{{{}}}", inner.join(", "))
+        };
+        format!("{} vs {}", side(&self.lo), side(&self.hi))
+    }
+}
+
 /// One finding of a static or dynamic analysis.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Diagnostic {
@@ -194,6 +257,8 @@ pub struct Diagnostic {
     pub labels: Vec<Label>,
     /// Fix-it hint, when the lint knows one.
     pub help: Option<String>,
+    /// Replayable refutation, when the finding carries one (`QDI02xx`).
+    pub witness: Option<WitnessPair>,
 }
 
 impl Diagnostic {
@@ -211,6 +276,7 @@ impl Diagnostic {
             subject,
             labels: Vec::new(),
             help: None,
+            witness: None,
         }
     }
 
@@ -225,6 +291,13 @@ impl Diagnostic {
     #[must_use]
     pub fn with_help(mut self, help: impl Into<String>) -> Diagnostic {
         self.help = Some(help.into());
+        self
+    }
+
+    /// Attaches a replayable witness pair (builder style).
+    #[must_use]
+    pub fn with_witness(mut self, witness: WitnessPair) -> Diagnostic {
+        self.witness = Some(witness);
         self
     }
 
@@ -252,6 +325,15 @@ impl Diagnostic {
         let _ = writeln!(out, "  --> {}", self.subject);
         for label in &self.labels {
             let _ = writeln!(out, "   = {}: {}", label.subject, label.note);
+        }
+        if let Some(witness) = &self.witness {
+            let _ = writeln!(
+                out,
+                "   = {bold_on}witness{off}: {} (Δ {} = {:.3})",
+                witness.render_compact(),
+                witness.metric,
+                witness.delta
+            );
         }
         if let Some(help) = &self.help {
             let _ = writeln!(out, "   = {bold_on}help{off}: {help}");

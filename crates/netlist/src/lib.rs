@@ -60,13 +60,14 @@ pub mod graph;
 pub mod io;
 pub mod net;
 pub mod netlist;
+pub mod symbolic;
 pub mod symmetry;
 
 mod error;
 mod id;
 
 pub use channel::{Channel, ChannelId, ChannelRole, ChannelState};
-pub use diag::{Diagnostic, Label, LintCode, Severity, Subject};
+pub use diag::{ChannelValue, Diagnostic, Label, LintCode, Severity, Subject, WitnessPair};
 pub use error::NetlistError;
 pub use gate::{Gate, GateKind, GateParams};
 pub use id::{GateId, NetId};

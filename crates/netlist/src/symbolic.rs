@@ -1,0 +1,439 @@
+//! The symbolic value domain of the `qdi-sym` verifier.
+//!
+//! A [`SymBool`] is a boolean-valued function over the joint assignment
+//! space of a set of 1-of-N *input channels*: either a constant
+//! (deterministic — the value does not depend on the data) or a truth
+//! table over the channels it actually depends on (data-dependent). The
+//! symbolic evaluator propagates one `SymBool` per net through the
+//! levelized data path, so "does this net switch during one four-phase
+//! cycle?" becomes a decidable question per input assignment.
+//!
+//! Tables are kept *normalized*: the support is sorted by channel id,
+//! every support channel genuinely influences the function (irrelevant
+//! variables are projected out), and constant tables collapse to
+//! [`SymBool::Const`]. Normalization is what keeps the domain tractable —
+//! deterministic completion logic collapses back to constants instead of
+//! dragging the whole input space along.
+//!
+//! Assignments are indexed in mixed radix over the sorted support: with
+//! support `[c0, c1]` of arities `[n0, n1]`, assignment `(v0, v1)` has
+//! index `v0 + n0 * v1` (first channel varies fastest).
+
+use crate::{ChannelId, Netlist};
+
+/// Upper bound guard for joint assignment spaces: products beyond the
+/// caller-provided budget make [`SymBool::apply`] return `None` instead
+/// of allocating unbounded tables.
+///
+/// The default (2¹² joint assignments) comfortably covers hand-built
+/// cells and per-bit datapaths (a dual-rail cone over a dozen channels)
+/// while cutting off LUT minterm planes whose cones span two full bytes
+/// — those come out "unproven" in time proportional to the netlist, not
+/// to 2^(bits).
+pub const DEFAULT_SYM_BUDGET: usize = 1 << 12;
+
+/// A boolean function over the joint values of a set of input channels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymBool {
+    /// Deterministic: the same value for every input assignment.
+    Const(bool),
+    /// Data-dependent: a truth table over the support channels.
+    Table {
+        /// Channels the function depends on, sorted by id, no duplicates.
+        support: Vec<ChannelId>,
+        /// One entry per joint assignment, mixed-radix indexed (the first
+        /// support channel varies fastest). Length is the product of the
+        /// support arities.
+        table: Vec<bool>,
+    },
+}
+
+impl SymBool {
+    /// The constant function.
+    #[must_use]
+    pub fn constant(value: bool) -> SymBool {
+        SymBool::Const(value)
+    }
+
+    /// The indicator function of rail `rail` of input channel `channel`
+    /// with `arity` rails: true exactly when the channel carries `rail`.
+    ///
+    /// Arity 0 or 1 channels degenerate to constants (a 1-of-1 rail fires
+    /// on every cycle).
+    #[must_use]
+    pub fn rail(channel: ChannelId, arity: usize, rail: usize) -> SymBool {
+        if arity <= 1 {
+            return SymBool::Const(rail == 0 && arity == 1);
+        }
+        let table = (0..arity).map(|v| v == rail).collect();
+        SymBool::Table {
+            support: vec![channel],
+            table,
+        }
+        .normalized(&|_| arity)
+    }
+
+    /// `true` when the function is a constant (deterministic activity).
+    #[must_use]
+    pub fn is_const(&self) -> bool {
+        matches!(self, SymBool::Const(_))
+    }
+
+    /// The constant value, if deterministic.
+    #[must_use]
+    pub fn as_const(&self) -> Option<bool> {
+        match self {
+            SymBool::Const(v) => Some(*v),
+            SymBool::Table { .. } => None,
+        }
+    }
+
+    /// The support channels (empty for constants).
+    #[must_use]
+    pub fn support(&self) -> &[ChannelId] {
+        match self {
+            SymBool::Const(_) => &[],
+            SymBool::Table { support, .. } => support,
+        }
+    }
+
+    /// Evaluates the function under `assign`, a lookup from channel to
+    /// its value. Channels outside the support are ignored.
+    #[must_use]
+    pub fn eval(
+        &self,
+        arity_of: &impl Fn(ChannelId) -> usize,
+        assign: &impl Fn(ChannelId) -> usize,
+    ) -> bool {
+        match self {
+            SymBool::Const(v) => *v,
+            SymBool::Table { support, table } => {
+                let mut index = 0usize;
+                let mut stride = 1usize;
+                for &ch in support {
+                    index += assign(ch) * stride;
+                    stride *= arity_of(ch);
+                }
+                table.get(index).copied().unwrap_or(false)
+            }
+        }
+    }
+
+    /// Pointwise combination of `inputs` under `op`, over the union of
+    /// their supports. Returns `None` when the joint assignment space
+    /// exceeds `budget` entries (the caller treats the result as
+    /// unknown/unprovable rather than allocating without bound).
+    #[must_use]
+    pub fn apply(
+        inputs: &[SymBool],
+        arity_of: &impl Fn(ChannelId) -> usize,
+        budget: usize,
+        op: impl Fn(&[bool]) -> bool,
+    ) -> Option<SymBool> {
+        // Union of supports, sorted and deduplicated.
+        let mut support: Vec<ChannelId> = Vec::new();
+        for f in inputs {
+            for &ch in f.support() {
+                if let Err(pos) = support.binary_search(&ch) {
+                    support.insert(pos, ch);
+                }
+            }
+        }
+        let space = space_size(&support, arity_of)?;
+        if space > budget {
+            return None;
+        }
+        if support.is_empty() {
+            let values: Vec<bool> = inputs
+                .iter()
+                .map(|f| f.as_const().unwrap_or(false))
+                .collect();
+            return Some(SymBool::Const(op(&values)));
+        }
+        let mut table = Vec::with_capacity(space);
+        let mut values = vec![false; inputs.len()];
+        let mut assign = vec![0usize; support.len()];
+        for index in 0..space {
+            decode_assignment(index, &support, arity_of, &mut assign);
+            let lookup = |ch: ChannelId| {
+                support
+                    .binary_search(&ch)
+                    .map(|pos| assign[pos])
+                    .unwrap_or(0)
+            };
+            for (slot, f) in values.iter_mut().zip(inputs) {
+                *slot = f.eval(arity_of, &lookup);
+            }
+            table.push(op(&values));
+        }
+        Some(SymBool::Table { support, table }.normalized(arity_of))
+    }
+
+    /// Collapses constant tables and projects out irrelevant support
+    /// channels, preserving the function.
+    #[must_use]
+    pub fn normalized(self, arity_of: &impl Fn(ChannelId) -> usize) -> SymBool {
+        let SymBool::Table { support, table } = self else {
+            return self;
+        };
+        if table.is_empty() {
+            return SymBool::Const(false);
+        }
+        if table.iter().all(|&v| v == table[0]) {
+            return SymBool::Const(table[0]);
+        }
+        // Keep only channels the table actually depends on.
+        let arities: Vec<usize> = support.iter().map(|&c| arity_of(c)).collect();
+        let mut kept: Vec<usize> = Vec::new();
+        for (pos, &arity) in arities.iter().enumerate() {
+            if depends_on(&table, &arities, pos, arity) {
+                kept.push(pos);
+            }
+        }
+        if kept.len() == support.len() {
+            return SymBool::Table { support, table };
+        }
+        // Project: evaluate with dropped channels pinned to 0.
+        let new_support: Vec<ChannelId> = kept.iter().map(|&p| support[p]).collect();
+        let new_space: usize = kept.iter().map(|&p| arities[p]).product();
+        let mut new_table = Vec::with_capacity(new_space);
+        let mut assign = vec![0usize; support.len()];
+        for new_index in 0..new_space {
+            let mut rest = new_index;
+            for slot in assign.iter_mut() {
+                *slot = 0;
+            }
+            for &p in &kept {
+                assign[p] = rest % arities[p];
+                rest /= arities[p];
+            }
+            let mut index = 0usize;
+            let mut stride = 1usize;
+            for (pos, &arity) in arities.iter().enumerate() {
+                index += assign[pos] * stride;
+                stride *= arity;
+            }
+            new_table.push(table[index]);
+        }
+        SymBool::Table {
+            support: new_support,
+            table: new_table,
+        }
+        .normalized(arity_of)
+    }
+
+    /// `f != g` pointwise — the "does the net switch?" combinator
+    /// (evaluation value differs from idle value).
+    #[must_use]
+    pub fn xor_const(&self, idle: bool) -> SymBool {
+        match self {
+            SymBool::Const(v) => SymBool::Const(*v != idle),
+            SymBool::Table { support, table } => SymBool::Table {
+                support: support.clone(),
+                table: table.iter().map(|&v| v != idle).collect(),
+            },
+        }
+    }
+}
+
+/// Product of support arities, `None` on overflow. An arity-0 channel
+/// yields an empty assignment space, reported as size 1 over an empty
+/// support (the function cannot depend on a channel with no rails).
+fn space_size(support: &[ChannelId], arity_of: &impl Fn(ChannelId) -> usize) -> Option<usize> {
+    let mut space = 1usize;
+    for &ch in support {
+        space = space.checked_mul(arity_of(ch).max(1))?;
+    }
+    Some(space)
+}
+
+/// Decodes mixed-radix `index` into per-channel values.
+fn decode_assignment(
+    index: usize,
+    support: &[ChannelId],
+    arity_of: &impl Fn(ChannelId) -> usize,
+    out: &mut [usize],
+) {
+    let mut rest = index;
+    for (slot, &ch) in out.iter_mut().zip(support) {
+        let arity = arity_of(ch).max(1);
+        *slot = rest % arity;
+        rest /= arity;
+    }
+}
+
+/// Does the table depend on support position `pos`?
+fn depends_on(table: &[bool], arities: &[usize], pos: usize, arity: usize) -> bool {
+    if arity <= 1 {
+        return false;
+    }
+    let stride: usize = arities[..pos].iter().product();
+    let block = stride * arity;
+    for base in 0..table.len() / block {
+        for low in 0..stride {
+            let first = table[base * block + low];
+            for v in 1..arity {
+                if table[base * block + v * stride + low] != first {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// An iterator-friendly description of the joint assignment space of a
+/// set of input channels: enumerates every assignment in mixed-radix
+/// order. Used by the `qdi-sym` witness search.
+#[derive(Debug, Clone)]
+pub struct AssignmentSpace {
+    /// Channels, sorted by id.
+    pub channels: Vec<ChannelId>,
+    /// Arity per channel, parallel to `channels`.
+    pub arities: Vec<usize>,
+}
+
+impl AssignmentSpace {
+    /// The assignment space over `channels` (sorted, deduplicated) with
+    /// arities looked up in `netlist`.
+    #[must_use]
+    pub fn over(netlist: &Netlist, channels: &[ChannelId]) -> AssignmentSpace {
+        let mut sorted: Vec<ChannelId> = channels.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        let arities = sorted
+            .iter()
+            .map(|&c| netlist.channel(c).arity().max(1))
+            .collect();
+        AssignmentSpace {
+            channels: sorted,
+            arities,
+        }
+    }
+
+    /// Number of joint assignments, `None` on overflow.
+    #[must_use]
+    pub fn size(&self) -> Option<usize> {
+        let mut space = 1usize;
+        for &a in &self.arities {
+            space = space.checked_mul(a)?;
+        }
+        Some(space)
+    }
+
+    /// Decodes assignment `index` into per-channel values (parallel to
+    /// [`AssignmentSpace::channels`]).
+    #[must_use]
+    pub fn decode(&self, index: usize) -> Vec<usize> {
+        let mut out = vec![0usize; self.channels.len()];
+        let mut rest = index;
+        for (slot, &arity) in out.iter_mut().zip(&self.arities) {
+            *slot = rest % arity;
+            rest /= arity;
+        }
+        out
+    }
+
+    /// The value of `channel` within decoded assignment `values`.
+    #[must_use]
+    pub fn value_of(&self, values: &[usize], channel: ChannelId) -> Option<usize> {
+        self.channels
+            .binary_search(&channel)
+            .ok()
+            .map(|pos| values[pos])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChannelId;
+
+    fn arity2(_: ChannelId) -> usize {
+        2
+    }
+
+    #[test]
+    fn rail_indicator_is_one_hot() {
+        let c = ChannelId::from_raw(0);
+        let r0 = SymBool::rail(c, 2, 0);
+        let r1 = SymBool::rail(c, 2, 1);
+        assert_eq!(
+            r0,
+            SymBool::Table {
+                support: vec![c],
+                table: vec![true, false]
+            }
+        );
+        assert!(r0.eval(&arity2, &|_| 0));
+        assert!(!r0.eval(&arity2, &|_| 1));
+        assert!(r1.eval(&arity2, &|_| 1));
+    }
+
+    #[test]
+    fn one_of_one_rail_is_constant() {
+        let c = ChannelId::from_raw(0);
+        assert_eq!(SymBool::rail(c, 1, 0), SymBool::Const(true));
+    }
+
+    #[test]
+    fn apply_unions_supports() {
+        let a = ChannelId::from_raw(0);
+        let b = ChannelId::from_raw(1);
+        let fa = SymBool::rail(a, 2, 1);
+        let fb = SymBool::rail(b, 2, 1);
+        let and = SymBool::apply(&[fa, fb], &arity2, 1 << 10, |v| v.iter().all(|&x| x))
+            .expect("within budget");
+        assert_eq!(and.support(), &[a, b]);
+        for (av, bv) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+            let got = and.eval(&arity2, &|c| if c == a { av } else { bv });
+            assert_eq!(got, av == 1 && bv == 1, "({av},{bv})");
+        }
+    }
+
+    #[test]
+    fn constant_tables_collapse() {
+        let a = ChannelId::from_raw(0);
+        let r0 = SymBool::rail(a, 2, 0);
+        let r1 = SymBool::rail(a, 2, 1);
+        // r0 OR r1 is true for every assignment: completion logic is
+        // deterministic and must collapse to Const.
+        let or = SymBool::apply(&[r0, r1], &arity2, 1 << 10, |v| v.iter().any(|&x| x))
+            .expect("within budget");
+        assert_eq!(or, SymBool::Const(true));
+    }
+
+    #[test]
+    #[allow(clippy::overly_complex_bool_expr)] // redundancy is the point
+    fn irrelevant_support_is_projected_out() {
+        let a = ChannelId::from_raw(0);
+        let b = ChannelId::from_raw(1);
+        let fa = SymBool::rail(a, 2, 1);
+        let fb = SymBool::rail(b, 2, 1);
+        // (fa AND fb) OR (fa AND NOT fb) == fa: b must drop out.
+        let f = SymBool::apply(&[fa.clone(), fb], &arity2, 1 << 10, |v| {
+            (v[0] && v[1]) || (v[0] && !v[1])
+        })
+        .expect("within budget");
+        assert_eq!(f, fa);
+    }
+
+    #[test]
+    fn budget_overflow_returns_none() {
+        let chans: Vec<SymBool> = (0..20)
+            .map(|i| SymBool::rail(ChannelId::from_raw(i), 2, 1))
+            .collect();
+        let out = SymBool::apply(&chans, &arity2, 1 << 10, |v| v.iter().all(|&x| x));
+        assert!(out.is_none());
+    }
+
+    #[test]
+    fn xor_const_flips_polarity() {
+        let a = ChannelId::from_raw(0);
+        let f = SymBool::rail(a, 2, 1);
+        let inverted = f.xor_const(true);
+        assert!(!inverted.eval(&arity2, &|_| 1));
+        assert!(inverted.eval(&arity2, &|_| 0));
+        assert_eq!(SymBool::Const(true).xor_const(true), SymBool::Const(false));
+    }
+}

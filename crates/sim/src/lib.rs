@@ -63,6 +63,7 @@ pub mod env;
 pub mod fault;
 pub mod hazard;
 pub mod protocol;
+pub mod replay;
 pub mod simulator;
 pub mod vcd;
 
@@ -72,4 +73,5 @@ pub use delay::{ConstantDelay, DelayModel, LinearDelay};
 pub use env::{SinkEnv, SourceEnv, Testbench, TestbenchConfig, TestbenchRun};
 pub use error::{HandshakePhase, NetActivity, SimError, StalledChannel};
 pub use fault::{Fault, FaultKind, FaultPlan, FaultSite};
+pub use replay::{replay_witness, ReplaySide, WitnessReplay};
 pub use simulator::{Simulator, TimePs, Transition, WatchdogConfig};

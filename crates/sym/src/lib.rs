@@ -1,0 +1,89 @@
+//! `qdi-sym`: symbolic leakage verification for QDI asynchronous netlists.
+//!
+//! The paper's security argument (Section VI, eqs. 10–13) says residual
+//! DPA bias on a balanced QDI netlist must come *only* from layout
+//! capacitance mismatch, never from logic. The dynamic half of this
+//! workspace spot-checks that claim by sampling simulated traces; this
+//! crate proves (or refutes) it **statically**: every net carries a
+//! symbolic activity descriptor ([`qdi_netlist::symbolic::SymBool`]) —
+//! deterministic, or a transition-count expression over the 1-of-N input
+//! channels — propagated gate by gate in levelized order through one full
+//! four-phase handshake cycle. From the descriptors it derives:
+//!
+//! * whether every level's transition count `N_ij` is input-independent
+//!   (refuted per level by [`CountFinding`] / lint `QDI0201`),
+//! * whether the capacitance-weighted activity of eqs. 10–12 is
+//!   input-independent at *nominal* capacitances ([`CapFinding`] /
+//!   `QDI0202`), and
+//! * which channel rails can never fire at all ([`RailFinding`] /
+//!   `QDI0203`).
+//!
+//! When a check fails, the symbolic difference is searched for a concrete
+//! **witness input pair** maximizing the imbalance; the pair is carried
+//! on the finding ([`qdi_netlist::WitnessPair`]) and replays in `qdi-sim`
+//! with a nonzero transition-count bias `T = A0 − A1` (eq. 9).
+//!
+//! # Soundness contract
+//!
+//! "Proved balanced" means: under hazard-free monotone settling (each net
+//! toggles at most once per phase, the paper's Fig. 3), with acknowledge
+//! nets held at their data-phase level, every logic level switches the
+//! same number of gates — and, at library-nominal capacitances, the same
+//! weighted activity — for every input codeword. It does **not** cover
+//! annotated/extracted capacitance deltas (that is `QDI0008`/`QDI0009`
+//! territory: a perturbed routing capacitance still lints as
+//! capacitance-only) and it says nothing about glitching in non-monotone
+//! gates (the dynamic hazard checker covers those).
+//!
+//! # Example
+//!
+//! ```
+//! use qdi_netlist::{cells, NetlistBuilder};
+//! use qdi_sym::{analyze, SymConfig};
+//!
+//! let mut b = NetlistBuilder::new("xor");
+//! let a = b.input_channel("a", 2);
+//! let bb = b.input_channel("b", 2);
+//! let ack = b.input_net("ack");
+//! let cell = cells::dual_rail_xor(&mut b, "x", &a, &bb, ack);
+//! b.connect_input_acks(&[a.id, bb.id], cell.ack_to_senders);
+//! let _ = b.output_channel("co", &cell.out.rails.clone(), ack);
+//! let netlist = b.finish().expect("valid");
+//!
+//! let report = analyze(&netlist, &SymConfig::default()).expect("acyclic");
+//! assert!(report.is_balanced()); // the paper's Fig. 4 cell is provably balanced
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod eval;
+
+pub use check::{
+    analyze, nominal_switched_cap_ff, CapFinding, CountFinding, RailFinding, SymReport,
+};
+pub use eval::{evaluate, GateActivity, SymEvaluation};
+
+/// Budget and tolerance knobs of the symbolic analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SymConfig {
+    /// Maximum joint-assignment-space size (product of channel arities)
+    /// the evaluator and the witness search will enumerate per cone;
+    /// larger cones are reported as unproven instead of analyzed.
+    pub budget: usize,
+    /// Nominal weighted-activity residual (fF) strictly above which a
+    /// level counts as imbalanced. Gates of equal kind and arity have
+    /// exactly equal nominal capacitance, so balanced cells sit at 0.0;
+    /// the default only absorbs floating-point summation noise.
+    pub cap_tol_ff: f64,
+}
+
+impl Default for SymConfig {
+    fn default() -> Self {
+        SymConfig {
+            budget: qdi_netlist::symbolic::DEFAULT_SYM_BUDGET,
+            cap_tol_ff: 0.01,
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Cross-validation of the symbolic verifier against the event simulator.
+//!
+//! The symbolic verdict is a *static* claim about dynamic behaviour, so it
+//! must agree with what the simulator actually measures:
+//!
+//! * **soundness of "balanced"** — when `analyze` proves the per-level
+//!   transition counts input-independent, replaying every pair of concrete
+//!   inputs through the simulator shows zero transition-count bias;
+//! * **soundness of refutation** — every witness pair attached to a
+//!   finding reproduces a nonzero measured bias (the paper's `T = A0 − A1`,
+//!   eq. 9) when replayed.
+//!
+//! The test family is the balanced `dual_rail_fn2` construction over every
+//! non-constant two-input truth table, optionally skewed by inserting
+//! `pad_levels` buffer gates before rail 1's latch — the same trick as
+//! `cells::dual_rail_xor_unbalanced`, generalized.
+
+use proptest::prelude::*;
+
+use qdi_netlist::{cells, ChannelValue, GateKind, NetId, Netlist, NetlistBuilder, WitnessPair};
+use qdi_sim::{replay_witness, TestbenchConfig};
+use qdi_sym::{analyze, SymConfig};
+
+/// A complete handshake design around a dual-rail cell computing
+/// `truth[(a << 1) | b]`, with `pad_levels` extra arity-1 OR gates in
+/// series before rail 1's latch (`0` = balanced by construction).
+fn fn2_netlist(truth: [bool; 4], pad_levels: usize) -> Netlist {
+    let mut b = NetlistBuilder::new("fn2");
+    let a = b.input_channel("a", 2);
+    let bb = b.input_channel("b", 2);
+    let ack = b.input_net("ack");
+    let mut groups: [Vec<NetId>; 2] = [Vec::new(), Vec::new()];
+    for av in 0..2usize {
+        for bv in 0..2usize {
+            let m = b.gate(
+                GateKind::Muller,
+                format!("m{av}{bv}"),
+                &[a.rail(av), bb.rail(bv)],
+            );
+            groups[usize::from(truth[(av << 1) | bv])].push(m);
+        }
+    }
+    let o0 = b.gate(GateKind::Or, "or0", &groups[0]);
+    let mut o1 = b.gate(GateKind::Or, "or1", &groups[1]);
+    for level in 0..pad_levels {
+        o1 = b.gate(GateKind::Or, format!("pad{level}"), &[o1]);
+    }
+    let h0 = b.gate(GateKind::MullerReset, "h0", &[o0, ack]);
+    let h1 = b.gate(GateKind::MullerReset, "h1", &[o1, ack]);
+    let nc = b.gate(GateKind::Nor, "nc", &[h0, h1]);
+    b.connect_input_acks(&[a.id, bb.id], nc);
+    let _ = b.output_channel("co", &[h0, h1], ack);
+    b.finish().expect("valid handshake design")
+}
+
+/// A witness pair carrying two concrete `(a, b)` assignments, encoded as
+/// `a = input >> 1`, `b = input & 1`.
+fn pair(lo: usize, hi: usize) -> WitnessPair {
+    let values = |input: usize| {
+        vec![
+            ChannelValue {
+                channel: "a".into(),
+                value: input >> 1,
+            },
+            ChannelValue {
+                channel: "b".into(),
+                value: input & 1,
+            },
+        ]
+    };
+    WitnessPair {
+        lo: values(lo),
+        hi: values(hi),
+        metric: "cross-validation probe".into(),
+        delta: 0.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Symbolic count verdict ⇔ measured transition-count bias, and every
+    /// symbolic witness reproduces a nonzero measured bias.
+    #[test]
+    fn symbolic_verdict_matches_simulated_activity(
+        truth_bits in 1u8..15, // 0 and 15 are constants: not encodable
+        pad_levels in 0usize..3,
+    ) {
+        let truth = [
+            truth_bits & 1 != 0,
+            truth_bits & 2 != 0,
+            truth_bits & 4 != 0,
+            truth_bits & 8 != 0,
+        ];
+        let netlist = fn2_netlist(truth, pad_levels);
+        let report = analyze(&netlist, &SymConfig::default()).expect("acyclic");
+        prop_assert!(report.unproven_levels.is_empty(), "tiny cones fit the budget");
+        let cfg = TestbenchConfig::default();
+
+        // Exhaustively measure the transition-count bias over all pairs
+        // of concrete inputs — four assignments, six unordered pairs.
+        let mut max_bias = 0isize;
+        for lo in 0..4usize {
+            for hi in (lo + 1)..4 {
+                let replay = replay_witness(&netlist, &pair(lo, hi), &cfg).expect("simulates");
+                max_bias = max_bias.max(replay.count_bias().abs());
+            }
+        }
+        prop_assert_eq!(
+            report.count_findings.is_empty(),
+            max_bias == 0,
+            "symbolic count verdict disagrees with simulation: pads={}, max bias={}",
+            pad_levels,
+            max_bias
+        );
+
+        // Each pad level adds one gate that switches (up and down) only
+        // when the function output is 1.
+        if pad_levels > 0 {
+            prop_assert_eq!(max_bias, 2 * pad_levels as isize);
+        }
+
+        // Refutation soundness: every symbolic witness replays to a
+        // nonzero measured bias in its metric.
+        for witness in report.witnesses() {
+            let replay = replay_witness(&netlist, witness, &cfg).expect("replays");
+            if witness.metric.contains("transition") {
+                prop_assert!(
+                    replay.count_bias() != 0,
+                    "count witness `{}` replayed flat",
+                    witness.metric
+                );
+            } else {
+                prop_assert!(
+                    replay.cap_bias_ff().abs() > 1e-9,
+                    "capacitance witness `{}` replayed flat",
+                    witness.metric
+                );
+            }
+        }
+    }
+}
+
+/// The checked-in negative fixture: the symbolic witness for
+/// `dual_rail_xor_unbalanced` replays to the known bias of exactly two
+/// transitions (the pad gate's up- and down-edge).
+#[test]
+fn unbalanced_xor_witness_reproduces_known_bias() {
+    let mut b = NetlistBuilder::new("skewed_xor");
+    let a = b.input_channel("a", 2);
+    let bb = b.input_channel("b", 2);
+    let ack = b.input_net("ack");
+    let cell = cells::dual_rail_xor_unbalanced(&mut b, "x", &a, &bb, ack);
+    b.connect_input_acks(&[a.id, bb.id], cell.ack_to_senders);
+    let _ = b.output_channel("co", &cell.out.rails.clone(), ack);
+    let netlist = b.finish().expect("valid");
+
+    let report = analyze(&netlist, &SymConfig::default()).expect("acyclic");
+    assert!(!report.is_balanced());
+    let witness = &report
+        .count_findings
+        .first()
+        .expect("count refutation")
+        .witness;
+    let replay = replay_witness(&netlist, witness, &TestbenchConfig::default()).expect("replays");
+    assert_eq!(replay.count_bias().abs(), 2, "{replay:?}");
+    assert!(replay.cap_bias_ff().abs() > 0.0, "{replay:?}");
+}

@@ -6,6 +6,11 @@
 //! pre-layout and exactly balanced, so a clean run is expected; any drift
 //! in the generators or the text format shows up as a diff.
 //!
+//! `xor_unbalanced.qdi` is the deliberate negative fixture: the same XOR
+//! cell with an extra pad gate on one output rail, which the symbolic
+//! verifier must *refute* (`QDI0201` with a replayable witness). CI
+//! asserts the refutation, not cleanliness.
+//!
 //! Run with: `cargo run --release --example gen_netlists`
 
 use std::path::Path;
@@ -19,6 +24,17 @@ fn xor_cell() -> Result<Netlist, Box<dyn std::error::Error>> {
     let bb = b.input_channel("b", 2);
     let ack = b.input_net("ack");
     let cell = cells::dual_rail_xor(&mut b, "x", &a, &bb, ack);
+    b.connect_input_acks(&[a.id, bb.id], cell.ack_to_senders);
+    let _ = b.output_channel("co", &cell.out.rails.clone(), ack);
+    Ok(b.finish()?)
+}
+
+fn xor_unbalanced() -> Result<Netlist, Box<dyn std::error::Error>> {
+    let mut b = NetlistBuilder::new("xor_unbalanced");
+    let a = b.input_channel("a", 2);
+    let bb = b.input_channel("b", 2);
+    let ack = b.input_net("ack");
+    let cell = cells::dual_rail_xor_unbalanced(&mut b, "x", &a, &bb, ack);
     b.connect_input_acks(&[a.id, bb.id], cell.ack_to_senders);
     let _ = b.output_channel("co", &cell.out.rails.clone(), ack);
     Ok(b.finish()?)
@@ -40,6 +56,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "wrote examples/netlists/aes_slice_xor.qdi ({} gates)",
         slice.netlist.gate_count()
+    );
+
+    let skewed = xor_unbalanced()?;
+    std::fs::write(dir.join("xor_unbalanced.qdi"), io::to_text(&skewed))?;
+    println!(
+        "wrote examples/netlists/xor_unbalanced.qdi ({} gates)",
+        skewed.gate_count()
     );
     Ok(())
 }
