@@ -205,6 +205,15 @@ pub struct FlowConfig {
     /// error): abort with a [`FlowError`] or record the failure in the
     /// report's [`StepOutcome`] list and keep going.
     pub policy: FlowPolicy,
+    /// Supervisor policy for the trace-campaign step. When set — and the
+    /// campaign runs on the pool (`workers != 1`) under
+    /// [`FlowPolicy::ContinueOnError`] — acquisitions that panic, error
+    /// or overrun are retried and then quarantined instead of sinking
+    /// the whole evaluation: the attack runs on the surviving traces and
+    /// [`SliceFlowReport::quarantine`] carries the manifest. Ignored
+    /// under [`FlowPolicy::FailFast`] and on the serial campaign path,
+    /// where a failure is supposed to abort.
+    pub supervisor: Option<qdi_exec::SupervisorPolicy>,
     /// Turns on the process-wide progress facility
     /// ([`qdi_obs::progress`]) before the run, so the campaign and any
     /// nested parallel loops register live tasks `qdi-mon watch` can
@@ -245,6 +254,7 @@ impl FlowConfig {
             workers: 1,
             lint,
             policy: FlowPolicy::FailFast,
+            supervisor: None,
             progress: false,
             timeseries: false,
             profile: false,
@@ -594,6 +604,12 @@ pub struct SliceFlowReport {
     /// Ghost ratio, best peak / runner-up peak (0.0 when the attack did
     /// not run).
     pub ghost_ratio: f64,
+    /// Quarantine manifest of a supervised campaign
+    /// ([`FlowConfig::supervisor`]): `Some` whenever the supervised path
+    /// ran (empty on a clean run), `None` otherwise. Non-empty means the
+    /// attack scores come from a partial trace set.
+    #[serde(default)]
+    pub quarantine: Option<qdi_exec::Quarantine>,
 }
 
 impl SliceFlowReport {
@@ -613,6 +629,15 @@ impl SliceFlowReport {
                     .map_or("unranked".to_owned(), |r| (r + 1).to_string()),
             )),
             None => out.push_str("  DPA evaluation did not run (see step outcomes above)\n"),
+        }
+        if let Some(quarantine) = &self.quarantine {
+            if !quarantine.is_empty() {
+                out.push_str(&format!(
+                    "  quarantine: {} acquisition(s) failed permanently — \
+                     attack scores come from a partial trace set\n",
+                    quarantine.len()
+                ));
+            }
         }
         out
     }
@@ -635,48 +660,102 @@ pub fn run_slice_flow(
     cfg: &FlowConfig,
 ) -> Result<SliceFlowReport, FlowError> {
     let mut layout = run_static_flow(&mut slice.netlist, cfg)?;
-    let set = layout.telemetry.step("qdi_core::flow", "campaign", || {
-        if cfg.workers == 1 {
-            campaign::run_slice_campaign(slice, &cfg.campaign)
-        } else {
-            qdi_dpa::run_parallel_campaign(
+    // The supervised campaign path is graceful degradation, so it only
+    // engages when the flow is already committed to continuing on error
+    // and the campaign runs on the pool.
+    let supervised = match cfg.policy {
+        FlowPolicy::ContinueOnError if cfg.workers != 1 => cfg.supervisor.as_ref(),
+        _ => None,
+    };
+    let mut quarantine = None;
+    let set = if let Some(policy) = supervised {
+        let run = layout.telemetry.step("qdi_core::flow", "campaign", || {
+            qdi_dpa::run_parallel_campaign_supervised(
                 slice,
                 &cfg.campaign,
                 qdi_exec::ExecConfig {
                     workers: cfg.workers,
                 },
+                policy,
             )
+        });
+        if cfg.timeseries {
+            qdi_obs::timeseries::tick();
         }
-    });
-    if cfg.timeseries {
-        qdi_obs::timeseries::tick();
-    }
-    let set = match set {
-        Ok(set) => {
+        if run.is_complete() {
             layout.steps.push(StepOutcome::completed("campaign"));
-            set
+        } else {
+            layout.steps.push(StepOutcome::failed(
+                "campaign",
+                format!(
+                    "{} of {} acquisitions quarantined",
+                    run.quarantine.len(),
+                    cfg.campaign.traces
+                ),
+            ));
         }
-        Err(err) => match cfg.policy {
-            FlowPolicy::FailFast => {
-                qdi_obs::flush();
-                return Err(FlowError::Sim(err));
+        let survivors_empty = run.traces.is_empty();
+        quarantine = Some(run.quarantine);
+        if survivors_empty {
+            layout.steps.push(StepOutcome::skipped(
+                "attack",
+                "no traces survived the campaign",
+            ));
+            return Ok(SliceFlowReport {
+                layout,
+                attack: None,
+                correct_key_rank: None,
+                best_peak: 0.0,
+                ghost_ratio: 0.0,
+                quarantine,
+            });
+        }
+        run.traces
+    } else {
+        let set = layout.telemetry.step("qdi_core::flow", "campaign", || {
+            if cfg.workers == 1 {
+                campaign::run_slice_campaign(slice, &cfg.campaign)
+            } else {
+                qdi_dpa::run_parallel_campaign(
+                    slice,
+                    &cfg.campaign,
+                    qdi_exec::ExecConfig {
+                        workers: cfg.workers,
+                    },
+                )
             }
-            FlowPolicy::ContinueOnError => {
-                layout
-                    .steps
-                    .push(StepOutcome::failed("campaign", format!("{err:?}")));
-                layout
-                    .steps
-                    .push(StepOutcome::skipped("attack", "campaign failed"));
-                return Ok(SliceFlowReport {
-                    layout,
-                    attack: None,
-                    correct_key_rank: None,
-                    best_peak: 0.0,
-                    ghost_ratio: 0.0,
-                });
+        });
+        if cfg.timeseries {
+            qdi_obs::timeseries::tick();
+        }
+        match set {
+            Ok(set) => {
+                layout.steps.push(StepOutcome::completed("campaign"));
+                set
             }
-        },
+            Err(err) => match cfg.policy {
+                FlowPolicy::FailFast => {
+                    qdi_obs::flush();
+                    return Err(FlowError::Sim(err));
+                }
+                FlowPolicy::ContinueOnError => {
+                    layout
+                        .steps
+                        .push(StepOutcome::failed("campaign", format!("{err:?}")));
+                    layout
+                        .steps
+                        .push(StepOutcome::skipped("attack", "campaign failed"));
+                    return Ok(SliceFlowReport {
+                        layout,
+                        attack: None,
+                        correct_key_rank: None,
+                        best_peak: 0.0,
+                        ghost_ratio: 0.0,
+                        quarantine: None,
+                    });
+                }
+            },
+        }
     };
     let result = layout
         .telemetry
@@ -701,6 +780,7 @@ pub fn run_slice_flow(
         correct_key_rank,
         best_peak,
         ghost_ratio,
+        quarantine,
     })
 }
 
@@ -716,6 +796,60 @@ mod tests {
         cfg.pnr = PnrConfig::fast();
         cfg.campaign.traces = 24;
         cfg
+    }
+
+    #[test]
+    fn supervised_slice_flow_quarantines_and_still_reports() {
+        let mut slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+        let mut cfg = fast_cfg(Strategy::Flat, 0x42);
+        cfg.policy = FlowPolicy::ContinueOnError;
+        cfg.workers = 2;
+        cfg.campaign.traces = 6;
+        // A budget no acquisition fits in, with the supervisor's retries
+        // off: every acquisition quarantines.
+        cfg.campaign.testbench.event_limit = 1;
+        cfg.supervisor = Some(
+            qdi_exec::SupervisorPolicy::new()
+                .without_backoff()
+                .with_retries(0),
+        );
+        let sel = AesXorSelect { byte: 0, bit: 0 };
+        let report = run_slice_flow(&mut slice, &sel, &cfg).expect("partial report, not abort");
+        let quarantine = report.quarantine.as_ref().expect("supervised path ran");
+        assert_eq!(quarantine.len(), 6);
+        assert!(report.attack.is_none());
+        assert!(report
+            .layout
+            .steps
+            .iter()
+            .any(|s| s.step == "campaign" && matches!(s.status, StepStatus::Failed { .. })));
+        assert!(report
+            .layout
+            .steps
+            .iter()
+            .any(|s| s.step == "attack" && matches!(s.status, StepStatus::Skipped { .. })));
+        let text = report.to_text();
+        assert!(text.contains("quarantine"), "{text}");
+    }
+
+    #[test]
+    fn supervised_slice_flow_clean_run_attacks_normally() {
+        let mut slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+        let mut cfg = fast_cfg(Strategy::Flat, 0x42);
+        cfg.policy = FlowPolicy::ContinueOnError;
+        cfg.workers = 2;
+        cfg.campaign.traces = 8;
+        cfg.supervisor = Some(qdi_exec::SupervisorPolicy::new().without_backoff());
+        let sel = AesXorSelect { byte: 0, bit: 0 };
+        let report = run_slice_flow(&mut slice, &sel, &cfg).expect("runs");
+        let quarantine = report.quarantine.as_ref().expect("supervised path ran");
+        assert!(quarantine.is_empty());
+        assert!(report.attack.is_some());
+        assert!(report
+            .layout
+            .steps
+            .iter()
+            .any(|s| s.step == "campaign" && s.is_completed()));
     }
 
     #[test]

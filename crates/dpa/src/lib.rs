@@ -66,7 +66,7 @@ pub use campaign::{run_slice_campaign, CampaignConfig, PlaintextSource};
 pub use cpa::{cpa, CpaResult, HammingWeightSbox, LeakageModel};
 pub use parallel::{
     parallel_attack, parallel_attack_windowed, parallel_bias_signal, run_parallel_campaign,
-    BIAS_SHARD,
+    run_parallel_campaign_supervised, SupervisedCampaign, BIAS_SHARD,
 };
 pub use resume::{CampaignCheckpoint, CampaignError, CampaignRunner, ResilienceConfig};
 pub use selection::SelectionFunction;

@@ -110,6 +110,78 @@ pub fn run_parallel_campaign(
     Ok(set)
 }
 
+/// Result of a supervised parallel campaign: the traces that completed,
+/// which campaign indices they belong to, and the quarantine manifest
+/// for everything that did not.
+#[derive(Debug)]
+pub struct SupervisedCampaign {
+    /// Completed acquisitions, in campaign-index order.
+    pub traces: TraceSet,
+    /// Campaign index of each entry in `traces` (`indices[k]` is the
+    /// acquisition index of trace `k`; gaps are quarantined jobs).
+    pub indices: Vec<usize>,
+    /// Every acquisition that exhausted its retries.
+    pub quarantine: qdi_exec::Quarantine,
+}
+
+impl SupervisedCampaign {
+    /// Whether every acquisition completed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.quarantine.is_empty()
+    }
+}
+
+/// [`run_parallel_campaign`] under a `qdi-exec` supervisor: panicking,
+/// erroring or overrunning acquisitions are retried per `policy` and
+/// quarantined when they keep failing, instead of aborting the
+/// campaign. Completed traces are returned in index order next to the
+/// quarantine manifest — graceful degradation for long campaigns where
+/// a hostile index must not cost the other N−1 traces.
+///
+/// Determinism: completed traces are bit-identical to the ones
+/// [`run_parallel_campaign`] produces at any worker count, including
+/// traces that only succeeded on a supervisor re-attempt (per-index
+/// noise seeding is attempt-independent).
+pub fn run_parallel_campaign_supervised(
+    slice: &AesByteSlice,
+    cfg: &CampaignConfig,
+    exec: ExecConfig,
+    policy: &qdi_exec::SupervisorPolicy,
+) -> SupervisedCampaign {
+    let mut span = qdi_obs::span("qdi_dpa::parallel", "run_parallel_campaign_supervised")
+        .field("traces", cfg.traces)
+        .field("workers", exec.workers)
+        .enter();
+    let pts = plaintext_schedule(cfg);
+    let synth = TraceSynthesizer::new(&slice.netlist, cfg.synth);
+    let progress = qdi_obs::progress::task("dpa.campaign", cfg.traces);
+    let run = qdi_exec::run_supervised(&exec, policy, cfg.seed, cfg.traces, |i| {
+        let trace = acquire_indexed(slice, cfg, &synth, pts[i], i)
+            .map_err(|e| format!("simulation failed: {e:?}"))?;
+        progress.advance(1);
+        Ok::<_, String>(trace)
+    });
+    progress.finish();
+    let mut set = TraceSet::new();
+    let mut indices = Vec::new();
+    for (i, outcome) in run.outcomes.into_iter().enumerate() {
+        if let Some(trace) = outcome.into_value() {
+            set.push(vec![pts[i]], trace);
+            indices.push(i);
+        }
+    }
+    qdi_obs::metrics::counter("dpa.traces").add(set.len() as u64);
+    span.record("completed", set.len());
+    span.record("quarantined", run.quarantine.len());
+    span.record("retries", run.retries);
+    SupervisedCampaign {
+        traces: set,
+        indices,
+        quarantine: run.quarantine,
+    }
+}
+
 /// Folds the index range `[lo, hi)` of `set` into one accumulator —
 /// the per-shard work of the parallel bias computation.
 fn accumulate_shard(
@@ -313,6 +385,54 @@ mod tests {
                 assert_eq!(a.peak_time_ps, b.peak_time_ps);
             }
         }
+    }
+
+    #[test]
+    fn supervised_campaign_is_bit_identical_to_unsupervised_when_clean() {
+        let slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+        let cfg = noisy_cfg(10);
+        let golden = run_parallel_campaign(&slice, &cfg, ExecConfig { workers: 1 }).expect("runs");
+        let policy = qdi_exec::SupervisorPolicy::new().without_backoff();
+        for workers in [1, 2, 8] {
+            let run =
+                run_parallel_campaign_supervised(&slice, &cfg, ExecConfig { workers }, &policy);
+            assert!(run.is_complete(), "workers = {workers}");
+            assert_eq!(run.indices, (0..10).collect::<Vec<_>>());
+            assert_eq!(golden.len(), run.traces.len());
+            for i in 0..golden.len() {
+                assert_eq!(golden.input(i), run.traces.input(i), "plaintext {i}");
+                assert_eq!(
+                    golden.trace(i).samples(),
+                    run.traces.trace(i).samples(),
+                    "trace {i} @ {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_campaign_quarantines_instead_of_aborting() {
+        let slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+        let mut cfg = noisy_cfg(5);
+        // A budget no acquisition fits in: the fail-fast path would
+        // abort on the first index; the supervisor quarantines all.
+        cfg.testbench.event_limit = 1;
+        let policy = qdi_exec::SupervisorPolicy::new()
+            .without_backoff()
+            .with_retries(0);
+        let run =
+            run_parallel_campaign_supervised(&slice, &cfg, ExecConfig { workers: 2 }, &policy);
+        assert!(!run.is_complete());
+        assert_eq!(run.traces.len(), 0);
+        assert!(run.indices.is_empty());
+        assert_eq!(run.quarantine.indices(), vec![0, 1, 2, 3, 4]);
+        let entry = &run.quarantine.entries[0];
+        assert_eq!(entry.kind, qdi_exec::QuarantineKind::Error);
+        assert!(entry.reason.contains("EventLimit"), "{}", entry.reason);
+        // The manifest renders through the shared diagnostic model.
+        let diags = run.quarantine.diagnostics("dpa_campaign");
+        assert_eq!(diags.len(), 5);
+        assert!(diags[0].render(false).contains("QDI0303"));
     }
 
     #[test]

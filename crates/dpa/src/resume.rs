@@ -132,10 +132,54 @@ pub struct CampaignCheckpoint {
     pub traces: TraceSet,
 }
 
+/// Durably writes checkpoint JSON: write-then-rename with a trailing
+/// CRC, keeping the previous verified generation as `.bak`
+/// ([`qdi_obs::durable`], `Durability::Checkpoint`). A crash mid-write
+/// leaves either the new generation, a classified-torn temp file, or
+/// the old generation — never a half-written checkpoint that parses.
+pub(crate) fn save_durable_json(path: &Path, json: String) -> Result<(), CampaignError> {
+    qdi_obs::durable::save(
+        path,
+        (json + "\n").as_bytes(),
+        qdi_obs::durable::Durability::Checkpoint,
+    )
+    .map_err(|e| CampaignError::Io(e.to_string()))
+}
+
+/// Recovers durably-written checkpoint JSON, classifying damage instead
+/// of parsing through it: a torn or corrupt primary falls back to the
+/// `.bak` generation; when both are damaged the classification
+/// (torn/corrupt/version) is reported as [`CampaignError::Checkpoint`].
+/// Files written before the durable format (no CRC trailer) still load.
+pub(crate) fn load_durable_json(path: &Path) -> Result<String, CampaignError> {
+    use qdi_obs::durable;
+    let err = match durable::recover(path) {
+        Ok(recovered) => {
+            return String::from_utf8(recovered.payload)
+                .map_err(|e| CampaignError::Io(format!("{}: {e}", path.display())))
+        }
+        Err(e @ durable::DurableError::Io { .. }) => return Err(CampaignError::Io(e.to_string())),
+        Err(e) => e,
+    };
+    // Legacy fallback: checkpoints written before the durable format
+    // carry no trailer. A file that *does* carry a trailer but failed
+    // verification is damaged — classified, never parsed around.
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CampaignError::Io(format!("read {}: {e}", path.display())))?;
+    if text.contains(durable::TRAILER_PREFIX) {
+        return Err(CampaignError::Checkpoint(format!(
+            "{}: {err}",
+            path.display()
+        )));
+    }
+    Ok(text)
+}
+
 impl CampaignCheckpoint {
-    /// Writes the checkpoint as JSON. The write is not atomic; callers
-    /// that need crash-safe files should write to a sibling path and
-    /// rename.
+    /// Writes the checkpoint as durable JSON: write-then-rename with a
+    /// trailing CRC, previous verified generation kept as `.bak`. A
+    /// kill at any byte leaves a recoverable file (see
+    /// [`CampaignCheckpoint::load`]).
     ///
     /// # Errors
     ///
@@ -144,19 +188,21 @@ impl CampaignCheckpoint {
     pub fn save(&self, path: &Path) -> Result<(), CampaignError> {
         let json = serde_json::to_string(self)
             .map_err(|e| CampaignError::Io(format!("serialize checkpoint: {e:?}")))?;
-        std::fs::write(path, json)
-            .map_err(|e| CampaignError::Io(format!("write {}: {e}", path.display())))
+        save_durable_json(path, json)
     }
 
-    /// Reads a checkpoint written by [`CampaignCheckpoint::save`]. The
-    /// contents are validated by [`CampaignRunner::resume`], not here.
+    /// Reads a checkpoint written by [`CampaignCheckpoint::save`],
+    /// falling back to the `.bak` generation when the primary is torn
+    /// or corrupt. The contents are validated by
+    /// [`CampaignRunner::resume`], not here.
     ///
     /// # Errors
     ///
-    /// Returns [`CampaignError::Io`] on filesystem or parse failure.
+    /// [`CampaignError::Io`] on filesystem or parse failure,
+    /// [`CampaignError::Checkpoint`] when both generations are damaged
+    /// (with the torn/corrupt classification).
     pub fn load(path: &Path) -> Result<Self, CampaignError> {
-        let json = std::fs::read_to_string(path)
-            .map_err(|e| CampaignError::Io(format!("read {}: {e}", path.display())))?;
+        let json = load_durable_json(path)?;
         serde_json::from_str(&json)
             .map_err(|e| CampaignError::Io(format!("parse {}: {e:?}", path.display())))
     }
@@ -611,5 +657,59 @@ mod tests {
         std::fs::remove_file(&path).ok();
         let err = CampaignCheckpoint::load(&path).expect_err("missing file");
         assert!(matches!(err, CampaignError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn torn_checkpoint_falls_back_to_previous_generation() {
+        let slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+        let cfg = test_cfg(6);
+        let path = std::env::temp_dir().join(format!(
+            "qdi_dpa_resume_torn_{}.ckpt.json",
+            std::process::id()
+        ));
+        let bak = path.with_extension("json.bak");
+        let mut runner = CampaignRunner::new(&slice, cfg, ResilienceConfig::new());
+        runner.step().expect("step");
+        runner.checkpoint().save(&path).expect("gen 1");
+        runner.step().expect("step");
+        runner.checkpoint().save(&path).expect("gen 2");
+        // Tear the primary mid-payload, as a kill during the rename
+        // window's predecessor write would.
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("tear");
+        let loaded = CampaignCheckpoint::load(&path).expect("falls back to .bak");
+        assert_eq!(loaded.completed, 1, "previous generation recovered");
+        // A resumed runner from the fallback still finishes correctly.
+        let mut resumed =
+            CampaignRunner::resume(&slice, cfg, ResilienceConfig::new(), loaded).expect("resumes");
+        resumed.run().expect("finishes");
+        assert_eq!(resumed.completed(), 6);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&bak).ok();
+    }
+
+    #[test]
+    fn damaged_checkpoint_is_classified_not_parsed() {
+        let slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+        let cfg = test_cfg(4);
+        let path = std::env::temp_dir().join(format!(
+            "qdi_dpa_resume_damaged_{}.ckpt.json",
+            std::process::id()
+        ));
+        let bak = path.with_extension("json.bak");
+        std::fs::remove_file(&bak).ok();
+        std::fs::remove_file(&path).ok();
+        let mut runner = CampaignRunner::new(&slice, cfg, ResilienceConfig::new());
+        runner.step().expect("step");
+        runner.checkpoint().save(&path).expect("saves");
+        // Flip a payload byte: the trailer CRC no longer matches, there
+        // is no backup generation, and the loader must classify rather
+        // than hand serde a corrupt file.
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes[10] ^= 0x01;
+        std::fs::write(&path, &bytes).expect("corrupt");
+        let err = CampaignCheckpoint::load(&path).expect_err("classified");
+        assert!(matches!(err, CampaignError::Checkpoint(_)), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 }

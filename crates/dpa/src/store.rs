@@ -19,17 +19,17 @@
 
 use std::path::Path;
 
-use qdi_analog::TraceSynthesizer;
+use qdi_analog::{Trace, TraceSynthesizer};
 use qdi_crypto::gatelevel::slice::AesByteSlice;
 use qdi_exec::store::{StoreOptions, StoreReader, StoreWriter};
-use qdi_exec::{ExecConfig, StoreError};
+use qdi_exec::{run_supervised, ExecConfig, Quarantine, StoreError, SupervisorPolicy};
 use qdi_sim::SimError;
 use serde::{Deserialize, Serialize};
 
 use crate::attack::BiasAccumulator;
 use crate::campaign::CampaignConfig;
 use crate::parallel::{acquire_indexed, plaintext_schedule, BIAS_SHARD};
-use crate::resume::{CampaignError, ResilienceConfig};
+use crate::resume::{load_durable_json, save_durable_json, CampaignError, ResilienceConfig};
 use crate::selection::SelectionFunction;
 use crate::traceset::{TraceSet, TraceSetError};
 
@@ -142,11 +142,19 @@ pub struct StoreCheckpoint {
     /// Byte offset of the next record — anything past it is a torn tail
     /// from a crash and is truncated on resume.
     pub store_offset: u64,
+    /// Campaign indices quarantined by the supervisor (absent from the
+    /// store): `completed` counts them, so the store holds exactly
+    /// `completed - quarantined.len()` records. A resumed campaign
+    /// re-attempts exactly these via
+    /// [`StoreCampaignRunner::retry_quarantined`].
+    #[serde(default)]
+    pub quarantined: Vec<usize>,
 }
 
 impl StoreCheckpoint {
-    /// Writes the checkpoint as JSON (non-atomic, like
-    /// [`crate::resume::CampaignCheckpoint::save`]).
+    /// Writes the checkpoint as durable JSON (write-then-rename with a
+    /// trailing CRC, previous verified generation kept as `.bak` —
+    /// like [`crate::resume::CampaignCheckpoint::save`]).
     ///
     /// # Errors
     ///
@@ -154,18 +162,20 @@ impl StoreCheckpoint {
     pub fn save(&self, path: &Path) -> Result<(), CampaignError> {
         let json = serde_json::to_string(self)
             .map_err(|e| CampaignError::Io(format!("serialize checkpoint: {e:?}")))?;
-        std::fs::write(path, json)
-            .map_err(|e| CampaignError::Io(format!("write {}: {e}", path.display())))
+        save_durable_json(path, json)
     }
 
-    /// Reads a checkpoint written by [`StoreCheckpoint::save`].
+    /// Reads a checkpoint written by [`StoreCheckpoint::save`], falling
+    /// back to the `.bak` generation when the primary is torn or
+    /// corrupt.
     ///
     /// # Errors
     ///
-    /// [`CampaignError::Io`] on filesystem or parse failure.
+    /// [`CampaignError::Io`] on filesystem or parse failure,
+    /// [`CampaignError::Checkpoint`] when both generations are damaged
+    /// (with the torn/corrupt classification).
     pub fn load(path: &Path) -> Result<Self, CampaignError> {
-        let json = std::fs::read_to_string(path)
-            .map_err(|e| CampaignError::Io(format!("read {}: {e}", path.display())))?;
+        let json = load_durable_json(path)?;
         serde_json::from_str(&json)
             .map_err(|e| CampaignError::Io(format!("parse {}: {e:?}", path.display())))
     }
@@ -173,6 +183,40 @@ impl StoreCheckpoint {
 
 fn store_fingerprint(cfg: &CampaignConfig, workers: usize) -> String {
     format!("{cfg:?} workers={workers}")
+}
+
+/// One indexed acquisition with the budget-escalation retry loop of
+/// [`crate::resume::CampaignRunner::step`]: budget-class simulator
+/// failures re-run with event/round budgets times `budget_backoff^k`.
+/// The noise RNG is re-derived from the index each attempt, so a
+/// rescued trace is bit-identical to an undisturbed acquisition.
+fn acquire_resilient(
+    slice: &AesByteSlice,
+    cfg: &CampaignConfig,
+    synth: &TraceSynthesizer<'_>,
+    resilience: &ResilienceConfig,
+    pt: u8,
+    index: usize,
+) -> Result<Trace, CampaignError> {
+    let backoff = resilience.budget_backoff.max(2);
+    let mut attempt = 0u32;
+    loop {
+        let mut try_cfg = *cfg;
+        let factor = backoff.saturating_pow(attempt);
+        try_cfg.testbench.event_limit = try_cfg.testbench.event_limit.saturating_mul(factor);
+        try_cfg.testbench.max_rounds = try_cfg.testbench.max_rounds.saturating_mul(factor);
+        match acquire_indexed(slice, &try_cfg, synth, pt, index) {
+            Ok(trace) => return Ok(trace),
+            Err(err @ (SimError::EventLimit { .. } | SimError::SimTimeout { .. }))
+                if attempt < resilience.max_retries =>
+            {
+                attempt += 1;
+                qdi_obs::metrics::counter("dpa.campaign.retries").inc();
+                let _ = err;
+            }
+            Err(err) => return Err(CampaignError::Sim(err)),
+        }
+    }
 }
 
 /// Store-backed parallel campaign: acquires chunks of traces on the
@@ -189,6 +233,9 @@ pub struct StoreCampaignRunner<'a> {
     writer: StoreWriter,
     store_path: String,
     completed: usize,
+    supervisor: Option<SupervisorPolicy>,
+    quarantined: Vec<usize>,
+    manifest: Quarantine,
     progress: qdi_obs::progress::ProgressTask,
 }
 
@@ -228,8 +275,22 @@ impl<'a> StoreCampaignRunner<'a> {
             writer,
             store_path,
             completed: 0,
+            supervisor: None,
+            quarantined: Vec::new(),
+            manifest: Quarantine::default(),
             progress: qdi_obs::progress::task("dpa.store_campaign", cfg.traces),
         })
+    }
+
+    /// Enables supervised acquisition (builder style): panicking or
+    /// permanently-failing jobs are quarantined instead of aborting the
+    /// campaign, and the checkpoint records their indices so a resume
+    /// can re-attempt exactly those via
+    /// [`StoreCampaignRunner::retry_quarantined`].
+    #[must_use]
+    pub fn with_supervisor(mut self, policy: SupervisorPolicy) -> Self {
+        self.supervisor = Some(policy);
+        self
     }
 
     /// Resumes from a checkpoint: validates the fingerprint (config and
@@ -258,11 +319,23 @@ impl<'a> StoreCampaignRunner<'a> {
             )));
         }
         let writer = StoreWriter::resume(&checkpoint.store_path, checkpoint.store_offset)?;
-        if writer.records() != checkpoint.completed {
+        // Quarantined indices never reached the store, so the record
+        // count is the completed counter minus the quarantine.
+        let expected_records = checkpoint
+            .completed
+            .checked_sub(checkpoint.quarantined.len())
+            .ok_or_else(|| {
+                CampaignError::Checkpoint(format!(
+                    "{} quarantined indices exceed the {} completed acquisitions",
+                    checkpoint.quarantined.len(),
+                    checkpoint.completed
+                ))
+            })?;
+        if writer.records() != expected_records {
             return Err(CampaignError::Checkpoint(format!(
                 "store holds {} records before the checkpointed offset, expected {}",
                 writer.records(),
-                checkpoint.completed
+                expected_records
             )));
         }
         // A resumed campaign starts its progress bar at the checkpoint.
@@ -278,6 +351,9 @@ impl<'a> StoreCampaignRunner<'a> {
             writer,
             store_path: checkpoint.store_path,
             completed: checkpoint.completed,
+            supervisor: None,
+            quarantined: checkpoint.quarantined,
+            manifest: Quarantine::default(),
             progress,
         })
     }
@@ -291,12 +367,27 @@ impl<'a> StoreCampaignRunner<'a> {
             completed: self.completed,
             store_path: self.store_path.clone(),
             store_offset: self.writer.offset(),
+            quarantined: self.quarantined.clone(),
         }
     }
 
     /// Traces acquired so far.
     pub fn completed(&self) -> usize {
         self.completed
+    }
+
+    /// Campaign indices the supervisor quarantined (absent from the
+    /// store until a successful [`StoreCampaignRunner::retry_quarantined`]).
+    pub fn quarantined(&self) -> &[usize] {
+        &self.quarantined
+    }
+
+    /// The quarantine manifest accumulated by supervised chunks in this
+    /// process (reasons, attempt counts, per-index seeds). A resumed
+    /// runner starts with an empty manifest — the checkpoint carries
+    /// only the indices — and refills it as re-attempts fail again.
+    pub fn quarantine(&self) -> &Quarantine {
+        &self.manifest
     }
 
     /// `true` once all `cfg.traces` acquisitions are stored.
@@ -314,53 +405,126 @@ impl<'a> StoreCampaignRunner<'a> {
     /// the retry re-derives the per-index noise RNG, so a rescued trace
     /// is bit-identical to an undisturbed acquisition.
     ///
+    /// With a supervisor ([`StoreCampaignRunner::with_supervisor`]) the
+    /// chunk degrades gracefully instead of failing fast: panicking or
+    /// permanently-erroring jobs are quarantined — their indices skipped
+    /// in the store and recorded in the checkpoint — and every other
+    /// trace still lands.
+    ///
     /// # Errors
     ///
-    /// [`CampaignError::Sim`] on permanent simulator failure,
-    /// [`CampaignError::Io`] on store write failure.
+    /// [`CampaignError::Sim`] on permanent simulator failure (fail-fast
+    /// path only), [`CampaignError::Io`] on store write failure.
     pub fn step_chunk(&mut self) -> Result<bool, CampaignError> {
         if self.is_done() {
             return Ok(false);
         }
         let lo = self.completed;
         let hi = (lo + self.resilience.checkpoint_every.max(1)).min(self.cfg.traces);
-        let backoff = self.resilience.budget_backoff.max(2);
-        let max_retries = self.resilience.max_retries;
-        let (slice, cfg, synth, pts) = (self.slice, &self.cfg, &self.synth, &self.pts);
+        let (slice, cfg, synth, pts, resilience) = (
+            self.slice,
+            &self.cfg,
+            &self.synth,
+            &self.pts,
+            &self.resilience,
+        );
         let progress = &self.progress;
-        let traces = qdi_exec::try_run_indexed(&self.exec, hi - lo, |j| {
-            let index = lo + j;
-            let mut attempt = 0u32;
-            loop {
-                let mut try_cfg = *cfg;
-                let factor = backoff.saturating_pow(attempt);
-                try_cfg.testbench.event_limit =
-                    try_cfg.testbench.event_limit.saturating_mul(factor);
-                try_cfg.testbench.max_rounds = try_cfg.testbench.max_rounds.saturating_mul(factor);
-                // The noise RNG is re-derived from the index each attempt,
-                // so a retry replays exactly the draw a clean run makes.
-                match acquire_indexed(slice, &try_cfg, synth, pts[index], index) {
-                    Ok(trace) => {
-                        progress.advance(1);
-                        return Ok(trace);
-                    }
-                    Err(err @ (SimError::EventLimit { .. } | SimError::SimTimeout { .. }))
-                        if attempt < max_retries =>
-                    {
-                        attempt += 1;
-                        qdi_obs::metrics::counter("dpa.campaign.retries").inc();
-                        let _ = err;
-                    }
-                    Err(err) => return Err(CampaignError::Sim(err)),
+        if let Some(policy) = &self.supervisor {
+            let run = run_supervised(&self.exec, policy, cfg.seed, hi - lo, |j| {
+                let index = lo + j;
+                let trace = acquire_resilient(slice, cfg, synth, resilience, pts[index], index)?;
+                progress.advance(1);
+                Ok::<_, CampaignError>(trace)
+            });
+            // Quarantine entries come back with chunk-relative indices;
+            // report campaign indices and the true per-index seeds.
+            let mut quarantine = run.quarantine;
+            for entry in &mut quarantine.entries {
+                entry.index += lo;
+                entry.job_seed = qdi_exec::derive_seed(cfg.seed, entry.index as u64);
+            }
+            for (j, outcome) in run.outcomes.into_iter().enumerate() {
+                if let Some(trace) = outcome.into_value() {
+                    self.writer.append(&[pts[lo + j]], &trace)?;
                 }
             }
-        })?;
-        for (j, trace) in traces.iter().enumerate() {
-            self.writer.append(&[pts[lo + j]], trace)?;
+            self.quarantined.extend(quarantine.indices());
+            self.manifest.entries.extend(quarantine.entries);
+        } else {
+            let traces = qdi_exec::try_run_indexed(&self.exec, hi - lo, |j| {
+                let index = lo + j;
+                let trace = acquire_resilient(slice, cfg, synth, resilience, pts[index], index)?;
+                progress.advance(1);
+                Ok::<_, CampaignError>(trace)
+            })?;
+            for (j, trace) in traces.iter().enumerate() {
+                self.writer.append(&[pts[lo + j]], trace)?;
+            }
         }
         self.writer.flush()?;
         self.completed = hi;
         Ok(true)
+    }
+
+    /// Re-attempts every quarantined index under the supervisor policy,
+    /// appending rescued traces at the store tail. Returns the number of
+    /// indices recovered; still-failing indices stay quarantined with a
+    /// refreshed manifest.
+    ///
+    /// Every `.qtrs` record carries its plaintext, so attacks over the
+    /// store stay valid after a rescue — but rescued records land out of
+    /// campaign-index order, so the streamed bias is statistically (not
+    /// bit-) identical to an undisturbed campaign's summation tree.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Checkpoint`] when no supervisor policy is set,
+    /// [`CampaignError::Io`] on store write failure.
+    pub fn retry_quarantined(&mut self) -> Result<usize, CampaignError> {
+        let Some(policy) = &self.supervisor else {
+            return Err(CampaignError::Checkpoint(
+                "retry_quarantined requires a supervisor policy (with_supervisor)".into(),
+            ));
+        };
+        if self.quarantined.is_empty() {
+            return Ok(0);
+        }
+        let indices = std::mem::take(&mut self.quarantined);
+        let (slice, cfg, synth, pts, resilience) = (
+            self.slice,
+            &self.cfg,
+            &self.synth,
+            &self.pts,
+            &self.resilience,
+        );
+        let progress = &self.progress;
+        let idx = &indices;
+        let run = run_supervised(&self.exec, policy, cfg.seed, idx.len(), |j| {
+            let index = idx[j];
+            let trace = acquire_resilient(slice, cfg, synth, resilience, pts[index], index)?;
+            progress.advance(1);
+            Ok::<_, CampaignError>(trace)
+        });
+        let mut quarantine = run.quarantine;
+        for entry in &mut quarantine.entries {
+            entry.index = indices[entry.index];
+            entry.job_seed = qdi_exec::derive_seed(cfg.seed, entry.index as u64);
+        }
+        let mut recovered = 0usize;
+        let mut still = Vec::new();
+        for (j, outcome) in run.outcomes.into_iter().enumerate() {
+            match outcome.into_value() {
+                Some(trace) => {
+                    self.writer.append(&[pts[indices[j]]], &trace)?;
+                    recovered += 1;
+                }
+                None => still.push(indices[j]),
+            }
+        }
+        self.quarantined = still;
+        self.manifest = quarantine;
+        self.writer.flush()?;
+        Ok(recovered)
     }
 
     /// Runs the campaign to completion, saving a [`StoreCheckpoint`] to
@@ -526,6 +690,115 @@ mod tests {
                 "trace {i} must be bit-identical after crash + resume"
             );
         }
+    }
+
+    #[test]
+    fn supervised_store_campaign_matches_fail_fast_when_clean() {
+        let slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+        let cfg = noisy_cfg(9);
+        let golden = run_parallel_campaign(&slice, &cfg, ExecConfig { workers: 1 }).expect("runs");
+        let path = tmp("supervised_clean.qtrs");
+        let mut runner = StoreCampaignRunner::new(
+            &slice,
+            cfg,
+            ResilienceConfig {
+                checkpoint_every: 4,
+                ..ResilienceConfig::new()
+            },
+            ExecConfig { workers: 2 },
+            &path,
+            StoreOptions::new(),
+        )
+        .expect("creates")
+        .with_supervisor(qdi_exec::SupervisorPolicy::new().without_backoff());
+        while runner.step_chunk().expect("chunk") {}
+        assert!(runner.quarantined().is_empty());
+        assert!(runner.quarantine().is_empty());
+        runner.finish().expect("closes");
+        let stored = TraceSet::from_store(&path).expect("loads");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(golden.len(), stored.len());
+        for i in 0..golden.len() {
+            assert_eq!(golden.input(i), stored.input(i), "plaintext {i}");
+            assert_eq!(golden.trace(i).samples(), stored.trace(i).samples());
+        }
+    }
+
+    #[test]
+    fn quarantined_indices_ride_the_checkpoint_and_are_reattempted() {
+        let slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+        let mut cfg = noisy_cfg(6);
+        // A budget nothing fits in, with budget escalation disabled:
+        // every acquisition fails permanently.
+        cfg.testbench.event_limit = 1;
+        let resilience = ResilienceConfig {
+            checkpoint_every: 3,
+            max_retries: 0,
+            budget_backoff: 2,
+        };
+        let exec = ExecConfig { workers: 2 };
+        let policy = qdi_exec::SupervisorPolicy::new()
+            .without_backoff()
+            .with_retries(0);
+        let path = tmp("supervised_quarantine.qtrs");
+        let ckpt = tmp("supervised_quarantine.ckpt.json");
+
+        let mut runner =
+            StoreCampaignRunner::new(&slice, cfg, resilience, exec, &path, StoreOptions::new())
+                .expect("creates")
+                .with_supervisor(policy.clone());
+        assert!(runner.step_chunk().expect("degrades, does not abort"));
+        assert_eq!(runner.completed(), 3);
+        assert_eq!(runner.quarantined(), &[0, 1, 2]);
+        let manifest = runner.quarantine();
+        assert_eq!(manifest.len(), 3);
+        assert_eq!(
+            manifest.entries[1].job_seed,
+            qdi_exec::derive_seed(cfg.seed, 1),
+            "manifest reports the true per-index seed"
+        );
+        assert!(manifest.entries[0].reason.contains("EventLimit"));
+        runner.checkpoint().save(&ckpt).expect("saves");
+        drop(runner);
+
+        // The checkpoint carries the quarantine, and resume accepts a
+        // store whose record count is completed - quarantined.
+        let checkpoint = StoreCheckpoint::load(&ckpt).expect("loads");
+        assert_eq!(checkpoint.completed, 3);
+        assert_eq!(checkpoint.quarantined, vec![0, 1, 2]);
+        let mut resumed = StoreCampaignRunner::resume(&slice, cfg, resilience, exec, checkpoint)
+            .expect("resumes")
+            .with_supervisor(policy);
+        assert_eq!(resumed.quarantined(), &[0, 1, 2]);
+        // Re-attempting under the same starved budget fails again: the
+        // indices stay quarantined and the manifest is refreshed with
+        // campaign-scope indices and reasons.
+        let recovered = resumed.retry_quarantined().expect("retry pass runs");
+        assert_eq!(recovered, 0);
+        assert_eq!(resumed.quarantined(), &[0, 1, 2]);
+        assert_eq!(resumed.quarantine().indices(), vec![0, 1, 2]);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&ckpt).ok();
+        std::fs::remove_file(ckpt.with_extension("json.bak")).ok();
+    }
+
+    #[test]
+    fn retry_quarantined_without_supervisor_is_rejected() {
+        let slice = aes_first_round_slice("s", SliceStage::XorOnly).expect("builds");
+        let cfg = noisy_cfg(2);
+        let path = tmp("no_supervisor.qtrs");
+        let mut runner = StoreCampaignRunner::new(
+            &slice,
+            cfg,
+            ResilienceConfig::new(),
+            ExecConfig { workers: 1 },
+            &path,
+            StoreOptions::new(),
+        )
+        .expect("creates");
+        let err = runner.retry_quarantined().expect_err("needs a policy");
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, CampaignError::Checkpoint(_)), "{err}");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! ```text
 //! qdi-trace info FILE...                         header + validating scan
 //! qdi-trace head [--count N] FILE                first N records, summarized
+//! qdi-trace fsck FILE...                         read-only integrity scan
 //! qdi-trace convert [--f32|--f64] [--delta|--no-delta] IN OUT
 //! qdi-trace merge OUT IN...                      concatenate stores (same grid)
 //! ```
@@ -19,6 +20,7 @@ use qdi_exec::store::{self, SampleEncoding, StoreError, StoreOptions, StoreReade
 fn usage() -> &'static str {
     "usage: qdi-trace info FILE...\n\
      \x20      qdi-trace head [--count N] FILE\n\
+     \x20      qdi-trace fsck FILE...\n\
      \x20      qdi-trace convert [--f32|--f64] [--delta|--no-delta] IN OUT\n\
      \x20      qdi-trace merge OUT IN..."
 }
@@ -80,6 +82,59 @@ fn cmd_info(files: &[String]) -> ExitCode {
         }
     }
     worst
+}
+
+/// Read-only integrity scan with qdi-lint exit discipline: `0` every
+/// byte accounted for, `1` a torn tail or corrupt record, `2` the
+/// header itself is unreadable.
+fn cmd_fsck(files: &[String]) -> ExitCode {
+    if files.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    }
+    let mut worst = 0u8;
+    for file in files {
+        match store::fsck(file) {
+            Ok(report) => {
+                println!(
+                    "{file}: {} CRC-valid records, {} of {} bytes intact, \
+                     grid t0={} ps dt={} ps, {}{}",
+                    report.records,
+                    report.valid_bytes,
+                    report.file_bytes,
+                    report.t0_ps,
+                    report.dt_ps,
+                    encoding_name(report.options.encoding),
+                    if report.options.delta { "+delta" } else { "" },
+                );
+                if let Some(err) = &report.tail_error {
+                    println!(
+                        "{file}: {} torn-tail bytes past the last intact record: {err}",
+                        report.torn_tail_bytes
+                    );
+                    println!(
+                        "{file}: recoverable with StoreWriter::resume(.., {})",
+                        report.valid_bytes
+                    );
+                    worst = worst.max(1);
+                } else {
+                    println!("{file}: clean");
+                }
+            }
+            Err(err) => {
+                eprintln!("{file}: {err}");
+                worst = worst.max(match err {
+                    StoreError::Truncated { .. }
+                    | StoreError::BadCrc { .. }
+                    | StoreError::NonFinite { .. }
+                    | StoreError::GridMismatch { .. }
+                    | StoreError::OffsetMismatch { .. } => 1,
+                    _ => 2,
+                });
+            }
+        }
+    }
+    ExitCode::from(worst)
 }
 
 fn cmd_head(count: usize, file: &str) -> ExitCode {
@@ -192,6 +247,7 @@ fn main() -> ExitCode {
     let rest = &args[1..];
     match command {
         "info" => cmd_info(rest),
+        "fsck" => cmd_fsck(rest),
         "head" => {
             let mut count = 8usize;
             let mut files = Vec::new();

@@ -1,0 +1,231 @@
+//! Fault-injecting I/O for chaos testing the on-disk formats.
+//!
+//! The `.qtrs` store and the durable sidecar files claim to classify —
+//! never misread — torn and corrupted bytes. This module supplies the
+//! adversary: seeded, reproducible [`Corruption`]s applied either to a
+//! finished byte buffer ([`Corruption::apply`]) or inline on a write
+//! path via [`FaultyWriter`], a `Write` shim that truncates, drops or
+//! bit-flips bytes as they stream past seeded offsets.
+//!
+//! Everything is driven by a `ChaCha8Rng`, so a failing fuzz case is
+//! replayable from its seed alone.
+
+use std::io::Write;
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// One seeded fault applied to a byte stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// Everything from byte offset `at` onward is cut off — a torn
+    /// write / power loss.
+    Truncate {
+        /// First byte that never reaches the medium.
+        at: u64,
+    },
+    /// Bit `bit` of the byte at `offset` is inverted — silent media
+    /// corruption.
+    BitFlip {
+        /// Byte offset of the flipped bit.
+        offset: u64,
+        /// Bit position (0–7).
+        bit: u8,
+    },
+    /// `len` bytes starting at `at` vanish from the stream — a lost
+    /// buffer between two completed writes.
+    Drop {
+        /// First dropped byte.
+        at: u64,
+        /// Dropped byte count.
+        len: u64,
+    },
+}
+
+impl Corruption {
+    /// Draws one corruption for a stream of `len` bytes. `len` must be
+    /// nonzero.
+    #[must_use]
+    pub fn sample(rng: &mut ChaCha8Rng, len: u64) -> Corruption {
+        debug_assert!(len > 0, "cannot corrupt an empty stream");
+        match rng.gen_range(0u8..3) {
+            0 => Corruption::Truncate {
+                at: rng.gen_range(0..len),
+            },
+            1 => Corruption::BitFlip {
+                offset: rng.gen_range(0..len),
+                bit: rng.gen_range(0..8u8),
+            },
+            _ => {
+                let at = rng.gen_range(0..len);
+                Corruption::Drop {
+                    at,
+                    len: rng.gen_range(1..=(len - at).min(64)),
+                }
+            }
+        }
+    }
+
+    /// Applies the corruption to a finished buffer.
+    pub fn apply(self, bytes: &mut Vec<u8>) {
+        match self {
+            Corruption::Truncate { at } => {
+                let at = usize::try_from(at).unwrap_or(usize::MAX);
+                bytes.truncate(at);
+            }
+            Corruption::BitFlip { offset, bit } => {
+                if let Some(b) = usize::try_from(offset).ok().and_then(|o| bytes.get_mut(o)) {
+                    *b ^= 1 << (bit & 7);
+                }
+            }
+            Corruption::Drop { at, len } => {
+                let at = usize::try_from(at).unwrap_or(usize::MAX);
+                if at < bytes.len() {
+                    let end = at.saturating_add(usize::try_from(len).unwrap_or(usize::MAX));
+                    bytes.drain(at..end.min(bytes.len()));
+                }
+            }
+        }
+    }
+}
+
+/// A `Write` shim applying a plan of [`Corruption`]s to the bytes
+/// streaming through it, by absolute stream offset.
+///
+/// A [`Corruption::Truncate`] swallows the remainder of the stream
+/// silently (like a killed process: the writer keeps "succeeding" but
+/// nothing reaches the medium). Flips and drops corrupt in flight.
+pub struct FaultyWriter<W: Write> {
+    inner: W,
+    written: u64,
+    truncated: bool,
+    plan: Vec<Corruption>,
+}
+
+impl<W: Write> FaultyWriter<W> {
+    /// Wraps `inner` with a corruption plan.
+    pub fn new(inner: W, plan: Vec<Corruption>) -> FaultyWriter<W> {
+        FaultyWriter {
+            inner,
+            written: 0,
+            truncated: false,
+            plan,
+        }
+    }
+
+    /// Stream offset the next clean byte would land at.
+    #[must_use]
+    pub fn offset(&self) -> u64 {
+        self.written
+    }
+
+    /// Unwraps the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let start = self.written;
+        self.written = start + buf.len() as u64;
+        if self.truncated {
+            return Ok(buf.len());
+        }
+        let mut chunk = buf.to_vec();
+        // Apply in-range faults relative to this chunk's start offset.
+        for corruption in &self.plan {
+            match *corruption {
+                Corruption::Truncate { at } if at < self.written => {
+                    let keep = usize::try_from(at.saturating_sub(start)).unwrap_or(0);
+                    chunk.truncate(keep);
+                    self.truncated = true;
+                }
+                Corruption::BitFlip { offset, bit }
+                    if offset >= start && offset < start + chunk.len() as u64 =>
+                {
+                    let local = usize::try_from(offset - start).unwrap_or(usize::MAX);
+                    if let Some(b) = chunk.get_mut(local) {
+                        *b ^= 1 << (bit & 7);
+                    }
+                }
+                Corruption::Drop { at, len }
+                    if at < start + chunk.len() as u64 && at + len > start =>
+                {
+                    let lo = usize::try_from(at.saturating_sub(start)).unwrap_or(0);
+                    let hi = usize::try_from((at + len - start).min(chunk.len() as u64))
+                        .unwrap_or(chunk.len());
+                    chunk.drain(lo..hi);
+                }
+                _ => {}
+            }
+        }
+        self.inner.write_all(&chunk)?;
+        // Report the caller's byte count: faults must stay invisible to
+        // the writer under test, exactly like a lying disk.
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn truncate_swallows_the_tail() {
+        let mut w = FaultyWriter::new(Vec::new(), vec![Corruption::Truncate { at: 5 }]);
+        w.write_all(b"0123456789").unwrap();
+        w.write_all(b"abc").unwrap();
+        assert_eq!(w.into_inner(), b"01234");
+    }
+
+    #[test]
+    fn bitflip_corrupts_in_flight() {
+        let mut w = FaultyWriter::new(Vec::new(), vec![Corruption::BitFlip { offset: 2, bit: 0 }]);
+        w.write_all(&[0u8, 0, 0, 0]).unwrap();
+        assert_eq!(w.into_inner(), vec![0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn drop_removes_a_window_across_chunks() {
+        let mut w = FaultyWriter::new(Vec::new(), vec![Corruption::Drop { at: 3, len: 4 }]);
+        w.write_all(b"01234").unwrap();
+        w.write_all(b"56789").unwrap();
+        assert_eq!(w.into_inner(), b"012789");
+    }
+
+    #[test]
+    fn apply_matches_streaming_semantics() {
+        let mut buf = b"0123456789".to_vec();
+        Corruption::Drop { at: 3, len: 4 }.apply(&mut buf);
+        assert_eq!(buf, b"012789");
+        let mut buf = b"0123456789".to_vec();
+        Corruption::Truncate { at: 4 }.apply(&mut buf);
+        assert_eq!(buf, b"0123");
+    }
+
+    #[test]
+    fn sampling_is_seed_reproducible_and_in_range() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..200 {
+            let ca = Corruption::sample(&mut a, 1000);
+            let cb = Corruption::sample(&mut b, 1000);
+            assert_eq!(ca, cb);
+            match ca {
+                Corruption::Truncate { at } => assert!(at < 1000),
+                Corruption::BitFlip { offset, bit } => {
+                    assert!(offset < 1000 && bit < 8);
+                }
+                Corruption::Drop { at, len } => {
+                    assert!(at < 1000 && len >= 1 && at + len <= 1000);
+                }
+            }
+        }
+    }
+}

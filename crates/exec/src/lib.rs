@@ -39,10 +39,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod pool;
 pub mod seed;
 pub mod store;
+pub mod supervisor;
 
 pub use pool::{run_indexed, try_run_indexed, ExecConfig};
 pub use seed::{derive_seed, job_rng};
-pub use store::{SampleEncoding, StoreError, StoreInfo, StoreOptions, StoreReader, StoreWriter};
+pub use store::{
+    FsckReport, SampleEncoding, StoreError, StoreInfo, StoreOptions, StoreReader, StoreWriter,
+};
+pub use supervisor::{
+    run_supervised, Backoff, JobOutcome, Quarantine, QuarantineEntry, QuarantineKind,
+    SupervisedRun, SupervisorPolicy,
+};

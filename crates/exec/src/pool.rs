@@ -16,8 +16,22 @@
 //! high-water mark is the largest bag executed).
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
+
+/// Renders a panic payload (the `Box<dyn Any>` from `catch_unwind`) as
+/// the human-readable message virtually every panic carries.
+#[must_use]
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(msg) = payload.downcast_ref::<&str>() {
+        (*msg).to_string()
+    } else if let Some(msg) = payload.downcast_ref::<String>() {
+        msg.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// How a job bag is executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,8 +86,10 @@ impl Default for ExecConfig {
 ///
 /// # Panics
 ///
-/// A panicking job propagates its panic to the caller once the scope
-/// joins (other in-flight jobs finish first).
+/// A panicking job cancels the remaining queue; once every worker has
+/// joined, the pool panics with a message naming the lowest panicked
+/// index and its payload (use [`crate::supervisor::run_supervised`] to
+/// turn panics into per-index outcomes instead).
 pub fn run_indexed<T, F>(cfg: &ExecConfig, jobs: usize, job: F) -> Vec<T>
 where
     T: Send,
@@ -97,6 +113,13 @@ where
 /// # Errors
 ///
 /// The first (lowest-index) error among the jobs that ran.
+///
+/// # Panics
+///
+/// A panicking job no longer aborts the process with an anonymous
+/// `resume_unwind`: the queue is cancelled, every worker joins cleanly,
+/// and the pool panics with a message reporting which index panicked
+/// and its payload message.
 pub fn try_run_indexed<T, E, F>(cfg: &ExecConfig, jobs: usize, job: F) -> Result<Vec<T>, E>
 where
     T: Send,
@@ -133,11 +156,22 @@ where
             let job_start = lane.as_ref().map(|_| elapsed_us(&start));
             let outcome = {
                 let _prof_job = qdi_obs::prof::region("exec.pool.job");
-                job(i)
+                catch_unwind(AssertUnwindSafe(|| job(i)))
             };
             if let (Some(lane), Some(job_start)) = (lane.as_mut(), job_start) {
                 lane.job(i as u64, job_start, elapsed_us(&start));
             }
+            let outcome = match outcome {
+                Ok(outcome) => outcome,
+                Err(payload) => {
+                    depth.add(-((jobs - i) as i64));
+                    panic!(
+                        "qdi-exec pool job {i} panicked: {} ({} of {jobs} jobs completed)",
+                        panic_message(payload.as_ref()),
+                        out.len()
+                    );
+                }
+            };
             match outcome {
                 Ok(v) => {
                     out.push(v);
@@ -231,6 +265,7 @@ where
         usize,
         WorkerResults<T, E>,
         Option<qdi_obs::prof::LaneRecorder>,
+        Option<(usize, String)>,
     );
     let mut per_worker: Vec<WorkerOutput<T, E>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
@@ -238,6 +273,7 @@ where
                 s.spawn(move || {
                     let mut local: WorkerResults<T, E> = Vec::new();
                     let mut done = 0usize;
+                    let mut panicked: Option<(usize, String)> = None;
                     let mut lane = profiling.then(|| qdi_obs::prof::LaneRecorder::new(wid));
                     'work: loop {
                         if cancel.load(Ordering::Relaxed) {
@@ -297,11 +333,23 @@ where
                         }
                         let outcome = {
                             let _prof_job = qdi_obs::prof::region("exec.pool.job");
-                            job(index)
+                            catch_unwind(AssertUnwindSafe(|| job(index)))
                         };
                         if let (Some(lane), Some(from)) = (lane.as_mut(), job_start) {
                             lane.job(index as u64, from, elapsed_us(epoch));
                         }
+                        let outcome = match outcome {
+                            Ok(outcome) => outcome,
+                            Err(payload) => {
+                                // A panic cancels the run like an error
+                                // does, but is reported after the merge
+                                // so every worker joins cleanly first.
+                                panicked = Some((index, panic_message(payload.as_ref())));
+                                depth.add(-1);
+                                cancel.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        };
                         done += 1;
                         jobs_metric.inc();
                         depth.add(-1);
@@ -312,7 +360,7 @@ where
                             break;
                         }
                     }
-                    (done, local, lane)
+                    (done, local, lane, panicked)
                 })
             })
             .collect();
@@ -320,6 +368,8 @@ where
             .into_iter()
             .map(|h| match h.join() {
                 Ok(v) => v,
+                // Job panics are caught inside the worker loop; reaching
+                // this arm means the pool machinery itself panicked.
                 Err(panic) => std::panic::resume_unwind(panic),
             })
             .collect()
@@ -329,7 +379,7 @@ where
         let wall_us = elapsed_us(epoch);
         let lanes: Vec<qdi_obs::prof::WorkerLane> = per_worker
             .iter_mut()
-            .filter_map(|(_, _, lane)| lane.take())
+            .filter_map(|(_, _, lane, _)| lane.take())
             .map(|lane| lane.finish(wall_us))
             .collect();
         let steals = lanes.iter().map(|l| l.steals).sum();
@@ -343,7 +393,18 @@ where
     }
 
     let mut merged: Vec<(usize, Result<T, E>)> = Vec::with_capacity(jobs);
-    for (wid, (done, local, _)) in per_worker.into_iter().enumerate() {
+    let mut first_panic: Option<(usize, String)> = None;
+    let mut panicked_jobs = 0usize;
+    for (wid, (done, local, _, panicked)) in per_worker.into_iter().enumerate() {
+        if let Some((index, msg)) = panicked {
+            panicked_jobs += 1;
+            if first_panic
+                .as_ref()
+                .is_none_or(|(lowest, _)| index < *lowest)
+            {
+                first_panic = Some((index, msg));
+            }
+        }
         span.record(&format!("worker{wid}_jobs"), done);
         qdi_obs::metrics::counter(&format!("exec.pool.worker.{wid}.jobs")).add(done as u64);
         // Share of the bag this worker executed, in percent. Computed
@@ -354,8 +415,15 @@ where
             .set((done * 100 / jobs) as i64);
         merged.extend(local);
     }
-    // Cancelled (never-run) jobs leave no entry; drain the gauge for them.
-    depth.add(-((jobs - merged.len()) as i64));
+    // Cancelled (never-run) jobs leave no entry; drain the gauge for
+    // them (panicked indices already drained theirs in the worker).
+    depth.add(-((jobs - merged.len() - panicked_jobs) as i64));
+    if let Some((index, msg)) = first_panic {
+        panic!(
+            "qdi-exec pool job {index} panicked: {msg} ({} of {jobs} jobs completed)",
+            merged.len()
+        );
+    }
     merged.sort_by_key(|(i, _)| *i);
     let mut out = Vec::with_capacity(jobs);
     for (_, result) in merged {
@@ -415,6 +483,24 @@ mod tests {
             });
             let err = result.expect_err("job 20 fails");
             assert!(err.starts_with("boom at"), "{err}");
+        }
+    }
+
+    #[test]
+    fn panicking_job_is_reported_with_index_and_payload() {
+        for workers in [1, 4] {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                run_indexed(&ExecConfig::with_workers(workers), 64, |i| {
+                    assert!(i != 20, "job exploded deliberately");
+                    i
+                })
+            }))
+            .expect_err("job 20 panics");
+            let msg = panic_message(caught.as_ref());
+            assert!(
+                msg.contains("pool job 20 panicked") && msg.contains("job exploded deliberately"),
+                "workers = {workers}: {msg}"
+            );
         }
     }
 

@@ -224,58 +224,11 @@ fn io_err(path: &Path, err: &std::io::Error) -> StoreError {
 }
 
 // ---------------------------------------------------------------------------
-// CRC-32 (IEEE 802.3, reflected)
+// CRC-32 (IEEE 802.3, reflected) — shared with the durable sidecar
+// files via `qdi_obs::durable`.
 // ---------------------------------------------------------------------------
 
-const fn crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            crc = if crc & 1 != 0 {
-                (crc >> 1) ^ 0xEDB8_8320
-            } else {
-                crc >> 1
-            };
-            bit += 1;
-        }
-        table[i] = crc;
-        i += 1;
-    }
-    table
-}
-
-static CRC_TABLE: [u32; 256] = crc32_table();
-
-/// Streaming CRC-32 used for record checksums.
-#[derive(Debug, Clone)]
-struct Crc32(u32);
-
-impl Crc32 {
-    fn new() -> Crc32 {
-        Crc32(0xFFFF_FFFF)
-    }
-
-    fn update(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 >> 8) ^ CRC_TABLE[((self.0 ^ u32::from(b)) & 0xFF) as usize];
-        }
-    }
-
-    fn finish(&self) -> u32 {
-        self.0 ^ 0xFFFF_FFFF
-    }
-}
-
-/// CRC-32 of `bytes` (tests and tools).
-#[must_use]
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = Crc32::new();
-    crc.update(bytes);
-    crc.finish()
-}
+pub use qdi_obs::durable::{crc32, Crc32};
 
 // ---------------------------------------------------------------------------
 // Encoding helpers
@@ -565,6 +518,11 @@ pub struct StoreReader {
     opts: StoreOptions,
     offset: u64,
     record: usize,
+    /// File size at open time — the upper bound a record's declared
+    /// length is checked against before its body buffer is allocated,
+    /// so a corrupted length field yields `Truncated`, not a
+    /// multi-gigabyte allocation.
+    file_len: u64,
 }
 
 impl StoreReader {
@@ -578,6 +536,7 @@ impl StoreReader {
     pub fn open(path: impl AsRef<Path>) -> Result<StoreReader, StoreError> {
         let path = path.as_ref().to_path_buf();
         let file = File::open(&path).map_err(|e| io_err(&path, &e))?;
+        let file_len = file.metadata().map_err(|e| io_err(&path, &e))?.len();
         let mut file = BufReader::new(file);
         let mut header = [0u8; HEADER_LEN as usize];
         file.read_exact(&mut header)
@@ -606,6 +565,7 @@ impl StoreReader {
             opts,
             offset: HEADER_LEN,
             record: 0,
+            file_len,
         })
     }
 
@@ -663,6 +623,15 @@ impl StoreReader {
         let input_len = u32::from_le_bytes(fixed[0..4].try_into().expect("4 bytes")) as usize;
         let sample_count = u32::from_le_bytes(fixed[4..8].try_into().expect("4 bytes")) as usize;
         let body_len = input_len + sample_count * self.opts.sample_width();
+        // A corrupted length field must not drive the allocation below:
+        // a record larger than the rest of the file is a torn/corrupt
+        // tail, classified before any buffer is sized from it.
+        let remaining = self.file_len.saturating_sub(record_start + 8);
+        if body_len as u64 + 4 > remaining {
+            return Err(StoreError::Truncated {
+                offset: record_start,
+            });
+        }
         let mut body = vec![0u8; body_len + 4];
         match read_exact_or_eof(&mut self.file, &mut body) {
             ReadOutcome::Full => {}
@@ -816,6 +785,79 @@ pub fn info(path: impl AsRef<Path>) -> Result<StoreInfo, StoreError> {
         dt_ps: reader.dt_ps(),
         encoding: reader.options().encoding,
         delta: reader.options().delta,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Fsck
+// ---------------------------------------------------------------------------
+
+/// Result of a read-only integrity scan ([`fsck`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FsckReport {
+    /// CRC-valid records in the intact prefix.
+    pub records: usize,
+    /// Bytes of the file covered by the header plus intact records.
+    pub valid_bytes: u64,
+    /// Total file size in bytes.
+    pub file_bytes: u64,
+    /// Bytes past the last intact record (`file_bytes - valid_bytes`).
+    pub torn_tail_bytes: u64,
+    /// The error that ended the scan, when the store is not clean
+    /// (`Truncated` torn tail, `BadCrc` corruption, `Io`).
+    pub tail_error: Option<StoreError>,
+    /// The encoding options the store was written with.
+    pub options: StoreOptions,
+    /// Trace origin, ps.
+    pub t0_ps: u64,
+    /// Sample period, ps.
+    pub dt_ps: u64,
+}
+
+impl FsckReport {
+    /// Whether every byte of the file belongs to a CRC-valid record.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.tail_error.is_none() && self.torn_tail_bytes == 0
+    }
+}
+
+/// Read-only integrity scan of a `.qtrs` store: walks records until the
+/// first framing/CRC failure and reports the intact prefix plus the
+/// torn tail, without modifying the file (the recovery counterpart is
+/// [`StoreWriter::resume`], which truncates the tail away).
+///
+/// # Errors
+///
+/// Only header-class failures ([`StoreError::BadMagic`],
+/// [`StoreError::BadVersion`], [`StoreError::BadFlags`],
+/// [`StoreError::BadHeader`], [`StoreError::Io`] opening the file) —
+/// data-class problems land in [`FsckReport::tail_error`] instead.
+pub fn fsck(path: impl AsRef<Path>) -> Result<FsckReport, StoreError> {
+    let path = path.as_ref();
+    let mut reader = StoreReader::open(path)?;
+    let file_bytes = std::fs::metadata(path).map_err(|e| io_err(path, &e))?.len();
+    let mut records = 0usize;
+    let mut valid_bytes = HEADER_LEN;
+    let tail_error = loop {
+        match reader.next_record() {
+            Ok(Some(_)) => {
+                records += 1;
+                valid_bytes = reader.offset();
+            }
+            Ok(None) => break None,
+            Err(err) => break Some(err),
+        }
+    };
+    Ok(FsckReport {
+        records,
+        valid_bytes,
+        file_bytes,
+        torn_tail_bytes: file_bytes.saturating_sub(valid_bytes),
+        tail_error,
+        options: reader.options(),
+        t0_ps: reader.t0_ps(),
+        dt_ps: reader.dt_ps(),
     })
 }
 
@@ -1055,5 +1097,73 @@ mod tests {
     fn crc32_matches_known_vector() {
         // IEEE CRC-32 of "123456789".
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn fsck_reports_clean_store() {
+        let path = tmp("fsck_clean");
+        let mut w = StoreWriter::create(&path, 0, 10, StoreOptions::new()).expect("create");
+        w.append(b"a", &ramp_trace(8, 1.0)).expect("append");
+        w.append(b"b", &ramp_trace(8, 2.0)).expect("append");
+        w.finish().expect("finish");
+        let report = fsck(&path).expect("scan");
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.records, 2);
+        assert_eq!(report.torn_tail_bytes, 0);
+        assert_eq!(report.valid_bytes, report.file_bytes);
+        assert_eq!(report.dt_ps, 10);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fsck_measures_torn_tail() {
+        let path = tmp("fsck_torn");
+        let mut w = StoreWriter::create(&path, 0, 10, StoreOptions::new()).expect("create");
+        let first_end = w.append(b"a", &ramp_trace(8, 1.0)).expect("append");
+        w.append(b"b", &ramp_trace(8, 2.0)).expect("append");
+        let end = w.offset();
+        w.finish().expect("finish");
+        let file = OpenOptions::new().write(true).open(&path).expect("open rw");
+        file.set_len(end - 5).expect("truncate");
+        let report = fsck(&path).expect("scan");
+        assert!(!report.is_clean());
+        assert_eq!(report.records, 1);
+        assert_eq!(report.valid_bytes, first_end);
+        assert_eq!(report.torn_tail_bytes, end - 5 - first_end);
+        assert!(matches!(
+            report.tail_error,
+            Some(StoreError::Truncated { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fsck_flags_crc_corruption_without_modifying() {
+        let path = tmp("fsck_crc");
+        let mut w = StoreWriter::create(&path, 0, 10, StoreOptions::new()).expect("create");
+        w.append(b"a", &ramp_trace(8, 1.0)).expect("append");
+        w.finish().expect("finish");
+        let mut bytes = std::fs::read(&path).expect("read");
+        let before = bytes.clone();
+        bytes[HEADER_LEN as usize + 12] ^= 0x01;
+        std::fs::write(&path, &bytes).expect("write");
+        let report = fsck(&path).expect("scan");
+        assert_eq!(report.records, 0);
+        assert_eq!(report.tail_error, Some(StoreError::BadCrc { record: 0 }));
+        assert_eq!(
+            std::fs::read(&path).expect("read back"),
+            bytes,
+            "fsck is read-only"
+        );
+        assert_ne!(bytes, before, "corruption actually applied");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fsck_propagates_header_errors() {
+        let path = tmp("fsck_header");
+        std::fs::write(&path, b"JUNK").expect("write");
+        assert_eq!(fsck(&path).expect_err("header"), StoreError::BadMagic);
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -159,6 +159,72 @@ pub fn run_campaign_parallel(
     Ok(report)
 }
 
+/// [`run_campaign_parallel`] under a `qdi-exec` supervisor: a panicking
+/// or overrunning injected run is retried per `policy` and, when it
+/// keeps failing, recorded as [`FaultOutcome::Aborted`] (a harness
+/// verdict, not a circuit verdict) instead of killing the campaign. The
+/// quarantine manifest is returned beside the report so the aborted
+/// sites can be re-attempted.
+///
+/// Classification itself never fails — injected-run simulator errors
+/// already classify as outcomes — so quarantine here means the job
+/// *infrastructure* failed (panic or timeout). Golden-run failures
+/// still propagate: a circuit without a baseline has no campaign.
+///
+/// # Errors
+///
+/// As [`run_campaign_parallel`]: stimulus attachment or golden-run
+/// failures only.
+pub fn run_campaign_parallel_supervised(
+    netlist: &Netlist,
+    faults: &[Fault],
+    cfg: &CampaignConfig,
+    exec: qdi_exec::ExecConfig,
+    policy: &qdi_exec::SupervisorPolicy,
+) -> Result<(FaultReport, qdi_exec::Quarantine), SimError> {
+    let mut span = qdi_obs::span("qdi_fi::campaign", "run_campaign_parallel_supervised")
+        .field("faults", faults.len())
+        .field("tokens", cfg.tokens)
+        .field("workers", exec.workers)
+        .enter();
+    let runs_metric = qdi_obs::metrics::counter("fi.runs");
+    let stim = Stimulus::random(netlist, cfg.tokens, cfg.seed)?;
+    let golden_run = stim.run(netlist, &cfg.testbench, None)?;
+    let golden = output_values(&golden_run);
+    runs_metric.inc();
+
+    let progress = qdi_obs::progress::task("fi.campaign", faults.len());
+    let run = qdi_exec::run_supervised(&exec, policy, cfg.seed, faults.len(), |i| {
+        let plan = FaultPlan::single(faults[i]);
+        let result = stim.run(netlist, &cfg.testbench, Some(&plan));
+        let outcome = classify(netlist, &golden, &result);
+        progress.advance(1);
+        Ok::<_, String>(outcome)
+    });
+    progress.finish();
+    runs_metric.add(faults.len() as u64);
+    let records: Vec<FaultRecord> = faults
+        .iter()
+        .zip(run.outcomes)
+        .map(|(fault, job)| {
+            // A quarantined injection is a harness failure, not a
+            // circuit verdict: record it as an aborted run.
+            let outcome = job.into_value().unwrap_or(FaultOutcome::Aborted);
+            qdi_obs::metrics::counter(&format!("fi.outcome.{}", outcome.mnemonic())).inc();
+            FaultRecord::new(netlist, fault, outcome)
+        })
+        .collect();
+
+    let report = FaultReport::new(netlist, faults, records);
+    span.record("detected", report.detected() as f64);
+    span.record("silent", report.silent as f64);
+    span.record("quarantined", run.quarantine.len());
+    for outcome in FaultOutcome::all() {
+        span.record(outcome.mnemonic(), report.count(outcome) as f64);
+    }
+    Ok((report, run.quarantine))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,6 +275,27 @@ mod tests {
         );
         let classified: usize = FaultOutcome::all().iter().map(|&o| report.count(o)).sum();
         assert_eq!(classified, report.total, "every run lands in one class");
+    }
+
+    #[test]
+    fn supervised_campaign_matches_unsupervised_when_clean() {
+        let nl = xor_netlist();
+        let cfg = CampaignConfig::new();
+        let faults: Vec<Fault> = nl
+            .gates()
+            .map(|g| Fault::new(FaultSite::Gate(g.id), FaultKind::StuckAt(false), 0))
+            .collect();
+        let exec = qdi_exec::ExecConfig { workers: 2 };
+        let golden = run_campaign_parallel(&nl, &faults, &cfg, exec).expect("runs");
+        let policy = qdi_exec::SupervisorPolicy::new().without_backoff();
+        let (report, quarantine) =
+            run_campaign_parallel_supervised(&nl, &faults, &cfg, exec, &policy).expect("runs");
+        assert!(quarantine.is_empty(), "clean campaign quarantines nothing");
+        assert_eq!(report.total, golden.total);
+        assert_eq!(report.aborted, 0);
+        for (a, b) in golden.records.iter().zip(&report.records) {
+            assert_eq!(a.outcome, b.outcome, "{}", a.detail);
+        }
     }
 
     #[test]

@@ -1,0 +1,507 @@
+//! Crash-consistent small-file persistence: write-then-rename, a
+//! trailing CRC-32 line, and a `.bak` generation with versioned,
+//! classifying recovery.
+//!
+//! The `.qtrs` trace store protects every record with a CRC and
+//! truncates torn tails on resume; this module gives the workspace's
+//! *sidecar* files — campaign checkpoints, progress snapshots — the same
+//! treatment. A durable file is the payload followed by one trailer
+//! line:
+//!
+//! ```text
+//! <payload bytes>
+//! #qdi-durable v1 len=0000000123 crc32=cbf43926
+//! ```
+//!
+//! `len` is the payload length in bytes (10 decimal digits) and `crc32`
+//! the IEEE CRC-32 of the payload. [`save`] writes to a sibling `.tmp`
+//! and renames over the destination, so a reader never observes a
+//! half-written file at the primary path; [`Durability::Checkpoint`]
+//! additionally fsyncs before the rename and rotates the previous
+//! *verified-clean* generation to `.bak`, so even a torn rename or a
+//! corrupted primary falls back to the last good generation.
+//!
+//! [`recover`] classifies what it finds — [`Classification::Torn`]
+//! (missing or malformed trailer, short payload),
+//! [`Classification::Corrupt`] (CRC mismatch),
+//! [`Classification::Version`] (a future trailer version) or
+//! [`Classification::Missing`] — and falls back to `.bak` before giving
+//! up, reporting which generation it returned.
+
+use std::error::Error;
+use std::fmt;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected) — shared with the `.qtrs` store
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// Streaming CRC-32 (IEEE 802.3, reflected).
+#[derive(Debug, Clone)]
+pub struct Crc32(u32);
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    #[must_use]
+    pub fn new() -> Crc32 {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    /// Feeds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 >> 8) ^ CRC_TABLE[((self.0 ^ u32::from(b)) & 0xFF) as usize];
+        }
+    }
+
+    /// The final checksum value.
+    #[must_use]
+    pub fn finish(&self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Crc32 {
+        Crc32::new()
+    }
+}
+
+/// CRC-32 of `bytes` in one call.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Trailer format
+// ---------------------------------------------------------------------------
+
+/// Current trailer version.
+pub const TRAILER_VERSION: u16 = 1;
+
+/// First bytes of every trailer line (version digits follow).
+pub const TRAILER_PREFIX: &str = "#qdi-durable v";
+
+fn trailer(payload: &[u8]) -> String {
+    format!(
+        "{TRAILER_PREFIX}{TRAILER_VERSION} len={:010} crc32={:08x}\n",
+        payload.len(),
+        crc32(payload)
+    )
+}
+
+/// How hard [`save`] works for the bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// Checkpoint-grade: fsync before the rename and rotate the previous
+    /// verified-clean generation to `.bak`. Use for files whose loss
+    /// costs recomputation (campaign checkpoints).
+    Checkpoint,
+    /// Snapshot-grade: write-then-rename only. Use for files that are
+    /// continuously re-emitted (progress snapshots) where an occasional
+    /// lost generation is harmless.
+    Snapshot,
+}
+
+/// What [`recover`] found wrong with one generation of a durable file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Classification {
+    /// The file does not exist.
+    Missing,
+    /// The trailer is absent or malformed, or the payload is shorter
+    /// than the trailer claims — a torn or interrupted write.
+    Torn,
+    /// Trailer and length check out but the CRC does not — bit rot or
+    /// in-place tampering.
+    Corrupt,
+    /// The trailer carries a version this reader does not understand.
+    Version(u16),
+}
+
+impl fmt::Display for Classification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Classification::Missing => write!(f, "missing"),
+            Classification::Torn => write!(f, "torn (trailer absent or payload truncated)"),
+            Classification::Corrupt => write!(f, "corrupt (CRC mismatch)"),
+            Classification::Version(v) => write!(f, "unsupported trailer version {v}"),
+        }
+    }
+}
+
+/// Which generation [`recover`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// The primary file verified clean.
+    Primary,
+    /// The primary was bad; the `.bak` generation was used. Its payload
+    /// is one generation stale.
+    Backup,
+}
+
+/// A successfully recovered payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recovered {
+    /// The verified payload bytes (without the trailer).
+    pub payload: Vec<u8>,
+    /// Which generation the payload came from.
+    pub source: Source,
+    /// Why the primary was rejected, when `source` is [`Source::Backup`].
+    pub primary_issue: Option<Classification>,
+}
+
+/// Why [`save`] or [`recover`] failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DurableError {
+    /// Filesystem failure.
+    Io {
+        /// The path involved.
+        path: String,
+        /// OS error rendering.
+        detail: String,
+    },
+    /// Neither the primary nor the `.bak` generation verified clean.
+    Unrecoverable {
+        /// What was wrong with the primary.
+        primary: Classification,
+        /// What was wrong with the backup ([`Classification::Missing`]
+        /// when no `.bak` exists).
+        backup: Classification,
+    },
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::Io { path, detail } => write!(f, "{path}: {detail}"),
+            DurableError::Unrecoverable { primary, backup } => {
+                write!(f, "primary {primary}; backup {backup}")
+            }
+        }
+    }
+}
+
+impl Error for DurableError {}
+
+fn io_err(path: &Path, err: &std::io::Error) -> DurableError {
+    DurableError::Io {
+        path: path.display().to_string(),
+        detail: err.to_string(),
+    }
+}
+
+fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let mut name = path.file_name().map_or_else(
+        || std::ffi::OsString::from("durable"),
+        std::ffi::OsStr::to_os_string,
+    );
+    name.push(suffix);
+    path.with_file_name(name)
+}
+
+/// The `.bak` sibling of `path` (full filename plus `.bak`, so
+/// `x.ckpt.json` pairs with `x.ckpt.json.bak`).
+#[must_use]
+pub fn backup_path(path: &Path) -> PathBuf {
+    sibling(path, ".bak")
+}
+
+/// Writes `payload` with a trailing-CRC line via write-then-rename.
+///
+/// With [`Durability::Checkpoint`], the previous generation at `path` is
+/// first rotated to `.bak` — but only when it verifies clean, so a torn
+/// primary can never clobber a good backup — and the new bytes are
+/// fsynced before the rename.
+///
+/// # Errors
+///
+/// [`DurableError::Io`] on filesystem failure.
+pub fn save(path: &Path, payload: &[u8], durability: Durability) -> Result<(), DurableError> {
+    if durability == Durability::Checkpoint {
+        // Rotate only a verified-clean primary: rotating a torn file
+        // would replace the last good generation with garbage.
+        if verify_file(path).is_ok() {
+            std::fs::copy(path, backup_path(path)).map_err(|e| io_err(path, &e))?;
+        }
+    }
+    let tmp = sibling(path, ".tmp");
+    {
+        let mut file = std::fs::File::create(&tmp).map_err(|e| io_err(&tmp, &e))?;
+        file.write_all(payload).map_err(|e| io_err(&tmp, &e))?;
+        // The trailer must start its own line; payloads without a final
+        // newline get a separator (excluded from `len` and the CRC).
+        if !payload.ends_with(b"\n") {
+            file.write_all(b"\n").map_err(|e| io_err(&tmp, &e))?;
+        }
+        file.write_all(trailer(payload).as_bytes())
+            .map_err(|e| io_err(&tmp, &e))?;
+        if durability == Durability::Checkpoint {
+            file.sync_all().map_err(|e| io_err(&tmp, &e))?;
+        }
+    }
+    std::fs::rename(&tmp, path).map_err(|e| io_err(path, &e))
+}
+
+/// Parses and verifies one generation, returning its payload.
+fn verify_bytes(bytes: &[u8]) -> Result<Vec<u8>, Classification> {
+    // The trailer is the final line; find its start from the end.
+    let trimmed = bytes.strip_suffix(b"\n").ok_or(Classification::Torn)?;
+    let line_start = trimmed
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(0, |p| p + 1);
+    let line = std::str::from_utf8(&trimmed[line_start..]).map_err(|_| Classification::Torn)?;
+    let rest = line
+        .strip_prefix(TRAILER_PREFIX)
+        .ok_or(Classification::Torn)?;
+    let mut parts = rest.split_whitespace();
+    let version: u16 = parts
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or(Classification::Torn)?;
+    if version != TRAILER_VERSION {
+        return Err(Classification::Version(version));
+    }
+    let len: usize = parts
+        .next()
+        .and_then(|f| f.strip_prefix("len="))
+        .and_then(|v| v.parse().ok())
+        .ok_or(Classification::Torn)?;
+    let crc: u32 = parts
+        .next()
+        .and_then(|f| f.strip_prefix("crc32="))
+        .and_then(|v| u32::from_str_radix(v, 16).ok())
+        .ok_or(Classification::Torn)?;
+    // The payload is the first `len` bytes; between it and the trailer
+    // line sits either nothing (payload ended with '\n') or the single
+    // separator newline save() added.
+    if len > line_start {
+        return Err(Classification::Torn);
+    }
+    let gap = &bytes[len..line_start];
+    if !(gap.is_empty() || gap == b"\n") {
+        return Err(Classification::Torn);
+    }
+    let payload = &bytes[..len];
+    if crc32(payload) != crc {
+        return Err(Classification::Corrupt);
+    }
+    Ok(payload.to_vec())
+}
+
+fn verify_file(path: &Path) -> Result<Vec<u8>, Classification> {
+    match std::fs::read(path) {
+        Ok(bytes) => verify_bytes(&bytes),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Err(Classification::Missing),
+        // Unreadable counts as torn for classification purposes; the
+        // caller falls back to the backup either way.
+        Err(_) => Err(Classification::Torn),
+    }
+}
+
+/// Reads a durable file, verifying its trailer and CRC, falling back to
+/// the `.bak` generation when the primary is torn, corrupt, missing or
+/// from a future version.
+///
+/// # Errors
+///
+/// [`DurableError::Unrecoverable`] when neither generation verifies,
+/// carrying the classification of both.
+pub fn recover(path: &Path) -> Result<Recovered, DurableError> {
+    match verify_file(path) {
+        Ok(payload) => Ok(Recovered {
+            payload,
+            source: Source::Primary,
+            primary_issue: None,
+        }),
+        Err(primary) => match verify_file(&backup_path(path)) {
+            Ok(payload) => Ok(Recovered {
+                payload,
+                source: Source::Backup,
+                primary_issue: Some(primary),
+            }),
+            Err(backup) => Err(DurableError::Unrecoverable { primary, backup }),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "qdi_obs_durable_{name}_{}.json",
+            std::process::id()
+        ))
+    }
+
+    fn cleanup(path: &Path) {
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(backup_path(path)).ok();
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn save_and_recover_round_trip() {
+        let path = tmp("roundtrip");
+        save(&path, b"{\"x\":1}", Durability::Checkpoint).expect("saves");
+        let got = recover(&path).expect("recovers");
+        assert_eq!(got.payload, b"{\"x\":1}");
+        assert_eq!(got.source, Source::Primary);
+        assert!(got.primary_issue.is_none());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn payload_with_trailing_newline_round_trips() {
+        let path = tmp("newline");
+        save(&path, b"line1\nline2\n", Durability::Snapshot).expect("saves");
+        let got = recover(&path).expect("recovers");
+        assert_eq!(got.payload, b"line1\nline2\n");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn truncation_classifies_as_torn() {
+        let path = tmp("torn");
+        save(&path, b"payload-bytes", Durability::Snapshot).expect("saves");
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).expect("truncate");
+        let err = recover(&path).expect_err("torn");
+        assert_eq!(
+            err,
+            DurableError::Unrecoverable {
+                primary: Classification::Torn,
+                backup: Classification::Missing,
+            }
+        );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn bit_flip_classifies_as_corrupt() {
+        let path = tmp("corrupt");
+        save(&path, b"payload-bytes", Durability::Snapshot).expect("saves");
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes[3] ^= 0x20;
+        std::fs::write(&path, &bytes).expect("write");
+        let err = recover(&path).expect_err("corrupt");
+        assert!(
+            matches!(
+                err,
+                DurableError::Unrecoverable {
+                    primary: Classification::Corrupt,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn future_version_classifies_as_version() {
+        let path = tmp("version");
+        std::fs::write(&path, "x\n#qdi-durable v9 len=0000000002 crc32=00000000\n").expect("write");
+        let err = recover(&path).expect_err("version");
+        assert!(
+            matches!(
+                err,
+                DurableError::Unrecoverable {
+                    primary: Classification::Version(9),
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn checkpoint_rotation_falls_back_to_last_good_generation() {
+        let path = tmp("rotate");
+        save(&path, b"gen-1", Durability::Checkpoint).expect("saves");
+        save(&path, b"gen-2", Durability::Checkpoint).expect("saves");
+        // Tear the primary: recovery must hand back gen-1 from .bak.
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..5]).expect("tear");
+        let got = recover(&path).expect("falls back");
+        assert_eq!(got.payload, b"gen-1");
+        assert_eq!(got.source, Source::Backup);
+        assert_eq!(got.primary_issue, Some(Classification::Torn));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn torn_primary_never_clobbers_good_backup() {
+        let path = tmp("noclobber");
+        save(&path, b"good", Durability::Checkpoint).expect("saves");
+        save(&path, b"newer", Durability::Checkpoint).expect("saves");
+        // Corrupt the primary in place, then save again: the rotation
+        // must skip the corrupt primary, preserving `good` in .bak...
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes[0] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("corrupt");
+        save(&path, b"latest", Durability::Checkpoint).expect("saves");
+        // ...so both generations now verify: primary=latest, backup=good.
+        assert_eq!(recover(&path).expect("primary").payload, b"latest");
+        let backup = verify_file(&backup_path(&path)).expect("backup clean");
+        assert_eq!(backup, b"good");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn missing_file_without_backup_is_unrecoverable() {
+        let path = tmp("missing");
+        cleanup(&path);
+        let err = recover(&path).expect_err("missing");
+        assert_eq!(
+            err,
+            DurableError::Unrecoverable {
+                primary: Classification::Missing,
+                backup: Classification::Missing,
+            }
+        );
+    }
+
+    #[test]
+    fn snapshot_grade_keeps_no_backup() {
+        let path = tmp("snapshot");
+        cleanup(&path);
+        save(&path, b"a", Durability::Snapshot).expect("saves");
+        save(&path, b"b", Durability::Snapshot).expect("saves");
+        assert!(!backup_path(&path).exists());
+        cleanup(&path);
+    }
+}

@@ -37,6 +37,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod durable;
 pub mod filter;
 pub mod flame;
 pub mod html;
@@ -51,6 +52,7 @@ pub mod sink;
 pub mod telemetry;
 pub mod timeseries;
 
+pub use durable::{Durability, DurableError, Recovered};
 pub use filter::Filter;
 pub use flame::{flamegraph_svg, timeline_svg};
 pub use level::Level;

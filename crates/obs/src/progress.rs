@@ -247,8 +247,9 @@ pub struct ProgressSnapshot {
     pub ts_us: u64,
     /// Every registered task, sorted by name.
     pub tasks: Vec<TaskSnapshot>,
-    /// The `exec.pool.*` gauges/counters (queue depth, steals,
-    /// per-worker utilization), sorted by name.
+    /// The `exec.pool.*` and `exec.supervisor.*` gauges/counters
+    /// (queue depth, steals, per-worker utilization, retry/quarantine
+    /// totals), sorted by name.
     pub pool: Vec<MetricSample>,
 }
 
@@ -267,7 +268,7 @@ impl ProgressSnapshot {
         let pool = MetricsSnapshot::capture()
             .samples
             .into_iter()
-            .filter(|s| s.name.starts_with("exec.pool."))
+            .filter(|s| s.name.starts_with("exec.pool.") || s.name.starts_with("exec.supervisor."))
             .collect();
         ProgressSnapshot {
             ts_us: now,
@@ -286,7 +287,8 @@ impl ProgressSnapshot {
                 .all(|t| t.done || (t.total > 0 && t.completed >= t.total))
     }
 
-    /// Serializes to pretty JSON.
+    /// Serializes to pretty JSON with a durable trailer, written via
+    /// write-then-rename so `qdi-mon watch` never reads a torn file.
     ///
     /// # Errors
     ///
@@ -294,22 +296,40 @@ impl ProgressSnapshot {
     pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         let json = serde_json::to_string_pretty(self)
             .map_err(|e| std::io::Error::other(format!("progress serialization failed: {e}")))?;
-        // Write-then-rename so `qdi-mon watch` never reads a torn file.
-        let tmp = path.as_ref().with_extension("tmp");
-        std::fs::write(&tmp, json + "\n")?;
-        std::fs::rename(&tmp, path)
+        crate::durable::save(
+            path.as_ref(),
+            (json + "\n").as_bytes(),
+            crate::durable::Durability::Snapshot,
+        )
+        .map_err(|e| std::io::Error::other(e.to_string()))
     }
 
-    /// Loads a snapshot written by [`ProgressSnapshot::save`].
+    /// Loads a snapshot written by [`ProgressSnapshot::save`], verifying
+    /// the durable trailer. Trailer-less files (older writers) are
+    /// accepted as-is for compatibility.
     ///
     /// # Errors
     ///
-    /// Returns a description when the file is unreadable or not a
-    /// progress snapshot.
+    /// Returns a description when the file is unreadable, torn, corrupt
+    /// or not a progress snapshot.
     pub fn load(path: impl AsRef<Path>) -> Result<ProgressSnapshot, String> {
-        let text = std::fs::read_to_string(path.as_ref())
-            .map_err(|e| format!("{}: {e}", path.as_ref().display()))?;
-        serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.as_ref().display()))
+        let path = path.as_ref();
+        let text = match crate::durable::recover(path) {
+            Ok(recovered) => String::from_utf8(recovered.payload)
+                .map_err(|e| format!("{}: {e}", path.display()))?,
+            // Compatibility: a readable file without any durable trailer
+            // is treated as a bare legacy snapshot. Files that carry a
+            // trailer but fail verification stay rejected.
+            Err(err) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|_| format!("{}: {err}", path.display()))?;
+                if text.contains(crate::durable::TRAILER_PREFIX) {
+                    return Err(format!("{}: {err}", path.display()));
+                }
+                text
+            }
+        };
+        serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))
     }
 }
 

@@ -173,6 +173,49 @@ pub fn stability_study_parallel(
     outcomes
 }
 
+/// [`stability_study_parallel`] under a `qdi-exec` supervisor: a
+/// panicking or overrunning annealing run is retried per `policy` and
+/// quarantined when it keeps failing, instead of killing the study.
+/// Returns one outcome per seed (`None` where quarantined, so surviving
+/// outcomes keep their seed position) plus the quarantine manifest —
+/// its entries report the failing *annealing seed* itself, the natural
+/// re-attempt handle for a multi-seed study.
+pub fn stability_study_parallel_supervised(
+    netlist: &Netlist,
+    strategy: Strategy,
+    cfg: &PnrConfig,
+    seeds: &[u64],
+    exec: qdi_exec::ExecConfig,
+    policy: &qdi_exec::SupervisorPolicy,
+) -> (Vec<Option<SeedOutcome>>, qdi_exec::Quarantine) {
+    let mut span = qdi_obs::span("qdi_pnr::criterion", "stability_study_parallel_supervised")
+        .field("seeds", seeds.len())
+        .field("workers", exec.workers)
+        .enter();
+    let progress = qdi_obs::progress::task("pnr.stability_study", seeds.len());
+    let root = seeds.first().copied().unwrap_or(0);
+    let run = qdi_exec::run_supervised(&exec, policy, root, seeds.len(), |i| {
+        let outcome = seed_outcome(netlist, strategy, cfg, seeds[i]);
+        progress.advance(1);
+        Ok::<_, String>(outcome)
+    });
+    progress.finish();
+    let mut quarantine = run.quarantine;
+    for entry in &mut quarantine.entries {
+        // The job's randomness is its annealing seed, not a derived
+        // pool seed: report the handle a re-attempt actually needs.
+        entry.job_seed = seeds[entry.index];
+    }
+    let outcomes: Vec<Option<SeedOutcome>> = run
+        .outcomes
+        .into_iter()
+        .map(qdi_exec::JobOutcome::into_value)
+        .collect();
+    span.record("outcomes", outcomes.iter().filter(|o| o.is_some()).count());
+    span.record("quarantined", quarantine.len());
+    (outcomes, quarantine)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,6 +277,25 @@ mod tests {
             assert!(o.worst_d >= 0.0);
             assert!(!o.worst_channel.is_empty());
         }
+    }
+
+    #[test]
+    fn supervised_stability_study_matches_serial_when_clean() {
+        let nl = xor_netlist();
+        let seeds = [1u64, 2, 3, 4];
+        let serial = stability_study(&nl, Strategy::Flat, &PnrConfig::fast(), &seeds);
+        let policy = qdi_exec::SupervisorPolicy::new().without_backoff();
+        let (outcomes, quarantine) = stability_study_parallel_supervised(
+            &nl,
+            Strategy::Flat,
+            &PnrConfig::fast(),
+            &seeds,
+            qdi_exec::ExecConfig { workers: 2 },
+            &policy,
+        );
+        assert!(quarantine.is_empty());
+        let outcomes: Vec<SeedOutcome> = outcomes.into_iter().map(Option::unwrap).collect();
+        assert_eq!(serial, outcomes);
     }
 
     #[test]
