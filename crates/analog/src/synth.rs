@@ -4,12 +4,16 @@
 use qdi_netlist::Netlist;
 use qdi_sim::Transition;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 use crate::pulse::{Pulse, PulseShape};
 use crate::trace::Trace;
 
 /// Parameters of the electrical synthesis.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Serializable so campaign job specs (`qdi-serve`) can carry the full
+/// electrical setup over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SynthConfig {
     /// Supply voltage, volts.
     pub vdd_v: f64,

@@ -6,11 +6,12 @@ use qdi_crypto::gatelevel::{bit_values, slice::AesByteSlice};
 use qdi_sim::{SimError, Testbench, TestbenchConfig};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 
 use crate::traceset::TraceSet;
 
 /// How plaintexts are drawn.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PlaintextSource {
     /// Independent uniform random bytes (known-plaintext attack).
     Random,
@@ -22,7 +23,11 @@ pub enum PlaintextSource {
 }
 
 /// Parameters of a trace campaign.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Serializable end to end: a `qdi-serve` job spec embeds this struct
+/// verbatim, so a remote campaign is configured by exactly the same
+/// knobs as a local one.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CampaignConfig {
     /// Number of traces (`N` in the paper).
     pub traces: usize,

@@ -34,7 +34,7 @@ use crate::campaign::{acquire_trace, draw_plaintext, CampaignConfig};
 use crate::traceset::{TraceSet, TraceSetError};
 
 /// Retry and checkpoint knobs for a resilient campaign.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ResilienceConfig {
     /// Checkpoint after every `checkpoint_every` collected traces (used
     /// by [`CampaignRunner::run_with_checkpoints`]).

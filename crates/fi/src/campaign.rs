@@ -2,13 +2,16 @@
 
 use qdi_netlist::Netlist;
 use qdi_sim::{Fault, FaultPlan, SimError, TestbenchConfig, TimePs};
+use serde::{Deserialize, Serialize};
 
 use crate::harness::{output_values, Stimulus};
 use crate::outcome::{classify, FaultOutcome};
 use crate::report::{FaultRecord, FaultReport};
 
 /// How a campaign drives the netlist.
-#[derive(Debug, Clone, Copy)]
+///
+/// Serializable so `qdi-serve` fault-injection job specs can carry it.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct CampaignConfig {
     /// Tokens pushed through every input channel per run.
     pub tokens: usize,

@@ -2,7 +2,7 @@
 //! Prometheus exposition and the bench perf-regression gate.
 //!
 //! ```text
-//! qdi-mon watch [--interval-ms N] [--once] PROGRESS.json
+//! qdi-mon watch [--interval-ms N] [--once] PROGRESS.json|http://HOST:PORT[/v1/jobs/ID/events]
 //! qdi-mon report [--out FILE.html] [--top N] [--title T] TELEMETRY.jsonl
 //! qdi-mon export METRICS.json
 //! qdi-mon bench-diff [--baseline FILE] [--threshold FRAC] [--metric NAME]...
@@ -19,13 +19,14 @@
 use std::path::Path;
 use std::process::ExitCode;
 
-use qdi_mon::{analyze, bench, dashboard, report};
+use qdi_mon::{analyze, bench, dashboard, remote, report};
 use qdi_obs::metrics::MetricsSnapshot;
 use qdi_obs::prof::ProfReport;
 use qdi_obs::progress::ProgressSnapshot;
 
 fn usage() -> &'static str {
-    "usage: qdi-mon watch [--interval-ms N] [--once] PROGRESS.json\n\
+    "usage: qdi-mon watch [--interval-ms N] [--once] PROGRESS.json|http://HOST:PORT\n\
+     \x20              (a .../v1/jobs/ID/events URL tails the job's SSE stream)\n\
      \x20      qdi-mon report [--out FILE.html] [--top N] [--title T] TELEMETRY.jsonl\n\
      \x20      qdi-mon export METRICS.json\n\
      \x20      qdi-mon bench-diff [--baseline FILE] [--threshold FRAC] [--metric NAME]...\n\
@@ -36,9 +37,17 @@ fn usage() -> &'static str {
 }
 
 fn cmd_watch(interval_ms: u64, once: bool, file: &str) -> ExitCode {
+    if remote::is_sse_url(file) {
+        return watch_sse(file);
+    }
     let mut first = true;
     loop {
-        match ProgressSnapshot::load(file) {
+        let loaded = if remote::is_url(file) {
+            remote::fetch_progress(file, std::time::Duration::from_secs(10))
+        } else {
+            ProgressSnapshot::load(file)
+        };
+        match loaded {
             Ok(snap) => {
                 let frame = dashboard::render(&snap);
                 if once {
@@ -63,6 +72,33 @@ fn cmd_watch(interval_ms: u64, once: bool, file: &str) -> ExitCode {
             }
         }
         std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(10)));
+    }
+}
+
+/// Tails a `qdi-serve` per-job SSE stream, rendering every `progress`
+/// event as a dashboard frame.
+fn watch_sse(url: &str) -> ExitCode {
+    let mut first = true;
+    let result = remote::stream_sse(url, |frame| {
+        match frame {
+            remote::SseFrame::Progress(snap) => {
+                let rendered = dashboard::render(&snap);
+                print!("{}", dashboard::ansi_frame(&rendered, first));
+                use std::io::Write as _;
+                let _ = std::io::stdout().flush();
+                first = false;
+            }
+            remote::SseFrame::State(_) => {}
+            remote::SseFrame::End(reason) => println!("stream ended ({reason})"),
+        }
+        true
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("watch: {err}");
+            ExitCode::from(2)
+        }
     }
 }
 

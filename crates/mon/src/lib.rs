@@ -18,6 +18,9 @@
 //!   rate, per-job overhead vs mean job duration) with rustc-style
 //!   findings naming the dominant loss; `qdi-mon flame` / `qdi-mon
 //!   timeline` render the same profile as self-contained SVGs.
+//! * [`remote`] — progress sources on a running `qdi-serve` instance:
+//!   `qdi-mon watch http://host:port` polls `/v1/progress`, and a
+//!   `.../v1/jobs/{id}/events` URL tails the job's SSE stream.
 //!
 //! The binary follows the `qdi-lint` exit-code discipline: `0` success,
 //! `1` a data-level failure (perf regression, lost determinism), `2`
@@ -28,4 +31,5 @@
 pub mod analyze;
 pub mod bench;
 pub mod dashboard;
+pub mod remote;
 pub mod report;

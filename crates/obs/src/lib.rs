@@ -175,6 +175,35 @@ pub fn flush() {
     }
 }
 
+/// Flushes every sink (and any streamed progress file) when dropped —
+/// including on early `?` returns and panics, which a trailing
+/// [`flush`] call at the end of `main` misses. Binaries that install
+/// file sinks should take one of these right after wiring them up:
+///
+/// ```no_run
+/// fn main() -> Result<(), String> {
+///     // ... qdi_obs::add_sink(...) ...
+///     let _flush = qdi_obs::flush_on_drop();
+///     // every exit path below now flushes the sinks
+///     Ok(())
+/// }
+/// ```
+#[derive(Debug)]
+#[must_use = "the guard flushes when dropped; binding it to `_` drops it immediately"]
+pub struct FlushGuard(());
+
+impl Drop for FlushGuard {
+    fn drop(&mut self) {
+        progress::write_now();
+        flush();
+    }
+}
+
+/// Returns a [`FlushGuard`] that flushes all sinks on scope exit.
+pub fn flush_on_drop() -> FlushGuard {
+    FlushGuard(())
+}
+
 fn dispatch(record: &Record) {
     let installed = sinks().read().expect("sink lock poisoned");
     if installed.is_empty() {

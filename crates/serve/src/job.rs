@@ -1,0 +1,496 @@
+//! The job table: durable per-job records, in-memory handles with an
+//! event log, and the per-tenant artifact layout.
+//!
+//! Every job owns one directory,
+//! `{data}/tenants/{tenant}/jobs/{id}/`, holding:
+//!
+//! * `job.json` — the durable [`JobRecord`] (spec + state + progress),
+//!   written with the CRC-trailer write-then-rename discipline of
+//!   [`qdi_obs::durable`] so a `kill -9` can never leave a torn record;
+//! * `checkpoint.json` — the campaign's [`qdi_dpa::StoreCheckpoint`]
+//!   (DPA jobs only);
+//! * `traces.qtrs` — the trace store;
+//! * `report.json` — the final artifact of a completed job.
+//!
+//! On restart the server rebuilds its entire job table from these
+//! files alone (see [`crate::server`]): the in-memory side is pure
+//! cache.
+
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::JobSpec;
+
+/// Lifecycle of a job. Terminal states are `Completed`, `Failed`,
+/// `Canceled`; everything else is re-queued on server restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Waiting for a worker (also the parked state between fair-share
+    /// leases and after a drain or crash).
+    Queued,
+    /// A worker is executing a lease right now.
+    Running,
+    /// All work done; `report.json` exists.
+    Completed,
+    /// Execution failed; see the record's `error`.
+    Failed,
+    /// Canceled by the tenant; artifacts produced so far are kept.
+    Canceled,
+}
+
+impl JobState {
+    /// Whether the job will never run again.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Completed | JobState::Failed | JobState::Canceled
+        )
+    }
+}
+
+/// The durable record — everything needed to resurrect the job after
+/// a crash. Progress counters are advisory (the checkpoint is the
+/// source of truth for resumption); they make `GET /v1/jobs` honest
+/// without opening every checkpoint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Server-assigned id, unique across tenants (`j000042`).
+    pub id: String,
+    /// The submitted spec, verbatim.
+    pub spec: JobSpec,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Work units finished (traces for DPA, faults for FI, seeds for
+    /// P&R).
+    pub completed: u64,
+    /// Work units in total.
+    pub total: u64,
+    /// Failure detail for `Failed` jobs.
+    pub error: Option<String>,
+    /// Campaign indices currently quarantined by the supervisor.
+    pub quarantined: Vec<u64>,
+    /// Times this job was recovered from disk by a restarting server.
+    pub resumes: u64,
+    /// Monotonic submission sequence (FIFO tie-break within a tenant).
+    pub submit_seq: u64,
+}
+
+/// File names inside a job directory.
+pub const JOB_FILE: &str = "job.json";
+/// Campaign checkpoint (DPA jobs).
+pub const CHECKPOINT_FILE: &str = "checkpoint.json";
+/// Trace store (DPA jobs).
+pub const STORE_FILE: &str = "traces.qtrs";
+/// Final report artifact.
+pub const REPORT_FILE: &str = "report.json";
+
+impl JobRecord {
+    /// Saves the record durably (write-then-rename + CRC trailer).
+    ///
+    /// # Errors
+    ///
+    /// Serialization or filesystem failure, as text.
+    pub fn save(&self, dir: &Path) -> Result<(), String> {
+        let json = serde_json::to_string_pretty(self).map_err(|e| format!("{e:?}"))?;
+        qdi_obs::durable::save(
+            &dir.join(JOB_FILE),
+            json.as_bytes(),
+            qdi_obs::durable::Durability::Checkpoint,
+        )
+        .map_err(|e| e.to_string())
+    }
+
+    /// Loads a record written by [`JobRecord::save`], falling back to
+    /// the `.bak` generation when the primary is torn.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem or parse failure, as text.
+    pub fn load(dir: &Path) -> Result<JobRecord, String> {
+        let recovered =
+            qdi_obs::durable::recover(&dir.join(JOB_FILE)).map_err(|e| e.to_string())?;
+        let json = String::from_utf8(recovered.payload).map_err(|e| e.to_string())?;
+        serde_json::from_str(&json).map_err(|e| format!("{e:?}"))
+    }
+}
+
+/// One entry of a job's event log, replayable over SSE. `data` is a
+/// pre-serialized single-line JSON document: [`JobStatus`] for
+/// `state` events, a [`qdi_obs::progress::ProgressSnapshot`] for
+/// `progress` events.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobEvent {
+    /// Monotonic per-job sequence number (SSE `id:`).
+    pub seq: u64,
+    /// Event name (`state` | `progress`).
+    pub event: String,
+    /// Single-line JSON payload.
+    pub data: String,
+}
+
+/// Wire status of a job (`GET /v1/jobs/{id}` and `state` events).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobStatus {
+    /// Job id.
+    pub id: String,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Display name, if any.
+    pub name: Option<String>,
+    /// Job kind label (`dpa` | `fi` | `pnr`).
+    pub kind: String,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Work units finished.
+    pub completed: u64,
+    /// Work units in total.
+    pub total: u64,
+    /// Failure detail for `Failed` jobs.
+    pub error: Option<String>,
+    /// Currently quarantined campaign indices.
+    pub quarantined: Vec<u64>,
+    /// Crash-recovery count.
+    pub resumes: u64,
+    /// Sequence number of the latest event (long-poll cursor).
+    pub last_seq: u64,
+}
+
+/// How many events a job retains for SSE replay. Older events are
+/// dropped from the front; sequence numbers stay monotonic.
+const EVENT_CAPACITY: usize = 512;
+
+struct JobInner {
+    record: JobRecord,
+    events: VecDeque<JobEvent>,
+    next_seq: u64,
+    started: Option<Instant>,
+    ewma_rate: f64,
+    last_progress: Option<(Instant, u64)>,
+}
+
+/// In-memory handle: the record plus the event log, condvar-signaled
+/// for long-poll and SSE waiters, plus the cooperative cancel flag the
+/// runner checks between chunks.
+pub struct JobHandle {
+    /// Job directory (owns all artifacts).
+    pub dir: PathBuf,
+    inner: Mutex<JobInner>,
+    cv: Condvar,
+    cancel: AtomicBool,
+}
+
+impl JobHandle {
+    /// Wraps a record whose directory is `dir`.
+    #[must_use]
+    pub fn new(record: JobRecord, dir: PathBuf) -> JobHandle {
+        JobHandle {
+            dir,
+            inner: Mutex::new(JobInner {
+                record,
+                events: VecDeque::new(),
+                next_seq: 0,
+                started: None,
+                ewma_rate: 0.0,
+                last_progress: None,
+            }),
+            cv: Condvar::new(),
+            cancel: AtomicBool::new(false),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, JobInner> {
+        self.inner.lock().expect("job lock poisoned")
+    }
+
+    /// The current durable record (cloned).
+    #[must_use]
+    pub fn record(&self) -> JobRecord {
+        self.lock().record.clone()
+    }
+
+    /// Owning tenant.
+    #[must_use]
+    pub fn tenant(&self) -> String {
+        self.lock().record.spec.tenant.clone()
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> JobState {
+        self.lock().record.state
+    }
+
+    /// Requests cooperative cancellation (checked between chunks).
+    pub fn request_cancel(&self) {
+        self.cancel.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+
+    /// Whether cancellation was requested.
+    #[must_use]
+    pub fn cancel_requested(&self) -> bool {
+        self.cancel.load(Ordering::SeqCst)
+    }
+
+    /// The wire status.
+    #[must_use]
+    pub fn status(&self) -> JobStatus {
+        let inner = self.lock();
+        status_of(&inner)
+    }
+
+    /// Transitions the state, persists the record, and emits a `state`
+    /// event. Persistence failures are returned (the caller decides
+    /// whether they are fatal) but the in-memory transition always
+    /// lands so the API stays coherent.
+    pub fn set_state(&self, state: JobState, error: Option<String>) -> Result<(), String> {
+        let mut inner = self.lock();
+        inner.record.state = state;
+        inner.record.error = error;
+        let saved = inner.record.save(&self.dir);
+        let status = status_of(&inner);
+        let data = serde_json::to_string(&status).unwrap_or_else(|_| "{}".into());
+        push_event(&mut inner, "state", data);
+        drop(inner);
+        self.cv.notify_all();
+        saved
+    }
+
+    /// Records chunk progress, persists, and emits a `progress` event
+    /// whose payload is a single-task
+    /// [`qdi_obs::progress::ProgressSnapshot`] — the exact shape
+    /// `qdi-mon watch` renders.
+    pub fn advance(&self, completed: u64, total: u64, quarantined: Vec<u64>) -> Result<(), String> {
+        let now = Instant::now();
+        let mut inner = self.lock();
+        if inner.started.is_none() {
+            inner.started = Some(now);
+        }
+        if let Some((at, prev)) = inner.last_progress {
+            let dt = now.duration_since(at).as_secs_f64();
+            if dt > 1e-9 && completed >= prev {
+                let inst = (completed - prev) as f64 / dt;
+                inner.ewma_rate = if inner.ewma_rate == 0.0 {
+                    inst
+                } else {
+                    0.3 * inst + 0.7 * inner.ewma_rate
+                };
+            }
+        }
+        inner.last_progress = Some((now, completed));
+        inner.record.completed = completed;
+        inner.record.total = total;
+        inner.record.quarantined = quarantined;
+        let saved = inner.record.save(&self.dir);
+        let snapshot = progress_of(&inner);
+        let data = serde_json::to_string(&snapshot).unwrap_or_else(|_| "{}".into());
+        push_event(&mut inner, "progress", data);
+        drop(inner);
+        self.cv.notify_all();
+        saved
+    }
+
+    /// Marks a crash recovery: back to `Queued`, bumps `resumes`.
+    pub fn mark_resumed(&self) -> Result<(), String> {
+        {
+            let mut inner = self.lock();
+            inner.record.resumes += 1;
+        }
+        self.set_state(JobState::Queued, None)
+    }
+
+    /// The job as a one-task progress snapshot (task name
+    /// `{tenant}/{id}`), for `/v1/progress` aggregation and `progress`
+    /// events.
+    #[must_use]
+    pub fn progress_snapshot(&self) -> qdi_obs::progress::TaskSnapshot {
+        let inner = self.lock();
+        task_of(&inner)
+    }
+
+    /// Events with `seq > after`, oldest first.
+    #[must_use]
+    pub fn events_after(&self, after: u64) -> Vec<JobEvent> {
+        self.lock()
+            .events
+            .iter()
+            .filter(|e| e.seq > after)
+            .cloned()
+            .collect()
+    }
+
+    /// Events with `seq >= from`, oldest first (SSE replay cursor).
+    #[must_use]
+    pub fn events_from(&self, from: u64) -> Vec<JobEvent> {
+        self.lock()
+            .events
+            .iter()
+            .filter(|e| e.seq >= from)
+            .cloned()
+            .collect()
+    }
+
+    /// Blocks until an event with `seq > after` exists, the job reaches
+    /// a terminal state, or `timeout` elapses. Returns the latest
+    /// sequence number.
+    #[must_use]
+    pub fn wait_event(&self, after: u64, timeout: Duration) -> u64 {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.lock();
+        loop {
+            let last = inner.next_seq.saturating_sub(1);
+            if inner.next_seq > 0 && last > after {
+                return last;
+            }
+            if inner.record.state.is_terminal() {
+                return last;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return last;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(inner, deadline - now)
+                .expect("job lock poisoned");
+            inner = guard;
+        }
+    }
+}
+
+fn push_event(inner: &mut JobInner, event: &str, data: String) {
+    let seq = inner.next_seq;
+    inner.next_seq += 1;
+    inner.events.push_back(JobEvent {
+        seq,
+        event: event.to_owned(),
+        data,
+    });
+    while inner.events.len() > EVENT_CAPACITY {
+        inner.events.pop_front();
+    }
+}
+
+fn status_of(inner: &JobInner) -> JobStatus {
+    JobStatus {
+        id: inner.record.id.clone(),
+        tenant: inner.record.spec.tenant.clone(),
+        name: inner.record.spec.name.clone(),
+        kind: inner.record.spec.kind.label().to_owned(),
+        state: inner.record.state,
+        completed: inner.record.completed,
+        total: inner.record.total,
+        error: inner.record.error.clone(),
+        quarantined: inner.record.quarantined.clone(),
+        resumes: inner.record.resumes,
+        last_seq: inner.next_seq.saturating_sub(1),
+    }
+}
+
+fn task_of(inner: &JobInner) -> qdi_obs::progress::TaskSnapshot {
+    let elapsed_s = inner
+        .started
+        .map(|at| at.elapsed().as_secs_f64())
+        .unwrap_or(0.0);
+    let rate = if elapsed_s > 1e-9 {
+        inner.record.completed as f64 / elapsed_s
+    } else {
+        0.0
+    };
+    let remaining = inner.record.total.saturating_sub(inner.record.completed);
+    let eta_s = if inner.record.state.is_terminal() || remaining == 0 {
+        0.0
+    } else if inner.ewma_rate > 1e-9 {
+        remaining as f64 / inner.ewma_rate
+    } else if rate > 1e-9 {
+        remaining as f64 / rate
+    } else {
+        qdi_obs::progress::ETA_UNKNOWN
+    };
+    qdi_obs::progress::TaskSnapshot {
+        name: format!("{}/{}", inner.record.spec.tenant, inner.record.id),
+        completed: inner.record.completed,
+        total: inner.record.total,
+        elapsed_s,
+        rate,
+        ewma_rate: inner.ewma_rate,
+        eta_s,
+        done: inner.record.state.is_terminal(),
+    }
+}
+
+fn progress_of(inner: &JobInner) -> qdi_obs::progress::ProgressSnapshot {
+    qdi_obs::progress::ProgressSnapshot {
+        ts_us: qdi_obs::now_us(),
+        tasks: vec![task_of(inner)],
+        pool: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{DpaJobSpec, JobKind};
+
+    fn record(id: &str) -> JobRecord {
+        JobRecord {
+            id: id.to_owned(),
+            spec: JobSpec {
+                tenant: "t".into(),
+                name: None,
+                priority: None,
+                kind: JobKind::Dpa(DpaJobSpec {
+                    stage: "xor".into(),
+                    campaign: qdi_dpa::CampaignConfig::new(1),
+                    resilience: None,
+                    exec_workers: None,
+                    attack: None,
+                }),
+            },
+            state: JobState::Queued,
+            completed: 0,
+            total: 256,
+            error: None,
+            quarantined: Vec::new(),
+            resumes: 0,
+            submit_seq: 0,
+        }
+    }
+
+    #[test]
+    fn record_survives_save_load() {
+        let dir = std::env::temp_dir().join(format!("qdi_serve_job_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let rec = record("j000001");
+        rec.save(&dir).expect("saves");
+        let back = JobRecord::load(&dir).expect("loads");
+        assert_eq!(back.id, "j000001");
+        assert_eq!(back.state, JobState::Queued);
+        assert_eq!(back.total, 256);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn events_replay_from_cursor_and_wait_returns() {
+        let dir = std::env::temp_dir().join(format!("qdi_serve_ev_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let handle = JobHandle::new(record("j000002"), dir.clone());
+        handle.advance(4, 256, Vec::new()).expect("advances");
+        handle.advance(8, 256, Vec::new()).expect("advances");
+        let all = handle.events_after(0);
+        assert_eq!(all.len(), 1, "seq 0 is excluded by an after=0 cursor");
+        assert_eq!(handle.events_after(u64::MAX).len(), 0);
+        assert_eq!(handle.wait_event(0, Duration::from_millis(10)), 1);
+        handle.set_state(JobState::Completed, None).expect("state");
+        // Terminal state: waiters return immediately even with no new
+        // events past the cursor.
+        assert_eq!(handle.wait_event(100, Duration::from_secs(5)), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

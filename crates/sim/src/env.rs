@@ -9,6 +9,7 @@
 use std::collections::VecDeque;
 
 use qdi_netlist::{ChannelId, ChannelRole, ChannelState, Netlist};
+use serde::{Deserialize, Serialize};
 
 use crate::delay::{DelayModel, LinearDelay};
 use crate::error::{HandshakePhase, SimError, StalledChannel};
@@ -16,7 +17,10 @@ use crate::fault::FaultPlan;
 use crate::simulator::{Simulator, TimePs, Transition, WatchdogConfig};
 
 /// Tuning knobs for a [`Testbench`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Serializable so campaign job specs (`qdi-serve`) can carry the
+/// simulator budget over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TestbenchConfig {
     /// Reaction delay of environments, in ps (models pad/driver latency).
     pub env_delay_ps: TimePs,

@@ -4,6 +4,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use qdi_netlist::{ChannelId, ChannelState, GateId, NetId, Netlist};
+use serde::{Deserialize, Serialize};
 
 use crate::delay::DelayModel;
 use crate::error::{NetActivity, SimError};
@@ -19,7 +20,7 @@ pub type TimePs = u64;
 /// periodically — a true oscillation) from a plain exhausted budget, and
 /// attaches the busiest nets to the error either way. An optional absolute
 /// sim-time deadline catches runs that keep making slow progress forever.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WatchdogConfig {
     /// Absolute simulation-time deadline in ps; `None` disables it.
     pub max_sim_time_ps: Option<TimePs>,

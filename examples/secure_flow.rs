@@ -32,6 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Live progress: `qdi-mon watch secure_flow.progress.json` tails
     // this file while the flow runs.
     qdi_obs::progress::set_file("secure_flow.progress.json", 200);
+    // Flush the file sinks on *every* exit path — a failed flow step
+    // used to `?`-return past the flush calls below and leave a
+    // truncated telemetry stream behind.
+    let _flush = qdi_obs::flush_on_drop();
 
     println!("generating the AES column datapath (AddKey0 -> ByteSub x4 -> HB -> MixColumn -> AddRoundKey)...");
     let column = aes_column_datapath("aes_column")?;
@@ -105,7 +109,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     qdi_obs::flush();
     qdi_obs::progress::write_now();
-    qdi_obs::progress::clear_file();
 
     // Monitoring sidecars next to the telemetry, in the layout
     // `qdi-mon report secure_flow.telemetry.jsonl` expects.

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Crash-recovery gate for the campaign server, driven entirely through
+# the shipped binaries: submit the serve_demo spec to a standalone
+# `qdi-serve`, `kill -9` the daemon mid-campaign, restart it on the same
+# data dir, and require
+#
+#   * the job to finish with state Completed after the restart,
+#   * a bias signal T = A0 − A1 bit-identical to the uninterrupted
+#     golden report the serve_demo example wrote, and
+#   * a clean `qdi-trace fsck` on the job's sealed trace store.
+#
+# Expects `cargo build --release` artifacts plus serve_demo.spec.json /
+# serve_demo.report.json from `cargo run --release --example serve_demo`.
+set -euo pipefail
+
+SERVE=${SERVE:-target/release/qdi-serve}
+CLIENT=${CLIENT:-target/release/qdi-client}
+TRACE=${TRACE:-target/release/qdi-trace}
+SPEC=${SPEC:-serve_demo.spec.json}
+GOLDEN=${GOLDEN:-serve_demo.report.json}
+DATA=${DATA:-serve_e2e_data}
+ADDR_FILE="$DATA/addr"
+
+rm -rf "$DATA"
+mkdir -p "$DATA"
+
+SERVER_PID=""
+URL=""
+start_server() {
+    rm -f "$ADDR_FILE"
+    "$SERVE" --addr 127.0.0.1:0 --data "$DATA" --workers 1 --addr-file "$ADDR_FILE" &
+    SERVER_PID=$!
+    for _ in $(seq 1 300); do
+        if [ -s "$ADDR_FILE" ]; then
+            URL="http://$(cat "$ADDR_FILE")"
+            return
+        fi
+        sleep 0.1
+    done
+    echo "serve_e2e: server never wrote $ADDR_FILE" >&2
+    exit 1
+}
+
+cleanup() { [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true; }
+trap cleanup EXIT
+
+start_server
+echo "serve_e2e: daemon at $URL (pid $SERVER_PID)"
+JOB=$("$CLIENT" --server "$URL" submit "$SPEC")
+echo "serve_e2e: submitted $JOB"
+
+# Poll until the campaign is visibly mid-run, then SIGKILL the daemon.
+# On a fast runner the campaign can outrun the poll loop; the strict
+# mid-run guarantee lives in crates/serve/tests/kill_restart.rs — this
+# gate must prove the restart path and bias identity either way.
+DONE=0
+for _ in $(seq 1 600); do
+    DONE=$("$CLIENT" --server "$URL" status "$JOB" | jq -r .completed)
+    [ "$DONE" -ge 64 ] && break
+    sleep 0.05
+done
+TOTAL=$(jq -r .kind.Dpa.campaign.traces "$SPEC")
+echo "serve_e2e: kill -9 at $DONE/$TOTAL traces"
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+
+start_server
+echo "serve_e2e: restarted at $URL (pid $SERVER_PID)"
+STATUS=$("$CLIENT" --server "$URL" status "$JOB" --wait 600)
+echo "$STATUS" | jq -c '{state, completed, total, resumes}'
+[ "$(echo "$STATUS" | jq -r .state)" = Completed ]
+[ "$(echo "$STATUS" | jq -r .completed)" = "$TOTAL" ]
+
+# Bit-identity of the bias signal with the uninterrupted golden run:
+# both reports come from the same serializer, so jq's number printing
+# is a faithful (injective) image of the f64 bits on both sides.
+"$CLIENT" --server "$URL" report "$JOB" --out serve_e2e.report.json
+jq -ce '.guesses[0].samples' serve_e2e.report.json > serve_e2e.resumed.samples
+jq -ce '.guesses[0].samples' "$GOLDEN" > serve_e2e.golden.samples
+cmp serve_e2e.resumed.samples serve_e2e.golden.samples
+echo "serve_e2e: bias signal bit-identical to the uninterrupted run"
+
+# The sealed store passes a read-only integrity scan (exit 0 = clean).
+TENANT=$(jq -r .tenant "$SPEC")
+"$TRACE" fsck "$DATA/tenants/$TENANT/jobs/$JOB/traces.qtrs"
+
+# Graceful exit via the API: the drained daemon leaves on its own.
+"$CLIENT" --server "$URL" shutdown
+for _ in $(seq 1 300); do
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "serve_e2e: daemon drained cleanly"
+        exit 0
+    fi
+    sleep 0.1
+done
+echo "serve_e2e: daemon never drained" >&2
+exit 1

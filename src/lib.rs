@@ -22,7 +22,11 @@
 //! * [`core`] — the paper's formal current model and the secure design
 //!   flow;
 //! * [`obs`] — structured tracing, metrics and profiling across the flow
-//!   (spans, counters/histograms, stderr/JSONL/Chrome-trace sinks).
+//!   (spans, counters/histograms, stderr/JSONL/Chrome-trace sinks);
+//! * [`serve`] — the campaign server: a multi-tenant HTTP/1.1 + JSON job
+//!   API over the campaign engines with fair-share scheduling, durable
+//!   per-tenant artifacts, SSE progress and crash recovery (also the
+//!   `qdi-serve` and `qdi-client` binaries).
 //!
 //! See the `examples/` directory for end-to-end walkthroughs: a
 //! quickstart on the paper's dual-rail XOR, the Fig. 6/7 signature
@@ -42,4 +46,5 @@ pub use qdi_lint as lint;
 pub use qdi_netlist as netlist;
 pub use qdi_obs as obs;
 pub use qdi_pnr as pnr;
+pub use qdi_serve as serve;
 pub use qdi_sim as sim;
