@@ -10,16 +10,19 @@
 //! qdi-mon analyze [--top N] [--json] PROFILE.qprof.json
 //! qdi-mon flame [--out FILE.svg] [--title T] PROFILE.qprof.json
 //! qdi-mon timeline [--out FILE.svg] [--title T] PROFILE.qprof.json
+//! qdi-mon trace [--out FILE.svg] [--title T] TRACE_ID SPANS.jsonl...
+//! qdi-mon slo --config SLO.json METRICS.prom
 //! ```
 //!
 //! Exit status mirrors `qdi-lint`: `0` success, `1` a data-level
-//! failure (perf regression past the threshold, profile findings), `2`
-//! usage error or unreadable input.
+//! failure (perf regression past the threshold, profile findings, a
+//! breached SLO, a trace id with no spans), `2` usage error or
+//! unreadable input.
 
 use std::path::Path;
 use std::process::ExitCode;
 
-use qdi_mon::{analyze, bench, dashboard, remote, report};
+use qdi_mon::{analyze, bench, dashboard, remote, report, waterfall};
 use qdi_obs::metrics::MetricsSnapshot;
 use qdi_obs::prof::ProfReport;
 use qdi_obs::progress::ProgressSnapshot;
@@ -33,7 +36,11 @@ fn usage() -> &'static str {
      \x20              [--update-baseline] CURRENT.json\n\
      \x20      qdi-mon analyze [--top N] [--json] PROFILE.qprof.json\n\
      \x20      qdi-mon flame [--out FILE.svg] [--title T] PROFILE.qprof.json\n\
-     \x20      qdi-mon timeline [--out FILE.svg] [--title T] PROFILE.qprof.json"
+     \x20      qdi-mon timeline [--out FILE.svg] [--title T] PROFILE.qprof.json\n\
+     \x20      qdi-mon trace [--out FILE.svg] [--title T] TRACE_ID SPANS.jsonl...\n\
+     \x20              (merge spans from every file, render one trace's waterfall)\n\
+     \x20      qdi-mon slo --config SLO.json METRICS.prom\n\
+     \x20              (exit 1 when any objective is breached)"
 }
 
 fn cmd_watch(interval_ms: u64, once: bool, file: &str) -> ExitCode {
@@ -271,6 +278,79 @@ fn cmd_render_svg(
     ExitCode::SUCCESS
 }
 
+fn cmd_trace(out: Option<&str>, title: Option<&str>, trace_id: &str, files: &[String]) -> ExitCode {
+    let mut spans = Vec::new();
+    for file in files {
+        match qdi_obs::trace::read_spans(Path::new(file)) {
+            Ok(mut read) => spans.append(&mut read),
+            Err(err) => {
+                eprintln!("trace: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let title = title.map_or_else(|| format!("trace waterfall · {trace_id}"), str::to_owned);
+    let svg = match waterfall::render(&spans, trace_id, &title) {
+        Ok(svg) => svg,
+        Err(err) => {
+            // Readable inputs without the requested trace is a data
+            // failure, not a usage error: the files parsed fine.
+            eprintln!("trace: {err}");
+            return ExitCode::from(1);
+        }
+    };
+    let out_path = match out {
+        Some(path) => path.to_owned(),
+        None => format!("trace-{}.svg", &trace_id[..trace_id.len().min(12)]),
+    };
+    if let Err(err) = std::fs::write(&out_path, svg) {
+        eprintln!("trace: {out_path}: {err}");
+        return ExitCode::from(2);
+    }
+    let matching = spans.iter().filter(|s| s.trace_id == trace_id).count();
+    println!("wrote {out_path} ({matching} spans)");
+    ExitCode::SUCCESS
+}
+
+fn cmd_slo(config: &str, metrics: &str) -> ExitCode {
+    let config_text = match std::fs::read_to_string(config) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("slo: {config}: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = match qdi_obs::slo::SloConfig::from_json(&config_text) {
+        Ok(cfg) => cfg,
+        Err(err) => {
+            eprintln!("slo: {config}: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let exposition = match std::fs::read_to_string(metrics) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("slo: {metrics}: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    match qdi_obs::slo::evaluate(&cfg, &exposition) {
+        Ok(report) => {
+            print!("{}", report.render_text());
+            if report.breached() {
+                eprintln!("slo: objectives breached");
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(err) => {
+            eprintln!("slo: {metrics}: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().map(String::as_str) else {
@@ -465,6 +545,69 @@ fn main() -> ExitCode {
                     |report, title| qdi_obs::timeline_svg(&report.pool_runs, title),
                 )
             }
+        }
+        "trace" => {
+            let mut out = None;
+            let mut title = None;
+            let mut operands = Vec::new();
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--out" => match it.next() {
+                        Some(path) => out = Some(path.clone()),
+                        None => {
+                            eprintln!("trace: --out needs a path\n{}", usage());
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--title" => match it.next() {
+                        Some(t) => title = Some(t.clone()),
+                        None => {
+                            eprintln!("trace: --title needs a value\n{}", usage());
+                            return ExitCode::from(2);
+                        }
+                    },
+                    _ => operands.push(arg.clone()),
+                }
+            }
+            if operands.len() < 2 {
+                eprintln!(
+                    "trace: need a TRACE_ID and at least one SPANS.jsonl\n{}",
+                    usage()
+                );
+                return ExitCode::from(2);
+            }
+            cmd_trace(
+                out.as_deref(),
+                title.as_deref(),
+                &operands[0],
+                &operands[1..],
+            )
+        }
+        "slo" => {
+            let mut config = None;
+            let mut files = Vec::new();
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--config" => match it.next() {
+                        Some(path) => config = Some(path.clone()),
+                        None => {
+                            eprintln!("slo: --config needs a path\n{}", usage());
+                            return ExitCode::from(2);
+                        }
+                    },
+                    _ => files.push(arg.clone()),
+                }
+            }
+            let (Some(config), [metrics]) = (config, files.as_slice()) else {
+                eprintln!(
+                    "slo: need --config SLO.json and exactly one METRICS.prom\n{}",
+                    usage()
+                );
+                return ExitCode::from(2);
+            };
+            cmd_slo(&config, metrics)
         }
         other => {
             eprintln!("unknown command `{other}`\n{}", usage());

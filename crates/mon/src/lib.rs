@@ -21,6 +21,11 @@
 //! * [`remote`] — progress sources on a running `qdi-serve` instance:
 //!   `qdi-mon watch http://host:port` polls `/v1/progress`, and a
 //!   `.../v1/jobs/{id}/events` URL tails the job's SSE stream.
+//! * [`waterfall`] — renders one distributed trace (span JSONL from
+//!   [`qdi_obs::trace`], possibly spanning client + several server
+//!   processes) as a self-contained waterfall SVG; `qdi-mon slo`
+//!   evaluates an [`qdi_obs::slo::SloConfig`] against a scraped
+//!   `/metrics` exposition.
 //!
 //! The binary follows the `qdi-lint` exit-code discipline: `0` success,
 //! `1` a data-level failure (perf regression, lost determinism), `2`
@@ -33,3 +38,4 @@ pub mod bench;
 pub mod dashboard;
 pub mod remote;
 pub mod report;
+pub mod waterfall;

@@ -139,6 +139,7 @@ fn export_round_trips_through_prometheus_text() {
                 value: 42.0,
             },
         ],
+        histograms: Vec::new(),
     };
     std::fs::write(&path, serde_json::to_string_pretty(&snap).unwrap()).unwrap();
     let out = qdi_mon(&["export", path.to_str().unwrap()]);
@@ -413,4 +414,145 @@ fn flame_derives_output_path_from_profile_name() {
     assert!(derived.exists(), "foo.qprof.json -> foo.flame.svg");
     let _ = std::fs::remove_file(&path);
     let _ = std::fs::remove_file(&derived);
+}
+
+#[test]
+fn trace_renders_a_waterfall_and_honors_exit_codes() {
+    let spans = temp("qdi_mon_cli_spans.jsonl");
+    let trace_id = "4bf92f3577b34da6a3ce929d0e0e4736";
+    let records = [
+        qdi_obs::trace::SpanRecord {
+            trace_id: trace_id.into(),
+            span_id: "00000000000000a1".into(),
+            parent_id: None,
+            links: Vec::new(),
+            service: "qdi-client".into(),
+            name: "submit".into(),
+            start_unix_us: 1_000,
+            dur_us: 9_000,
+            attrs: Vec::new(),
+            events: Vec::new(),
+        },
+        qdi_obs::trace::SpanRecord {
+            trace_id: trace_id.into(),
+            span_id: "00000000000000b2".into(),
+            parent_id: Some("00000000000000a1".into()),
+            links: vec![qdi_obs::trace::SpanLink {
+                trace_id: trace_id.into(),
+                span_id: "00000000000000ff".into(),
+                kind: qdi_obs::trace::LINK_RESUME.into(),
+            }],
+            service: "qdi-serve".into(),
+            name: "lease".into(),
+            start_unix_us: 3_000,
+            dur_us: 4_000,
+            attrs: Vec::new(),
+            events: Vec::new(),
+        },
+    ];
+    let jsonl: String = records
+        .iter()
+        .map(|r| serde_json::to_string(r).unwrap() + "\n")
+        .collect();
+    std::fs::write(&spans, jsonl).unwrap();
+
+    let svg_path = temp("qdi_mon_cli_trace.svg");
+    let out = qdi_mon(&[
+        "trace",
+        "--out",
+        svg_path.to_str().unwrap(),
+        trace_id,
+        spans.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "{}", String::from_utf8_lossy(&out.stderr));
+    let svg = std::fs::read_to_string(&svg_path).unwrap();
+    assert!(svg.starts_with("<svg"));
+    assert!(svg.contains("qdi-client") && svg.contains("qdi-serve"));
+    assert!(svg.contains("stroke-dasharray"), "resume link rendered");
+
+    // A parseable file without the trace is a data failure (1)...
+    let missing = qdi_mon(&[
+        "trace",
+        "--out",
+        svg_path.to_str().unwrap(),
+        "000000000000000000000000deadbeef",
+        spans.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&missing), 1);
+    // ...an unreadable file a usage/input error (2)...
+    let unreadable = qdi_mon(&["trace", trace_id, "/nonexistent/spans.jsonl"]);
+    assert_eq!(code(&unreadable), 2);
+    // ...and no operands is usage (2).
+    assert_eq!(code(&qdi_mon(&["trace", trace_id])), 2);
+
+    let _ = std::fs::remove_file(&spans);
+    let _ = std::fs::remove_file(&svg_path);
+}
+
+#[test]
+fn slo_verdicts_follow_the_exit_code_discipline() {
+    let metrics = temp("qdi_mon_cli_slo.prom");
+    let mut exposition = String::new();
+    qdi_obs::prometheus::render_histogram_samples(
+        &mut exposition,
+        qdi_obs::slo::ROUTE_LATENCY_MS,
+        &[("route", "POST /v1/jobs"), ("tenant", "ci")],
+        &[5.0, 50.0],
+        &[8, 2, 0],
+        120.0,
+    );
+    exposition.push_str(&qdi_obs::prometheus::render_labeled(
+        qdi_obs::slo::ROUTE_REQUESTS,
+        &[("route", "POST /v1/jobs"), ("tenant", "ci")],
+        10.0,
+    ));
+    std::fs::write(&metrics, &exposition).unwrap();
+
+    let passing = temp("qdi_mon_cli_slo_pass.json");
+    std::fs::write(
+        &passing,
+        r#"{"slos":[{"name":"submit","route":"POST /v1/jobs","availability":0.9,"p99_ms":100000.0}]}"#,
+    )
+    .unwrap();
+    let out = qdi_mon(&[
+        "slo",
+        "--config",
+        passing.to_str().unwrap(),
+        metrics.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("OK"));
+
+    // p99 above target: breach -> exit 1.
+    let breached = temp("qdi_mon_cli_slo_breach.json");
+    std::fs::write(
+        &breached,
+        r#"{"slos":[{"name":"submit","route":"POST /v1/jobs","p99_ms":1.0}]}"#,
+    )
+    .unwrap();
+    let out = qdi_mon(&[
+        "slo",
+        "--config",
+        breached.to_str().unwrap(),
+        metrics.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 1, "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("BREACH"));
+
+    // Malformed config -> usage error 2.
+    let bad = temp("qdi_mon_cli_slo_bad.json");
+    std::fs::write(&bad, "{\"slos\":[]}").unwrap();
+    let out = qdi_mon(&[
+        "slo",
+        "--config",
+        bad.to_str().unwrap(),
+        metrics.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 2);
+    // Missing --config -> usage error 2.
+    assert_eq!(code(&qdi_mon(&["slo", metrics.to_str().unwrap()])), 2);
+
+    for f in [&metrics, &passing, &breached, &bad] {
+        let _ = std::fs::remove_file(f);
+    }
 }

@@ -360,6 +360,7 @@ mod tests {
                         name: "dpa.traces".into(),
                         value: i as f64,
                     }],
+                    histograms: Vec::new(),
                 },
             );
         }
@@ -369,6 +370,7 @@ mod tests {
                 name: "x<y".into(),
                 value: 2.0,
             }],
+            histograms: Vec::new(),
         };
         let summary = vec![("traces".to_string(), "5".to_string())];
         let spans = vec![SpanRow {

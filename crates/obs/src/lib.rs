@@ -49,8 +49,10 @@ pub mod progress;
 pub mod prometheus;
 pub mod record;
 pub mod sink;
+pub mod slo;
 pub mod telemetry;
 pub mod timeseries;
+pub mod trace;
 
 pub use durable::{Durability, DurableError, Recovered};
 pub use filter::Filter;
@@ -60,8 +62,10 @@ pub use prof::{ProfReport, ProfSummary, RegionProfile};
 pub use progress::{ProgressSnapshot, ProgressTask};
 pub use record::{FieldValue, Fields, Record};
 pub use sink::{ChromeTraceSink, JsonlSink, MemorySink, Sink, StderrSink};
+pub use slo::{SloConfig, SloReport, SloVerdict};
 pub use telemetry::{StepTelemetry, Telemetry};
 pub use timeseries::{Recorder, TimeseriesSnapshot, TimeseriesSummary};
+pub use trace::{ActiveSpan, SpanLink, SpanRecord, TraceContext};
 
 use std::cell::RefCell;
 use std::marker::PhantomData;

@@ -241,6 +241,31 @@ pub struct MetricSample {
     pub value: f64,
 }
 
+/// A full bucket-level reading of one registered histogram, kept next
+/// to its flattened `<name>.count` / `<name>.sum` samples so the
+/// Prometheus exposition can render the standard `_bucket`/`_sum`/
+/// `_count` triplet instead of collapsing the distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// The histogram's dotted registry name.
+    pub name: String,
+    /// Inclusive upper bounds, strictly increasing (no `+Inf` entry).
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts, non-cumulative; the final entry is the
+    /// overflow (`+Inf`) bucket, so `counts.len() == bounds.len() + 1`.
+    pub counts: Vec<u64>,
+    /// Sum of all observations.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Total observation count (the sum over all buckets).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
 /// A point-in-time flattened reading of every registered metric.
 ///
 /// Invariant: `samples` is sorted by name. [`MetricsSnapshot::capture`]
@@ -252,6 +277,10 @@ pub struct MetricSample {
 pub struct MetricsSnapshot {
     /// Samples sorted by name.
     pub samples: Vec<MetricSample>,
+    /// Bucket-level histogram readings, sorted by name (absent in
+    /// snapshots serialized before the field existed).
+    #[serde(default)]
+    pub histograms: Vec<HistogramSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -260,6 +289,7 @@ impl MetricsSnapshot {
     pub fn capture() -> MetricsSnapshot {
         let reg = registry().lock().expect("metrics registry poisoned");
         let mut samples = Vec::with_capacity(reg.len());
+        let mut histograms = Vec::new();
         for (name, metric) in reg.iter() {
             match metric {
                 Metric::Counter(c) => samples.push(MetricSample {
@@ -285,10 +315,19 @@ impl MetricsSnapshot {
                         name: format!("{name}.sum"),
                         value: h.sum(),
                     });
+                    histograms.push(HistogramSnapshot {
+                        name: name.clone(),
+                        bounds: h.bounds().to_vec(),
+                        counts: h.bucket_counts(),
+                        sum: h.sum(),
+                    });
                 }
             }
         }
-        let mut snapshot = MetricsSnapshot { samples };
+        let mut snapshot = MetricsSnapshot {
+            samples,
+            histograms,
+        };
         snapshot.normalize();
         snapshot
     }
@@ -298,6 +337,7 @@ impl MetricsSnapshot {
     /// hand or deserializing one from an external source.
     pub fn normalize(&mut self) {
         self.samples.sort_by(|a, b| a.name.cmp(&b.name));
+        self.histograms.sort_by(|a, b| a.name.cmp(&b.name));
     }
 
     /// Whether the sorted-by-name invariant currently holds.
@@ -336,7 +376,10 @@ impl MetricsSnapshot {
                 });
             }
         }
-        let mut delta = MetricsSnapshot { samples };
+        let mut delta = MetricsSnapshot {
+            samples,
+            histograms: Vec::new(),
+        };
         delta.normalize();
         delta
     }
@@ -419,11 +462,32 @@ mod tests {
                     value: 2.0,
                 },
             ],
+            histograms: Vec::new(),
         };
         assert!(!shuffled.is_sorted());
         shuffled.normalize();
         assert!(shuffled.is_sorted());
         assert_eq!(shuffled.samples[0].name, "a");
+    }
+
+    #[test]
+    fn capture_carries_bucket_level_histograms() {
+        let h = histogram("obs.test.buckets", &[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(2.0);
+        h.observe(100.0);
+        let snap = MetricsSnapshot::capture();
+        let hs = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "obs.test.buckets")
+            .expect("histogram snapshot present");
+        assert_eq!(hs.bounds, vec![1.0, 10.0]);
+        assert_eq!(hs.counts, vec![1, 1, 1]);
+        assert_eq!(hs.count(), 3);
+        assert!((hs.sum - 102.5).abs() < 1e-9);
+        // The flattened samples stay for JSONL/report consumers.
+        assert_eq!(snap.get("obs.test.buckets.count"), Some(3.0));
     }
 
     #[test]

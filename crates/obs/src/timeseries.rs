@@ -345,6 +345,7 @@ mod tests {
                     value: *v,
                 })
                 .collect(),
+            histograms: Vec::new(),
         }
     }
 

@@ -1,0 +1,622 @@
+//! Distributed tracing: W3C-traceparent-style context propagation and
+//! durable span records that survive process boundaries.
+//!
+//! The in-process span machinery in the crate root ([`crate::span`])
+//! stops at the process edge: its ids are a process-local counter and
+//! its records live in whatever sink the binary installed. This module
+//! adds the cross-process layer the campaign server needs:
+//!
+//! * [`TraceContext`] — a 128-bit trace id + 64-bit span id + flags,
+//!   rendered to and parsed from the W3C `traceparent` header shape
+//!   (`00-<32 hex>-<16 hex>-<2 hex>`), so `qdi-client` can mint a
+//!   context and the HTTP edge can continue it.
+//! * [`SpanRecord`] — a serializable span (service, name, UNIX-epoch
+//!   timestamps, attributes, point events, parent and [`SpanLink`]s)
+//!   written as JSON Lines by a process-global [`set_writer`]. Links
+//!   carry a `kind` so a job resumed after `kill -9` can point its new
+//!   lease span at the pre-crash one (`kind = "resume"`) without
+//!   pretending the dead process was its parent.
+//! * [`ActiveSpan`] — the builder/guard that stamps wall-clock start
+//!   and monotonic duration and records itself on [`ActiveSpan::finish`].
+//!
+//! Timestamps are UNIX-epoch microseconds (not the process-local
+//! [`crate::now_us`] clock) precisely so spans from different processes
+//! — client, first server, restarted server — line up on one axis.
+//!
+//! Ids are minted from a SplitMix64 finalizer over wall clock, pid and
+//! a process counter: no `rand` dependency, negligible collision odds
+//! for the fleet sizes involved, and never zero (the W3C invalid
+//! value).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Instant, SystemTime};
+
+use serde::{Deserialize, Serialize};
+
+/// Trace flags: the context was sampled (always set by [`mint`]).
+pub const FLAG_SAMPLED: u8 = 0x01;
+
+/// Link kind connecting a resumed job's lease span to the lease span
+/// that was interrupted (crash, drain or fair-share requeue).
+pub const LINK_RESUME: &str = "resume";
+
+// ---------------------------------------------------------------------------
+// Ids and context
+// ---------------------------------------------------------------------------
+
+/// A 128-bit trace id, never zero. Renders as 32 lowercase hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId(pub u128);
+
+/// A 64-bit span id, never zero. Renders as 16 lowercase hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl std::fmt::Display for SpanId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl std::str::FromStr for TraceId {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<TraceId, String> {
+        if s.len() != 32 {
+            return Err(format!("trace id must be 32 hex digits, got `{s}`"));
+        }
+        let v = u128::from_str_radix(s, 16).map_err(|e| format!("bad trace id `{s}`: {e}"))?;
+        if v == 0 {
+            return Err("trace id must not be zero".to_string());
+        }
+        Ok(TraceId(v))
+    }
+}
+
+impl std::str::FromStr for SpanId {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<SpanId, String> {
+        if s.len() != 16 {
+            return Err(format!("span id must be 16 hex digits, got `{s}`"));
+        }
+        let v = u64::from_str_radix(s, 16).map_err(|e| format!("bad span id `{s}`: {e}"))?;
+        if v == 0 {
+            return Err("span id must not be zero".to_string());
+        }
+        Ok(SpanId(v))
+    }
+}
+
+/// The propagated slice of a trace: which trace, which span is the
+/// current parent, and the option flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The trace every span in this request chain shares.
+    pub trace_id: TraceId,
+    /// The caller's span: the parent of whatever span is opened next.
+    pub span_id: SpanId,
+    /// W3C trace flags ([`FLAG_SAMPLED`] is bit 0).
+    pub flags: u8,
+}
+
+impl TraceContext {
+    /// Renders the context in the W3C `traceparent` header format,
+    /// version 00: `00-<trace id>-<span id>-<flags>`.
+    #[must_use]
+    pub fn to_traceparent(&self) -> String {
+        format!("00-{}-{}-{:02x}", self.trace_id, self.span_id, self.flags)
+    }
+
+    /// Parses a `traceparent` header value. Only version `00` is
+    /// accepted; all-zero ids are rejected per the W3C spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn parse_traceparent(header: &str) -> Result<TraceContext, String> {
+        let mut parts = header.trim().split('-');
+        let version = parts.next().unwrap_or("");
+        if version != "00" {
+            return Err(format!("unsupported traceparent version `{version}`"));
+        }
+        let trace_id: TraceId = parts
+            .next()
+            .ok_or("traceparent missing trace id")?
+            .parse()?;
+        let span_id: SpanId = parts.next().ok_or("traceparent missing span id")?.parse()?;
+        let flags_hex = parts.next().ok_or("traceparent missing flags")?;
+        if flags_hex.len() != 2 {
+            return Err(format!(
+                "trace flags must be 2 hex digits, got `{flags_hex}`"
+            ));
+        }
+        let flags =
+            u8::from_str_radix(flags_hex, 16).map_err(|e| format!("bad trace flags: {e}"))?;
+        if parts.next().is_some() {
+            return Err("trailing fields after trace flags".to_string());
+        }
+        Ok(TraceContext {
+            trace_id,
+            span_id,
+            flags,
+        })
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed bijection on `u64`.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn entropy_word() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_nanos() & u128::from(u64::MAX)).unwrap_or(0))
+        .unwrap_or(0);
+    let salt = COUNTER.fetch_add(1, Ordering::Relaxed);
+    mix64(
+        nanos
+            ^ u64::from(std::process::id()).rotate_left(32)
+            ^ salt.wrapping_mul(0xa076_1d64_78bd_642f),
+    )
+}
+
+/// Mints a fresh non-zero span id.
+#[must_use]
+pub fn new_span_id() -> SpanId {
+    loop {
+        let v = entropy_word();
+        if v != 0 {
+            return SpanId(v);
+        }
+    }
+}
+
+/// Mints a fresh non-zero 128-bit trace id.
+#[must_use]
+pub fn new_trace_id() -> TraceId {
+    loop {
+        let v = (u128::from(entropy_word()) << 64) | u128::from(entropy_word());
+        if v != 0 {
+            return TraceId(v);
+        }
+    }
+}
+
+/// Mints a brand-new sampled context (fresh trace, fresh span).
+#[must_use]
+pub fn mint() -> TraceContext {
+    TraceContext {
+        trace_id: new_trace_id(),
+        span_id: new_span_id(),
+        flags: FLAG_SAMPLED,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Span records
+// ---------------------------------------------------------------------------
+
+/// A causal link to a span in the same or another trace. Unlike a
+/// parent, a link does not imply the linked span encloses this one —
+/// it records "continues the work of" (see [`LINK_RESUME`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanLink {
+    /// Linked trace id, 32 hex digits.
+    pub trace_id: String,
+    /// Linked span id, 16 hex digits.
+    pub span_id: String,
+    /// Why the link exists, e.g. [`LINK_RESUME`].
+    pub kind: String,
+}
+
+/// A point-in-time event on a span (chunk completed, yield, requeue).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanEvent {
+    /// UNIX-epoch microseconds of the event.
+    pub ts_us: u64,
+    /// Event name, e.g. `sched.yield`.
+    pub name: String,
+    /// `key = value` attachments.
+    #[serde(default)]
+    pub attrs: Vec<(String, String)>,
+}
+
+/// One finished span, as persisted to the span JSONL file. Ids are hex
+/// strings so records stay greppable and schema-stable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Trace id, 32 hex digits.
+    pub trace_id: String,
+    /// This span's id, 16 hex digits.
+    pub span_id: String,
+    /// Enclosing span id within the same trace, when there is one.
+    #[serde(default)]
+    pub parent_id: Option<String>,
+    /// Causal links ([`SpanLink`]) to spans this one continues.
+    #[serde(default)]
+    pub links: Vec<SpanLink>,
+    /// Emitting service, e.g. `qdi-client`, `qdi-serve`.
+    pub service: String,
+    /// Span name, e.g. `POST /v1/jobs` or `lease`.
+    pub name: String,
+    /// UNIX-epoch microseconds at span start (cross-process axis).
+    pub start_unix_us: u64,
+    /// Wall-clock duration in microseconds.
+    pub dur_us: u64,
+    /// `key = value` attachments.
+    #[serde(default)]
+    pub attrs: Vec<(String, String)>,
+    /// Point events that happened inside the span.
+    #[serde(default)]
+    pub events: Vec<SpanEvent>,
+}
+
+impl SpanRecord {
+    /// The span's context, for propagating onward or linking back.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the stored hex ids are malformed.
+    pub fn context(&self) -> Result<TraceContext, String> {
+        Ok(TraceContext {
+            trace_id: self.trace_id.parse()?,
+            span_id: self.span_id.parse()?,
+            flags: FLAG_SAMPLED,
+        })
+    }
+}
+
+fn unix_us() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// An open span: accumulates attributes, events and links, then stamps
+/// its duration and writes itself on [`ActiveSpan::finish`] (or on
+/// drop, so early returns and panics still leave a record).
+#[derive(Debug)]
+pub struct ActiveSpan {
+    record: Option<SpanRecord>,
+    started: Instant,
+}
+
+impl ActiveSpan {
+    fn open(
+        trace_id: TraceId,
+        parent: Option<SpanId>,
+        service: impl Into<String>,
+        name: impl Into<String>,
+    ) -> ActiveSpan {
+        ActiveSpan {
+            record: Some(SpanRecord {
+                trace_id: trace_id.to_string(),
+                span_id: new_span_id().to_string(),
+                parent_id: parent.map(|p| p.to_string()),
+                links: Vec::new(),
+                service: service.into(),
+                name: name.into(),
+                start_unix_us: unix_us(),
+                dur_us: 0,
+                attrs: Vec::new(),
+                events: Vec::new(),
+            }),
+            started: Instant::now(),
+        }
+    }
+
+    /// Opens a root span in a brand-new trace.
+    #[must_use]
+    pub fn root(service: impl Into<String>, name: impl Into<String>) -> ActiveSpan {
+        ActiveSpan::open(new_trace_id(), None, service, name)
+    }
+
+    /// Opens a span as the child of a propagated context.
+    #[must_use]
+    pub fn child_of(
+        ctx: &TraceContext,
+        service: impl Into<String>,
+        name: impl Into<String>,
+    ) -> ActiveSpan {
+        ActiveSpan::open(ctx.trace_id, Some(ctx.span_id), service, name)
+    }
+
+    /// The context to propagate to children of this span.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called after [`ActiveSpan::finish`].
+    #[must_use]
+    pub fn context(&self) -> TraceContext {
+        let record = self.record.as_ref().expect("span already finished");
+        record.context().expect("active span ids are well-formed")
+    }
+
+    /// Attaches a `key = value` attribute.
+    pub fn set_attr(&mut self, key: &str, value: impl Into<String>) {
+        if let Some(record) = self.record.as_mut() {
+            record.attrs.push((key.to_string(), value.into()));
+        }
+    }
+
+    /// Adds a causal link (see [`SpanLink`]).
+    pub fn add_link(&mut self, ctx: &TraceContext, kind: &str) {
+        if let Some(record) = self.record.as_mut() {
+            record.links.push(SpanLink {
+                trace_id: ctx.trace_id.to_string(),
+                span_id: ctx.span_id.to_string(),
+                kind: kind.to_string(),
+            });
+        }
+    }
+
+    /// Records a point event with attributes.
+    pub fn add_event(&mut self, name: &str, attrs: &[(&str, String)]) {
+        if let Some(record) = self.record.as_mut() {
+            record.events.push(SpanEvent {
+                ts_us: unix_us(),
+                name: name.to_string(),
+                attrs: attrs
+                    .iter()
+                    .map(|(k, v)| ((*k).to_string(), v.clone()))
+                    .collect(),
+            });
+        }
+    }
+
+    /// Stamps the duration, writes the record through the global
+    /// writer, and returns it.
+    pub fn finish(mut self) -> SpanRecord {
+        self.close().expect("span already finished")
+    }
+
+    fn close(&mut self) -> Option<SpanRecord> {
+        let mut record = self.record.take()?;
+        record.dur_us = u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        write_record(&record);
+        Some(record)
+    }
+}
+
+impl Drop for ActiveSpan {
+    fn drop(&mut self) {
+        let _ = self.close();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The process-global span writer
+// ---------------------------------------------------------------------------
+
+fn writer_slot() -> &'static Mutex<Option<PathBuf>> {
+    static WRITER: OnceLock<Mutex<Option<PathBuf>>> = OnceLock::new();
+    WRITER.get_or_init(|| Mutex::new(None))
+}
+
+/// Routes every finished span to `path` as appended JSON Lines. The
+/// parent directory is created eagerly so the first span cannot race a
+/// missing directory. Appends are one `write` per record, so a crashed
+/// process tears at most the final line (readers skip torn lines).
+pub fn set_writer(path: impl Into<PathBuf>) {
+    let path = path.into();
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    *writer_slot().lock().expect("trace writer poisoned") = Some(path);
+}
+
+/// The current span writer path, when one is installed.
+#[must_use]
+pub fn writer_path() -> Option<PathBuf> {
+    writer_slot().lock().expect("trace writer poisoned").clone()
+}
+
+/// Installs the writer from the `QDI_TRACE` environment variable when
+/// set and no writer is installed yet (binaries call this once).
+pub fn init_from_env() {
+    if writer_path().is_some() {
+        return;
+    }
+    if let Ok(path) = std::env::var("QDI_TRACE") {
+        if !path.is_empty() {
+            set_writer(path);
+        }
+    }
+}
+
+/// Appends one span record to the installed writer (no-op without
+/// one). IO errors are swallowed: tracing must never take down the
+/// traced service.
+pub fn write_record(record: &SpanRecord) {
+    let Some(path) = writer_path() else {
+        return;
+    };
+    let Ok(json) = serde_json::to_string(record) else {
+        return;
+    };
+    use std::io::Write;
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = file.write_all(format!("{json}\n").as_bytes());
+    }
+}
+
+/// Emits a zero-duration point span (scheduler enqueue/requeue marks).
+pub fn point_span(
+    ctx: &TraceContext,
+    service: &str,
+    name: &str,
+    attrs: &[(&str, String)],
+) -> SpanRecord {
+    let record = SpanRecord {
+        trace_id: ctx.trace_id.to_string(),
+        span_id: new_span_id().to_string(),
+        parent_id: Some(ctx.span_id.to_string()),
+        links: Vec::new(),
+        service: service.to_string(),
+        name: name.to_string(),
+        start_unix_us: unix_us(),
+        dur_us: 0,
+        attrs: attrs
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), v.clone()))
+            .collect(),
+        events: Vec::new(),
+    };
+    write_record(&record);
+    record
+}
+
+/// Reads span records back from a JSONL file, skipping lines that do
+/// not parse (a `kill -9` can tear the final line mid-write; that must
+/// not hide every span written before it).
+///
+/// # Errors
+///
+/// Returns a description when the file itself cannot be read.
+pub fn read_spans(path: &Path) -> Result<Vec<SpanRecord>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    Ok(text
+        .lines()
+        .filter(|line| !line.trim().is_empty())
+        .filter_map(|line| serde_json::from_str::<SpanRecord>(line).ok())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traceparent_round_trips() {
+        let ctx = mint();
+        let header = ctx.to_traceparent();
+        assert_eq!(header.len(), 2 + 1 + 32 + 1 + 16 + 1 + 2);
+        let parsed = TraceContext::parse_traceparent(&header).unwrap();
+        assert_eq!(parsed, ctx);
+    }
+
+    #[test]
+    fn traceparent_accepts_the_w3c_example() {
+        let ctx = TraceContext::parse_traceparent(
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+        )
+        .unwrap();
+        assert_eq!(ctx.trace_id.to_string(), "4bf92f3577b34da6a3ce929d0e0e4736");
+        assert_eq!(ctx.span_id.to_string(), "00f067aa0ba902b7");
+        assert_eq!(ctx.flags, FLAG_SAMPLED);
+    }
+
+    #[test]
+    fn traceparent_rejects_malformed_headers() {
+        for bad in [
+            "",
+            "00",
+            "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+            "00-short-00f067aa0ba902b7-01",
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-short-01",
+            "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0z",
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra",
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",
+        ] {
+            assert!(
+                TraceContext::parse_traceparent(bad).is_err(),
+                "must reject `{bad}`"
+            );
+        }
+    }
+
+    #[test]
+    fn minted_ids_are_nonzero_and_distinct() {
+        let a = mint();
+        let b = mint();
+        assert_ne!(a.trace_id, b.trace_id);
+        assert_ne!(a.span_id, b.span_id);
+        assert_ne!(a.trace_id.0, 0);
+        assert_ne!(a.span_id.0, 0);
+    }
+
+    #[test]
+    fn spans_nest_link_and_round_trip_through_jsonl() {
+        let dir = std::env::temp_dir().join(format!("qdi_obs_trace_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("spans.jsonl");
+        set_writer(&path);
+
+        let mut root = ActiveSpan::root("qdi-client", "submit");
+        root.set_attr("job", "j000001");
+        let ctx = root.context();
+        let mut child = ActiveSpan::child_of(&ctx, "qdi-serve", "POST /v1/jobs");
+        child.add_event("sched.enqueue", &[("tenant", "alice".to_string())]);
+        let prior = mint();
+        child.add_link(&prior, LINK_RESUME);
+        let child_rec = child.finish();
+        let root_rec = root.finish();
+
+        assert_eq!(child_rec.trace_id, root_rec.trace_id);
+        assert_eq!(
+            child_rec.parent_id.as_deref(),
+            Some(root_rec.span_id.as_str())
+        );
+        assert_eq!(child_rec.links[0].kind, LINK_RESUME);
+        assert_eq!(child_rec.events[0].name, "sched.enqueue");
+
+        // Other tests share the global writer; judge only our trace.
+        let ours = |spans: &[SpanRecord]| -> usize {
+            spans
+                .iter()
+                .filter(|s| s.trace_id == root_rec.trace_id)
+                .count()
+        };
+        let read = read_spans(&path).unwrap();
+        assert!(read.contains(&child_rec));
+        assert!(read.contains(&root_rec));
+        assert_eq!(ours(&read), 2);
+
+        // A torn final line (kill -9 mid-append) hides only itself.
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(b"{\"trace_id\":\"torn").unwrap();
+        drop(f);
+        assert_eq!(ours(&read_spans(&path).unwrap()), 2);
+
+        *writer_slot().lock().unwrap() = None;
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn point_spans_parent_under_the_given_context() {
+        let ctx = mint();
+        let p = point_span(&ctx, "qdi-serve", "sched.requeue", &[]);
+        assert_eq!(p.trace_id, ctx.trace_id.to_string());
+        assert_eq!(
+            p.parent_id.as_deref(),
+            Some(ctx.span_id.to_string().as_str())
+        );
+        assert_eq!(p.dur_us, 0);
+    }
+}

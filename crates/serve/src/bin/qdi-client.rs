@@ -25,7 +25,12 @@ fn usage() -> ! {
         "usage: qdi-client --server http://HOST:PORT COMMAND [ARGS]\n\
          \n\
          commands:\n\
-           submit SPEC.json           submit a job spec, print its id\n\
+           submit SPEC.json [--trace-file F]\n\
+                                      submit a job spec, print its id;\n\
+                                      a traceparent is always sent and the\n\
+                                      trace id echoed to stderr. The local\n\
+                                      submit span is written to F (or to\n\
+                                      $QDI_TRACE when set)\n\
            status JOB [--wait SECS]   print a job's status JSON\n\
            watch JOB                  stream SSE progress to stdout\n\
            list [--tenant T]          list jobs\n\
@@ -62,9 +67,28 @@ fn main() {
             let path = rest.first().unwrap_or_else(|| usage());
             let spec =
                 std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("read {path}: {e}")));
-            match client.submit(&spec) {
-                Ok(id) => println!("{id}"),
-                Err(e) => fail(e),
+            // The client end of the distributed trace: mint a root
+            // span, propagate it as `traceparent`, keep stdout to the
+            // bare job id (scripts parse it) and put the trace id on
+            // stderr for humans and CI.
+            qdi_obs::trace::init_from_env();
+            if let Some(file) = flag_value(&rest, "--trace-file") {
+                qdi_obs::trace::set_writer(file);
+            }
+            let mut span = qdi_obs::trace::ActiveSpan::root("qdi-client", "submit");
+            span.set_attr("spec", path.clone());
+            let ctx = span.context();
+            match client.submit_traced(&spec, Some(&ctx)) {
+                Ok(id) => {
+                    span.set_attr("job", id.clone());
+                    eprintln!("trace: {}", ctx.trace_id);
+                    println!("{id}");
+                }
+                Err(e) => {
+                    span.set_attr("error", e.to_string());
+                    drop(span);
+                    fail(e)
+                }
             }
         }
         "status" => {

@@ -98,6 +98,12 @@ fn main() {
     let Some(data) = data else { usage() };
 
     qdi_obs::init_from_env();
+    // Flush observability sinks on every exit path from main — the
+    // graceful drain below, but also an unwinding panic. Worker
+    // threads carry their own guard (see `server::worker_loop`), so a
+    // lease that dies mid-campaign still leaves its metrics and spans
+    // on disk.
+    let _flush = qdi_obs::flush_on_drop();
     signals::install();
 
     let mut cfg = ServeConfig::new(&data);

@@ -86,6 +86,25 @@ pub fn request(
     body: Option<&str>,
     timeout: Duration,
 ) -> Result<HttpResponse, ClientError> {
+    request_with_headers(base, method, path, body, &[], timeout)
+}
+
+/// Like [`request`], with extra header lines (e.g. `traceparent`) sent
+/// after the standard ones. Header names and values must be pre-valid:
+/// they are written verbatim.
+///
+/// # Errors
+///
+/// Transport failures; HTTP error statuses are returned as `Ok` with
+/// the status set (callers decide what is fatal).
+pub fn request_with_headers(
+    base: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    headers: &[(&str, &str)],
+    timeout: Duration,
+) -> Result<HttpResponse, ClientError> {
     let authority = authority_of(base)?;
     let mut stream = TcpStream::connect(&authority)
         .map_err(|e| transport(format!("connect {authority}: {e}")))?;
@@ -96,10 +115,14 @@ pub fn request(
         .set_write_timeout(Some(timeout))
         .map_err(|e| transport(e.to_string()))?;
     let body_bytes = body.unwrap_or("").as_bytes();
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {authority}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {authority}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body_bytes.len()
     );
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
     stream
         .write_all(head.as_bytes())
         .and_then(|()| stream.write_all(body_bytes))
@@ -212,7 +235,36 @@ impl ServeClient {
     ///
     /// Transport/HTTP failures or an unparsable response.
     pub fn submit(&self, spec_json: &str) -> Result<String, ClientError> {
-        let response = self.post("/v1/jobs", spec_json)?;
+        self.submit_traced(spec_json, None)
+    }
+
+    /// Submits a job spec under a distributed-trace context: the
+    /// context is injected as a `traceparent` header, so the server's
+    /// request span — and through it every scheduler mark and lease
+    /// span the job ever produces, across restarts — becomes a child
+    /// of the caller's span.
+    ///
+    /// # Errors
+    ///
+    /// Transport/HTTP failures or an unparsable response.
+    pub fn submit_traced(
+        &self,
+        spec_json: &str,
+        trace: Option<&qdi_obs::trace::TraceContext>,
+    ) -> Result<String, ClientError> {
+        let header = trace.map(qdi_obs::trace::TraceContext::to_traceparent);
+        let headers: Vec<(&str, &str)> = header
+            .as_deref()
+            .map(|value| vec![("traceparent", value)])
+            .unwrap_or_default();
+        let response = self.expect_ok(request_with_headers(
+            &self.base,
+            "POST",
+            "/v1/jobs",
+            Some(spec_json),
+            &headers,
+            self.timeout,
+        )?)?;
         let value = serde_json::parse_value_str(&response.text())
             .map_err(|e| transport(format!("parse submit response: {e:?}")))?;
         value

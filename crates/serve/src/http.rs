@@ -108,6 +108,15 @@ impl Request {
             .find(|(k, _)| k == key)
             .map(|(_, v)| v.as_str())
     }
+
+    /// The distributed-trace context carried by a `traceparent` header
+    /// (W3C Trace Context shape). Absent or malformed headers yield
+    /// `None` — a bad trace header must never fail the request itself.
+    #[must_use]
+    pub fn trace_context(&self) -> Option<qdi_obs::trace::TraceContext> {
+        let raw = self.header("traceparent")?;
+        qdi_obs::trace::TraceContext::parse_traceparent(raw.trim()).ok()
+    }
 }
 
 /// Reads one `\n`-terminated line of at most `max` bytes (excluding

@@ -54,6 +54,25 @@ impl JobState {
     }
 }
 
+/// Distributed-trace context persisted alongside the job so a
+/// restarted server can keep emitting spans under the trace that
+/// submitted it. Ids are the hex strings of
+/// [`qdi_obs::trace::TraceContext`]; `last_lease_span` is the most
+/// recent lease span, which the next lease links to with a `resume`
+/// span-link (causality across process death, without pretending the
+/// dead span is a parent).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// 032x hex trace id shared by every span of this job's story.
+    pub trace_id: String,
+    /// 016x hex span id of the span that submitted the job (the
+    /// parent of every lease span).
+    pub root_span: String,
+    /// 016x hex span id of the latest lease span, if any lease ran.
+    #[serde(default)]
+    pub last_lease_span: Option<String>,
+}
+
 /// The durable record — everything needed to resurrect the job after
 /// a crash. Progress counters are advisory (the checkpoint is the
 /// source of truth for resumption); they make `GET /v1/jobs` honest
@@ -79,6 +98,10 @@ pub struct JobRecord {
     pub resumes: u64,
     /// Monotonic submission sequence (FIFO tie-break within a tenant).
     pub submit_seq: u64,
+    /// Distributed-trace context, if the submitter sent (or the server
+    /// minted) one. `default` keeps pre-tracing records loadable.
+    #[serde(default)]
+    pub trace: Option<TraceMeta>,
 }
 
 /// File names inside a job directory.
@@ -224,6 +247,24 @@ impl JobHandle {
     #[must_use]
     pub fn state(&self) -> JobState {
         self.lock().record.state
+    }
+
+    /// The persisted trace context, if any.
+    #[must_use]
+    pub fn trace(&self) -> Option<TraceMeta> {
+        self.lock().record.trace.clone()
+    }
+
+    /// Records the span id of the lease that just started and persists
+    /// it, so the next lease (possibly in a different process, after a
+    /// crash) can link back to it. A no-op for untraced jobs.
+    pub fn set_lease_span(&self, span_id: &str) -> Result<(), String> {
+        let mut inner = self.lock();
+        let Some(trace) = inner.record.trace.as_mut() else {
+            return Ok(());
+        };
+        trace.last_lease_span = Some(span_id.to_owned());
+        inner.record.save(&self.dir)
     }
 
     /// Requests cooperative cancellation (checked between chunks).
@@ -460,6 +501,7 @@ mod tests {
             quarantined: Vec::new(),
             resumes: 0,
             submit_seq: 0,
+            trace: None,
         }
     }
 
@@ -473,6 +515,31 @@ mod tests {
         assert_eq!(back.id, "j000001");
         assert_eq!(back.state, JobState::Queued);
         assert_eq!(back.total, 256);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_meta_round_trips_and_defaults_for_old_records() {
+        let dir = std::env::temp_dir().join(format!("qdi_serve_trace_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let mut rec = record("j000009");
+        rec.trace = Some(TraceMeta {
+            trace_id: "4bf92f3577b34da6a3ce929d0e0e4736".into(),
+            root_span: "00f067aa0ba902b7".into(),
+            last_lease_span: None,
+        });
+        rec.save(&dir).expect("saves");
+        let handle = JobHandle::new(JobRecord::load(&dir).expect("loads"), dir.clone());
+        handle.set_lease_span("b7ad6b7169203331").expect("persists");
+        let back = JobRecord::load(&dir).expect("reloads");
+        let trace = back.trace.expect("trace survives");
+        assert_eq!(trace.trace_id, "4bf92f3577b34da6a3ce929d0e0e4736");
+        assert_eq!(trace.last_lease_span.as_deref(), Some("b7ad6b7169203331"));
+        // A record serialized before tracing existed still loads.
+        let old: JobRecord =
+            serde_json::from_str(&serde_json::to_string(&record("j000010")).expect("serializes"))
+                .expect("parses");
+        assert!(old.trace.is_none());
         std::fs::remove_dir_all(&dir).ok();
     }
 

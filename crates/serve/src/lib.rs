@@ -34,10 +34,11 @@ pub mod runner;
 pub mod scheduler;
 pub mod server;
 pub mod spec;
+pub mod telemetry;
 
 pub use client::{ClientError, ServeClient};
 pub use http::{HttpError, Limits, Request, Response};
-pub use job::{JobHandle, JobRecord, JobState, JobStatus};
+pub use job::{JobHandle, JobRecord, JobState, JobStatus, TraceMeta};
 pub use runner::{DpaReport, GuessReport};
 pub use scheduler::Scheduler;
 pub use server::{ServeConfig, Server};

@@ -26,7 +26,9 @@ use qdi_dpa::selection::{AesSboxSelect, AesXorSelect};
 use qdi_dpa::{SelectionFunction, StoreCampaignRunner, StoreCheckpoint};
 use qdi_exec::{ExecConfig, StoreOptions, SupervisorPolicy};
 
-use crate::job::{JobHandle, JobState, CHECKPOINT_FILE, REPORT_FILE, STORE_FILE};
+use qdi_obs::trace::{ActiveSpan, SpanId, TraceContext, TraceId, FLAG_SAMPLED, LINK_RESUME};
+
+use crate::job::{JobHandle, JobRecord, JobState, CHECKPOINT_FILE, REPORT_FILE, STORE_FILE};
 use crate::scheduler::Scheduler;
 use crate::spec::{DpaJobSpec, FiJobSpec, JobKind, PnrJobSpec};
 
@@ -93,6 +95,41 @@ fn quarantined_u64(indices: &[usize]) -> Vec<u64> {
     indices.iter().map(|&i| i as u64).collect()
 }
 
+/// Opens this lease's span under the job's persisted trace: a child of
+/// the submitting span (same parent across restarts), with a `resume`
+/// link to the previous lease span when one ran — possibly in a server
+/// process that has since been killed. The new span id is persisted
+/// before any work so even a `kill -9` mid-lease leaves the link chain
+/// intact for the *next* lease. `None` for untraced jobs.
+fn open_lease_span(job: &Arc<JobHandle>, record: &JobRecord) -> Option<ActiveSpan> {
+    let meta = record.trace.as_ref()?;
+    let trace_id: TraceId = meta.trace_id.parse().ok()?;
+    let root_span: SpanId = meta.root_span.parse().ok()?;
+    let root = TraceContext {
+        trace_id,
+        span_id: root_span,
+        flags: FLAG_SAMPLED,
+    };
+    let mut span = ActiveSpan::child_of(&root, "qdi-serve", "lease");
+    span.set_attr("job", record.id.clone());
+    span.set_attr("tenant", record.spec.tenant.clone());
+    span.set_attr("resumes", record.resumes.to_string());
+    if let Some(prev) = meta
+        .last_lease_span
+        .as_deref()
+        .and_then(|s| s.parse::<SpanId>().ok())
+    {
+        let prior = TraceContext {
+            trace_id,
+            span_id: prev,
+            flags: FLAG_SAMPLED,
+        };
+        span.add_link(&prior, LINK_RESUME);
+    }
+    let _ = job.set_lease_span(&span.context().span_id.to_string());
+    Some(span)
+}
+
 /// Runs one lease of `job`. Owns all state transitions; the returned
 /// [`Disposition`] tells the worker whether to re-queue.
 pub fn run_lease(sched: &Scheduler, job: &Arc<JobHandle>) -> Disposition {
@@ -103,14 +140,29 @@ pub fn run_lease(sched: &Scheduler, job: &Arc<JobHandle>) -> Disposition {
     }
     let _ = job.set_state(JobState::Running, None);
     let record = job.record();
+    let mut lease = open_lease_span(job, &record);
     let result = match &record.spec.kind {
-        JobKind::Dpa(spec) => run_dpa(sched, job, spec),
+        JobKind::Dpa(spec) => run_dpa(sched, job, spec, &mut lease),
         JobKind::Fi(spec) => run_fi(job, spec).map(|()| Disposition::Done),
         JobKind::Pnr(spec) => run_pnr(job, spec).map(|()| Disposition::Done),
     };
     match result {
-        Ok(disposition) => disposition,
+        Ok(disposition) => {
+            if let Some(span) = lease.as_mut() {
+                span.set_attr(
+                    "disposition",
+                    match disposition {
+                        Disposition::Done => "done",
+                        Disposition::Requeue => "requeue",
+                    },
+                );
+            }
+            disposition
+        }
         Err(message) => {
+            if let Some(span) = lease.as_mut() {
+                span.set_attr("error", message.clone());
+            }
             let _ = job.set_state(JobState::Failed, Some(message));
             qdi_obs::metrics::counter("serve.jobs.failed").inc();
             Disposition::Done
@@ -126,6 +178,7 @@ fn run_dpa(
     sched: &Scheduler,
     job: &Arc<JobHandle>,
     spec: &DpaJobSpec,
+    lease: &mut Option<ActiveSpan>,
 ) -> Result<Disposition, String> {
     let record = job.record();
     let tenant = record.spec.tenant.clone();
@@ -178,14 +231,23 @@ fn run_dpa(
             total,
             quarantined_u64(runner.quarantined()),
         );
+        if let Some(span) = lease.as_mut() {
+            span.add_event("chunk", &[("completed", runner.completed().to_string())]);
+        }
         if sched.draining() {
             // Park durably: the next server start re-queues us and the
             // checkpoint written above resumes exactly here.
+            if let Some(span) = lease.as_mut() {
+                span.add_event("drain.park", &[]);
+            }
             let _ = job.set_state(JobState::Queued, None);
             return Ok(Disposition::Done);
         }
         if sched.should_yield(&tenant, priority) {
             qdi_obs::metrics::counter("serve.sched.yields").inc();
+            if let Some(span) = lease.as_mut() {
+                span.add_event("sched.yield", &[("tenant", tenant.clone())]);
+            }
             let _ = job.set_state(JobState::Queued, None);
             return Ok(Disposition::Requeue);
         }

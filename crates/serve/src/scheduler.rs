@@ -68,9 +68,30 @@ impl Scheduler {
         self.inner.lock().expect("scheduler lock poisoned")
     }
 
-    /// Queues a job (idempotence is the caller's concern).
+    /// Queues a job (idempotence is the caller's concern). Traced jobs
+    /// get a zero-duration `sched.enqueue` mark parented under their
+    /// submitting span, so waterfalls show every (re)queue — initial
+    /// submit, fair-share requeue, crash recovery — on one time axis.
     pub fn enqueue(&self, job: Arc<JobHandle>) {
         let record = job.record();
+        if let Some(ctx) = record.trace.as_ref().and_then(|meta| {
+            Some(qdi_obs::trace::TraceContext {
+                trace_id: meta.trace_id.parse().ok()?,
+                span_id: meta.root_span.parse().ok()?,
+                flags: qdi_obs::trace::FLAG_SAMPLED,
+            })
+        }) {
+            qdi_obs::trace::point_span(
+                &ctx,
+                "qdi-serve",
+                "sched.enqueue",
+                &[
+                    ("job", record.id.clone()),
+                    ("tenant", record.spec.tenant.clone()),
+                    ("resumes", record.resumes.to_string()),
+                ],
+            );
+        }
         let entry = QueueEntry {
             tenant: record.spec.tenant.clone(),
             priority: record.spec.priority(),
@@ -206,6 +227,7 @@ mod tests {
             quarantined: Vec::new(),
             resumes: 0,
             submit_seq: seq,
+            trace: None,
         };
         Arc::new(JobHandle::new(record, std::env::temp_dir()))
     }

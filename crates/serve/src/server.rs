@@ -34,13 +34,18 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use qdi_obs::trace::ActiveSpan;
+
 use crate::http::{
     read_request, write_sse_event, write_sse_preamble, HttpError, Limits, Request, Response,
 };
-use crate::job::{JobHandle, JobRecord, JobState, CHECKPOINT_FILE, REPORT_FILE, STORE_FILE};
+use crate::job::{
+    JobHandle, JobRecord, JobState, TraceMeta, CHECKPOINT_FILE, REPORT_FILE, STORE_FILE,
+};
 use crate::runner::{run_lease, Disposition};
 use crate::scheduler::Scheduler;
 use crate::spec::{JobKind, JobSpec};
+use crate::telemetry::{route_label, RedRegistry};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -86,6 +91,7 @@ struct ServerState {
     shutdown_requested: AtomicBool,
     next_id: AtomicU64,
     connections: AtomicUsize,
+    red: RedRegistry,
 }
 
 impl ServerState {
@@ -124,6 +130,11 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        // Span records live next to the tenant tree so a restarted
+        // server keeps appending to the same file and cross-restart
+        // traces stay in one place. The writer is process-global: the
+        // most recently started server in a process owns it.
+        qdi_obs::trace::set_writer(cfg.data_dir.join("trace").join("spans.jsonl"));
 
         let state = Arc::new(ServerState {
             cfg,
@@ -133,6 +144,7 @@ impl Server {
             shutdown_requested: AtomicBool::new(false),
             next_id: AtomicU64::new(1),
             connections: AtomicUsize::new(0),
+            red: RedRegistry::new(),
         });
         recover_jobs(&state);
 
@@ -164,6 +176,12 @@ impl Server {
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Where this server appends its span records (JSON Lines).
+    #[must_use]
+    pub fn trace_path(&self) -> PathBuf {
+        self.state.cfg.data_dir.join("trace").join("spans.jsonl")
     }
 
     /// Whether `POST /v1/shutdown` (or a signal relayed by the binary)
@@ -257,6 +275,11 @@ fn recover_jobs(state: &Arc<ServerState>) {
 }
 
 fn worker_loop(state: &Arc<ServerState>) {
+    // A lease that panics unwinds past every buffered sink; flush on
+    // the way out of the loop (normal drain or not) and after each
+    // caught panic so the observability trail ends at the crash, not
+    // at the last happenstance flush.
+    let _flush = qdi_obs::flush_on_drop();
     while let Some(job) = state.sched.take_next() {
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             run_lease(&state.sched, &job)
@@ -267,6 +290,7 @@ fn worker_loop(state: &Arc<ServerState>) {
             Err(_) => {
                 let _ = job.set_state(JobState::Failed, Some("worker panicked".into()));
                 qdi_obs::metrics::counter("serve.jobs.failed").inc();
+                qdi_obs::flush();
             }
         }
     }
@@ -303,6 +327,28 @@ fn accept_loop(state: &Arc<ServerState>, listener: &TcpListener) {
     }
 }
 
+/// The tenant a request concerns, for RED labels: the spec's tenant on
+/// submit, the `?tenant=` filter on list, the job's owner on
+/// `/v1/jobs/{id}` routes, empty otherwise.
+fn tenant_label(state: &Arc<ServerState>, request: &Request) -> String {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        ["v1", "jobs"] if request.method == "POST" => std::str::from_utf8(&request.body)
+            .ok()
+            .and_then(|body| serde_json::parse_value_str(body).ok())
+            .and_then(|value| {
+                value
+                    .get("tenant")
+                    .and_then(serde::Value::as_str)
+                    .map(str::to_owned)
+            })
+            .unwrap_or_default(),
+        ["v1", "jobs"] => request.query_param("tenant").unwrap_or_default().to_owned(),
+        ["v1", "jobs", id, ..] => state.job(id).map(|j| j.tenant()).unwrap_or_default(),
+        _ => String::new(),
+    }
+}
+
 fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
     qdi_obs::metrics::counter("serve.http.requests").inc();
     let timeout = Duration::from_millis(state.cfg.io_timeout_ms.max(1));
@@ -318,25 +364,55 @@ fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
         Ok(None) => return,
         Err(err) => {
             qdi_obs::metrics::counter("serve.http.errors").inc();
+            state.red.observe("malformed", "", err.status, 0.0);
             let _ = Response::from_error(&err).write_to(&mut writer);
             return;
         }
     };
+    let started = std::time::Instant::now();
+    let route_name = route_label(&request.method, &request.path);
+    let tenant = tenant_label(state, &request);
+    // One span per request: a child of the caller's traceparent when
+    // one was sent, a fresh root otherwise (so server-side work is
+    // traceable even from untraced clients).
+    let mut span = match request.trace_context() {
+        Some(ctx) => ActiveSpan::child_of(&ctx, "qdi-serve", route_name.clone()),
+        None => ActiveSpan::root("qdi-serve", route_name.clone()),
+    };
+    span.set_attr("http.method", request.method.clone());
+    span.set_attr("http.path", request.path.clone());
+    if !tenant.is_empty() {
+        span.set_attr("tenant", tenant.clone());
+    }
     // SSE never returns: stream events until the job ends.
     if request.method == "GET"
         && request.path.starts_with("/v1/jobs/")
         && request.path.ends_with("/events")
     {
         sse_stream(state, &mut writer, &request);
+        span.set_attr("http.status", "200");
+        state.red.observe(
+            &route_name,
+            &tenant,
+            200,
+            started.elapsed().as_secs_f64() * 1e3,
+        );
         return;
     }
-    let response = match route(state, &request) {
+    let response = match route(state, &request, &mut span) {
         Ok(response) => response,
         Err(err) => {
             qdi_obs::metrics::counter("serve.http.errors").inc();
             Response::from_error(&err)
         }
     };
+    span.set_attr("http.status", response.status.to_string());
+    state.red.observe(
+        &route_name,
+        &tenant,
+        response.status,
+        started.elapsed().as_secs_f64() * 1e3,
+    );
     let _ = response.write_to(&mut writer);
 }
 
@@ -346,20 +422,26 @@ fn json_ok<T: serde::Serialize>(value: &T) -> Result<Response, HttpError> {
     Ok(Response::json(200, json))
 }
 
-fn route(state: &Arc<ServerState>, request: &Request) -> Result<Response, HttpError> {
+fn route(
+    state: &Arc<ServerState>,
+    request: &Request,
+    span: &mut ActiveSpan,
+) -> Result<Response, HttpError> {
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => Ok(healthz(state)),
         ("GET", ["metrics"]) => {
             let snapshot = qdi_obs::metrics::MetricsSnapshot::capture();
-            Ok(Response::text(200, qdi_obs::prometheus::render(&snapshot)))
+            let mut body = qdi_obs::prometheus::render(&snapshot);
+            body.push_str(&state.red.render_prometheus());
+            Ok(Response::text(200, body))
         }
         ("GET", ["v1", "progress"]) => json_ok(&progress_snapshot(state)),
         ("POST", ["v1", "shutdown"]) => {
             state.shutdown_requested.store(true, Ordering::SeqCst);
             Ok(Response::json(202, "{\"status\":\"draining\"}"))
         }
-        ("POST", ["v1", "jobs"]) => submit(state, request),
+        ("POST", ["v1", "jobs"]) => submit(state, request, span),
         ("GET", ["v1", "jobs"]) => list_jobs(state, request),
         ("GET", ["v1", "jobs", id]) => status(state, id, request),
         ("POST", ["v1", "jobs", id, "cancel"]) | ("DELETE", ["v1", "jobs", id]) => {
@@ -418,7 +500,11 @@ fn progress_snapshot(state: &Arc<ServerState>) -> qdi_obs::progress::ProgressSna
     }
 }
 
-fn submit(state: &Arc<ServerState>, request: &Request) -> Result<Response, HttpError> {
+fn submit(
+    state: &Arc<ServerState>,
+    request: &Request,
+    span: &mut ActiveSpan,
+) -> Result<Response, HttpError> {
     if state.drain.load(Ordering::SeqCst) {
         return Err(HttpError::new(503, "server is draining"));
     }
@@ -444,6 +530,12 @@ fn submit(state: &Arc<ServerState>, request: &Request) -> Result<Response, HttpE
         JobKind::Fi(_) => 0,
         JobKind::Pnr(pnr) => pnr.seeds.len() as u64,
     };
+    // The job's durable trace anchor is this request's span: it is in
+    // the submitter's trace (when a traceparent came in) and already
+    // recorded, so every future lease span — including ones emitted by
+    // a different server process after a crash — parents under it.
+    let ctx = span.context();
+    span.set_attr("job", id.clone());
     let record = JobRecord {
         id: id.clone(),
         spec,
@@ -454,6 +546,11 @@ fn submit(state: &Arc<ServerState>, request: &Request) -> Result<Response, HttpE
         quarantined: Vec::new(),
         resumes: 0,
         submit_seq: seq,
+        trace: Some(TraceMeta {
+            trace_id: ctx.trace_id.to_string(),
+            root_span: ctx.span_id.to_string(),
+            last_lease_span: None,
+        }),
     };
     record
         .save(&dir)

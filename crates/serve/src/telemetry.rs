@@ -1,0 +1,216 @@
+//! Per-route / per-tenant RED telemetry for the HTTP edge.
+//!
+//! The process-global [`qdi_obs::metrics`] registry keeps the server's
+//! unlabeled counters (`serve.http.requests`, …). SLO evaluation needs
+//! more dimensions — which route, which tenant, how slow — so this
+//! module keeps its own labeled registry keyed by `(route, tenant)`
+//! and renders it straight into the `/metrics` exposition alongside
+//! the global snapshot:
+//!
+//! * `serve.http.route.requests{route,tenant}` — request count;
+//! * `serve.http.route.errors{route,tenant,class}` — 4xx (`client`)
+//!   and 5xx (`server`) responses;
+//! * `serve.http.route.latency.ms{route,tenant}` — a fixed-bound
+//!   histogram exposed as the standard `_bucket`/`_sum`/`_count`
+//!   triplet that [`qdi_obs::slo::evaluate`] consumes.
+//!
+//! Routes are normalized ([`route_label`]) so each job id does not
+//! mint a fresh label series — `/v1/jobs/j000042/report` becomes
+//! `/v1/jobs/{id}/report`.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use qdi_obs::prometheus;
+use qdi_obs::slo::{ROUTE_ERRORS, ROUTE_LATENCY_MS, ROUTE_REQUESTS};
+
+/// Latency bucket upper bounds in milliseconds. Chosen to straddle the
+/// interesting range for a local-network JSON API: sub-millisecond
+/// health checks through multi-second long-polls.
+pub const LATENCY_BOUNDS_MS: [f64; 12] = [
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+];
+
+#[derive(Default)]
+struct RouteStats {
+    requests: u64,
+    client_errors: u64,
+    server_errors: u64,
+    /// Non-cumulative counts per bound, plus a trailing overflow slot.
+    latency_counts: Vec<u64>,
+    latency_sum_ms: f64,
+}
+
+/// The labeled RED registry. One per [`crate::server::Server`]; shared
+/// by every connection handler through the server state.
+#[derive(Default)]
+pub struct RedRegistry {
+    inner: Mutex<BTreeMap<(String, String), RouteStats>>,
+}
+
+impl RedRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> RedRegistry {
+        RedRegistry::default()
+    }
+
+    /// Records one finished request.
+    pub fn observe(&self, route: &str, tenant: &str, status: u16, latency_ms: f64) {
+        let mut inner = self.inner.lock().expect("red registry poisoned");
+        let stats = inner
+            .entry((route.to_owned(), tenant.to_owned()))
+            .or_default();
+        if stats.latency_counts.is_empty() {
+            stats.latency_counts = vec![0; LATENCY_BOUNDS_MS.len() + 1];
+        }
+        stats.requests += 1;
+        match status {
+            400..=499 => stats.client_errors += 1,
+            500..=599 => stats.server_errors += 1,
+            _ => {}
+        }
+        let slot = LATENCY_BOUNDS_MS
+            .iter()
+            .position(|b| latency_ms <= *b)
+            .unwrap_or(LATENCY_BOUNDS_MS.len());
+        stats.latency_counts[slot] += 1;
+        stats.latency_sum_ms += latency_ms.max(0.0);
+    }
+
+    /// Renders the registry as Prometheus text-format series (with
+    /// `# HELP`/`# TYPE` headers), ready to append to the `/metrics`
+    /// body.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let inner = self.inner.lock().expect("red registry poisoned");
+        if inner.is_empty() {
+            return String::new();
+        }
+        let mut out = String::new();
+
+        let requests_name = prometheus::metric_name(ROUTE_REQUESTS);
+        out.push_str(&format!(
+            "# HELP {requests_name} qdi metric `{ROUTE_REQUESTS}`\n# TYPE {requests_name} counter\n"
+        ));
+        for ((route, tenant), stats) in inner.iter() {
+            out.push_str(&prometheus::render_labeled(
+                ROUTE_REQUESTS,
+                &[("route", route), ("tenant", tenant)],
+                stats.requests as f64,
+            ));
+        }
+
+        let errors_name = prometheus::metric_name(ROUTE_ERRORS);
+        out.push_str(&format!(
+            "# HELP {errors_name} qdi metric `{ROUTE_ERRORS}`\n# TYPE {errors_name} counter\n"
+        ));
+        for ((route, tenant), stats) in inner.iter() {
+            for (class, count) in [
+                ("client", stats.client_errors),
+                ("server", stats.server_errors),
+            ] {
+                if count > 0 {
+                    out.push_str(&prometheus::render_labeled(
+                        ROUTE_ERRORS,
+                        &[("route", route), ("tenant", tenant), ("class", class)],
+                        count as f64,
+                    ));
+                }
+            }
+        }
+
+        let latency_name = prometheus::metric_name(ROUTE_LATENCY_MS);
+        out.push_str(&format!(
+            "# HELP {latency_name} qdi histogram `{ROUTE_LATENCY_MS}`\n# TYPE {latency_name} histogram\n"
+        ));
+        for ((route, tenant), stats) in inner.iter() {
+            prometheus::render_histogram_samples(
+                &mut out,
+                ROUTE_LATENCY_MS,
+                &[("route", route), ("tenant", tenant)],
+                &LATENCY_BOUNDS_MS,
+                &stats.latency_counts,
+                stats.latency_sum_ms,
+            );
+        }
+        out
+    }
+}
+
+/// Collapses ids out of a request path so labels stay low-cardinality:
+/// the second segment of `/v1/jobs/...` becomes `{id}` while known
+/// sub-resources (`report`, `events`, …) are kept verbatim.
+#[must_use]
+pub fn route_label(method: &str, path: &str) -> String {
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    let normalized = match segments.as_slice() {
+        ["v1", "jobs", _id] => "/v1/jobs/{id}".to_owned(),
+        ["v1", "jobs", _id, rest @ ..] => format!("/v1/jobs/{{id}}/{}", rest.join("/")),
+        _ => path.to_owned(),
+    };
+    format!("{method} {normalized}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_labels_collapse_job_ids() {
+        assert_eq!(route_label("GET", "/healthz"), "GET /healthz");
+        assert_eq!(route_label("POST", "/v1/jobs"), "POST /v1/jobs");
+        assert_eq!(route_label("GET", "/v1/jobs/j000042"), "GET /v1/jobs/{id}");
+        assert_eq!(
+            route_label("GET", "/v1/jobs/j000042/report"),
+            "GET /v1/jobs/{id}/report"
+        );
+        assert_eq!(
+            route_label("GET", "/v1/jobs/j000042/events"),
+            "GET /v1/jobs/{id}/events"
+        );
+    }
+
+    #[test]
+    fn red_registry_renders_slo_consumable_series() {
+        let red = RedRegistry::new();
+        red.observe("POST /v1/jobs", "alice", 200, 3.0);
+        red.observe("POST /v1/jobs", "alice", 200, 40.0);
+        red.observe("POST /v1/jobs", "alice", 422, 1.5);
+        red.observe("GET /healthz", "", 200, 0.4);
+        red.observe("GET /v1/jobs/{id}", "bob", 500, 9000.0);
+
+        let text = red.render_prometheus();
+        let cfg = qdi_obs::slo::SloConfig::from_json(
+            r#"{"slos":[
+                {"name":"submit-availability","route":"POST /v1/jobs",
+                 "tenant":"alice","availability":0.5,"p99_ms":5000.0},
+                {"name":"bob-no-errors","tenant":"bob","availability":0.999}
+            ]}"#,
+        )
+        .expect("config parses");
+        let report = qdi_obs::slo::evaluate(&cfg, &text).expect("evaluates");
+        assert_eq!(report.verdicts.len(), 2);
+        let submit = &report.verdicts[0];
+        assert_eq!(submit.requests, 3);
+        assert_eq!(submit.errors, 1);
+        assert!(submit.ok, "2/3 availability beats a 0.5 target");
+        let bob = &report.verdicts[1];
+        assert_eq!(bob.requests, 1);
+        assert_eq!(bob.errors, 1);
+        assert!(!bob.ok, "a 5xx on one request breaches 99.9%");
+        assert!(report.breached());
+    }
+
+    #[test]
+    fn latency_overflow_lands_in_the_inf_bucket() {
+        let red = RedRegistry::new();
+        red.observe("GET /x", "t", 200, 99_999.0);
+        let text = red.render_prometheus();
+        assert!(text.contains("le=\"+Inf\"} 1"));
+        let samples = prometheus::parse(&text).expect("parses");
+        let hists = prometheus::parse_histograms(&samples).expect("histograms parse");
+        assert_eq!(hists.len(), 1);
+        assert_eq!(hists[0].quantile(0.99), Some(f64::INFINITY));
+    }
+}

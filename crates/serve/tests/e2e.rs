@@ -98,6 +98,46 @@ fn two_tenants_share_one_worker_and_reports_match_local_runs() {
     );
     assert!(find("serve.jobs.completed") >= 2.0);
 
+    // Per-route/per-tenant RED telemetry rides the same exposition:
+    // each tenant's submit is counted under its own labels, and the
+    // latency histogram round-trips through our own histogram reader.
+    let labeled = |name: &str, route: &str, tenant: &str| {
+        let wire = qdi_obs::prometheus::metric_name(name);
+        samples
+            .iter()
+            .filter_map(|s| {
+                let (base, labels) = qdi_obs::prometheus::parse_labels(&s.name).ok()?;
+                (base == wire
+                    && labels.iter().any(|(k, v)| k == "route" && v == route)
+                    && labels.iter().any(|(k, v)| k == "tenant" && v == tenant))
+                .then_some(s.value)
+            })
+            .next()
+    };
+    for tenant in ["alice", "bob"] {
+        assert!(
+            labeled("serve.http.route.requests", "POST /v1/jobs", tenant).is_some_and(|v| v >= 1.0),
+            "{tenant}'s submit missing from the RED counters"
+        );
+    }
+    let histograms = qdi_obs::prometheus::parse_histograms(&samples).expect("histograms parse");
+    let latency_wire = qdi_obs::prometheus::metric_name(qdi_obs::slo::ROUTE_LATENCY_MS);
+    for tenant in ["alice", "bob"] {
+        let hist = histograms
+            .iter()
+            .find(|h| {
+                h.name == latency_wire
+                    && h.labels
+                        .iter()
+                        .any(|(k, v)| k == "route" && v == "POST /v1/jobs")
+                    && h.labels.iter().any(|(k, v)| k == "tenant" && v == tenant)
+            })
+            .unwrap_or_else(|| panic!("{tenant}'s submit latency histogram missing"));
+        assert!(hist.count >= 1, "{tenant}'s histogram counted no requests");
+        assert_eq!(hist.cumulative.len(), hist.bounds.len() + 1);
+        assert_eq!(*hist.cumulative.last().expect("+Inf bucket"), hist.count);
+    }
+
     // SSE replay: both tenants' streams deliver progress and a
     // terminal `done`.
     for id in [&alice, &bob] {

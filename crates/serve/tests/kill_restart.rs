@@ -114,8 +114,14 @@ fn sigkill_mid_campaign_resumes_bit_identically() {
 
     let mut first = spawn_server(&data, &addr_file);
     let client = ServeClient::new(wait_addr(&addr_file));
+    // Submit under a minted trace context so the whole story — both
+    // server processes included — shares one known trace id.
+    let ctx = qdi_obs::trace::mint();
     let id = client
-        .submit(&serde_json::to_string(&crash_spec("crash")).expect("serializes"))
+        .submit_traced(
+            &serde_json::to_string(&crash_spec("crash")).expect("serializes"),
+            Some(&ctx),
+        )
         .expect("submits");
 
     let at_kill = wait_progress(&client, &id, 64);
@@ -165,6 +171,56 @@ fn sigkill_mid_campaign_resumes_bit_identically() {
         report.guesses[0].samples,
         golden.samples(),
         "bias after kill -9 + resume must be bit-identical to a clean run"
+    );
+
+    // Trace continuity across the kill: both server processes appended
+    // spans for the submit's trace id into the shared span file. The
+    // pre-crash process contributes the request span and the first
+    // lease's scheduler marks; the post-crash process contributes a
+    // lease span carrying a `resume` link whose target is the killed
+    // lease — whose own record never hit disk, because SIGKILL runs no
+    // destructors. That dangling link IS the crash signature.
+    let spans = qdi_obs::trace::read_spans(&data.join("trace").join("spans.jsonl"))
+        .expect("span file readable");
+    let trace_hex = ctx.trace_id.to_string();
+    let ours: Vec<_> = spans.iter().filter(|s| s.trace_id == trace_hex).collect();
+    let edge = ours
+        .iter()
+        .find(|s| s.name == "POST /v1/jobs")
+        .expect("request span recorded");
+    assert_eq!(
+        edge.parent_id.as_deref(),
+        Some(ctx.span_id.to_string().as_str()),
+        "request span must be a child of the client's traceparent"
+    );
+    let leases: Vec<_> = ours.iter().filter(|s| s.name == "lease").collect();
+    assert!(!leases.is_empty(), "resumed lease span recorded");
+    for lease in &leases {
+        assert_eq!(
+            lease.parent_id.as_deref(),
+            Some(edge.span_id.as_str()),
+            "every lease parents under the submitting request span"
+        );
+    }
+    let written: std::collections::BTreeSet<&str> =
+        ours.iter().map(|s| s.span_id.as_str()).collect();
+    let resume_targets: Vec<&str> = leases
+        .iter()
+        .flat_map(|l| l.links.iter())
+        .filter(|k| k.kind == qdi_obs::trace::LINK_RESUME)
+        .map(|k| k.span_id.as_str())
+        .collect();
+    assert!(
+        !resume_targets.is_empty(),
+        "post-restart lease must carry a resume span-link"
+    );
+    assert!(
+        resume_targets.iter().any(|t| !written.contains(t)),
+        "one resume link must point at the span the kill -9 destroyed"
+    );
+    assert!(
+        ours.iter().filter(|s| s.name == "sched.enqueue").count() >= 2,
+        "submit enqueue and recovery requeue both leave scheduler marks"
     );
 
     // The sealed trace store passes fsck with no torn tail.

@@ -64,11 +64,27 @@ fn main() {
     println!("serve_demo: wrote serve_demo.spec.json");
 
     // Two tenants over HTTP; the fair-share scheduler interleaves them.
-    let alice = client.submit(&spec_json).expect("alice submits");
+    // Alice's submit travels under a client-minted trace context, so the
+    // span file tells the whole story — client, edge, scheduler, runner —
+    // under one trace id. CI renders it with `qdi-mon trace`.
+    let mut submit_span = qdi::obs::trace::ActiveSpan::root("qdi-client", "submit");
+    submit_span.set_attr("demo", "serve_demo");
+    let ctx = submit_span.context();
+    let alice = client
+        .submit_traced(&spec_json, Some(&ctx))
+        .expect("alice submits");
+    submit_span.set_attr("job", alice.clone());
+    drop(submit_span);
     let bob = client
         .submit(&serde_json::to_string(&demo_spec("bob")).expect("serializes"))
         .expect("bob submits");
     println!("serve_demo: submitted {alice} (ci) and {bob} (bob)");
+    std::fs::write("serve_demo.trace-id.txt", ctx.trace_id.to_string()).expect("write trace id");
+    println!(
+        "serve_demo: trace {} (spans in {})",
+        ctx.trace_id,
+        server.trace_path().display()
+    );
 
     // Tail alice's SSE stream while both campaigns run.
     let mut events = 0u32;
@@ -98,6 +114,17 @@ fn main() {
             status.error
         );
     }
+
+    // Scrape the Prometheus exposition — per-route/per-tenant RED
+    // counters and latency histograms — for `qdi-mon slo` in CI.
+    let metrics = client.get("/metrics").expect("metrics").text();
+    std::fs::write("serve_demo.metrics.prom", &metrics).expect("write metrics");
+    println!(
+        "serve_demo: wrote serve_demo.metrics.prom ({} samples)",
+        qdi::obs::prometheus::parse(&metrics)
+            .expect("exposition parses")
+            .len()
+    );
 
     // The golden report: CI compares a crash-resumed run against it.
     let report_text = client

@@ -7,7 +7,9 @@
 #   * the job to finish with state Completed after the restart,
 #   * a bias signal T = A0 − A1 bit-identical to the uninterrupted
 #     golden report the serve_demo example wrote, and
-#   * a clean `qdi-trace fsck` on the job's sealed trace store.
+#   * a clean `qdi-trace fsck` on the job's sealed trace store, and
+#   * one distributed trace id spanning the client, both daemon
+#     processes and the resumed lease, rendered by `qdi-mon trace`.
 #
 # Expects `cargo build --release` artifacts plus serve_demo.spec.json /
 # serve_demo.report.json from `cargo run --release --example serve_demo`.
@@ -16,6 +18,7 @@ set -euo pipefail
 SERVE=${SERVE:-target/release/qdi-serve}
 CLIENT=${CLIENT:-target/release/qdi-client}
 TRACE=${TRACE:-target/release/qdi-trace}
+MON=${MON:-target/release/qdi-mon}
 SPEC=${SPEC:-serve_demo.spec.json}
 GOLDEN=${GOLDEN:-serve_demo.report.json}
 DATA=${DATA:-serve_e2e_data}
@@ -46,8 +49,13 @@ trap cleanup EXIT
 
 start_server
 echo "serve_e2e: daemon at $URL (pid $SERVER_PID)"
-JOB=$("$CLIENT" --server "$URL" submit "$SPEC")
-echo "serve_e2e: submitted $JOB"
+# Submit traced: stdout stays the bare job id, the trace id arrives on
+# stderr, and the client's own submit span lands in a local span file.
+JOB=$("$CLIENT" --server "$URL" submit "$SPEC" \
+    --trace-file serve_e2e.client-spans.jsonl 2> serve_e2e.submit.err)
+cat serve_e2e.submit.err >&2
+TRACE_ID=$(sed -n 's/^trace: //p' serve_e2e.submit.err)
+echo "serve_e2e: submitted $JOB (trace $TRACE_ID)"
 
 # Poll until the campaign is visibly mid-run, then SIGKILL the daemon.
 # On a fast runner the campaign can outrun the poll loop; the strict
@@ -79,6 +87,17 @@ jq -ce '.guesses[0].samples' serve_e2e.report.json > serve_e2e.resumed.samples
 jq -ce '.guesses[0].samples' "$GOLDEN" > serve_e2e.golden.samples
 cmp serve_e2e.resumed.samples serve_e2e.golden.samples
 echo "serve_e2e: bias signal bit-identical to the uninterrupted run"
+
+# One causal chain across the kill: merge the client's span file with
+# the span file both daemon processes appended to, and render the
+# submit's trace as a waterfall. (The strict mid-lease crash signature
+# — a dangling `resume` link — is pinned in kill_restart.rs; on a fast
+# runner the campaign may finish before the kill lands.)
+"$MON" trace "$TRACE_ID" \
+    "$DATA/trace/spans.jsonl" serve_e2e.client-spans.jsonl \
+    --title "serve_e2e crash recovery" --out serve_e2e.trace.svg
+grep -q '<svg' serve_e2e.trace.svg
+echo "serve_e2e: wrote serve_e2e.trace.svg"
 
 # The sealed store passes a read-only integrity scan (exit 0 = clean).
 TENANT=$(jq -r .tenant "$SPEC")
